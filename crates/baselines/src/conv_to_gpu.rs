@@ -1,0 +1,130 @@
+//! CNNDroid-style static heuristic (§III related work): map the
+//! computationally heavy *convolutional* layers to the GPU and leave the
+//! rest (pools, FC classifiers) on the big CPU.
+//!
+//! The OmniBoost paper's criticism of this family — "the process followed
+//! is static and the GPU workload can quickly reach saturation point
+//! while managing multiple CNN applications" — falls out naturally: the
+//! policy ignores both co-location pressure and the transfer cost of the
+//! many stage boundaries it creates.
+
+use omniboost_hw::{Board, Device, HwError, Mapping, Scheduler, Workload};
+
+/// The convs-to-GPU static scheduler.
+///
+/// ```
+/// use omniboost_baselines::ConvToGpu;
+/// use omniboost_hw::{Board, Device, Scheduler, Workload};
+/// use omniboost_models::ModelId;
+///
+/// let mut s = ConvToGpu::new();
+/// let w = Workload::from_ids([ModelId::AlexNet]);
+/// let m = s.decide(&Board::hikey970(), &w)?;
+/// // AlexNet's 3 FC layers land on the big CPU.
+/// assert_eq!(m.layers_on(Device::BigCpu), 6); // 3 pools + 3 fc
+/// # Ok::<(), omniboost_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvToGpu;
+
+impl ConvToGpu {
+    /// Creates the heuristic.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for ConvToGpu {
+    fn name(&self) -> &str {
+        "conv-to-gpu"
+    }
+
+    fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
+        board.admit(workload)?;
+        let assignments = workload
+            .dnns()
+            .iter()
+            .map(|dnn| {
+                dnn.layers()
+                    .iter()
+                    .map(|l| {
+                        if l.kind().is_convolutional() {
+                            Device::Gpu
+                        } else {
+                            Device::BigCpu
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Mapping::new(assignments))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_hw::ThroughputModel;
+    use omniboost_models::ModelId;
+
+    #[test]
+    fn convs_go_to_gpu_rest_to_big() {
+        let mut s = ConvToGpu::new();
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::Vgg16]);
+        let m = s.decide(&board, &w).unwrap();
+        // VGG-16: 13 convs on GPU, 5 pools + 3 fcs on big CPU.
+        assert_eq!(m.layers_on(Device::Gpu), 13);
+        assert_eq!(m.layers_on(Device::BigCpu), 8);
+        assert_eq!(m.layers_on(Device::LittleCpu), 0);
+    }
+
+    #[test]
+    fn produces_many_pipeline_stages() {
+        // The static policy creates a stage boundary at every conv/pool
+        // alternation — the transfer-cost weakness the paper points out.
+        let mut s = ConvToGpu::new();
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::Vgg16]);
+        let m = s.decide(&board, &w).unwrap();
+        assert!(m.max_stages() > 3, "expected > 3 stages, got {}", m.max_stages());
+    }
+
+    #[test]
+    fn helps_a_little_but_stays_saturated_on_heavy_mixes() {
+        // The static policy happens to offload the FC classifiers' huge
+        // weights, which relieves the GPU slightly — but it still stacks
+        // every conv of every DNN there, so under a heavy mix it stays in
+        // the saturated regime, far below what a workload-aware spread
+        // achieves (the §III criticism).
+        let board = Board::hikey970();
+        let sim = board.simulator();
+        let w = Workload::from_ids([
+            ModelId::Vgg19,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+            ModelId::Vgg16,
+        ]);
+        let mut s = ConvToGpu::new();
+        let split = sim.evaluate(&w, &s.decide(&board, &w).unwrap()).unwrap();
+        let gpu = sim
+            .evaluate(&w, &Mapping::all_on(&w, Device::Gpu))
+            .unwrap();
+        // No worse than the baseline...
+        assert!(split.average >= gpu.average * 0.8);
+        // ...but nowhere near a contention-aware spread.
+        let spread = Mapping::new(vec![
+            vec![Device::LittleCpu; 24],
+            vec![Device::Gpu; 20],
+            vec![Device::Gpu; 20],
+            vec![Device::BigCpu; 21],
+        ]);
+        let good = sim.evaluate(&w, &spread).unwrap();
+        assert!(
+            good.average > split.average * 1.5,
+            "spread {} vs conv-to-gpu {}",
+            good.average,
+            split.average
+        );
+    }
+}

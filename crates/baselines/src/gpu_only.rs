@@ -1,0 +1,63 @@
+//! The "common scheduling approach" baseline: everything on the GPU.
+
+use omniboost_hw::{Board, Device, HwError, Mapping, Scheduler, Workload};
+
+/// Maps every layer of every DNN onto the GPU — the highest-performing
+/// single device, and the paper's normalization baseline.
+///
+/// ```
+/// use omniboost_baselines::GpuOnly;
+/// use omniboost_hw::{Board, Device, Scheduler, Workload};
+/// use omniboost_models::ModelId;
+///
+/// let mut s = GpuOnly::new();
+/// let w = Workload::from_ids([ModelId::AlexNet]);
+/// let m = s.decide(&Board::hikey970(), &w)?;
+/// assert!(m.assignments()[0].iter().all(|d| *d == Device::Gpu));
+/// # Ok::<(), omniboost_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuOnly;
+
+impl GpuOnly {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for GpuOnly {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
+        board.admit(workload)?;
+        Ok(Mapping::all_on(workload, Device::Gpu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_models::ModelId;
+
+    #[test]
+    fn single_stage_gpu_mapping() {
+        let mut s = GpuOnly::new();
+        let w = Workload::from_ids([ModelId::Vgg19, ModelId::MobileNet]);
+        let m = s.decide(&Board::hikey970(), &w).unwrap();
+        assert_eq!(m.max_stages(), 1);
+        assert_eq!(m.devices_used(), vec![Device::Gpu]);
+    }
+
+    #[test]
+    fn decision_is_instant_but_rejects_inadmissible() {
+        let mut s = GpuOnly::new();
+        let w = Workload::from_ids(vec![ModelId::AlexNet; 6]);
+        assert!(matches!(
+            s.decide(&Board::hikey970(), &w),
+            Err(HwError::Unresponsive { .. })
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! # omniboost-baselines
+//!
+//! The comparison schedulers of the OmniBoost evaluation (§V):
+//!
+//! * [`GpuOnly`] — the "common scheduling approach": every layer of every
+//!   DNN on the GPU. This is the normalization baseline of Figs. 1 and 5.
+//! * [`RandomSplit`] — the random layer-splitting generator behind the
+//!   motivational study of Fig. 1 (200 random set-ups).
+//! * [`Mosaic`] — the linear-regression approach of MOSAIC (Han et al.,
+//!   PACT 2019): per-device layer-latency regression fitted on ~14,000
+//!   profiled samples, plus communication-aware greedy model slicing.
+//!   Its linearity assumption ignores contention, which is exactly the
+//!   weakness the paper exploits (§III, §V-A).
+//! * [`ConvToGpu`] — the CNNDroid-style static policy (convolutional
+//!   layers to the GPU, the rest to the big CPU), included because §III
+//!   names it as the archetypal static approach OmniBoost improves on.
+//! * [`Genetic`] — the GA scheduler of Kang et al. (IEEE Access 2020)
+//!   with the stage-merging repair layer the paper describes; it
+//!   "retrains" (re-runs evolution, measuring on the board) for every
+//!   queried workload, which is why its decision latency is minutes.
+//!
+//! All of them implement [`omniboost_hw::Scheduler`], so the benchmark
+//! harness can sweep schedulers uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv_to_gpu;
+mod ga;
+mod gpu_only;
+mod linreg;
+mod mosaic;
+mod random;
+
+pub use conv_to_gpu::ConvToGpu;
+pub use ga::{Genetic, GeneticConfig};
+pub use gpu_only::GpuOnly;
+pub use linreg::LinearRegression;
+pub use mosaic::{Mosaic, MosaicConfig};
+pub use random::RandomSplit;

@@ -1,0 +1,146 @@
+//! Ordinary least squares with ridge damping — MOSAIC's model family.
+//!
+//! MOSAIC (Han et al.) assumes DNN layer execution time is *linearly*
+//! correlated with layer dimensions. The paper under reproduction argues
+//! this assumption breaks under multi-DNN contention (§III); we implement
+//! the regression faithfully so that the breakdown is observable.
+
+/// A ridge-regularized linear model `y ≈ w · x + b` fitted in closed form
+/// via the normal equations.
+///
+/// ```
+/// use omniboost_baselines::LinearRegression;
+///
+/// // y = 2 x0 + 1.
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys = vec![1.0, 3.0, 5.0, 7.0];
+/// let model = LinearRegression::fit(&xs, &ys, 1e-9);
+/// assert!((model.predict(&[10.0]) - 21.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Weights, one per feature, with the intercept appended last.
+    weights: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fits the model on rows `xs` with targets `ys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, lengths mismatch, or rows have
+    /// inconsistent widths.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], ridge: f64) -> Self {
+        assert!(!xs.is_empty(), "empty design matrix");
+        assert_eq!(xs.len(), ys.len(), "row/target count mismatch");
+        let d = xs[0].len() + 1; // + intercept
+        assert!(xs.iter().all(|r| r.len() == d - 1), "ragged rows");
+
+        // Normal equations: (XᵀX + λI) w = Xᵀy, X augmented with 1s.
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![0.0f64; d];
+        for (row, &y) in xs.iter().zip(ys) {
+            let aug: Vec<f64> = row.iter().copied().chain(std::iter::once(1.0)).collect();
+            for i in 0..d {
+                xty[i] += aug[i] * y;
+                for j in 0..d {
+                    xtx[i][j] += aug[i] * aug[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += ridge.max(1e-12);
+        }
+        let weights = solve(xtx, xty);
+        Self { weights }
+    }
+
+    /// Predicts the target for a feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width differs from the fitted width.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len() + 1, self.weights.len(), "feature width mismatch");
+        x.iter()
+            .zip(&self.weights)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.weights[self.weights.len() - 1]
+    }
+
+    /// The fitted weights (intercept last).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(diag.abs() > 1e-30, "singular system despite ridge");
+        let (pivot_rows, elim_rows) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (off, row) in elim_rows.iter_mut().enumerate() {
+            let f = row[col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for (rk, pk) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *rk -= f * pk;
+            }
+            b[col + 1 + off] -= f * b[col];
+        }
+    }
+    // Back-substitution.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for (ak, xk) in a[col][(col + 1)..n].iter().zip(&x[(col + 1)..n]) {
+            acc -= ak * xk;
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_multivariate_plane() {
+        // y = 3 x0 - 2 x1 + 0.5.
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.3, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5).collect();
+        let m = LinearRegression::fit(&xs, &ys, 1e-9);
+        assert!((m.weights()[0] - 3.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-6);
+        assert!((m.weights()[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_stabilizes_duplicate_features() {
+        // Two identical features would make XᵀX singular without ridge.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let m = LinearRegression::fit(&xs, &ys, 1e-6);
+        assert!((m.predict(&[5.0, 5.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/target count mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], 1e-6);
+    }
+}

@@ -1,0 +1,340 @@
+//! The MOSAIC baseline (Han et al., PACT 2019): linear-regression layer
+//! latency modelling plus communication-aware model slicing.
+//!
+//! Design-time: fit one per-device linear model `time ≈ w · dims` on a
+//! large profiled corpus (§V-B of the OmniBoost paper quotes "more than
+//! 14,000 data points", a notable collection cost). Run-time: a single
+//! cheap query — greedy slicing of each DNN into ≤3 segments, balancing
+//! *additive* predicted loads across devices. The additive-linear view
+//! ignores contention and saturation, which is why MOSAIC overloads the
+//! GPU on heavy mixes (Fig. 5b of the paper).
+
+use crate::linreg::LinearRegression;
+use omniboost_hw::{cost, Board, Device, HwError, Mapping, NoiseModel, Scheduler, Workload};
+use omniboost_models::{DnnModelBuilder, Layer, TensorShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// MOSAIC configuration.
+#[derive(Debug, Clone)]
+pub struct MosaicConfig {
+    /// Profiled samples across all devices (paper: >14,000).
+    pub training_samples: usize,
+    /// Ridge damping for the regression.
+    pub ridge: f64,
+    /// Measurement-noise amplitude during profiling.
+    pub noise_amplitude: f64,
+    /// RNG seed for the synthetic profiling sweep.
+    pub seed: u64,
+    /// Maximum slices per DNN.
+    pub max_stages: usize,
+}
+
+impl Default for MosaicConfig {
+    fn default() -> Self {
+        Self {
+            training_samples: 14_000,
+            ridge: 1e-6,
+            noise_amplitude: 0.05,
+            seed: 0x305A1C,
+            max_stages: 3,
+        }
+    }
+}
+
+/// The MOSAIC scheduler.
+///
+/// ```no_run
+/// use omniboost_baselines::Mosaic;
+/// use omniboost_hw::{Board, Scheduler, Workload};
+/// use omniboost_models::ModelId;
+///
+/// let board = Board::hikey970();
+/// let mut mosaic = Mosaic::new();
+/// let w = Workload::from_ids([ModelId::AlexNet, ModelId::Vgg19]);
+/// let mapping = mosaic.decide(&board, &w)?;
+/// assert!(mapping.max_stages() <= 3);
+/// # Ok::<(), omniboost_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mosaic {
+    config: MosaicConfig,
+    models: Option<[LinearRegression; 3]>,
+}
+
+impl Default for Mosaic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mosaic {
+    /// Creates an untrained scheduler with default configuration; the
+    /// (expensive) regression fit runs on the first decision.
+    pub fn new() -> Self {
+        Self::with_config(MosaicConfig::default())
+    }
+
+    /// Creates a scheduler with explicit configuration.
+    pub fn with_config(config: MosaicConfig) -> Self {
+        Self {
+            config,
+            models: None,
+        }
+    }
+
+    /// Whether the design-time regression has been fitted.
+    pub fn is_trained(&self) -> bool {
+        self.models.is_some()
+    }
+
+    /// Feature vector of a layer: GFLOPs, activation MB in/out, weight MB
+    /// — the "dimensions of input matrices" MOSAIC regresses on.
+    fn features(layer: &Layer) -> Vec<f64> {
+        let bytes_in: u64 = layer.kernels().iter().map(|k| k.bytes_in()).sum();
+        let bytes_out: u64 = layer.kernels().iter().map(|k| k.bytes_out()).sum();
+        vec![
+            layer.flops() as f64 / 1e9,
+            bytes_in as f64 / 1e6,
+            bytes_out as f64 / 1e6,
+            layer.weight_bytes() as f64 / 1e6,
+            layer.kernels().len() as f64,
+        ]
+    }
+
+    /// Profiles `training_samples` synthetic layers on the board and fits
+    /// one regression per device — the paper's time-consuming data
+    /// collection step.
+    pub fn train(&mut self, board: &Board) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let noise = NoiseModel::new(self.config.noise_amplitude, self.config.seed);
+        let per_device = (self.config.training_samples / Device::COUNT).max(1);
+        let mut models = Vec::with_capacity(Device::COUNT);
+        for dev in Device::ALL {
+            let mut xs = Vec::with_capacity(per_device);
+            let mut ys = Vec::with_capacity(per_device);
+            for i in 0..per_device {
+                let layer = random_layer(&mut rng);
+                let t = cost::layer_time_ms(board, dev, &layer)
+                    * noise.factor("mosaic-sweep", i, dev.index());
+                xs.push(Self::features(&layer));
+                ys.push(t);
+            }
+            models.push(LinearRegression::fit(&xs, &ys, self.config.ridge));
+        }
+        self.models = Some(
+            models
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("exactly 3 devices")),
+        );
+    }
+
+    fn predict_ms(&self, dev: Device, layer: &Layer) -> f64 {
+        let models = self.models.as_ref().expect("trained before predict");
+        models[dev.index()].predict(&Self::features(layer)).max(1e-6)
+    }
+}
+
+/// A random synthetic convolution or FC layer spanning realistic mobile
+/// dimension ranges.
+fn random_layer(rng: &mut StdRng) -> Layer {
+    let conv = rng.gen_bool(0.8);
+    if conv {
+        let cin = *[16usize, 32, 64, 128, 256, 512].get(rng.gen_range(0..6)).unwrap();
+        let cout = *[16usize, 32, 64, 128, 256, 512].get(rng.gen_range(0..6)).unwrap();
+        let hw = *[7usize, 14, 28, 56, 112].get(rng.gen_range(0..5)).unwrap();
+        let k = *[1usize, 3, 5].get(rng.gen_range(0..3)).unwrap();
+        let model = DnnModelBuilder::new(TensorShape::new(cin, hw, hw))
+            .conv("probe", cout, k, 1, k / 2)
+            .build("probe-net")
+            .expect("probe layer is valid");
+        model.layers()[0].clone()
+    } else {
+        let fin = *[256usize, 1024, 4096, 9216].get(rng.gen_range(0..4)).unwrap();
+        let fout = *[128usize, 1000, 4096].get(rng.gen_range(0..3)).unwrap();
+        let model = DnnModelBuilder::new(TensorShape::flat(fin))
+            .fc("probe", fout)
+            .build("probe-net")
+            .expect("probe layer is valid");
+        model.layers()[0].clone()
+    }
+}
+
+impl Scheduler for Mosaic {
+    fn name(&self) -> &str {
+        "mosaic"
+    }
+
+    /// Greedy communication-aware slicing: DNNs are processed in order;
+    /// for each, every (≤ `max_stages`)-segmentation × device tuple is
+    /// scored by the *additive* predicted makespan plus transfer cost,
+    /// and the cheapest is kept.
+    fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
+        board.admit(workload)?;
+        if self.models.is_none() {
+            self.train(board);
+        }
+        let mut loads = [0.0f64; Device::COUNT];
+        let mut assignments: Vec<Vec<Device>> = Vec::with_capacity(workload.len());
+
+        for dnn in workload.dnns() {
+            let n = dnn.num_layers();
+            // Prefix-summed predicted times per device.
+            let mut prefix = vec![[0.0f64; Device::COUNT]; n + 1];
+            for (l, layer) in dnn.layers().iter().enumerate() {
+                for dev in Device::ALL {
+                    prefix[l + 1][dev.index()] =
+                        prefix[l][dev.index()] + self.predict_ms(dev, layer);
+                }
+            }
+            let seg_time = |dev: Device, a: usize, b: usize| {
+                prefix[b][dev.index()] - prefix[a][dev.index()]
+            };
+
+            type Slicing = Vec<(Device, usize, usize)>;
+            let mut best: Option<(f64, Slicing)> = None;
+            let mut consider = |segs: &[(Device, usize, usize)]| {
+                let mut new_loads = loads;
+                let mut transfer = 0.0;
+                for (i, (dev, a, b)) in segs.iter().enumerate() {
+                    new_loads[dev.index()] += seg_time(*dev, *a, *b);
+                    if i + 1 < segs.len() {
+                        transfer += board.bus.transfer_ms(dnn.cut_bytes(*b - 1) as u64);
+                    }
+                }
+                let makespan = new_loads.iter().fold(0.0f64, |m, v| m.max(*v)) + transfer;
+                if best.as_ref().is_none_or(|(c, _)| makespan < *c) {
+                    best = Some((makespan, segs.to_vec()));
+                }
+            };
+
+            // 1 segment.
+            for d in Device::ALL {
+                consider(&[(d, 0, n)]);
+            }
+            if self.config.max_stages >= 2 && n >= 2 {
+                for cut in 1..n {
+                    for d1 in Device::ALL {
+                        for d2 in Device::ALL {
+                            if d1 != d2 {
+                                consider(&[(d1, 0, cut), (d2, cut, n)]);
+                            }
+                        }
+                    }
+                }
+            }
+            if self.config.max_stages >= 3 && n >= 3 {
+                for c1 in 1..n - 1 {
+                    for c2 in (c1 + 1)..n {
+                        for d1 in Device::ALL {
+                            for d2 in Device::ALL {
+                                if d2 == d1 {
+                                    continue;
+                                }
+                                for d3 in Device::ALL {
+                                    if d3 != d2 {
+                                        consider(&[(d1, 0, c1), (d2, c1, c2), (d3, c2, n)]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            let (_, segs) = best.expect("at least the single-segment options exist");
+            let mut devices = vec![Device::Gpu; n];
+            for (dev, a, b) in &segs {
+                for d in &mut devices[*a..*b] {
+                    *d = *dev;
+                }
+                loads[dev.index()] += seg_time(*dev, *a, *b);
+            }
+            assignments.push(devices);
+        }
+        Ok(Mapping::new(assignments))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_models::{zoo, ModelId};
+
+    fn quick_config() -> MosaicConfig {
+        MosaicConfig {
+            training_samples: 900,
+            ..MosaicConfig::default()
+        }
+    }
+
+    #[test]
+    fn regression_orders_devices_correctly() {
+        let board = Board::hikey970();
+        let mut m = Mosaic::with_config(quick_config());
+        m.train(&board);
+        // A big dense conv must be predicted fastest on the GPU.
+        let vgg = zoo::build(ModelId::Vgg19);
+        let conv = &vgg.layers()[2];
+        let gpu = m.predict_ms(Device::Gpu, conv);
+        let little = m.predict_ms(Device::LittleCpu, conv);
+        assert!(gpu < little, "gpu {gpu} vs little {little}");
+    }
+
+    #[test]
+    fn regression_error_is_moderate_on_zoo_layers() {
+        // Linear models can't capture the roofline max(), but should be
+        // within ~2x on most dense layers.
+        let board = Board::hikey970();
+        let mut m = Mosaic::with_config(quick_config());
+        m.train(&board);
+        let vgg = zoo::build(ModelId::Vgg16);
+        let mut within = 0usize;
+        let mut total = 0usize;
+        for layer in vgg.layers() {
+            let truth = cost::layer_time_ms(&board, Device::BigCpu, layer);
+            let pred = m.predict_ms(Device::BigCpu, layer);
+            total += 1;
+            if pred / truth < 3.0 && truth / pred < 3.0 {
+                within += 1;
+            }
+        }
+        assert!(within * 2 > total, "only {within}/{total} within 3x");
+    }
+
+    #[test]
+    fn slicing_respects_stage_cap_and_shape() {
+        let board = Board::hikey970();
+        let mut m = Mosaic::with_config(quick_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet, ModelId::MobileNet]);
+        let mapping = m.decide(&board, &w).unwrap();
+        mapping.validate(&w).unwrap();
+        assert!(mapping.max_stages() <= 3);
+    }
+
+    #[test]
+    fn multi_dnn_mix_spreads_load_somewhat() {
+        // With 4 heavy DNNs, greedy load balancing must use more than one
+        // device (even though it underestimates contention).
+        let board = Board::hikey970();
+        let mut m = Mosaic::with_config(quick_config());
+        let w = Workload::from_ids([
+            ModelId::Vgg19,
+            ModelId::Vgg16,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+        ]);
+        let mapping = m.decide(&board, &w).unwrap();
+        assert!(mapping.devices_used().len() >= 2, "{mapping}");
+    }
+
+    #[test]
+    fn training_is_lazy_and_cached() {
+        let board = Board::hikey970();
+        let mut m = Mosaic::with_config(quick_config());
+        assert!(!m.is_trained());
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let _ = m.decide(&board, &w).unwrap();
+        assert!(m.is_trained());
+    }
+}

@@ -1,0 +1,80 @@
+//! Random layer splitting — the set-up generator of the motivational
+//! study (§II, Fig. 1).
+
+use omniboost_hw::{Board, HwError, Mapping, Scheduler, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draws a random segment-structured mapping (each DNN split into at most
+/// `max_stages` contiguous stages on random devices), like the 200 random
+/// set-ups of Fig. 1.
+///
+/// Each [`Scheduler::decide`] call consumes fresh randomness, so calling
+/// it 200 times reproduces the motivational sweep.
+#[derive(Debug, Clone)]
+pub struct RandomSplit {
+    max_stages: usize,
+    rng: StdRng,
+}
+
+impl RandomSplit {
+    /// Creates a splitter with the paper's 3-stage structure.
+    pub fn new(seed: u64) -> Self {
+        Self::with_max_stages(3, seed)
+    }
+
+    /// Creates a splitter with a custom stage cap.
+    pub fn with_max_stages(max_stages: usize, seed: u64) -> Self {
+        Self {
+            max_stages: max_stages.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomSplit {
+    fn name(&self) -> &str {
+        "random-split"
+    }
+
+    fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
+        board.admit(workload)?;
+        Ok(Mapping::random(workload, self.max_stages, &mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_models::ModelId;
+
+    #[test]
+    fn successive_decisions_differ() {
+        let mut s = RandomSplit::new(5);
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::Vgg19, ModelId::AlexNet]);
+        let a = s.decide(&board, &w).unwrap();
+        let b = s.decide(&board, &w).unwrap();
+        assert_ne!(a, b, "two draws should almost surely differ");
+    }
+
+    #[test]
+    fn respects_stage_cap() {
+        let mut s = RandomSplit::with_max_stages(2, 9);
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::SqueezeNet]);
+        for _ in 0..20 {
+            let m = s.decide(&board, &w).unwrap();
+            assert!(m.max_stages() <= 2);
+        }
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::MobileNet]);
+        let a = RandomSplit::new(3).decide(&board, &w).unwrap();
+        let b = RandomSplit::new(3).decide(&board, &w).unwrap();
+        assert_eq!(a, b);
+    }
+}

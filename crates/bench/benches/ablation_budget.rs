@@ -1,0 +1,29 @@
+//! Criterion bench behind the **budget ablation**: MCTS decision latency
+//! as a function of the iteration budget (analytic evaluator isolates the
+//! search cost from CNN inference cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omniboost::mcts::{Mcts, SchedulingEnv, SearchBudget};
+use omniboost_bench::paper_mixes;
+use omniboost_hw::{AnalyticModel, Board, Workload};
+
+fn bench_budget(c: &mut Criterion) {
+    let board = Board::hikey970();
+    let workload: Workload = paper_mixes(4)[0].iter().copied().collect();
+    let evaluator = AnalyticModel::new(board);
+    let mut group = c.benchmark_group("ablation_budget");
+    group.sample_size(10);
+
+    for budget in [50usize, 150, 500] {
+        group.bench_with_input(BenchmarkId::new("mcts", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                let env = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+                Mcts::new(SearchBudget::with_iterations(budget)).search(&env, 3)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget);
+criterion_main!(benches);

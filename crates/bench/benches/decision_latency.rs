@@ -1,0 +1,55 @@
+//! Criterion bench behind the **§V-B run-time table**: decision latency
+//! of each scheduler on a 4-DNN mix (reduced budgets so the bench
+//! completes in seconds; the `runtime_table` binary reports full-budget
+//! numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic, MosaicConfig};
+use omniboost::{OmniBoost, OmniBoostConfig};
+use omniboost::mcts::SearchBudget;
+use omniboost_bench::paper_mixes;
+use omniboost_hw::{Board, Scheduler, Workload};
+use std::hint::black_box;
+
+fn bench_decisions(c: &mut Criterion) {
+    let board = Board::hikey970();
+    let workload: Workload = paper_mixes(4)[0].iter().copied().collect();
+    let mut group = c.benchmark_group("decision_latency");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| {
+        let mut s = GpuOnly::new();
+        b.iter(|| s.decide(black_box(&board), black_box(&workload)).unwrap())
+    });
+
+    group.bench_function("mosaic_query", |b| {
+        let mut s = Mosaic::with_config(MosaicConfig {
+            training_samples: 900,
+            ..MosaicConfig::default()
+        });
+        s.train(&board); // pay data collection outside the query timing
+        b.iter(|| s.decide(black_box(&board), black_box(&workload)).unwrap())
+    });
+
+    group.bench_function("ga_small", |b| {
+        let mut s = Genetic::new(GeneticConfig {
+            population: 8,
+            generations: 3,
+            ..GeneticConfig::default()
+        });
+        b.iter(|| s.decide(black_box(&board), black_box(&workload)).unwrap())
+    });
+
+    group.bench_function("omniboost_budget50", |b| {
+        let cfg = OmniBoostConfig {
+            budget: SearchBudget::with_iterations(50),
+            ..OmniBoostConfig::quick()
+        };
+        let (mut s, _) = OmniBoost::design_time(&board, cfg);
+        b.iter(|| s.decide(black_box(&board), black_box(&workload)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

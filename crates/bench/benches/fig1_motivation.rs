@@ -1,0 +1,31 @@
+//! Criterion bench behind **Fig. 1**: latency of measuring one random
+//! split of the §II motivational workload on the simulated board (the
+//! study performs 200 such measurements).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omniboost::baselines::RandomSplit;
+use omniboost::Runtime;
+use omniboost_bench::motivational_workload;
+use omniboost_hw::{Board, Scheduler};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let runtime = Runtime::new(Board::hikey970());
+    let workload = motivational_workload();
+    let mut splitter = RandomSplit::new(1);
+    let mut group = c.benchmark_group("fig1_motivation");
+    group.sample_size(20);
+
+    group.bench_function("random_split_decide", |b| {
+        b.iter(|| splitter.decide(runtime.board(), black_box(&workload)).unwrap())
+    });
+
+    let mapping = splitter.decide(runtime.board(), &workload).unwrap();
+    group.bench_function("board_measure_one_setup", |b| {
+        b.iter(|| runtime.measure(black_box(&workload), black_box(&mapping)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

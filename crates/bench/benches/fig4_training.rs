@@ -1,0 +1,44 @@
+//! Criterion bench behind **Fig. 4**: cost of one estimator training
+//! epoch and of one labelled-sample generation (the 500-workload dataset
+//! build).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omniboost::estimator::{CnnEstimator, DatasetConfig, TrainConfig};
+use omniboost_hw::Board;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let board = Board::hikey970();
+    let mut group = c.benchmark_group("fig4_training");
+    group.sample_size(10);
+
+    group.bench_function("dataset_generation_8_workloads", |b| {
+        b.iter(|| {
+            DatasetConfig {
+                num_workloads: 8,
+                threads: 1,
+                ..DatasetConfig::default()
+            }
+            .generate(black_box(&board))
+        })
+    });
+
+    let dataset = DatasetConfig {
+        num_workloads: 32,
+        ..DatasetConfig::default()
+    }
+    .generate(&board);
+    group.bench_function("train_one_epoch_32_samples", |b| {
+        b.iter(|| {
+            let cfg = TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            };
+            CnnEstimator::train(black_box(&board), black_box(&dataset), &cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

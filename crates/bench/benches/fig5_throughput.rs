@@ -1,0 +1,35 @@
+//! Criterion bench behind **Fig. 5**: latency of the measurement that
+//! produces every bar — evaluating a scheduler's mapping on the board —
+//! for 3-, 4- and 5-DNN mixes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omniboost::Runtime;
+use omniboost_bench::paper_mixes;
+use omniboost_hw::{Board, Device, Mapping, Workload};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let runtime = Runtime::new(Board::hikey970());
+    let mut group = c.benchmark_group("fig5_throughput");
+    group.sample_size(15);
+
+    for k in [3usize, 4, 5] {
+        let workload: Workload = paper_mixes(k)[0].iter().copied().collect();
+        let mapping = Mapping::all_on(&workload, Device::Gpu);
+        group.bench_with_input(
+            BenchmarkId::new("measure_gpu_only_mix", k),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    runtime
+                        .measure(black_box(&workload), black_box(&mapping))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of the substrates: the from-scratch CNN's forward and
+//! backward passes, the discrete-event board simulator, the analytic
+//! solver, and the embedding/mask pipeline. These quantify the run-time
+//! claims behind §V-B ("low number of trainable parameters" → cheap
+//! estimator queries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omniboost::estimator::{ActivationKind, EmbeddingTensor, EstimatorNet, MaskTensor};
+use omniboost::tensor::{Module, Tensor};
+use omniboost_hw::{
+    AnalyticModel, Board, Device, Mapping, NoiseModel, ThroughputModel, Workload,
+};
+use omniboost_models::{zoo, ModelId};
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let board = Board::hikey970();
+    let mut group = c.benchmark_group("substrate_micro");
+    group.sample_size(20);
+
+    // CNN forward / forward+backward on a batch of one.
+    let mut net = EstimatorNet::new(11, 37, ActivationKind::Gelu, 1);
+    let x = Tensor::randn(&[1, 3, 11, 37], 2);
+    group.bench_function("estimator_forward", |b| {
+        b.iter(|| net.forward(black_box(&x)))
+    });
+    group.bench_function("estimator_forward_backward", |b| {
+        b.iter(|| {
+            let y = net.forward(black_box(&x));
+            net.zero_grad();
+            net.backward(&Tensor::full(y.shape(), 1.0))
+        })
+    });
+
+    // Embedding + mask construction.
+    let models = zoo::build_all();
+    group.bench_function("embedding_profile_zoo", |b| {
+        b.iter(|| EmbeddingTensor::profile(black_box(&board), &models, NoiseModel::none()))
+    });
+    let embedding = EmbeddingTensor::profile(&board, &models, NoiseModel::none());
+    let workload = Workload::from_ids([ModelId::Vgg19, ModelId::ResNet50, ModelId::AlexNet]);
+    let mapping = Mapping::all_on(&workload, Device::Gpu);
+    group.bench_function("mask_build_apply", |b| {
+        b.iter(|| {
+            MaskTensor::build(&embedding, black_box(&workload), black_box(&mapping))
+                .unwrap()
+                .apply(&embedding)
+        })
+    });
+
+    // Board evaluators.
+    let sim = board.simulator();
+    group.bench_function("des_evaluate_3dnn", |b| {
+        b.iter(|| sim.evaluate(black_box(&workload), black_box(&mapping)).unwrap())
+    });
+    let analytic = AnalyticModel::new(board.clone());
+    group.bench_function("analytic_evaluate_3dnn", |b| {
+        b.iter(|| {
+            analytic
+                .evaluate(black_box(&workload), black_box(&mapping))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

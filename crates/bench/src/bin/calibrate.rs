@@ -1,0 +1,61 @@
+//! Calibration probe for the board model (not a paper artefact): prints
+//! the raw quantities the DESIGN.md §5 targets are expressed in, so the
+//! saturation/efficiency constants can be tuned against the paper's
+//! observed shapes.
+
+use omniboost::baselines::RandomSplit;
+use omniboost::{OracleOmniBoost, Runtime};
+use omniboost::mcts::SearchBudget;
+use omniboost_bench::{motivational_workload, paper_mixes};
+use omniboost_hw::{analytic::solo_throughput, Board, Device, Mapping, Scheduler, Workload};
+use omniboost_models::{zoo, ModelId};
+
+fn main() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board.clone());
+
+    println!("## solo inf/s per model per device");
+    for id in ModelId::ALL {
+        let dnn = zoo::build(id);
+        print!("{id:<14}");
+        for d in Device::ALL {
+            print!(" {:>10.2}", solo_throughput(&board, &dnn, d));
+        }
+        println!();
+    }
+
+    println!("\n## fig1 mix: all-GPU baseline vs per-DNN shared rates");
+    let w = motivational_workload();
+    let base = runtime
+        .measure(&w, &Mapping::all_on(&w, Device::Gpu))
+        .unwrap();
+    println!("baseline T = {:.3}, per-dnn = {:?}", base.average, base.per_dnn);
+
+    let mut splitter = RandomSplit::new(0xF161);
+    let mut beat = 0;
+    let mut best: f64 = 0.0;
+    for _ in 0..100 {
+        let m = splitter.decide(&board, &w).unwrap();
+        let t = runtime.measure(&w, &m).unwrap().average / base.average;
+        if t > 1.0 {
+            beat += 1;
+        }
+        best = best.max(t);
+    }
+    println!("random splits: {beat}/100 beat baseline, best {best:.2}x");
+
+    for k in [3usize, 4, 5] {
+        let workload: Workload = paper_mixes(k)[0].iter().copied().collect();
+        let base = runtime
+            .measure(&workload, &Mapping::all_on(&workload, Device::Gpu))
+            .unwrap()
+            .average;
+        let mut oracle = OracleOmniBoost::new(SearchBudget::with_iterations(300), 3, 7);
+        let m = oracle.decide(&board, &workload).unwrap();
+        let t = runtime.measure(&workload, &m).unwrap().average;
+        println!(
+            "{k}-mix[0]: baseline {base:.3}, oracle-mcts {t:.3}, ratio {:.2}x",
+            t / base
+        );
+    }
+}

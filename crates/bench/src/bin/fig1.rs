@@ -1,0 +1,54 @@
+//! Regenerates **Fig. 1** (§II): normalized throughput of 200 random
+//! layer splits of {AlexNet, MobileNet, VGG-19, SqueezeNet} against the
+//! all-on-GPU baseline, plus the design-space combinatorics quoted in the
+//! text (C₃(84) ≈ 95,000).
+//!
+//! Run with `cargo run --release -p omniboost-bench --bin fig1`.
+
+use omniboost::baselines::RandomSplit;
+use omniboost::Runtime;
+use omniboost_bench::{baseline_throughput, motivational_workload, parse_quick};
+use omniboost_hw::{Board, Scheduler};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (quick, _) = parse_quick(&args);
+    let setups = if quick { 40 } else { 200 };
+
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board);
+    let workload = motivational_workload();
+
+    let n = workload.total_layers() as u64;
+    let combos = n * (n - 1) * (n - 2) / 6;
+    println!("# Fig. 1 — motivational study (§II)");
+    println!("# workload: {workload} ({n} layers)");
+    println!("# design space: C_3({n}) = {combos} (paper: ~95,000)");
+
+    let base = baseline_throughput(&runtime, &workload).expect("baseline measurement");
+    println!("# baseline (all-on-GPU) T = {base:.3} inf/s -> normalized 1.0");
+    println!("setup,normalized_throughput");
+
+    let mut splitter = RandomSplit::new(0xF161);
+    let mut series = Vec::with_capacity(setups);
+    for i in 0..setups {
+        let mapping = splitter
+            .decide(runtime.board(), &workload)
+            .expect("random mapping");
+        let t = runtime
+            .measure(&workload, &mapping)
+            .expect("measurement")
+            .average;
+        let norm = t / base;
+        series.push(norm);
+        println!("{},{:.4}", i + 1, norm);
+    }
+
+    let best = series.iter().cloned().fold(f64::MIN, f64::max);
+    let above = series.iter().filter(|v| **v > 1.0).count();
+    println!("# best set-up: {best:.3}x baseline (paper: up to ~1.6x)");
+    println!(
+        "# set-ups beating the baseline: {above}/{} (paper: a minority, but clearly present)",
+        series.len()
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 4** (§V): training and validation L1-loss curves of
+//! the CNN throughput estimator — 500 random workloads (400 train / 100
+//! validation), 100 epochs, Adam.
+//!
+//! Run with `cargo run --release -p omniboost-bench --bin fig4`.
+
+use omniboost::estimator::{CnnEstimator, DatasetConfig, TrainConfig};
+use omniboost_bench::parse_quick;
+use omniboost_hw::Board;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (quick, _) = parse_quick(&args);
+
+    let board = Board::hikey970();
+    let dataset_cfg = DatasetConfig {
+        num_workloads: if quick { 80 } else { 500 },
+        ..DatasetConfig::default()
+    };
+    let train_cfg = TrainConfig {
+        epochs: if quick { 20 } else { 100 },
+        ..TrainConfig::default()
+    };
+
+    println!("# Fig. 4 — estimator training behaviour (§V)");
+    println!(
+        "# dataset: {} random workloads of 1-5 DNNs ({}/{} split)",
+        dataset_cfg.num_workloads,
+        (dataset_cfg.num_workloads as f64 * train_cfg.train_fraction) as usize,
+        dataset_cfg.num_workloads
+            - (dataset_cfg.num_workloads as f64 * train_cfg.train_fraction) as usize
+    );
+
+    let t0 = Instant::now();
+    let dataset = dataset_cfg.generate(&board);
+    println!("# dataset generation: {:.1?}", t0.elapsed());
+
+    let t1 = Instant::now();
+    let (_, history) = CnnEstimator::train(&board, &dataset, &train_cfg);
+    println!(
+        "# training {} epochs: {:.1?} (paper: under a minute on a 1660 Ti)",
+        train_cfg.epochs,
+        t1.elapsed()
+    );
+
+    println!("epoch,train_loss,val_loss");
+    for (e, (tr, va)) in history.train.iter().zip(&history.validation).enumerate() {
+        println!("{},{:.4},{:.4}", e + 1, tr, va);
+    }
+    println!(
+        "# final: train {:.4}, val {:.4} (paper curve: ~0.35 -> ~0.10)",
+        history.final_train_loss(),
+        history.final_validation_loss()
+    );
+}

@@ -1,0 +1,102 @@
+//! Human-readable comparison tables for experiment output.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One scheduler's result on one mix, normalized against the baseline
+/// (the convention of Figs. 1 and 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Absolute average throughput (inferences/s).
+    pub average: f64,
+    /// Throughput normalized to the GPU-only baseline.
+    pub normalized: f64,
+    /// Decision latency.
+    pub decision_time: Duration,
+}
+
+/// Formats comparison rows as an aligned text table.
+///
+/// ```
+/// use omniboost::{format_comparison, ComparisonRow};
+/// use std::time::Duration;
+///
+/// let rows = vec![ComparisonRow {
+///     scheduler: "baseline".into(),
+///     average: 4.2,
+///     normalized: 1.0,
+///     decision_time: Duration::from_millis(1),
+/// }];
+/// let table = format_comparison("mix-1", &rows);
+/// assert!(table.contains("baseline"));
+/// assert!(table.contains("1.00x"));
+/// ```
+pub fn format_comparison(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>10} {:>12}",
+        "scheduler", "avg inf/s", "vs base", "decision"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12.3} {:>9.2}x {:>12}",
+            r.scheduler,
+            r.average,
+            r.normalized,
+            format_duration(r.decision_time)
+        );
+    }
+    out
+}
+
+/// Compact duration formatting (µs/ms/s).
+fn format_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_all_rows() {
+        let rows = vec![
+            ComparisonRow {
+                scheduler: "baseline".into(),
+                average: 4.0,
+                normalized: 1.0,
+                decision_time: Duration::from_micros(10),
+            },
+            ComparisonRow {
+                scheduler: "omniboost".into(),
+                average: 18.4,
+                normalized: 4.6,
+                decision_time: Duration::from_secs(30),
+            },
+        ];
+        let t = format_comparison("mix-2 (4 DNNs)", &rows);
+        assert!(t.contains("mix-2"));
+        assert!(t.contains("omniboost"));
+        assert!(t.contains("4.60x"));
+        assert!(t.contains("30.00s"));
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(format_duration(Duration::from_micros(5)), "5us");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

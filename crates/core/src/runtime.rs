@@ -1,0 +1,110 @@
+//! The decide → deploy → measure loop used by every experiment.
+
+use omniboost_hw::{Board, DesSimulator, HwError, Mapping, Scheduler, ThroughputModel, ThroughputReport, Workload};
+use std::time::{Duration, Instant};
+
+/// Result of running one scheduler on one workload.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The mapping the scheduler decided.
+    pub mapping: Mapping,
+    /// Measured throughput of that mapping on the board.
+    pub report: ThroughputReport,
+    /// Wall-clock decision latency (§V-B's comparison axis).
+    pub decision_time: Duration,
+}
+
+/// Drives schedulers against a board: asks for a decision, "deploys" it
+/// on the simulator and measures the achieved throughput.
+///
+/// ```no_run
+/// use omniboost::Runtime;
+/// use omniboost::baselines::GpuOnly;
+/// use omniboost_hw::{Board, Workload};
+/// use omniboost_models::ModelId;
+///
+/// let runtime = Runtime::new(Board::hikey970());
+/// let w = Workload::from_ids([ModelId::AlexNet]);
+/// let outcome = runtime.run(&mut GpuOnly::new(), &w)?;
+/// println!("{:.1} inf/s in {:?}", outcome.report.average, outcome.decision_time);
+/// # Ok::<(), omniboost_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    board: Board,
+    simulator: DesSimulator,
+}
+
+impl Runtime {
+    /// Creates a runtime over a board with default simulator fidelity.
+    pub fn new(board: Board) -> Self {
+        let simulator = board.simulator();
+        Self { board, simulator }
+    }
+
+    /// The board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// The measurement simulator.
+    pub fn simulator(&self) -> &DesSimulator {
+        &self.simulator
+    }
+
+    /// Decides, deploys and measures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and measurement [`HwError`]s (inadmissible
+    /// workloads, malformed mappings).
+    pub fn run(&self, scheduler: &mut dyn Scheduler, workload: &Workload) -> Result<RunOutcome, HwError> {
+        let start = Instant::now();
+        let mapping = scheduler.decide(&self.board, workload)?;
+        let decision_time = start.elapsed();
+        let report = self.simulator.evaluate(workload, &mapping)?;
+        Ok(RunOutcome {
+            mapping,
+            report,
+            decision_time,
+        })
+    }
+
+    /// Measures an explicit mapping (no scheduler).
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement [`HwError`]s.
+    pub fn measure(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+        self.simulator.evaluate(workload, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_baselines::GpuOnly;
+    use omniboost_hw::Device;
+    use omniboost_models::ModelId;
+
+    #[test]
+    fn run_measures_the_decided_mapping() {
+        let rt = Runtime::new(Board::hikey970());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let outcome = rt.run(&mut GpuOnly::new(), &w).unwrap();
+        assert!(outcome.report.average > 0.0);
+        assert_eq!(outcome.mapping.devices_used(), vec![Device::Gpu]);
+        let direct = rt.measure(&w, &outcome.mapping).unwrap();
+        assert_eq!(direct.per_dnn, outcome.report.per_dnn);
+    }
+
+    #[test]
+    fn inadmissible_workloads_propagate() {
+        let rt = Runtime::new(Board::hikey970());
+        let w = Workload::from_ids(vec![ModelId::AlexNet; 6]);
+        assert!(matches!(
+            rt.run(&mut GpuOnly::new(), &w),
+            Err(HwError::Unresponsive { .. })
+        ));
+    }
+}

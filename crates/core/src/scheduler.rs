@@ -1,0 +1,165 @@
+//! The OmniBoost scheduler: estimator-guided MCTS.
+
+use crate::config::OmniBoostConfig;
+use omniboost_estimator::{CnnEstimator, TrainHistory};
+use omniboost_hw::{Board, HwError, Mapping, Scheduler, Workload};
+use omniboost_mcts::{Mcts, SchedulingEnv, SearchBudget};
+
+/// The OmniBoost multi-DNN manager (§IV).
+///
+/// Built once at design time ([`OmniBoost::design_time`]), it answers any
+/// number of scheduling queries *without retraining* — the paper's key
+/// run-time property ("OmniBoost is the first framework that addresses
+/// the multi-DNN scheduling problem without retraining").
+///
+/// See the crate docs for an end-to-end example.
+pub struct OmniBoost {
+    estimator: CnnEstimator,
+    config: OmniBoostConfig,
+    last_evaluations: usize,
+}
+
+impl OmniBoost {
+    /// Runs the full design-time flow on a board: profile the model zoo,
+    /// generate random workloads, measure them, train the CNN estimator.
+    ///
+    /// This is the expensive, once-per-platform step (Fig. 2, steps 1–3);
+    /// with default settings it takes on the order of a minute, matching
+    /// the paper's "training took under a minute" on an NVIDIA 1660 Ti.
+    pub fn design_time(board: &Board, config: OmniBoostConfig) -> (Self, TrainHistory) {
+        let dataset = config.dataset.generate(board);
+        let (estimator, history) = CnnEstimator::train(board, &dataset, &config.training);
+        (
+            Self {
+                estimator,
+                config,
+                last_evaluations: 0,
+            },
+            history,
+        )
+    }
+
+    /// Wraps an already-trained estimator.
+    pub fn from_estimator(estimator: CnnEstimator, config: OmniBoostConfig) -> Self {
+        Self {
+            estimator,
+            config,
+            last_evaluations: 0,
+        }
+    }
+
+    /// The trained estimator.
+    pub fn estimator(&self) -> &CnnEstimator {
+        &self.estimator
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OmniBoostConfig {
+        &self.config
+    }
+
+    /// Estimator queries made by the last decision (the paper reports 500
+    /// queries dominating its ~30 s decision latency, §V-B).
+    pub fn last_evaluations(&self) -> usize {
+        self.last_evaluations
+    }
+}
+
+impl Scheduler for OmniBoost {
+    fn name(&self) -> &str {
+        "omniboost"
+    }
+
+    fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
+        board.admit(workload)?;
+        let env = SchedulingEnv::new(workload, &self.estimator, self.config.stage_cap)?;
+        let result = Mcts::new(self.config.budget).search(&env, self.config.seed);
+        self.last_evaluations = result.evaluations;
+        let mapping = env.mapping_of(&result.best_state);
+        mapping.validate(workload)?;
+        Ok(mapping)
+    }
+}
+
+/// Ablation variant: the same MCTS explorer guided by a *perfect* oracle
+/// (the board simulator itself) instead of the CNN estimator.
+///
+/// Comparing [`OmniBoost`] against this quantifies how much throughput
+/// the estimator's approximation error costs — one of the design-choice
+/// ablations listed in `DESIGN.md`.
+pub struct OracleOmniBoost {
+    budget: SearchBudget,
+    stage_cap: usize,
+    seed: u64,
+}
+
+impl OracleOmniBoost {
+    /// Creates the oracle-guided scheduler.
+    pub fn new(budget: SearchBudget, stage_cap: usize, seed: u64) -> Self {
+        Self {
+            budget,
+            stage_cap,
+            seed,
+        }
+    }
+}
+
+impl Scheduler for OracleOmniBoost {
+    fn name(&self) -> &str {
+        "omniboost-oracle"
+    }
+
+    fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
+        board.admit(workload)?;
+        let oracle = board.simulator();
+        let env = SchedulingEnv::new(workload, &oracle, self.stage_cap)?;
+        let result = Mcts::new(self.budget).search(&env, self.seed);
+        let mapping = env.mapping_of(&result.best_state);
+        mapping.validate(workload)?;
+        Ok(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_hw::{Device, ThroughputModel as _};
+    use omniboost_models::ModelId;
+
+    #[test]
+    fn oracle_omniboost_beats_baseline_on_heavy_mix() {
+        let board = Board::hikey970();
+        let mut sched = OracleOmniBoost::new(SearchBudget::with_iterations(200), 3, 42);
+        let w = Workload::from_ids([
+            ModelId::Vgg19,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+            ModelId::Vgg16,
+        ]);
+        let sim = board.simulator();
+        let mapping = sched.decide(&board, &w).unwrap();
+        let ours = sim.evaluate(&w, &mapping).unwrap().average;
+        let base = sim
+            .evaluate(&w, &Mapping::all_on(&w, Device::Gpu))
+            .unwrap()
+            .average;
+        assert!(ours > base * 1.5, "oracle {ours} vs baseline {base}");
+        assert!(mapping.max_stages() <= 3);
+    }
+
+    #[test]
+    fn estimator_omniboost_end_to_end_quick() {
+        let board = Board::hikey970();
+        let (mut sched, history) = OmniBoost::design_time(&board, OmniBoostConfig::quick());
+        assert!(history.final_train_loss().is_finite());
+        let w = Workload::from_ids([ModelId::Vgg19, ModelId::ResNet50, ModelId::AlexNet]);
+        let mapping = sched.decide(&board, &w).unwrap();
+        mapping.validate(&w).unwrap();
+        assert!(mapping.max_stages() <= 3);
+        assert!(sched.last_evaluations() > 0);
+        // Re-query with a different workload without retraining.
+        let w2 = Workload::from_ids([ModelId::MobileNet, ModelId::SqueezeNet]);
+        let mapping2 = sched.decide(&board, &w2).unwrap();
+        mapping2.validate(&w2).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! First-principles feasibility bound on mapping throughput.
+//!
+//! A learned estimator queried by an argmax search (the MCTS) gets
+//! *exploited*: the search gravitates to whatever inputs the network
+//! over-scores. The profiled layer times in the [`EmbeddingTensor`] — the
+//! same design-time data the CNN consumes — already imply a hard upper
+//! bound on any mapping's throughput from first principles:
+//!
+//! * a DNN pipeline cannot run faster than its bottleneck stage, and
+//! * a device time-shares among its resident stages (utilization ≤ 1),
+//!
+//! with **no** knowledge of the board's measured saturation behaviour.
+//! Clamping the CNN's prediction by this bound removes physically
+//! impossible over-estimates while leaving the learned contention model
+//! in charge everywhere below the bound.
+
+use crate::embedding::EmbeddingTensor;
+use omniboost_hw::{Device, Mapping, Workload};
+
+/// Fair-sharing feasibility bound computed from the embedding tensor.
+#[derive(Debug, Clone, Copy)]
+pub struct FeasibilityBound<'a> {
+    embedding: &'a EmbeddingTensor,
+    iterations: usize,
+}
+
+impl<'a> FeasibilityBound<'a> {
+    /// Creates a bound calculator over a profiled embedding.
+    pub fn new(embedding: &'a EmbeddingTensor) -> Self {
+        Self {
+            embedding,
+            iterations: 60,
+        }
+    }
+
+    /// Upper bound (inferences/s) on the average throughput `T` of a
+    /// mapping, or `None` if a workload model is absent from the
+    /// embedding.
+    ///
+    /// The bound ignores transfer costs and saturation (both only slow
+    /// things down), so it is a true upper bound on anything the board
+    /// can deliver.
+    pub fn average_upper_bound(&self, workload: &Workload, mapping: &Mapping) -> Option<f64> {
+        let scale = self.embedding.scale_ms();
+        // Segment times per DNN, in ms.
+        let mut stages: Vec<Vec<(Device, f64)>> = Vec::with_capacity(workload.len());
+        for (di, dnn) in workload.dnns().iter().enumerate() {
+            let row = self.embedding.row_of(dnn.name())?;
+            let segs = mapping.segments(di);
+            let mut st = Vec::with_capacity(segs.len());
+            for seg in segs {
+                let t: f64 = (seg.start..seg.end)
+                    .map(|l| f64::from(self.embedding.value(seg.device, row, l)) * scale)
+                    .sum();
+                st.push((seg.device, t.max(1e-9)));
+            }
+            stages.push(st);
+        }
+
+        // Fixed point of the fair-sharing congestion recursion.
+        let mut x: Vec<f64> = stages
+            .iter()
+            .map(|st| 1.0 / st.iter().map(|(_, t)| *t).fold(0.0f64, f64::max))
+            .collect();
+        for _ in 0..self.iterations {
+            let mut util = [0.0f64; Device::COUNT];
+            for (di, st) in stages.iter().enumerate() {
+                for (dev, t) in st {
+                    util[dev.index()] += x[di] * t;
+                }
+            }
+            for (di, st) in stages.iter().enumerate() {
+                let bottleneck = st
+                    .iter()
+                    .map(|(dev, t)| t * util[dev.index()].max(1.0))
+                    .fold(0.0f64, f64::max);
+                x[di] = 0.5 * x[di] + 0.5 / bottleneck;
+            }
+        }
+        let m = workload.len() as f64;
+        Some(x.iter().sum::<f64>() / m * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_hw::{Board, NoiseModel, ThroughputModel};
+    use omniboost_models::{zoo, ModelId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn embedding(board: &Board) -> EmbeddingTensor {
+        EmbeddingTensor::profile(board, &zoo::build_all(), NoiseModel::none())
+    }
+
+    #[test]
+    fn bound_dominates_measurements_on_random_mappings() {
+        let board = Board::hikey970();
+        let emb = embedding(&board);
+        let bound = FeasibilityBound::new(&emb);
+        let sim = board.simulator();
+        let mut rng = StdRng::seed_from_u64(42);
+        for mix in [
+            vec![ModelId::Vgg19, ModelId::ResNet50, ModelId::InceptionV3],
+            vec![ModelId::AlexNet, ModelId::MobileNet],
+            vec![ModelId::Vgg16, ModelId::SqueezeNet, ModelId::ResNet34, ModelId::Vgg13],
+        ] {
+            let w = Workload::from_ids(mix);
+            for _ in 0..12 {
+                let m = Mapping::random(&w, 3, &mut rng);
+                let measured = sim.evaluate(&w, &m).unwrap().average;
+                let ub = bound.average_upper_bound(&w, &m).unwrap();
+                assert!(
+                    ub * 1.05 >= measured,
+                    "bound {ub} below measured {measured} for {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_for_uncontended_single_dnn() {
+        let board = Board::hikey970();
+        let emb = embedding(&board);
+        let bound = FeasibilityBound::new(&emb);
+        let sim = board.simulator();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        let measured = sim.evaluate(&w, &m).unwrap().average;
+        let ub = bound.average_upper_bound(&w, &m).unwrap();
+        assert!((ub - measured).abs() / measured < 0.05, "{ub} vs {measured}");
+    }
+
+    #[test]
+    fn unknown_models_return_none() {
+        let board = Board::hikey970();
+        let emb = embedding(&board);
+        let bound = FeasibilityBound::new(&emb);
+        let custom = omniboost_models::DnnModelBuilder::new(
+            omniboost_models::TensorShape::new(3, 8, 8),
+        )
+        .conv("c", 4, 3, 1, 1)
+        .build("ghost")
+        .unwrap();
+        let w = Workload::new(vec![custom]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        assert!(bound.average_upper_bound(&w, &m).is_none());
+    }
+
+    #[test]
+    fn overloading_one_device_lowers_the_bound() {
+        let board = Board::hikey970();
+        let emb = embedding(&board);
+        let bound = FeasibilityBound::new(&emb);
+        let w = Workload::from_ids(vec![ModelId::Vgg19; 3]);
+        let stacked = bound
+            .average_upper_bound(&w, &Mapping::all_on(&w, Device::Gpu))
+            .unwrap();
+        let spread = Mapping::new(vec![
+            vec![Device::Gpu; 24],
+            vec![Device::BigCpu; 24],
+            vec![Device::LittleCpu; 24],
+        ]);
+        let spread_ub = bound.average_upper_bound(&w, &spread).unwrap();
+        // Stacking shares one device 3 ways; spreading does not. The
+        // bound must see that sharing cost.
+        assert!(stacked < spread_ub * 1.5);
+    }
+}

@@ -1,0 +1,236 @@
+//! Training-dataset generation (§V): random multi-DNN workloads with
+//! random partitionings, labelled by "measuring" them on the board (our
+//! discrete-event simulator).
+
+use crate::embedding::EmbeddingTensor;
+use crate::mask::MaskTensor;
+use omniboost_hw::{Board, Device, Mapping, NoiseModel, ThroughputModel, Workload};
+use omniboost_models::{zoo, ModelId};
+use omniboost_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One labelled training example.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Masked embedding input, `[3, M, L]`.
+    pub input: Tensor,
+    /// Raw (unnormalized) per-device throughput attribution; the three
+    /// values sum to the workload's average throughput `T`.
+    pub target: [f32; 3],
+    /// The models in the mix (for reporting).
+    pub mix: Vec<ModelId>,
+    /// Number of pipeline stages in the sampled mapping.
+    pub max_stages: usize,
+}
+
+/// A generated dataset plus the embedding it was built against.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The design-time embedding tensor.
+    pub embedding: EmbeddingTensor,
+    /// The labelled samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Splits into `(train, validation)` by the given training fraction,
+    /// preserving generation order (the paper uses a 400/100 split).
+    pub fn split(&self, train_fraction: f64) -> (&[Sample], &[Sample]) {
+        let n = ((self.samples.len() as f64) * train_fraction).round() as usize;
+        let n = n.clamp(1, self.samples.len().saturating_sub(1).max(1));
+        self.samples.split_at(n.min(self.samples.len()))
+    }
+}
+
+/// Configuration of the random-workload generator.
+///
+/// Defaults follow §V: 500 workloads of 1–5 concurrent DNNs drawn from
+/// the 11-model dataset, randomly partitioned across the three computing
+/// components.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of workloads to generate.
+    pub num_workloads: usize,
+    /// Minimum DNNs per mix.
+    pub min_dnns: usize,
+    /// Maximum DNNs per mix.
+    pub max_dnns: usize,
+    /// Stage cap for the random partitioner (the paper's `x` = 3).
+    pub max_stages: usize,
+    /// Profiling measurement-noise amplitude.
+    pub noise_amplitude: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads for board evaluation.
+    pub threads: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            num_workloads: 500,
+            min_dnns: 1,
+            max_dnns: 5,
+            max_stages: 3,
+            noise_amplitude: 0.03,
+            seed: 0xDAC_2023,
+            threads: 4,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Generates the dataset against a board.
+    ///
+    /// Workloads that the board rejects (inadmissible mixes) are skipped
+    /// and resampled, so the output always has `num_workloads` samples.
+    pub fn generate(&self, board: &Board) -> Dataset {
+        let models = zoo::build_all();
+        let noise = NoiseModel::new(self.noise_amplitude, self.seed);
+        let embedding = EmbeddingTensor::profile(board, &models, noise);
+        let sim = board.simulator();
+
+        let n = self.num_workloads;
+        let threads = self.threads.max(1).min(n.max(1));
+        let mut samples: Vec<Option<Sample>> = vec![None; n];
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (ti, out_chunk) in samples.chunks_mut(chunk).enumerate() {
+                let embedding = &embedding;
+                let sim = &sim;
+                let base = self.seed.wrapping_add(0x9E37 * (ti as u64 + 1));
+                let cfg = self;
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(base);
+                    for slot in out_chunk.iter_mut() {
+                        *slot = Some(generate_one(cfg, sim, embedding, &mut rng));
+                    }
+                });
+            }
+        })
+        .expect("dataset generation worker panicked");
+
+        Dataset {
+            embedding,
+            samples: samples.into_iter().map(|s| s.expect("filled")).collect(),
+        }
+    }
+}
+
+fn generate_one(
+    cfg: &DatasetConfig,
+    sim: &omniboost_hw::DesSimulator,
+    embedding: &EmbeddingTensor,
+    rng: &mut StdRng,
+) -> Sample {
+    loop {
+        let k = rng.gen_range(cfg.min_dnns..=cfg.max_dnns);
+        let mut ids = ModelId::ALL.to_vec();
+        ids.shuffle(rng);
+        let mix: Vec<ModelId> = ids.into_iter().take(k).collect();
+        let workload = Workload::from_ids(mix.clone());
+        let mapping = Mapping::random(&workload, cfg.max_stages, rng);
+        let Ok(report) = sim.evaluate(&workload, &mapping) else {
+            continue;
+        };
+        let target = attribute_per_device(&workload, &mapping, &report.per_dnn);
+        let mask = MaskTensor::build(embedding, &workload, &mapping)
+            .expect("zoo models are always in the embedding");
+        let input = mask.apply(embedding).reshape(&[
+            3,
+            embedding.num_models(),
+            embedding.max_layers(),
+        ]);
+        return Sample {
+            input,
+            target,
+            mix,
+            max_stages: mapping.max_stages(),
+        };
+    }
+}
+
+/// Attributes each DNN's throughput to devices proportionally to the
+/// fraction of its layers they host, normalized by the DNN count, so the
+/// three outputs sum to the paper's objective `T`.
+pub(crate) fn attribute_per_device(
+    workload: &Workload,
+    mapping: &Mapping,
+    per_dnn: &[f64],
+) -> [f32; 3] {
+    let m = workload.len() as f64;
+    let mut out = [0.0f32; 3];
+    for (di, dnn) in workload.dnns().iter().enumerate() {
+        let total = dnn.num_layers() as f64;
+        for dev in Device::ALL {
+            let on_dev = mapping.assignments()[di]
+                .iter()
+                .filter(|d| **d == dev)
+                .count() as f64;
+            out[dev.index()] += (per_dnn[di] * on_dev / total / m) as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> DatasetConfig {
+        DatasetConfig {
+            num_workloads: 12,
+            threads: 3,
+            ..DatasetConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let d = tiny_config().generate(&Board::hikey970());
+        assert_eq!(d.samples.len(), 12);
+        for s in &d.samples {
+            assert_eq!(s.input.shape(), &[3, 11, 37]);
+            assert!(s.target.iter().all(|v| *v >= 0.0 && v.is_finite()));
+            assert!((1..=5).contains(&s.mix.len()));
+            assert!(s.max_stages <= 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let board = Board::hikey970();
+        let a = tiny_config().generate(&board);
+        let b = tiny_config().generate(&board);
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.mix, y.mix);
+            assert_eq!(x.target, y.target);
+        }
+    }
+
+    #[test]
+    fn attribution_sums_to_average_throughput() {
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mapping = Mapping::random(&w, 3, &mut rng);
+        let report = board.simulator().evaluate(&w, &mapping).unwrap();
+        let attr = attribute_per_device(&w, &mapping, &report.per_dnn);
+        let sum: f32 = attr.iter().sum();
+        assert!(
+            (sum - report.average as f32).abs() / (report.average as f32) < 1e-4,
+            "sum {sum} vs T {}",
+            report.average
+        );
+    }
+
+    #[test]
+    fn split_respects_fraction() {
+        let d = tiny_config().generate(&Board::hikey970());
+        let (train, val) = d.split(0.75);
+        assert_eq!(train.len(), 9);
+        assert_eq!(val.len(), 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! Binary persistence for trained estimators.
+//!
+//! OmniBoost's selling point is "train once, schedule forever": the
+//! design-time artefact (embedding tensor + CNN weights + target
+//! transform) must outlive the process. This module serializes the whole
+//! [`CnnEstimator`] into a small versioned binary blob (a few hundred
+//! KiB) and back.
+
+use crate::estimator::CnnEstimator;
+use crate::model::ActivationKind;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: u32 = 0x0B00_57E5;
+const VERSION: u16 = 1;
+
+/// Errors produced while loading an estimator blob.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The blob is not an estimator file or is truncated/corrupt.
+    Corrupt(&'static str),
+    /// The blob was written by an incompatible format version.
+    Version(u16),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error reading estimator: {e}"),
+            LoadError::Corrupt(what) => write!(f, "corrupt estimator blob: {what}"),
+            LoadError::Version(v) => write!(f, "unsupported estimator format version {v}"),
+        }
+    }
+}
+
+impl Error for LoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, LoadError> {
+    if buf.remaining() < 4 {
+        return Err(LoadError::Corrupt("string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(LoadError::Corrupt("string body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| LoadError::Corrupt("string utf-8"))
+}
+
+fn put_f32s(buf: &mut BytesMut, values: &[f32]) {
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        buf.put_f32_le(*v);
+    }
+}
+
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, LoadError> {
+    if buf.remaining() < 8 {
+        return Err(LoadError::Corrupt("f32 array length"));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len * 4 {
+        return Err(LoadError::Corrupt("f32 array body"));
+    }
+    Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+impl CnnEstimator {
+    /// Serializes the estimator into a binary blob.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(256 * 1024);
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+
+        // Embedding tensor.
+        let emb = self.embedding();
+        buf.put_u32_le(emb.num_models() as u32);
+        buf.put_u32_le(emb.max_layers() as u32);
+        buf.put_f64_le(emb.scale_ms());
+        for row in 0..emb.num_models() {
+            put_string(&mut buf, emb.model_name_of(row));
+            buf.put_u32_le(emb.layer_count(row) as u32);
+        }
+        put_f32s(&mut buf, emb.raw_values());
+
+        // Target transform.
+        put_f32s(&mut buf, &self.transform_arrays().concat());
+
+        // Network: activation tag + parameter snapshot.
+        buf.put_u8(activation_tag(self.activation()));
+        let snapshot = self.export_net_params();
+        buf.put_u32_le(snapshot.len() as u32);
+        for t in &snapshot {
+            buf.put_u32_le(t.shape().len() as u32);
+            for d in t.shape() {
+                buf.put_u32_le(*d as u32);
+            }
+            put_f32s(&mut buf, t.data());
+        }
+        buf.freeze()
+    }
+
+    /// Reconstructs an estimator from [`CnnEstimator::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] on corrupt or version-mismatched blobs.
+    pub fn from_bytes(mut blob: Bytes) -> Result<Self, LoadError> {
+        if blob.remaining() < 6 {
+            return Err(LoadError::Corrupt("header"));
+        }
+        if blob.get_u32_le() != MAGIC {
+            return Err(LoadError::Corrupt("magic"));
+        }
+        let version = blob.get_u16_le();
+        if version != VERSION {
+            return Err(LoadError::Version(version));
+        }
+        let buf = &mut blob;
+        if buf.remaining() < 16 {
+            return Err(LoadError::Corrupt("embedding header"));
+        }
+        let num_models = buf.get_u32_le() as usize;
+        let max_layers = buf.get_u32_le() as usize;
+        let scale_ms = buf.get_f64_le();
+        let mut names = Vec::with_capacity(num_models);
+        let mut counts = Vec::with_capacity(num_models);
+        for _ in 0..num_models {
+            names.push(get_string(buf)?);
+            if buf.remaining() < 4 {
+                return Err(LoadError::Corrupt("layer count"));
+            }
+            counts.push(buf.get_u32_le() as usize);
+        }
+        let values = get_f32s(buf)?;
+        if values.len() != 3 * num_models * max_layers {
+            return Err(LoadError::Corrupt("embedding values"));
+        }
+
+        let transform_flat = get_f32s(buf)?;
+        if transform_flat.len() != 12 {
+            return Err(LoadError::Corrupt("target transform"));
+        }
+
+        if buf.remaining() < 5 {
+            return Err(LoadError::Corrupt("network header"));
+        }
+        let activation = activation_from_tag(buf.get_u8())?;
+        let n_params = buf.get_u32_le() as usize;
+        let mut snapshot = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            if buf.remaining() < 4 {
+                return Err(LoadError::Corrupt("tensor rank"));
+            }
+            let rank = buf.get_u32_le() as usize;
+            if buf.remaining() < rank * 4 {
+                return Err(LoadError::Corrupt("tensor shape"));
+            }
+            let shape: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+            let data = get_f32s(buf)?;
+            if data.len() != shape.iter().product::<usize>() {
+                return Err(LoadError::Corrupt("tensor data"));
+            }
+            snapshot.push(omniboost_tensor::Tensor::from_vec(data, &shape));
+        }
+
+        CnnEstimator::rebuild(
+            names,
+            counts,
+            max_layers,
+            scale_ms,
+            values,
+            transform_flat,
+            activation,
+            snapshot,
+        )
+    }
+
+    /// Writes the estimator to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Loads an estimator previously written by [`CnnEstimator::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] for I/O, corruption or version problems.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, LoadError> {
+        let raw = fs::read(path)?;
+        Self::from_bytes(Bytes::from(raw))
+    }
+}
+
+/// Activation tag encoding for the blob.
+pub(crate) fn activation_tag(kind: ActivationKind) -> u8 {
+    match kind {
+        ActivationKind::Gelu => 0,
+        ActivationKind::Relu => 1,
+    }
+}
+
+/// Inverse of [`activation_tag`].
+pub(crate) fn activation_from_tag(tag: u8) -> Result<ActivationKind, LoadError> {
+    match tag {
+        0 => Ok(ActivationKind::Gelu),
+        1 => Ok(ActivationKind::Relu),
+        _ => Err(LoadError::Corrupt("activation tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::train::TrainConfig;
+    use omniboost_hw::{Board, Device, Mapping, Workload};
+    use omniboost_models::ModelId;
+
+    fn trained() -> (Board, CnnEstimator) {
+        let board = Board::hikey970();
+        let dataset = DatasetConfig {
+            num_workloads: 24,
+            threads: 4,
+            ..DatasetConfig::default()
+        }
+        .generate(&board);
+        let (est, _) = CnnEstimator::train(
+            &board,
+            &dataset,
+            &TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+        );
+        (board, est)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let (_, est) = trained();
+        let blob = est.to_bytes();
+        let restored = CnnEstimator::from_bytes(blob).expect("roundtrip");
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::Vgg16]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        let a = est.predict(&w, &m).unwrap();
+        let b = restored.predict(&w, &m).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let (_, est) = trained();
+        let dir = std::env::temp_dir().join("omniboost-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("estimator.bin");
+        est.save(&path).unwrap();
+        let restored = CnnEstimator::load(&path).expect("load");
+        let w = Workload::from_ids([ModelId::MobileNet]);
+        let m = Mapping::all_on(&w, Device::BigCpu);
+        assert_eq!(
+            est.predict(&w, &m).unwrap(),
+            restored.predict(&w, &m).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_blobs_are_rejected() {
+        let (_, est) = trained();
+        let blob = est.to_bytes();
+        // Wrong magic.
+        let mut bad = blob.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            CnnEstimator::from_bytes(Bytes::from(bad)),
+            Err(LoadError::Corrupt(_))
+        ));
+        // Truncation.
+        let short = blob.slice(0..blob.len() / 2);
+        assert!(CnnEstimator::from_bytes(short).is_err());
+        // Future version.
+        let mut versioned = blob.to_vec();
+        versioned[4] = 0xFF;
+        assert!(matches!(
+            CnnEstimator::from_bytes(Bytes::from(versioned)),
+            Err(LoadError::Version(_))
+        ));
+    }
+}

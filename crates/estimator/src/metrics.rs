@@ -1,0 +1,103 @@
+//! Regression quality metrics for estimator evaluation.
+
+/// Mean absolute error between predictions and truths.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mean_absolute_error(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty inputs");
+    predictions
+        .iter()
+        .zip(truths)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Mean absolute percentage error (skips zero truths).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mean_absolute_percentage_error(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty inputs");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, t) in predictions.iter().zip(truths) {
+        if t.abs() > f64::EPSILON {
+            total += ((p - t) / t).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Coefficient of determination R².
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r_squared(predictions: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty inputs");
+    let mean = truths.iter().sum::<f64>() / truths.len() as f64;
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(truths)
+        .map(|(p, t)| (t - p).powi(2))
+        .sum();
+    let ss_tot: f64 = truths.iter().map(|t| (t - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mean_absolute_error(&t, &t), 0.0);
+        assert_eq!(mean_absolute_percentage_error(&t, &t), 0.0);
+        assert_eq!(r_squared(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = [2.0, 2.0];
+        let t = [1.0, 3.0];
+        assert_eq!(mean_absolute_error(&p, &t), 1.0);
+        // |1|/1 + |-1|/3 → (1 + 0.3333)/2 × 100 ≈ 66.67%.
+        assert!((mean_absolute_percentage_error(&p, &t) - 66.666).abs() < 0.01);
+        // ss_res = 1 + 1 = 2, ss_tot = 1 + 1 = 2 → R² = 0.
+        assert_eq!(r_squared(&p, &t), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_truths() {
+        let p = [5.0, 2.0];
+        let t = [0.0, 2.0];
+        assert_eq!(mean_absolute_percentage_error(&p, &t), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Fast analytic throughput model: a damped fixed-point solver over the
+//! closed pipeline queueing network induced by a mapping.
+//!
+//! Each DNN is a pipeline of stages; its throughput is limited by its
+//! bottleneck stage, whose effective service time is inflated by (i) the
+//! processor share it gets on its device and (ii) the board's saturation
+//! model. The solver iterates stage inflation ← device load ← per-DNN
+//! throughput to a fixed point.
+//!
+//! This model is *deliberately simpler* than the discrete-event simulator
+//! in [`crate::des`]: it serves as a fast screening evaluator and as the
+//! kind of intermediate-fidelity model a designer would sanity-check the
+//! CNN estimator against.
+
+use crate::board::Board;
+use crate::device::Device;
+use crate::error::HwError;
+use crate::mapping::Mapping;
+use crate::profile::LayerTimeTable;
+use crate::scheduler::{ThroughputModel, ThroughputReport};
+use crate::workload::Workload;
+use crate::{cost, noise::NoiseModel};
+
+/// Per-DNN pipeline stages as `(device, service_ms)` pairs.
+type StageTimes = Vec<Vec<(Device, f64)>>;
+/// Per-DNN inter-stage transfer times in ms.
+type TransferTimes = Vec<Vec<f64>>;
+
+/// Analytic fixed-point throughput model over a board.
+///
+/// ```
+/// use omniboost_hw::{AnalyticModel, Board, Device, Mapping, ThroughputModel, Workload};
+/// use omniboost_models::ModelId;
+///
+/// let board = Board::hikey970();
+/// let model = AnalyticModel::new(board);
+/// let w = Workload::from_ids([ModelId::AlexNet]);
+/// let m = Mapping::all_on(&w, Device::Gpu);
+/// let r = model.evaluate(&w, &m)?;
+/// assert!(r.average > 0.0);
+/// # Ok::<(), omniboost_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    board: Board,
+    iterations: usize,
+    damping: f64,
+}
+
+impl AnalyticModel {
+    /// Creates a solver with default iteration budget.
+    pub fn new(board: Board) -> Self {
+        Self {
+            board,
+            iterations: 200,
+            damping: 0.5,
+        }
+    }
+
+    /// Overrides the fixed-point iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// The underlying board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    fn stage_times(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> (StageTimes, TransferTimes) {
+        let mut stages = Vec::with_capacity(workload.len());
+        let mut transfers = Vec::with_capacity(workload.len());
+        for (di, dnn) in workload.dnns().iter().enumerate() {
+            let table = LayerTimeTable::profile(&self.board, dnn, NoiseModel::none());
+            let segs = mapping.segments(di);
+            let mut st = Vec::with_capacity(segs.len());
+            let mut tr = Vec::new();
+            for (si, seg) in segs.iter().enumerate() {
+                let t: f64 = (seg.start..seg.end)
+                    .map(|l| table.time_ms(seg.device, l))
+                    .sum();
+                st.push((seg.device, t));
+                if si + 1 < segs.len() {
+                    tr.push(self.board.bus.transfer_ms(dnn.cut_bytes(seg.end - 1) as u64));
+                }
+            }
+            stages.push(st);
+            transfers.push(tr);
+        }
+        (stages, transfers)
+    }
+}
+
+impl ThroughputModel for AnalyticModel {
+    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+        self.board.admit(workload)?;
+        mapping.validate(workload)?;
+        let (stages, transfers) = self.stage_times(workload, mapping);
+        let m = workload.len();
+        let global = self.board.saturation.global_factor(m);
+
+        // Static inflation: stage-count interference plus working-set
+        // thrash for the layers the mapping makes resident per device.
+        let mut stages_on = [0usize; Device::COUNT];
+        for st in &stages {
+            for (dev, _) in st {
+                stages_on[dev.index()] += 1;
+            }
+        }
+        let mut resident = [0u64; Device::COUNT];
+        for (di, dnn) in workload.dnns().iter().enumerate() {
+            for (layer, dev) in dnn.layers().iter().zip(&mapping.assignments()[di]) {
+                resident[dev.index()] += layer.weight_bytes() + layer.output_bytes() as u64;
+            }
+        }
+        let inflation: Vec<f64> = Device::ALL
+            .iter()
+            .map(|d| {
+                self.board
+                    .saturation
+                    .device_factor(stages_on[d.index()], self.board.device(*d).saturation_knee)
+                    * self
+                        .board
+                        .saturation
+                        .ws_factor(resident[d.index()], self.board.device(*d).ws_capacity_bytes)
+                    * global
+            })
+            .collect();
+
+        // Initial guess: uncontended pipeline bottleneck throughput.
+        let mut x: Vec<f64> = stages
+            .iter()
+            .zip(&transfers)
+            .map(|(st, tr)| {
+                let bottleneck = st
+                    .iter()
+                    .map(|(_, t)| *t)
+                    .chain(tr.iter().copied())
+                    .fold(0.0f64, f64::max);
+                if bottleneck > 0.0 {
+                    1.0 / bottleneck
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        for _ in 0..self.iterations {
+            // Device utilization under current throughputs.
+            let mut util = [0.0f64; Device::COUNT];
+            let mut bus_util = 0.0f64;
+            for (di, st) in stages.iter().enumerate() {
+                for (dev, t) in st {
+                    util[dev.index()] += x[di] * t * inflation[dev.index()];
+                }
+                for tr in &transfers[di] {
+                    bus_util += x[di] * tr;
+                }
+            }
+            // Congestion slows each stage by the over-utilization factor.
+            let mut x_new = Vec::with_capacity(m);
+            for (di, st) in stages.iter().enumerate() {
+                let mut bottleneck: f64 = 0.0;
+                for (dev, t) in st {
+                    let c = util[dev.index()].max(1.0);
+                    bottleneck = bottleneck.max(t * inflation[dev.index()] * c);
+                }
+                for tr in &transfers[di] {
+                    bottleneck = bottleneck.max(tr * bus_util.max(1.0));
+                }
+                x_new.push(if bottleneck > 0.0 { 1.0 / bottleneck } else { 0.0 });
+            }
+            for di in 0..m {
+                x[di] = self.damping * x[di] + (1.0 - self.damping) * x_new[di];
+            }
+        }
+
+        // Convert inferences/ms -> inferences/s.
+        let per_dnn: Vec<f64> = x.iter().map(|v| v * 1e3).collect();
+        let mut per_device = [0.0f64; Device::COUNT];
+        for (di, st) in stages.iter().enumerate() {
+            for (dev, _) in st {
+                per_device[dev.index()] += per_dnn[di];
+            }
+        }
+        Ok(ThroughputReport::new(per_dnn, per_device))
+    }
+
+    fn model_name(&self) -> &str {
+        "analytic"
+    }
+}
+
+/// Uncontended single-DNN throughput on one device (inferences/s) — a
+/// convenience used by baselines and reports.
+pub fn solo_throughput(board: &Board, dnn: &omniboost_models::DnnModel, device: Device) -> f64 {
+    1e3 / cost::dnn_time_ms(board, device, dnn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_models::ModelId;
+
+    fn board() -> Board {
+        Board::hikey970()
+    }
+
+    #[test]
+    fn single_dnn_gpu_close_to_uncontended() {
+        let b = board();
+        let model = AnalyticModel::new(b.clone());
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        let r = model.evaluate(&w, &m).unwrap();
+        let solo = solo_throughput(&b, w.dnn(0), Device::Gpu);
+        assert!((r.per_dnn[0] - solo).abs() / solo < 0.05, "{} vs {}", r.per_dnn[0], solo);
+    }
+
+    #[test]
+    fn contention_reduces_throughput() {
+        let b = board();
+        let model = AnalyticModel::new(b);
+        let one = Workload::from_ids([ModelId::Vgg19]);
+        let four = Workload::from_ids(vec![ModelId::Vgg19; 4]);
+        let r1 = model
+            .evaluate(&one, &Mapping::all_on(&one, Device::Gpu))
+            .unwrap();
+        let r4 = model
+            .evaluate(&four, &Mapping::all_on(&four, Device::Gpu))
+            .unwrap();
+        assert!(r4.per_dnn[0] < r1.per_dnn[0] / 3.0);
+    }
+
+    #[test]
+    fn rejects_inadmissible_workloads() {
+        let model = AnalyticModel::new(board());
+        let w = Workload::from_ids(vec![ModelId::AlexNet; 6]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        assert!(matches!(
+            model.evaluate(&w, &m),
+            Err(HwError::Unresponsive { .. })
+        ));
+    }
+
+    #[test]
+    fn spreading_beats_stacking_under_heavy_load() {
+        let b = board();
+        let model = AnalyticModel::new(b);
+        let w = Workload::from_ids(vec![ModelId::Vgg16; 3]);
+        let stacked = Mapping::all_on(&w, Device::Gpu);
+        // One DNN per device.
+        let spread = Mapping::new(vec![
+            vec![Device::Gpu; 21],
+            vec![Device::BigCpu; 21],
+            vec![Device::LittleCpu; 21],
+        ]);
+        let rs = model.evaluate(&w, &stacked).unwrap();
+        let rp = model.evaluate(&w, &spread).unwrap();
+        assert!(
+            rp.average > rs.average,
+            "spread {} <= stacked {}",
+            rp.average,
+            rs.average
+        );
+    }
+}

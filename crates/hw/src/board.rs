@@ -1,0 +1,274 @@
+//! The board: device specs, interconnect, memory and saturation behaviour.
+
+use crate::des::DesSimulator;
+use crate::device::{Device, DeviceKind, DeviceSpec};
+use crate::error::HwError;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Shared memory bus / interconnect carrying inter-stage activation
+/// transfers (CPU↔GPU traffic crosses the SoC's coherent interconnect).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusSpec {
+    /// Sustained transfer bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Fixed per-transfer latency in milliseconds (driver + cache
+    /// maintenance; dominates small transfers).
+    pub latency_ms: f64,
+}
+
+impl BusSpec {
+    /// Time in milliseconds to move `bytes` across the bus.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.latency_ms + bytes as f64 / (self.bandwidth_gbs * 1e6)
+    }
+}
+
+/// Memory-controller saturation behaviour.
+///
+/// When the number of concurrently active pipeline stages on a device
+/// exceeds its knee, effective service rates degrade superlinearly —
+/// the mechanism behind the paper's observation that mapping everything
+/// on the GPU "saturates" it (§I) and that 4-DNN all-GPU baselines
+/// collapse (Fig. 5b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationModel {
+    /// Penalty slope per excess concurrent stage on a device (quadratic,
+    /// mild): command-queue / scheduler interference.
+    pub count_alpha: f64,
+    /// Cap on the count-based excess inflation.
+    pub count_max_excess: f64,
+    /// Penalty slope on relative working-set overcommit (quadratic,
+    /// strong): cache/TLB/memory-controller thrash once the layers
+    /// resident on a device outgrow its [`crate::DeviceSpec::ws_capacity_bytes`].
+    pub ws_alpha: f64,
+    /// Cap on the working-set excess inflation (thrash plateaus once
+    /// every access misses).
+    pub ws_max_excess: f64,
+    /// Global penalty slope per concurrent DNN beyond the comfortable
+    /// count (models memory-controller pressure shared by all devices).
+    pub global_alpha: f64,
+    /// Concurrent-DNN count beyond which the global penalty applies.
+    pub global_knee: usize,
+}
+
+impl SaturationModel {
+    /// Count-based service-time inflation for a device hosting `active`
+    /// stages with saturation knee `knee`.
+    pub fn device_factor(&self, active: usize, knee: usize) -> f64 {
+        let excess = active.saturating_sub(knee) as f64;
+        1.0 + (self.count_alpha * excess * excess).min(self.count_max_excess)
+    }
+
+    /// Working-set inflation for a device with `resident` bytes of mapped
+    /// layers against `capacity` bytes of comfortable reach.
+    pub fn ws_factor(&self, resident: u64, capacity: u64) -> f64 {
+        if capacity == 0 || resident <= capacity {
+            return 1.0;
+        }
+        let excess = resident as f64 / capacity as f64 - 1.0;
+        1.0 + (self.ws_alpha * excess * excess).min(self.ws_max_excess)
+    }
+
+    /// Global inflation factor for `dnns` concurrent networks.
+    pub fn global_factor(&self, dnns: usize) -> f64 {
+        let excess = dnns.saturating_sub(self.global_knee) as f64;
+        1.0 + self.global_alpha * excess
+    }
+}
+
+/// A heterogeneous embedded board: three computing components, a shared
+/// interconnect, a memory budget and a concurrency ceiling.
+///
+/// ```
+/// use omniboost_hw::{Board, Device};
+///
+/// let board = Board::hikey970();
+/// assert!(board.device(Device::Gpu).peak_gflops > board.device(Device::BigCpu).peak_gflops);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Board {
+    devices: [DeviceSpec; Device::COUNT],
+    /// Interconnect carrying pipeline-stage transfers.
+    pub bus: BusSpec,
+    /// Saturation behaviour.
+    pub saturation: SaturationModel,
+    /// Bytes of memory available to DNN working sets.
+    pub memory_budget_bytes: u64,
+    /// Maximum concurrent DNNs before the board becomes unresponsive
+    /// (the paper observed 6 to be fatal on the HiKey970).
+    pub max_concurrent_dnns: usize,
+}
+
+impl Board {
+    /// The calibrated HiKey970 stand-in used throughout the reproduction.
+    ///
+    /// Calibration targets (see DESIGN.md §5): GPU ≫ big ≫ LITTLE on a
+    /// single heavy DNN; GPU collapses superlinearly past one resident
+    /// heavy stage; the board refuses more than five concurrent DNNs.
+    pub fn hikey970() -> Self {
+        Self {
+            devices: [
+                DeviceSpec {
+                    name: "Mali-G72 MP12".into(),
+                    kind: DeviceKind::EmbeddedGpu,
+                    peak_gflops: 240.0,
+                    mem_bandwidth_gbs: 12.0,
+                    kernel_overhead_ms: 0.06,
+                    saturation_knee: 1,
+                    ws_capacity_bytes: 900 << 20,
+                },
+                DeviceSpec {
+                    name: "Cortex-A73 x4 @ 2.36 GHz".into(),
+                    kind: DeviceKind::BigCore,
+                    peak_gflops: 38.0,
+                    mem_bandwidth_gbs: 8.0,
+                    kernel_overhead_ms: 0.008,
+                    saturation_knee: 2,
+                    ws_capacity_bytes: 350 << 20,
+                },
+                DeviceSpec {
+                    name: "Cortex-A53 x4 @ 1.8 GHz".into(),
+                    kind: DeviceKind::LittleCore,
+                    peak_gflops: 11.0,
+                    mem_bandwidth_gbs: 5.0,
+                    kernel_overhead_ms: 0.008,
+                    saturation_knee: 2,
+                    ws_capacity_bytes: 250 << 20,
+                },
+            ],
+            bus: BusSpec {
+                bandwidth_gbs: 6.0,
+                latency_ms: 0.25,
+            },
+            saturation: SaturationModel {
+                count_alpha: 0.01,
+                count_max_excess: 1.5,
+                ws_alpha: 4.0,
+                ws_max_excess: 2.2,
+                global_alpha: 0.15,
+                global_knee: 3,
+            },
+            // 4 GiB usable by DNN working sets (6 GB LPDDR4X minus OS +
+            // framework overhead).
+            memory_budget_bytes: 4 * 1024 * 1024 * 1024,
+            max_concurrent_dnns: 5,
+        }
+    }
+
+    /// Spec of one computing component.
+    pub fn device(&self, d: Device) -> &DeviceSpec {
+        &self.devices[d.index()]
+    }
+
+    /// All device specs in [`Device::ALL`] order.
+    pub fn devices(&self) -> &[DeviceSpec; Device::COUNT] {
+        &self.devices
+    }
+
+    /// Admission control: checks the workload is runnable at all,
+    /// regardless of mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::EmptyWorkload`], [`HwError::Unresponsive`] (too many
+    /// concurrent DNNs) or [`HwError::OutOfMemory`].
+    pub fn admit(&self, workload: &Workload) -> Result<(), HwError> {
+        if workload.is_empty() {
+            return Err(HwError::EmptyWorkload);
+        }
+        if workload.len() > self.max_concurrent_dnns {
+            return Err(HwError::Unresponsive {
+                dnns: workload.len(),
+                max: self.max_concurrent_dnns,
+            });
+        }
+        let required = workload.total_weight_bytes();
+        if required > self.memory_budget_bytes {
+            return Err(HwError::OutOfMemory {
+                required,
+                budget: self.memory_budget_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// The board's discrete-event simulator with default fidelity — the
+    /// reproduction's equivalent of "running on the board".
+    pub fn simulator(&self) -> DesSimulator {
+        DesSimulator::new(self.clone(), crate::des::DesConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_models::ModelId;
+
+    #[test]
+    fn hikey970_performance_ordering() {
+        let b = Board::hikey970();
+        assert!(b.device(Device::Gpu).peak_gflops > b.device(Device::BigCpu).peak_gflops);
+        assert!(b.device(Device::BigCpu).peak_gflops > b.device(Device::LittleCpu).peak_gflops);
+    }
+
+    #[test]
+    fn six_dnns_are_unresponsive() {
+        let b = Board::hikey970();
+        let w = Workload::from_ids(vec![ModelId::AlexNet; 6]);
+        assert!(matches!(
+            b.admit(&w),
+            Err(HwError::Unresponsive { dnns: 6, max: 5 })
+        ));
+    }
+
+    #[test]
+    fn five_dnns_are_admitted() {
+        let b = Board::hikey970();
+        let w = Workload::from_ids(vec![ModelId::Vgg19; 5]);
+        b.admit(&w).unwrap();
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let b = Board::hikey970();
+        assert_eq!(b.admit(&Workload::new(vec![])), Err(HwError::EmptyWorkload));
+    }
+
+    #[test]
+    fn saturation_factors_grow() {
+        let s = Board::hikey970().saturation;
+        assert_eq!(s.device_factor(1, 1), 1.0);
+        assert!(s.device_factor(3, 1) > s.device_factor(2, 1));
+        assert!(s.global_factor(5) > s.global_factor(4));
+        assert_eq!(s.global_factor(2), 1.0);
+    }
+
+    #[test]
+    fn ws_factor_kicks_in_past_capacity() {
+        let s = Board::hikey970().saturation;
+        let gib = 1u64 << 30;
+        assert_eq!(s.ws_factor(gib / 2, gib), 1.0);
+        assert_eq!(s.ws_factor(gib, gib), 1.0);
+        let f15 = s.ws_factor(gib + gib / 2, gib);
+        let f20 = s.ws_factor(2 * gib, gib);
+        assert!(f15 > 1.5, "50% overcommit should hurt: {f15}");
+        assert!(f20 > f15);
+        // The cap binds eventually.
+        assert_eq!(s.ws_factor(100 * gib, gib), 1.0 + s.ws_max_excess);
+    }
+
+    #[test]
+    fn count_factor_is_mild() {
+        // Fair sharing must dominate the count penalty (Fig. 1 regime).
+        let s = Board::hikey970().saturation;
+        assert!(s.device_factor(4, 1) < 1.6);
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let bus = Board::hikey970().bus;
+        assert!(bus.transfer_ms(0) >= 0.25);
+        assert!(bus.transfer_ms(60_000_000) > 10.0 * bus.transfer_ms(0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Roofline kernel cost model — the reproduction of the paper's
+//! kernel-level benchmarking (Eq. 1).
+//!
+//! Each kernel's uncontended latency on a device is priced as the maximum
+//! of its compute time (`flops / (peak · efficiency(class))`) and its
+//! memory time (`bytes / bandwidth`), plus a fixed dispatch overhead.
+//! The per-class efficiency profiles live on [`DeviceSpec`]
+//! (see [`DeviceSpec::efficiency`]).
+
+use crate::board::Board;
+use crate::device::{Device, DeviceSpec};
+use omniboost_models::{Kernel, Layer};
+
+/// Uncontended execution time of a kernel on a device, in milliseconds —
+/// the `b_k^α` of Eq. 1.
+pub fn kernel_time_ms(spec: &DeviceSpec, kernel: &Kernel) -> f64 {
+    let compute_ms = kernel.flops() as f64 / (spec.peak_gflops * spec.efficiency(kernel.class()) * 1e6);
+    let memory_ms = kernel.total_bytes() as f64 / (spec.mem_bandwidth_gbs * 1e6);
+    compute_ms.max(memory_ms) + spec.kernel_overhead_ms
+}
+
+/// Uncontended execution time of a layer on a device, in milliseconds —
+/// the `B_l^α = Σ_k b_k^α` of Eq. 1.
+pub fn layer_time_ms(board: &Board, device: Device, layer: &Layer) -> f64 {
+    let spec = board.device(device);
+    layer.kernels().iter().map(|k| kernel_time_ms(spec, k)).sum()
+}
+
+/// Uncontended single-inference latency of a whole DNN on one device
+/// (no pipelining, no contention), in milliseconds.
+pub fn dnn_time_ms(board: &Board, device: Device, dnn: &omniboost_models::DnnModel) -> f64 {
+    dnn.layers()
+        .iter()
+        .map(|l| layer_time_ms(board, device, l))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_models::{zoo, KernelClass, ModelId};
+
+    #[test]
+    fn vgg19_is_fastest_on_gpu() {
+        let board = Board::hikey970();
+        let vgg = zoo::build(ModelId::Vgg19);
+        let gpu = dnn_time_ms(&board, Device::Gpu, &vgg);
+        let big = dnn_time_ms(&board, Device::BigCpu, &vgg);
+        let little = dnn_time_ms(&board, Device::LittleCpu, &vgg);
+        assert!(gpu < big && big < little, "gpu={gpu} big={big} little={little}");
+        // GPU should be several times faster on this wide-conv network.
+        assert!(big / gpu > 2.0, "big/gpu = {}", big / gpu);
+    }
+
+    #[test]
+    fn depthwise_narrows_the_gpu_advantage() {
+        // MobileNet (depthwise-heavy) should see a much smaller GPU/CPU
+        // ratio than VGG (dense convs), reflecting real Mali behaviour.
+        let board = Board::hikey970();
+        let mobile = zoo::build(ModelId::MobileNet);
+        let vgg = zoo::build(ModelId::Vgg19);
+        let ratio = |m: &omniboost_models::DnnModel| {
+            dnn_time_ms(&board, Device::BigCpu, m) / dnn_time_ms(&board, Device::Gpu, m)
+        };
+        assert!(ratio(&vgg) > ratio(&mobile) * 1.3);
+    }
+
+    #[test]
+    fn kernel_time_includes_overhead() {
+        let board = Board::hikey970();
+        let spec = board.device(Device::Gpu);
+        let empty = omniboost_models::Kernel::new("nop", KernelClass::Activation);
+        assert!(kernel_time_ms(spec, &empty) >= spec.kernel_overhead_ms);
+    }
+
+    #[test]
+    fn single_inference_latencies_are_plausible() {
+        // Order-of-magnitude sanity: VGG-19 on a mobile GPU is a few
+        // hundred ms; AlexNet is tens of ms.
+        let board = Board::hikey970();
+        let vgg = dnn_time_ms(&board, Device::Gpu, &zoo::build(ModelId::Vgg19));
+        let alex = dnn_time_ms(&board, Device::Gpu, &zoo::build(ModelId::AlexNet));
+        assert!((50.0..2_000.0).contains(&vgg), "vgg19 gpu ms = {vgg}");
+        assert!((5.0..500.0).contains(&alex), "alexnet gpu ms = {alex}");
+        assert!(vgg > alex);
+    }
+}

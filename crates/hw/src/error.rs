@@ -1,0 +1,82 @@
+//! Error type shared by board evaluation entry points.
+
+use crate::device::Device;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when evaluating a workload/mapping on the board.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// The mapping does not cover the workload (wrong number of DNNs or
+    /// layers).
+    MappingShape {
+        /// Expected layer counts per DNN.
+        expected: Vec<usize>,
+        /// Layer counts found in the mapping.
+        found: Vec<usize>,
+    },
+    /// The workload exceeds the board's concurrency capability, mirroring
+    /// the paper's observation that six concurrent DNNs rendered the
+    /// HiKey970 unresponsive (§V-A).
+    Unresponsive {
+        /// Number of concurrent DNNs requested.
+        dnns: usize,
+        /// Maximum the board sustains.
+        max: usize,
+    },
+    /// The workload's resident working set exceeds board memory.
+    OutOfMemory {
+        /// Required bytes.
+        required: u64,
+        /// Available bytes.
+        budget: u64,
+    },
+    /// A mapping references a device the board does not have.
+    UnknownDevice(Device),
+    /// The workload references a DNN that has not been profiled into the
+    /// evaluation model's dataset (the paper's extensibility workflow
+    /// requires profiling new models into the embedding tensor first).
+    UnknownModel(String),
+    /// The workload is empty.
+    EmptyWorkload,
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::MappingShape { expected, found } => write!(
+                f,
+                "mapping shape {found:?} does not match workload layer counts {expected:?}"
+            ),
+            HwError::Unresponsive { dnns, max } => write!(
+                f,
+                "board unresponsive: {dnns} concurrent DNNs exceed the sustainable {max}"
+            ),
+            HwError::OutOfMemory { required, budget } => write!(
+                f,
+                "workload needs {required} bytes resident, board has {budget}"
+            ),
+            HwError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            HwError::UnknownModel(name) => {
+                write!(f, "model `{name}` has not been profiled into the dataset")
+            }
+            HwError::EmptyWorkload => write!(f, "workload contains no DNNs"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = HwError::Unresponsive { dnns: 6, max: 5 };
+        assert!(e.to_string().contains("unresponsive"));
+        let e = HwError::EmptyWorkload;
+        assert!(e.to_string().contains("no DNNs"));
+    }
+}

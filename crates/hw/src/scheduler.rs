@@ -1,0 +1,106 @@
+//! Scheduler and throughput-model abstractions shared by OmniBoost and
+//! every baseline.
+
+use crate::board::Board;
+use crate::device::Device;
+use crate::error::HwError;
+use crate::mapping::Mapping;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Result of evaluating a (workload, mapping) pair.
+///
+/// `average` is the paper's objective `T = (Σ_m INF_m/sec) / M` (§V-A);
+/// `per_device` matches the estimator's three outputs (per-component
+/// throughput, §IV-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Inferences per second achieved by each DNN in the workload.
+    pub per_dnn: Vec<f64>,
+    /// Stage completions per second hosted by each device
+    /// ([`Device::ALL`] order).
+    pub per_device: [f64; Device::COUNT],
+    /// The paper's average-throughput objective `T`.
+    pub average: f64,
+}
+
+impl ThroughputReport {
+    /// Assembles a report, deriving `average` from `per_dnn`.
+    pub fn new(per_dnn: Vec<f64>, per_device: [f64; Device::COUNT]) -> Self {
+        let average = if per_dnn.is_empty() {
+            0.0
+        } else {
+            per_dnn.iter().sum::<f64>() / per_dnn.len() as f64
+        };
+        Self {
+            per_dnn,
+            per_device,
+            average,
+        }
+    }
+}
+
+/// Anything that can predict (or measure) the throughput of a mapping.
+///
+/// Two families implement this: *oracles* (the discrete-event simulator —
+/// our stand-in for running on the physical board) and *estimators* (the
+/// paper's CNN, the analytic solver, MOSAIC's linear regression). The
+/// MCTS explorer is generic over this trait, which is what makes the
+/// estimator-vs-oracle ablation possible.
+pub trait ThroughputModel {
+    /// Evaluates a mapping of the workload.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`HwError`] for shape mismatches, empty or
+    /// inadmissible workloads.
+    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError>;
+
+    /// Short human-readable name for reports.
+    fn model_name(&self) -> &str {
+        "throughput-model"
+    }
+}
+
+impl<T: ThroughputModel + ?Sized> ThroughputModel for &T {
+    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+        (**self).evaluate(workload, mapping)
+    }
+
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+}
+
+/// A multi-DNN scheduler: given a board and a workload, produce a mapping.
+///
+/// Implemented by OmniBoost itself and by every baseline of §V
+/// (GPU-only, MOSAIC, the genetic algorithm).
+pub trait Scheduler {
+    /// Scheduler name as it appears in the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Decides a layer-to-device mapping for the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError`] if the workload is inadmissible for the board.
+    fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_is_mean_of_per_dnn() {
+        let r = ThroughputReport::new(vec![2.0, 4.0], [0.0; 3]);
+        assert_eq!(r.average, 3.0);
+    }
+
+    #[test]
+    fn empty_report_has_zero_average() {
+        let r = ThroughputReport::new(vec![], [0.0; 3]);
+        assert_eq!(r.average, 0.0);
+    }
+}

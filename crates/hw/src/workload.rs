@@ -1,0 +1,128 @@
+//! Multi-DNN workloads: the unit of scheduling.
+
+use omniboost_models::{zoo, DnnModel, ModelId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of DNNs to execute concurrently.
+///
+/// The paper's evaluation workloads are "mixes" of 1–5 networks drawn
+/// (with repetition allowed) from the 11-model dataset; the order of DNNs
+/// in a mix is irrelevant because all of them run concurrently (§IV-C).
+///
+/// ```
+/// use omniboost_hw::Workload;
+/// use omniboost_models::ModelId;
+///
+/// let w = Workload::from_ids([ModelId::AlexNet, ModelId::Vgg19]);
+/// assert_eq!(w.len(), 2);
+/// assert_eq!(w.total_layers(), 11 + 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    dnns: Vec<DnnModel>,
+}
+
+impl Workload {
+    /// Creates a workload from fully-described models (zoo or custom).
+    pub fn new(dnns: Vec<DnnModel>) -> Self {
+        Self { dnns }
+    }
+
+    /// Creates a workload from zoo identifiers.
+    pub fn from_ids(ids: impl IntoIterator<Item = ModelId>) -> Self {
+        Self {
+            dnns: ids.into_iter().map(zoo::build).collect(),
+        }
+    }
+
+    /// The DNNs in this workload.
+    pub fn dnns(&self) -> &[DnnModel] {
+        &self.dnns
+    }
+
+    /// Number of concurrent DNNs.
+    pub fn len(&self) -> usize {
+        self.dnns.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dnns.is_empty()
+    }
+
+    /// DNN by index.
+    pub fn dnn(&self, index: usize) -> &DnnModel {
+        &self.dnns[index]
+    }
+
+    /// Total schedulable layers across all DNNs — the number of decisions
+    /// a scheduler must make (84 for the §II motivational example).
+    pub fn total_layers(&self) -> usize {
+        self.dnns.iter().map(DnnModel::num_layers).sum()
+    }
+
+    /// Total resident weight bytes.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.dnns.iter().map(DnnModel::total_weight_bytes).sum()
+    }
+
+    /// Layer counts per DNN (the mapping shape this workload requires).
+    pub fn layer_counts(&self) -> Vec<usize> {
+        self.dnns.iter().map(DnnModel::num_layers).collect()
+    }
+}
+
+impl FromIterator<DnnModel> for Workload {
+    fn from_iter<T: IntoIterator<Item = DnnModel>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<ModelId> for Workload {
+    fn from_iter<T: IntoIterator<Item = ModelId>>(iter: T) -> Self {
+        Self::from_ids(iter)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mix[")?;
+        for (i, d) in self.dnns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", d.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_from_ids() {
+        let w: Workload = [ModelId::AlexNet, ModelId::SqueezeNet].into_iter().collect();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.dnn(1).name(), "squeezenet");
+    }
+
+    #[test]
+    fn motivational_workload_has_84_layers() {
+        let w = Workload::from_ids([
+            ModelId::AlexNet,
+            ModelId::MobileNet,
+            ModelId::Vgg19,
+            ModelId::SqueezeNet,
+        ]);
+        assert_eq!(w.total_layers(), 84);
+    }
+
+    #[test]
+    fn display_lists_models() {
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::Vgg13]);
+        assert_eq!(w.to_string(), "mix[alexnet, vgg13]");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests over the board model: conservation laws and
+//! monotonicity the simulator must respect regardless of mapping.
+
+use omniboost_hw::{cost, Board, Device, Mapping, NoiseModel, LayerTimeTable, ThroughputModel, Workload};
+use omniboost_models::{zoo, ModelId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_model() -> impl Strategy<Value = ModelId> {
+    proptest::sample::select(ModelId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kernel costs are strictly positive and layer costs are additive
+    /// over kernels (Eq. 1 of the paper).
+    #[test]
+    fn layer_cost_is_additive_over_kernels(id in arb_model(), dev in 0usize..3) {
+        let board = Board::hikey970();
+        let device = Device::from_index(dev).unwrap();
+        let dnn = zoo::build(id);
+        let spec = board.device(device);
+        for layer in dnn.layers() {
+            let per_kernel: f64 = layer.kernels().iter().map(|k| cost::kernel_time_ms(spec, k)).sum();
+            let whole = cost::layer_time_ms(&board, device, layer);
+            prop_assert!((per_kernel - whole).abs() < 1e-12);
+            prop_assert!(whole > 0.0);
+        }
+    }
+
+    /// Profiled tables dominate: for any layer, LITTLE >= big CPU time —
+    /// the LITTLE cluster is never faster than the big one.
+    #[test]
+    fn little_never_beats_big(id in arb_model()) {
+        let board = Board::hikey970();
+        let dnn = zoo::build(id);
+        let t = LayerTimeTable::profile(&board, &dnn, NoiseModel::none());
+        for l in 0..t.num_layers() {
+            prop_assert!(t.time_ms(Device::LittleCpu, l) >= t.time_ms(Device::BigCpu, l));
+        }
+    }
+
+    /// Adding a DNN to a workload never *increases* any incumbent's
+    /// throughput when the mapping of the incumbents is unchanged
+    /// (contention monotonicity).
+    #[test]
+    fn adding_work_never_speeds_up_incumbents(a in arb_model(), b in arb_model()) {
+        let board = Board::hikey970();
+        let sim = board.simulator();
+        let solo = Workload::from_ids([a]);
+        let t_solo = sim
+            .evaluate(&solo, &Mapping::all_on(&solo, Device::Gpu))
+            .unwrap()
+            .per_dnn[0];
+        let duo = Workload::from_ids([a, b]);
+        let t_duo = sim
+            .evaluate(&duo, &Mapping::all_on(&duo, Device::Gpu))
+            .unwrap()
+            .per_dnn[0];
+        prop_assert!(t_duo <= t_solo * 1.001, "{t_duo} > {t_solo}");
+    }
+
+    /// The analytic model is monotone in the same sense.
+    #[test]
+    fn analytic_contention_monotonicity(a in arb_model(), b in arb_model()) {
+        let board = Board::hikey970();
+        let model = omniboost_hw::AnalyticModel::new(board);
+        let solo = Workload::from_ids([a]);
+        let t_solo = model
+            .evaluate(&solo, &Mapping::all_on(&solo, Device::BigCpu))
+            .unwrap()
+            .per_dnn[0];
+        let duo = Workload::from_ids([a, b]);
+        let t_duo = model
+            .evaluate(&duo, &Mapping::all_on(&duo, Device::BigCpu))
+            .unwrap()
+            .per_dnn[0];
+        prop_assert!(t_duo <= t_solo * 1.001);
+    }
+
+    /// Occupancy is consistent: devices with no layers report zero busy
+    /// time, devices hosting everything report near-full busy time.
+    #[test]
+    fn occupancy_accounting(id in arb_model(), dev in 0usize..3) {
+        let board = Board::hikey970();
+        let sim = board.simulator();
+        let device = Device::from_index(dev).unwrap();
+        let w = Workload::from_ids([id]);
+        let (_, util) = sim.evaluate_traced(&w, &Mapping::all_on(&w, device)).unwrap();
+        for d in Device::ALL {
+            if d == device {
+                prop_assert!(util.device_busy[d.index()] > 0.9);
+            } else {
+                prop_assert_eq!(util.device_busy[d.index()], 0.0);
+            }
+        }
+        prop_assert_eq!(util.bus_busy, 0.0);
+    }
+
+    /// Randomized mappings: measured per-DNN throughput is bounded above
+    /// by the uncontended bottleneck-stage rate of that DNN.
+    #[test]
+    fn pipeline_throughput_bounded_by_bottleneck(id in arb_model(), seed in 0u64..300) {
+        let board = Board::hikey970();
+        let sim = board.simulator();
+        let w = Workload::from_ids([id]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::random(&w, 3, &mut rng);
+        let report = sim.evaluate(&w, &mapping).unwrap();
+        let table = LayerTimeTable::profile(&board, w.dnn(0), NoiseModel::none());
+        let bottleneck_ms = mapping
+            .segments(0)
+            .iter()
+            .map(|s| (s.start..s.end).map(|l| table.time_ms(s.device, l)).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let bound = 1e3 / bottleneck_ms;
+        prop_assert!(
+            report.per_dnn[0] <= bound * 1.01,
+            "{} exceeds bottleneck bound {}",
+            report.per_dnn[0],
+            bound
+        );
+    }
+}

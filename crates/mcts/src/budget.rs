@@ -1,0 +1,59 @@
+//! Search budget: the knob the paper highlights for run-time flexibility
+//! ("budgetary constraints can be adjusted for any use-case scenario",
+//! §V-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Computational budget and exploration constants for the tree search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Number of MCTS iterations — each ends in one estimator query
+    /// (the paper sets 500).
+    pub iterations: usize,
+    /// Maximum rollout depth in actions (the paper sets 100); rollouts
+    /// that exceed it count as losses.
+    pub max_depth: usize,
+    /// UCT exploration constant.
+    pub exploration: f64,
+}
+
+impl Default for SearchBudget {
+    /// The paper's configuration: 500 iterations, depth 100.
+    fn default() -> Self {
+        Self {
+            iterations: 500,
+            max_depth: 100,
+            exploration: std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+impl SearchBudget {
+    /// Creates a budget with the given iteration count, keeping the
+    /// paper's depth and exploration defaults.
+    pub fn with_iterations(iterations: usize) -> Self {
+        Self {
+            iterations,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let b = SearchBudget::default();
+        assert_eq!(b.iterations, 500);
+        assert_eq!(b.max_depth, 100);
+    }
+
+    #[test]
+    fn with_iterations_overrides_only_iterations() {
+        let b = SearchBudget::with_iterations(50);
+        assert_eq!(b.iterations, 50);
+        assert_eq!(b.max_depth, 100);
+    }
+}

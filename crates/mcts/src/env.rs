@@ -1,0 +1,126 @@
+//! The environment abstraction the tree search explores.
+
+use rand::RngCore;
+
+/// Terminal status of a state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Status {
+    /// More decisions remain.
+    Ongoing,
+    /// The episode ended; the payload is the reward.
+    Terminal {
+        /// Reward of the terminal state (higher is better; losing states
+        /// receive 0).
+        reward: f64,
+    },
+}
+
+/// A deterministic, fixed-branching decision process.
+///
+/// States are cheap to clone; `apply` is pure (no interior mutation of
+/// the environment), which lets the search replay and branch freely.
+pub trait Environment {
+    /// State type.
+    type State: Clone;
+
+    /// The initial (empty-assignment) state.
+    fn initial(&self) -> Self::State;
+
+    /// Number of actions available at every decision point (the device
+    /// count for scheduling).
+    fn num_actions(&self) -> usize;
+
+    /// Applies an action, producing the successor state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()` or if the
+    /// state is terminal.
+    fn apply(&self, state: &Self::State, action: usize) -> Self::State;
+
+    /// Whether the state is terminal (win or loss).
+    fn is_terminal(&self, state: &Self::State) -> bool;
+
+    /// Reward of a terminal state. Calling this is the expensive step —
+    /// for scheduling it invokes the throughput estimator — so the search
+    /// counts these calls against its budget.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on non-terminal states.
+    fn reward(&self, state: &Self::State) -> f64;
+
+    /// Draws the next action during a *simulation rollout*.
+    ///
+    /// Defaults to uniform random. Environments with sparse winning
+    /// regions (like stage-capped scheduling, where uniformly random
+    /// device choices alternate pipeline stages into the losing rule
+    /// almost surely) should override this with a heavier playout policy;
+    /// tree *expansion* still enumerates every action, so optimality
+    /// pressure is unaffected.
+    fn rollout_action(&self, state: &Self::State, rng: &mut dyn RngCore) -> usize {
+        let _ = state;
+        (rng.next_u32() as usize) % self.num_actions()
+    }
+
+    /// Status helper combining the two queries.
+    fn status(&self, state: &Self::State) -> Status {
+        if self.is_terminal(state) {
+            Status::Terminal {
+                reward: self.reward(state),
+            }
+        } else {
+            Status::Ongoing
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_env {
+    use super::*;
+
+    /// A toy environment: binary decisions of fixed depth; reward is the
+    /// fraction of 1-bits, so the optimum is all-ones.
+    pub struct CountOnes {
+        pub depth: usize,
+    }
+
+    impl Environment for CountOnes {
+        type State = Vec<usize>;
+
+        fn initial(&self) -> Vec<usize> {
+            Vec::new()
+        }
+
+        fn num_actions(&self) -> usize {
+            2
+        }
+
+        fn apply(&self, state: &Vec<usize>, action: usize) -> Vec<usize> {
+            assert!(action < 2);
+            let mut s = state.clone();
+            s.push(action);
+            s
+        }
+
+        fn is_terminal(&self, state: &Vec<usize>) -> bool {
+            state.len() >= self.depth
+        }
+
+        fn reward(&self, state: &Vec<usize>) -> f64 {
+            assert!(self.is_terminal(state));
+            state.iter().sum::<usize>() as f64 / self.depth as f64
+        }
+    }
+
+    #[test]
+    fn toy_env_contract() {
+        let env = CountOnes { depth: 3 };
+        let s0 = env.initial();
+        assert!(!env.is_terminal(&s0));
+        let s = env.apply(&env.apply(&env.apply(&s0, 1), 1), 0);
+        assert!(env.is_terminal(&s));
+        assert!((env.reward(&s) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(env.status(&s0), Status::Ongoing);
+    }
+}

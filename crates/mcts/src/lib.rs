@@ -1,0 +1,52 @@
+//! # omniboost-mcts
+//!
+//! Budgeted Monte-Carlo Tree Search and the multi-DNN scheduling
+//! environment of OmniBoost (§IV-C of the DAC 2023 paper).
+//!
+//! The paper frames layer-to-device assignment as a game tree:
+//!
+//! * **Actions** — one per computing component (3 on the HiKey970).
+//! * **Decision order** — the first decision for each DNN places the
+//!   *whole* network on a device; subsequent decisions re-place layers
+//!   2..n one at a time; DNNs are scheduled one after another (their
+//!   order is irrelevant since they ultimately run concurrently).
+//! * **Winning state** — every layer of every DNN assigned.
+//! * **Losing state** — a pipeline with more stages than the device count
+//!   `x` (redundant stages mean extra transfers and delay).
+//! * **Evaluation** — completed mappings are scored by a throughput
+//!   estimator; the search is budgeted (the paper uses 500 iterations,
+//!   depth 100).
+//!
+//! The search ([`Mcts`]) is generic over an [`Environment`], and the
+//! scheduling environment ([`SchedulingEnv`]) is generic over any
+//! [`omniboost_hw::ThroughputModel`], so the same code runs with the CNN
+//! estimator (the paper's configuration) or with the simulator as an
+//! oracle (the estimator-vs-oracle ablation).
+//!
+//! ```
+//! use omniboost_hw::{AnalyticModel, Board, Workload};
+//! use omniboost_mcts::{Mcts, SchedulingEnv, SearchBudget};
+//! use omniboost_models::ModelId;
+//!
+//! let board = Board::hikey970();
+//! let workload = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+//! let evaluator = AnalyticModel::new(board);
+//! let env = SchedulingEnv::new(&workload, &evaluator, 3)?;
+//! let result = Mcts::new(SearchBudget::default()).search(&env, 77);
+//! let mapping = env.mapping_of(&result.best_state);
+//! assert!(mapping.validate(&workload).is_ok());
+//! # Ok::<(), omniboost_hw::HwError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod env;
+mod sched_env;
+mod tree;
+
+pub use budget::SearchBudget;
+pub use env::{Environment, Status};
+pub use sched_env::{SchedState, SchedulingEnv};
+pub use tree::{Mcts, SearchResult};

@@ -1,0 +1,302 @@
+//! The multi-DNN scheduling environment (§IV-C).
+
+use crate::env::Environment;
+use omniboost_hw::{Device, HwError, Mapping, ThroughputModel, Workload};
+
+/// Partial layer-to-device assignment under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedState {
+    /// Flattened per-layer devices (all DNNs concatenated).
+    devices: Vec<Device>,
+    /// Next decision index.
+    decision: usize,
+    /// Whether a losing condition (stage-cap violation) was hit.
+    dead: bool,
+}
+
+impl SchedState {
+    /// Whether the state hit the losing rule.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Decisions already taken.
+    pub fn decisions_taken(&self) -> usize {
+        self.decision
+    }
+}
+
+/// One decision point: either place a whole DNN or re-place one layer.
+#[derive(Debug, Clone, Copy)]
+enum Decision {
+    /// (dnn): assign every layer of the DNN to the chosen device.
+    WholeDnn(usize),
+    /// (dnn, layer): re-assign one layer (layer ≥ 1).
+    Layer(usize, usize),
+}
+
+/// The scheduling environment: states are partial mappings, actions are
+/// devices, terminal rewards come from a throughput model.
+///
+/// Losing states (§IV-C): as soon as any DNN's decided prefix contains
+/// more pipeline stages than `stage_cap` (= the device count on the
+/// board), the state is dead and rewards 0 — stages in a decided prefix
+/// can never merge again, so pruning is sound.
+pub struct SchedulingEnv<'a, M: ThroughputModel> {
+    workload: &'a Workload,
+    evaluator: &'a M,
+    stage_cap: usize,
+    decisions: Vec<Decision>,
+    offsets: Vec<usize>,
+    reference: f64,
+    /// Bonus added to every winning reward so completion dominates death.
+    win_bonus: f64,
+}
+
+impl<'a, M: ThroughputModel> SchedulingEnv<'a, M> {
+    /// Builds the environment, normalizing rewards against the GPU-only
+    /// mapping (the paper's baseline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluator's error for inadmissible workloads.
+    pub fn new(workload: &'a Workload, evaluator: &'a M, stage_cap: usize) -> Result<Self, HwError> {
+        if workload.is_empty() {
+            return Err(HwError::EmptyWorkload);
+        }
+        let baseline = Mapping::all_on(workload, Device::Gpu);
+        let reference = evaluator.evaluate(workload, &baseline)?.average.max(1e-9);
+        let mut decisions = Vec::with_capacity(workload.total_layers());
+        let mut offsets = Vec::with_capacity(workload.len());
+        let mut off = 0usize;
+        for (di, dnn) in workload.dnns().iter().enumerate() {
+            offsets.push(off);
+            decisions.push(Decision::WholeDnn(di));
+            for l in 1..dnn.num_layers() {
+                decisions.push(Decision::Layer(di, l));
+            }
+            off += dnn.num_layers();
+        }
+        Ok(Self {
+            workload,
+            evaluator,
+            stage_cap: stage_cap.max(1),
+            decisions,
+            offsets,
+            reference,
+            win_bonus: 0.1,
+        })
+    }
+
+    /// Number of decisions needed to complete a mapping (= total layers).
+    pub fn num_decisions(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// The baseline (GPU-only) throughput used for reward normalization.
+    pub fn reference_throughput(&self) -> f64 {
+        self.reference
+    }
+
+    /// The stage cap `x` of the losing rule.
+    pub fn stage_cap(&self) -> usize {
+        self.stage_cap
+    }
+
+    /// Converts a (possibly partial) state into a mapping; undecided DNNs
+    /// default to the GPU.
+    pub fn mapping_of(&self, state: &SchedState) -> Mapping {
+        let mut assignments = Vec::with_capacity(self.workload.len());
+        for (di, dnn) in self.workload.dnns().iter().enumerate() {
+            let off = self.offsets[di];
+            assignments.push(state.devices[off..off + dnn.num_layers()].to_vec());
+        }
+        Mapping::new(assignments)
+    }
+
+    /// Stage count of the decided prefix of DNN `di` when layers
+    /// `0..=last` are final.
+    fn prefix_stages(&self, state: &SchedState, di: usize, last: usize) -> usize {
+        let off = self.offsets[di];
+        let devs = &state.devices[off..=off + last];
+        1 + devs.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
+    type State = SchedState;
+
+    fn initial(&self) -> SchedState {
+        SchedState {
+            devices: vec![Device::Gpu; self.workload.total_layers()],
+            decision: 0,
+            dead: false,
+        }
+    }
+
+    fn num_actions(&self) -> usize {
+        Device::COUNT
+    }
+
+    fn apply(&self, state: &SchedState, action: usize) -> SchedState {
+        assert!(!self.is_terminal(state), "apply on terminal state");
+        let device = Device::from_index(action).expect("action is a device index");
+        let mut next = state.clone();
+        match self.decisions[state.decision] {
+            Decision::WholeDnn(di) => {
+                let off = self.offsets[di];
+                let n = self.workload.dnn(di).num_layers();
+                for d in &mut next.devices[off..off + n] {
+                    *d = device;
+                }
+                // A whole-DNN placement is always 1 stage: no prune check.
+            }
+            Decision::Layer(di, l) => {
+                next.devices[self.offsets[di] + l] = device;
+                if self.prefix_stages(&next, di, l) > self.stage_cap {
+                    next.dead = true;
+                }
+            }
+        }
+        next.decision += 1;
+        next
+    }
+
+    fn is_terminal(&self, state: &SchedState) -> bool {
+        state.dead || state.decision >= self.decisions.len()
+    }
+
+    fn reward(&self, state: &SchedState) -> f64 {
+        assert!(self.is_terminal(state), "reward on non-terminal state");
+        if state.dead {
+            return 0.0;
+        }
+        let mapping = self.mapping_of(state);
+        match self.evaluator.evaluate(self.workload, &mapping) {
+            Ok(report) => self.win_bonus + report.average / self.reference,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sticky rollout policy: when re-placing layer `l`, repeat layer
+    /// `l-1`'s device with high probability. Uniform play alternates
+    /// devices ~2/3 of the time and runs into the stage-cap losing rule
+    /// almost surely on deep networks; stickiness keeps playouts alive
+    /// while the tree itself still enumerates every action.
+    fn rollout_action(&self, state: &SchedState, rng: &mut dyn rand::RngCore) -> usize {
+        const STICKINESS_PERCENT: u32 = 90;
+        if let Decision::Layer(di, l) = self.decisions[state.decision] {
+            if rng.next_u32() % 100 < STICKINESS_PERCENT {
+                return state.devices[self.offsets[di] + l - 1].index();
+            }
+        }
+        (rng.next_u32() as usize) % Device::COUNT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::SearchBudget;
+    use crate::tree::Mcts;
+    use omniboost_hw::{AnalyticModel, Board};
+    use omniboost_models::ModelId;
+
+    fn setup() -> (Workload, AnalyticModel) {
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        (w, AnalyticModel::new(board))
+    }
+
+    #[test]
+    fn decision_count_equals_total_layers() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        assert_eq!(env.num_decisions(), 11 + 22);
+    }
+
+    #[test]
+    fn whole_dnn_decision_fills_all_layers() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let s = env.apply(&env.initial(), Device::LittleCpu.index());
+        let m = env.mapping_of(&s);
+        assert!(m.assignments()[0]
+            .iter()
+            .all(|d| *d == Device::LittleCpu));
+    }
+
+    #[test]
+    fn exceeding_stage_cap_kills_the_state() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        // Alternate devices layer by layer: stages grow 1 per decision,
+        // so after 3 alternations the prefix has 4 stages -> dead.
+        let mut s = env.apply(&env.initial(), 0); // whole dnn on GPU
+        for (i, a) in [1usize, 0, 1].iter().enumerate() {
+            assert!(!s.dead, "died too early at {i}");
+            s = env.apply(&s, *a);
+        }
+        assert!(s.dead);
+        assert!(env.is_terminal(&s));
+        assert_eq!(env.reward(&s), 0.0);
+    }
+
+    #[test]
+    fn completed_states_win_and_score_positive() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        // All decisions pick GPU: 1 stage everywhere, reward ≈ bonus + 1.
+        let mut s = env.initial();
+        while !env.is_terminal(&s) {
+            s = env.apply(&s, Device::Gpu.index());
+        }
+        assert!(!s.dead);
+        let r = env.reward(&s);
+        assert!((r - 1.1).abs() < 0.05, "gpu-only reward = {r}");
+    }
+
+    #[test]
+    fn search_returns_valid_cap_respecting_mapping() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let result = Mcts::new(SearchBudget::with_iterations(150)).search(&env, 5);
+        let mapping = env.mapping_of(&result.best_state);
+        mapping.validate(&w).unwrap();
+        assert!(mapping.max_stages() <= 3);
+        assert!(result.best_reward > 0.0);
+    }
+
+    #[test]
+    fn search_beats_or_matches_baseline_on_heavy_mix() {
+        // Under a heavy 4-DNN mix the GPU-only baseline saturates; MCTS
+        // must find something strictly better.
+        let board = Board::hikey970();
+        let w = Workload::from_ids([
+            ModelId::Vgg19,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+            ModelId::AlexNet,
+        ]);
+        let ev = AnalyticModel::new(board);
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let result = Mcts::new(SearchBudget::with_iterations(300)).search(&env, 11);
+        // Reward = bonus + T/T_baseline, so > bonus + 1 means "beat it".
+        assert!(
+            result.best_reward > 1.1,
+            "best reward {} did not beat the baseline",
+            result.best_reward
+        );
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let board = Board::hikey970();
+        let ev = AnalyticModel::new(board);
+        let w = Workload::new(vec![]);
+        assert!(matches!(
+            SchedulingEnv::new(&w, &ev, 3),
+            Err(HwError::EmptyWorkload)
+        ));
+    }
+}

@@ -1,0 +1,294 @@
+//! UCT tree search over an [`Environment`].
+
+use crate::budget::SearchBudget;
+use crate::env::Environment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a search.
+#[derive(Debug, Clone)]
+pub struct SearchResult<S> {
+    /// Best terminal state discovered (the paper's "mapping with highest
+    /// reward", Fig. 2 step 8).
+    pub best_state: S,
+    /// Its reward.
+    pub best_reward: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Estimator (reward) evaluations performed — the dominant run-time
+    /// cost the paper discusses in §V-B.
+    pub evaluations: usize,
+}
+
+struct Node<S> {
+    state: S,
+    parent: Option<usize>,
+    /// child node index per action; `None` = unexpanded.
+    children: Vec<Option<usize>>,
+    visits: u64,
+    total_reward: f64,
+    terminal: bool,
+}
+
+/// Monte-Carlo Tree Search with UCT selection, single-child expansion,
+/// uniform random rollouts and mean-reward backpropagation.
+///
+/// See the crate docs for a complete example.
+#[derive(Debug, Clone, Copy)]
+pub struct Mcts {
+    budget: SearchBudget,
+}
+
+impl Mcts {
+    /// Creates a search with the given budget.
+    pub fn new(budget: SearchBudget) -> Self {
+        Self { budget }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> SearchBudget {
+        self.budget
+    }
+
+    /// Runs the search from the environment's initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial state is terminal and the environment
+    /// rewards it as unreachable, or if `num_actions() == 0`.
+    pub fn search<E: Environment>(&self, env: &E, seed: u64) -> SearchResult<E::State> {
+        assert!(env.num_actions() > 0, "environment must have actions");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root_state = env.initial();
+        let mut nodes: Vec<Node<E::State>> = vec![Node {
+            terminal: env.is_terminal(&root_state),
+            state: root_state.clone(),
+            parent: None,
+            children: vec![None; env.num_actions()],
+            visits: 0,
+            total_reward: 0.0,
+        }];
+        let mut best_state: Option<E::State> = None;
+        let mut best_reward = 0.0f64;
+        let mut evaluations = 0usize;
+
+        for _ in 0..self.budget.iterations {
+            // 1. Selection: descend while fully expanded and non-terminal.
+            let mut idx = 0usize;
+            loop {
+                if nodes[idx].terminal {
+                    break;
+                }
+                let unexpanded: Vec<usize> = nodes[idx]
+                    .children
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_none())
+                    .map(|(a, _)| a)
+                    .collect();
+                if !unexpanded.is_empty() {
+                    // 2. Expansion: add one random unexpanded child.
+                    let action = unexpanded[rng.gen_range(0..unexpanded.len())];
+                    let child_state = env.apply(&nodes[idx].state, action);
+                    let terminal = env.is_terminal(&child_state);
+                    let child = Node {
+                        state: child_state,
+                        parent: Some(idx),
+                        children: vec![None; env.num_actions()],
+                        visits: 0,
+                        total_reward: 0.0,
+                        terminal,
+                    };
+                    nodes.push(child);
+                    let cidx = nodes.len() - 1;
+                    nodes[idx].children[action] = Some(cidx);
+                    idx = cidx;
+                    break;
+                }
+                // UCT descent.
+                let ln_n = ((nodes[idx].visits.max(1)) as f64).ln();
+                let mut best_child = None;
+                let mut best_uct = f64::NEG_INFINITY;
+                for c in nodes[idx].children.iter().flatten() {
+                    let ch = &nodes[*c];
+                    let mean = if ch.visits == 0 {
+                        0.0
+                    } else {
+                        ch.total_reward / ch.visits as f64
+                    };
+                    let uct = mean
+                        + self.budget.exploration * (ln_n / (ch.visits.max(1)) as f64).sqrt();
+                    if uct > best_uct {
+                        best_uct = uct;
+                        best_child = Some(*c);
+                    }
+                }
+                idx = best_child.expect("fully expanded node has children");
+            }
+
+            // 3. Simulation: random rollout to a terminal state (depth
+            //    capped; overruns count as losses).
+            let mut rollout = nodes[idx].state.clone();
+            let mut depth = 0usize;
+            let reward = loop {
+                if env.is_terminal(&rollout) {
+                    evaluations += 1;
+                    break env.reward(&rollout);
+                }
+                if depth >= self.budget.max_depth {
+                    break 0.0;
+                }
+                let action = env.rollout_action(&rollout, &mut rng);
+                rollout = env.apply(&rollout, action);
+                depth += 1;
+            };
+            // Only positive-reward terminals qualify as solutions: losing
+            // states (reward 0) must never be returned as "best".
+            if env.is_terminal(&rollout) && reward > best_reward {
+                best_reward = reward;
+                best_state = Some(rollout);
+            }
+
+            // 4. Backpropagation.
+            let mut cur = Some(idx);
+            while let Some(i) = cur {
+                nodes[i].visits += 1;
+                nodes[i].total_reward += reward;
+                cur = nodes[i].parent;
+            }
+        }
+
+        SearchResult {
+            best_state: best_state.unwrap_or(root_state),
+            best_reward,
+            iterations: self.budget.iterations,
+            evaluations,
+        }
+    }
+
+    /// Root-parallel search: runs one independent tree per seed on its own
+    /// thread and returns the best result across trees.
+    ///
+    /// Root parallelism is the classic low-communication MCTS
+    /// parallelization — each tree explores with different randomness, so
+    /// wall-clock time stays one search while solution quality approaches
+    /// a `seeds.len()`-times larger budget. The environment only needs to
+    /// be `Sync` (the CNN estimator is: it locks internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn search_parallel<E>(&self, env: &E, seeds: &[u64]) -> SearchResult<E::State>
+    where
+        E: Environment + Sync,
+        E::State: Send,
+    {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let mut results: Vec<SearchResult<E::State>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|seed| {
+                    let seed = *seed;
+                    scope.spawn(move || self.search(env, seed))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        let mut best = results.pop().expect("at least one result");
+        for r in results {
+            best.iterations += r.iterations;
+            best.evaluations += r.evaluations;
+            if r.best_reward > best.best_reward {
+                best.best_reward = r.best_reward;
+                best.best_state = r.best_state;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_env::CountOnes;
+
+    #[test]
+    fn finds_optimum_of_toy_problem() {
+        let env = CountOnes { depth: 8 };
+        let mcts = Mcts::new(SearchBudget {
+            iterations: 400,
+            max_depth: 16,
+            exploration: std::f64::consts::SQRT_2,
+        });
+        let result = mcts.search(&env, 1);
+        assert_eq!(result.best_reward, 1.0, "should find all-ones");
+        assert!(result.best_state.iter().all(|b| *b == 1));
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let env = CountOnes { depth: 4 };
+        let result = Mcts::new(SearchBudget::with_iterations(37)).search(&env, 2);
+        assert_eq!(result.iterations, 37);
+        assert!(result.evaluations <= 37);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let env = CountOnes { depth: 6 };
+        let mcts = Mcts::new(SearchBudget::with_iterations(100));
+        let a = mcts.search(&env, 9);
+        let b = mcts.search(&env, 9);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_reward, b.best_reward);
+    }
+
+    #[test]
+    fn more_budget_is_no_worse_on_average() {
+        let env = CountOnes { depth: 10 };
+        let small: f64 = (0..5)
+            .map(|s| Mcts::new(SearchBudget::with_iterations(10)).search(&env, s).best_reward)
+            .sum();
+        let large: f64 = (0..5)
+            .map(|s| Mcts::new(SearchBudget::with_iterations(300)).search(&env, s).best_reward)
+            .sum();
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn parallel_search_aggregates_trees() {
+        let env = CountOnes { depth: 8 };
+        let mcts = Mcts::new(SearchBudget::with_iterations(50));
+        let result = mcts.search_parallel(&env, &[1, 2, 3, 4]);
+        assert_eq!(result.iterations, 200);
+        // Best across 4 trees is at least as good as any single tree.
+        let single = mcts.search(&env, 1);
+        assert!(result.best_reward >= single.best_reward);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn parallel_search_requires_seeds() {
+        let env = CountOnes { depth: 4 };
+        let _ = Mcts::new(SearchBudget::with_iterations(5)).search_parallel(&env, &[]);
+    }
+
+    #[test]
+    fn depth_cap_turns_overruns_into_losses() {
+        // Depth cap smaller than the problem depth: every rollout from
+        // the root overruns, so rewards stay 0 — but the search must
+        // still terminate and return the root state.
+        let env = CountOnes { depth: 50 };
+        let result = Mcts::new(SearchBudget {
+            iterations: 30,
+            max_depth: 5,
+            exploration: 1.0,
+        })
+        .search(&env, 3);
+        assert_eq!(result.best_reward, 0.0);
+        assert_eq!(result.evaluations, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # omniboost-models
+//!
+//! DNN model zoo for the OmniBoost (DAC 2023) reproduction.
+//!
+//! OmniBoost schedules *multi-DNN workloads*: several networks running
+//! concurrently, each partitioned layer-wise across the computing
+//! components of a heterogeneous embedded board. This crate provides the
+//! eleven network architectures the paper evaluates — AlexNet, MobileNet,
+//! ResNet-34/50/101, VGG-13/16/19, SqueezeNet and Inception-v3/v4 — as
+//! *layer/kernel graphs*: every layer is described by the compute kernels
+//! it executes (convolutions, GEMMs, pools, …) together with their FLOP
+//! counts and memory traffic, which is exactly the granularity the paper's
+//! kernel-based performance exploration (Eq. 1) operates at.
+//!
+//! The zoo is purely descriptive — no weights, no inference — because the
+//! scheduler only ever consumes per-layer cost metadata.
+//!
+//! ```
+//! use omniboost_models::{zoo, ModelId};
+//!
+//! let vgg = zoo::build(ModelId::Vgg19);
+//! assert_eq!(vgg.num_layers(), 24); // 16 conv + 5 pool + 3 fc
+//! assert!(vgg.total_flops() > 1_000_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod graph;
+mod kernel;
+mod layer;
+pub mod scenarios;
+mod shapes;
+pub mod stats;
+pub mod zoo;
+
+pub use builder::DnnModelBuilder;
+pub use graph::{DnnModel, ModelError};
+pub use kernel::{Kernel, KernelClass};
+pub use layer::{Layer, LayerKind};
+pub use scenarios::Scenario;
+pub use shapes::TensorShape;
+pub use stats::{summary_table, ModelStats};
+pub use zoo::ModelId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The motivational example of §II schedules AlexNet + MobileNet +
+    /// VGG-19 + SqueezeNet, for a total of 84 layers, and reports the
+    /// design-space size C(84, 3) ≈ 95,000.
+    #[test]
+    fn motivational_example_has_84_layers() {
+        let total: usize = [
+            ModelId::AlexNet,
+            ModelId::MobileNet,
+            ModelId::Vgg19,
+            ModelId::SqueezeNet,
+        ]
+        .iter()
+        .map(|id| zoo::build(*id).num_layers())
+        .sum();
+        assert_eq!(total, 84);
+
+        // C(84, 3) = 95,284 — the paper rounds to "≈ 95,000".
+        let n = 84u64;
+        let c3 = n * (n - 1) * (n - 2) / 6;
+        assert_eq!(c3, 95_284);
+    }
+}

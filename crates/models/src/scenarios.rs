@@ -1,0 +1,121 @@
+//! Named multi-DNN application scenarios.
+//!
+//! The paper's introduction motivates multi-DNN workloads with concrete
+//! application classes — "digital assistants, object detection, and
+//! virtual/augmented reality services" — each of which runs several
+//! networks concurrently. These presets give examples and downstream
+//! users realistic named mixes instead of raw model lists.
+
+use crate::zoo::ModelId;
+use std::fmt;
+
+/// A named concurrent-DNN application bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Scenario {
+    /// Voice/visual digital assistant: a light always-on keyword/vision
+    /// path plus a heavier understanding model.
+    DigitalAssistant,
+    /// Camera object-detection stack: detector backbone + classifier +
+    /// lightweight tracker features.
+    ObjectDetection,
+    /// AR/VR headset: scene understanding, hand/pose path and a HUD
+    /// classifier running together.
+    AugmentedReality,
+    /// Smart-camera surveillance hub: maximum concurrent load the board
+    /// sustains (5 DNNs, §V-A's upper limit).
+    SurveillanceHub,
+}
+
+impl Scenario {
+    /// All presets.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::DigitalAssistant,
+        Scenario::ObjectDetection,
+        Scenario::AugmentedReality,
+        Scenario::SurveillanceHub,
+    ];
+
+    /// The zoo models this scenario runs concurrently.
+    ///
+    /// Compositions follow the paper's workload construction: mixes of
+    /// 2–5 networks spanning light (MobileNet/SqueezeNet) and heavy
+    /// (VGG/ResNet/Inception) ends of the dataset.
+    pub fn models(self) -> Vec<ModelId> {
+        match self {
+            Scenario::DigitalAssistant => vec![ModelId::MobileNet, ModelId::ResNet34],
+            Scenario::ObjectDetection => {
+                vec![ModelId::ResNet50, ModelId::SqueezeNet, ModelId::MobileNet]
+            }
+            Scenario::AugmentedReality => vec![
+                ModelId::InceptionV3,
+                ModelId::MobileNet,
+                ModelId::SqueezeNet,
+                ModelId::ResNet34,
+            ],
+            Scenario::SurveillanceHub => vec![
+                ModelId::Vgg16,
+                ModelId::ResNet50,
+                ModelId::MobileNet,
+                ModelId::SqueezeNet,
+                ModelId::AlexNet,
+            ],
+        }
+    }
+
+    /// Number of concurrent DNNs.
+    pub fn concurrency(self) -> usize {
+        self.models().len()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scenario::DigitalAssistant => "digital-assistant",
+            Scenario::ObjectDetection => "object-detection",
+            Scenario::AugmentedReality => "augmented-reality",
+            Scenario::SurveillanceHub => "surveillance-hub",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_stays_within_board_limits() {
+        // The paper's board dies above 5 concurrent DNNs (§V-A); no
+        // preset may exceed that.
+        for s in Scenario::ALL {
+            let k = s.concurrency();
+            assert!((2..=5).contains(&k), "{s}: {k} DNNs");
+        }
+    }
+
+    #[test]
+    fn surveillance_hub_is_the_heaviest() {
+        let load = |s: Scenario| -> u64 {
+            s.models()
+                .iter()
+                .map(|id| crate::zoo::build(*id).total_flops())
+                .sum()
+        };
+        for s in [
+            Scenario::DigitalAssistant,
+            Scenario::ObjectDetection,
+        ] {
+            assert!(load(Scenario::SurveillanceHub) > load(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn display_names_are_kebab_case() {
+        for s in Scenario::ALL {
+            let n = s.to_string();
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

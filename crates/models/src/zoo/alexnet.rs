@@ -1,0 +1,61 @@
+//! AlexNet (Krizhevsky et al., 2012) — 11 schedulable layers:
+//! 5 convolutions, 3 poolings, 3 fully-connected layers.
+
+use crate::builder::DnnModelBuilder;
+use crate::graph::DnnModel;
+use crate::shapes::TensorShape;
+
+/// Builds AlexNet at its canonical 227×227 input resolution.
+pub fn build() -> DnnModel {
+    DnnModelBuilder::new(TensorShape::new(3, 227, 227))
+        .conv("conv1", 96, 11, 4, 0)
+        .with_lrn()
+        .max_pool("pool1", 3, 2, 0)
+        .conv("conv2", 256, 5, 1, 2)
+        .with_lrn()
+        .max_pool("pool2", 3, 2, 0)
+        .conv("conv3", 384, 3, 1, 1)
+        .conv("conv4", 384, 3, 1, 1)
+        .conv("conv5", 256, 3, 1, 1)
+        .max_pool("pool5", 3, 2, 0)
+        .fc("fc6", 4096)
+        .fc("fc7", 4096)
+        .fc("fc8", 1000)
+        .with_softmax()
+        .build("alexnet")
+        .expect("alexnet definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_11_layers() {
+        assert_eq!(build().num_layers(), 11);
+    }
+
+    #[test]
+    fn classifier_outputs_1000_classes() {
+        let m = build();
+        assert_eq!(m.layers().last().unwrap().output_shape().elements(), 1000);
+    }
+
+    #[test]
+    fn conv_spatial_sizes_match_reference() {
+        let m = build();
+        // conv1: (227-11)/4+1 = 55.
+        assert_eq!(m.layer(0).output_shape(), TensorShape::new(96, 55, 55));
+        // pool1: (55-3)/2+1 = 27.
+        assert_eq!(m.layer(1).output_shape(), TensorShape::new(96, 27, 27));
+        // pool5 output is 256x6x6, the classic fc6 input.
+        assert_eq!(m.layer(7).output_shape(), TensorShape::new(256, 6, 6));
+    }
+
+    #[test]
+    fn weights_dominated_by_fc_layers() {
+        let m = build();
+        let fc: u64 = m.layers()[8..].iter().map(|l| l.weight_bytes()).sum();
+        assert!(fc * 10 > m.total_weight_bytes() * 9, "fc >= 90% of weights");
+    }
+}

@@ -1,0 +1,109 @@
+//! Inception-v3 and Inception-v4 (Szegedy et al.). Inception blocks are
+//! indivisible schedulable units (parallel branches concatenate inside the
+//! block). Branch structures are simplified to their dominant convolutions
+//! but keep faithful channel widths and resolutions, so FLOP totals land
+//! in the published ballpark (~11.4 GFLOP for v3, ~24.5 GFLOP for v4,
+//! counting MACs×2).
+//!
+//! Layer counts: v3 = 20 (7 stem + 11 blocks + gap + fc),
+//! v4 = 25 (7 stem + 16 blocks + gap + fc).
+
+use crate::builder::DnnModelBuilder;
+use crate::graph::DnnModel;
+use crate::shapes::TensorShape;
+
+/// Builds Inception-v3 at its canonical 299×299 input.
+pub fn build_v3() -> DnnModel {
+    let b = DnnModelBuilder::new(TensorShape::new(3, 299, 299))
+        // Stem: 7 layers.
+        .conv("conv1", 32, 3, 2, 0)
+        .conv("conv2", 32, 3, 1, 0)
+        .conv("conv3", 64, 3, 1, 1)
+        .max_pool("pool1", 3, 2, 0)
+        .conv("conv4", 80, 1, 1, 0)
+        .conv("conv5", 192, 3, 1, 0)
+        .max_pool("pool2", 3, 2, 0)
+        // 3 × inception-A at 35×35 (output 256/288 ch).
+        .inception("mixed5b", &[&[(64, 1)], &[(48, 1), (64, 5)], &[(64, 1), (96, 3), (96, 3)], &[(32, 1)]], 1)
+        .inception("mixed5c", &[&[(64, 1)], &[(48, 1), (64, 5)], &[(64, 1), (96, 3), (96, 3)], &[(64, 1)]], 1)
+        .inception("mixed5d", &[&[(64, 1)], &[(48, 1), (64, 5)], &[(64, 1), (96, 3), (96, 3)], &[(64, 1)]], 1)
+        // Grid reduction to 17×17.
+        .inception("mixed6a", &[&[(384, 3)], &[(64, 1), (96, 3), (96, 3)], &[(288, 3)]], 2)
+        // 4 × inception-B at 17×17 (factorized 7×7 ≈ two 7-wide convs,
+        // priced as 7×7 splits: use (c,7) pairs).
+        .inception("mixed6b", &[&[(192, 1)], &[(128, 1), (128, 7), (192, 7)], &[(128, 1), (128, 7), (192, 7)], &[(192, 1)]], 1)
+        .inception("mixed6c", &[&[(192, 1)], &[(160, 1), (160, 7), (192, 7)], &[(160, 1), (160, 7), (192, 7)], &[(192, 1)]], 1)
+        .inception("mixed6d", &[&[(192, 1)], &[(160, 1), (160, 7), (192, 7)], &[(160, 1), (160, 7), (192, 7)], &[(192, 1)]], 1)
+        .inception("mixed6e", &[&[(192, 1)], &[(192, 1), (192, 7), (192, 7)], &[(192, 1), (192, 7), (192, 7)], &[(192, 1)]], 1)
+        // Grid reduction to 8×8.
+        .inception("mixed7a", &[&[(192, 1), (320, 3)], &[(192, 1), (192, 7), (192, 3)], &[(768, 3)]], 2)
+        // 2 × inception-C at 8×8.
+        .inception("mixed7b", &[&[(320, 1)], &[(384, 1), (768, 3)], &[(448, 1), (384, 3), (768, 3)], &[(192, 1)]], 1)
+        .inception("mixed7c", &[&[(320, 1)], &[(384, 1), (768, 3)], &[(448, 1), (384, 3), (768, 3)], &[(192, 1)]], 1)
+        .global_avg_pool("gap")
+        .fc("fc", 1000)
+        .with_softmax();
+    b.build("inception-v3").expect("inception-v3 definition is valid")
+}
+
+/// Builds Inception-v4 at 299×299.
+pub fn build_v4() -> DnnModel {
+    let b = DnnModelBuilder::new(TensorShape::new(3, 299, 299))
+        // Stem: 7 layers (the v4 stem's branched tails are folded into
+        // two inception-style stem blocks).
+        .conv("conv1", 32, 3, 2, 0)
+        .conv("conv2", 32, 3, 1, 0)
+        .conv("conv3", 64, 3, 1, 1)
+        .inception("stem1", &[&[(96, 3)], &[(64, 3)]], 2)
+        .inception("stem2", &[&[(64, 1), (96, 3)], &[(64, 1), (64, 7), (96, 3)]], 1)
+        .inception("stem3", &[&[(192, 3)], &[(96, 3)]], 2)
+        .conv("conv4", 384, 1, 1, 0)
+        // 4 × inception-A at 35×35.
+        .inception("a1", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
+        .inception("a2", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
+        .inception("a3", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
+        .inception("a4", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
+        // Reduction-A to 17×17.
+        .inception("red_a", &[&[(384, 3)], &[(192, 1), (224, 3), (256, 3)], &[(384, 3)]], 2)
+        // 7 × inception-B at 17×17.
+        .inception("b1", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        .inception("b2", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        .inception("b3", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        .inception("b4", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        .inception("b5", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        .inception("b6", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        .inception("b7", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        // Reduction-B to 8×8.
+        .inception("red_b", &[&[(192, 1), (192, 3)], &[(256, 1), (320, 7), (320, 3)], &[(1024, 3)]], 2)
+        // 3 × inception-C at 8×8.
+        .inception("c1", &[&[(256, 1)], &[(384, 1), (512, 3)], &[(384, 1), (512, 3), (512, 3)], &[(256, 1)]], 1)
+        .inception("c2", &[&[(256, 1)], &[(384, 1), (512, 3)], &[(384, 1), (512, 3), (512, 3)], &[(256, 1)]], 1)
+        .inception("c3", &[&[(256, 1)], &[(384, 1), (512, 3)], &[(384, 1), (512, 3), (512, 3)], &[(256, 1)]], 1)
+        .global_avg_pool("gap")
+        .fc("fc", 1000)
+        .with_softmax();
+    b.build("inception-v4").expect("inception-v4 definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts() {
+        assert_eq!(build_v3().num_layers(), 20);
+        assert_eq!(build_v4().num_layers(), 25);
+    }
+
+    #[test]
+    fn v4_heavier_than_v3() {
+        assert!(build_v4().total_flops() > build_v3().total_flops());
+    }
+
+    #[test]
+    fn v3_flops_in_published_ballpark() {
+        // Published Inception-v3: ~11.4 GFLOP at 299x299.
+        let f = build_v3().total_flops() as f64 / 1e9;
+        assert!((6.0..20.0).contains(&f), "Inception-v3 GFLOP = {f}");
+    }
+}

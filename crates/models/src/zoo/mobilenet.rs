@@ -1,0 +1,115 @@
+//! MobileNet v1 (Howard et al., 2017) — 27 schedulable layers:
+//! the initial strided convolution plus 13 depthwise-separable blocks,
+//! each contributing a depthwise layer and a pointwise layer (the natural
+//! ARM-CL kernel split, and the granularity the paper's motivational
+//! example uses, e.g. "first 10 layers on big CPU").
+//!
+//! The trailing global-average-pool + classifier is folded into the last
+//! pointwise layer so the 27-layer convention of §II holds.
+
+use crate::builder::DnnModelBuilder;
+use crate::graph::DnnModel;
+use crate::kernel::{Kernel, KernelClass};
+use crate::layer::Layer;
+use crate::shapes::TensorShape;
+
+/// (stride, output channels) of the 13 depthwise-separable blocks.
+const BLOCKS: [(usize, usize); 13] = [
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+];
+
+/// Builds MobileNet v1 (width multiplier 1.0, 224×224).
+pub fn build() -> DnnModel {
+    let mut b = DnnModelBuilder::new(TensorShape::new(3, 224, 224)).conv("conv1", 32, 3, 2, 1);
+    for (i, (stride, out_ch)) in BLOCKS.iter().enumerate() {
+        b = b
+            .dw_conv(&format!("dw{}", i + 2), 3, *stride, 1)
+            .conv(&format!("pw{}", i + 2), *out_ch, 1, 1, 0);
+    }
+    // Fold gap+fc into the final pointwise layer to keep the 27-layer
+    // counting convention: append the pool and gemm kernels to pw14.
+    let mut model = b.build("mobilenet").expect("mobilenet definition is valid");
+    let last_idx = model.num_layers() - 1;
+    let last = model.layer(last_idx).clone();
+    let feat = last.output_shape();
+    let out = TensorShape::flat(1000);
+    let mut kernels = last.kernels().to_vec();
+    kernels.push(
+        Kernel::new("gap", KernelClass::Pool)
+            .with_flops(feat.elements() as u64)
+            .with_bytes(feat.bytes() as u64, (feat.channels * 4) as u64, 0),
+    );
+    kernels.push(
+        Kernel::new("fc", KernelClass::Gemm)
+            .with_flops((2 * feat.channels * 1000) as u64)
+            .with_bytes(
+                (feat.channels * 4) as u64,
+                out.bytes() as u64,
+                (feat.channels * 1000 * 4) as u64,
+            ),
+    );
+    kernels.push(
+        Kernel::new("softmax", KernelClass::Softmax)
+            .with_flops(3_000)
+            .with_bytes(out.bytes() as u64, out.bytes() as u64, 0),
+    );
+    let mut layers = model.layers().to_vec();
+    layers[last_idx] = Layer::new(last.name().to_owned(), last.kind(), kernels, out);
+    model = DnnModel::new("mobilenet", model.input_shape(), layers)
+        .expect("mobilenet rebuild is valid");
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn has_27_layers() {
+        assert_eq!(build().num_layers(), 27);
+    }
+
+    #[test]
+    fn alternates_depthwise_and_pointwise() {
+        let m = build();
+        for (i, l) in m.layers().iter().enumerate().skip(1) {
+            let expect = if i % 2 == 1 {
+                LayerKind::DepthwiseConv
+            } else {
+                LayerKind::PointwiseConv
+            };
+            assert_eq!(l.kind(), expect, "layer {i} ({})", l.name());
+        }
+    }
+
+    #[test]
+    fn classifier_folded_into_last_layer() {
+        let m = build();
+        let last = m.layers().last().unwrap();
+        assert!(last.uses_class(KernelClass::Gemm));
+        assert!(last.uses_class(KernelClass::Softmax));
+        assert_eq!(last.output_shape().elements(), 1000);
+    }
+
+    #[test]
+    fn depthwise_layers_are_cheap_relative_to_pointwise() {
+        let m = build();
+        // dw2 (layer 1) vs pw2 (layer 2): pointwise has ~Cout/9 × more MACs.
+        let dw = m.layer(1).flops();
+        let pw = m.layer(2).flops();
+        assert!(pw > dw, "pointwise should dominate: dw={dw} pw={pw}");
+    }
+}

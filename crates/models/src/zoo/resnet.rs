@@ -1,0 +1,99 @@
+//! The ResNet family (He et al., 2016). Residual blocks are indivisible
+//! schedulable units (their internal shortcut would make a mid-block cut
+//! point semantically messy), so:
+//!
+//! * ResNet-34 = stem conv + pool + 16 basic blocks + gap + fc = 20 layers;
+//! * ResNet-50 = stem conv + pool + 16 bottleneck blocks + gap + fc = 20;
+//! * ResNet-101 = stem conv + pool + 33 bottleneck blocks + gap + fc = 37.
+
+use crate::builder::DnnModelBuilder;
+use crate::graph::DnnModel;
+use crate::shapes::TensorShape;
+
+fn stem() -> DnnModelBuilder {
+    DnnModelBuilder::new(TensorShape::new(3, 224, 224))
+        .conv("conv1", 64, 7, 2, 3)
+        .max_pool("pool1", 3, 2, 1)
+}
+
+fn classifier(b: DnnModelBuilder, name: &str) -> DnnModel {
+    b.global_avg_pool("gap")
+        .fc("fc", 1000)
+        .with_softmax()
+        .build(name)
+        .expect("resnet definition is valid")
+}
+
+/// Builds ResNet-34 (basic blocks, stage depths 3-4-6-3).
+pub fn build_34() -> DnnModel {
+    let depths = [3usize, 4, 6, 3];
+    let channels = [64usize, 128, 256, 512];
+    let mut b = stem();
+    for (si, (&d, &ch)) in depths.iter().zip(channels.iter()).enumerate() {
+        for bi in 0..d {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            b = b.residual_basic(&format!("res{}_{}", si + 2, bi + 1), ch, stride);
+        }
+    }
+    classifier(b, "resnet34")
+}
+
+fn build_bottleneck(name: &str, depths: [usize; 4]) -> DnnModel {
+    let mid = [64usize, 128, 256, 512];
+    let out = [256usize, 512, 1024, 2048];
+    let mut b = stem();
+    for si in 0..4 {
+        for bi in 0..depths[si] {
+            let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+            b = b.residual_bottleneck(
+                &format!("res{}_{}", si + 2, bi + 1),
+                mid[si],
+                out[si],
+                stride,
+            );
+        }
+    }
+    classifier(b, name)
+}
+
+/// Builds ResNet-50 (bottleneck blocks, stage depths 3-4-6-3).
+pub fn build_50() -> DnnModel {
+    build_bottleneck("resnet50", [3, 4, 6, 3])
+}
+
+/// Builds ResNet-101 (bottleneck blocks, stage depths 3-4-23-3).
+pub fn build_101() -> DnnModel {
+    build_bottleneck("resnet101", [3, 4, 23, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts() {
+        assert_eq!(build_34().num_layers(), 20);
+        assert_eq!(build_50().num_layers(), 20);
+        assert_eq!(build_101().num_layers(), 37);
+    }
+
+    #[test]
+    fn resnet50_flops_in_published_ballpark() {
+        // Published ResNet-50: ~8.2 GFLOP (4.1 GMACs) at 224x224.
+        let f = build_50().total_flops() as f64 / 1e9;
+        assert!((5.0..12.0).contains(&f), "ResNet-50 GFLOP = {f}");
+    }
+
+    #[test]
+    fn deeper_means_more_flops() {
+        assert!(build_101().total_flops() > build_50().total_flops());
+    }
+
+    #[test]
+    fn final_stage_is_2048_channels_for_bottlenecks() {
+        let m = build_50();
+        let gap_in = m.layer(m.num_layers() - 3).output_shape();
+        assert_eq!(gap_in.channels, 2048);
+        assert_eq!((gap_in.height, gap_in.width), (7, 7));
+    }
+}

@@ -1,0 +1,64 @@
+//! SqueezeNet v1.0 (Iandola et al., 2016) — 22 schedulable layers:
+//! conv1, maxpool1, eight fire modules (each split into squeeze and
+//! expand layers, matching the paper's "first 18 layers … the last one"
+//! granularity), two more maxpools, conv10 and the global average pool.
+
+use crate::builder::DnnModelBuilder;
+use crate::graph::DnnModel;
+use crate::shapes::TensorShape;
+
+/// Builds SqueezeNet v1.0 at 224×224.
+pub fn build() -> DnnModel {
+    DnnModelBuilder::new(TensorShape::new(3, 224, 224))
+        .conv("conv1", 96, 7, 2, 2)
+        .max_pool("pool1", 3, 2, 0)
+        .fire("fire2", 16, 128)
+        .fire("fire3", 16, 128)
+        .fire("fire4", 32, 256)
+        .max_pool("pool4", 3, 2, 0)
+        .fire("fire5", 32, 256)
+        .fire("fire6", 48, 384)
+        .fire("fire7", 48, 384)
+        .fire("fire8", 64, 512)
+        .max_pool("pool8", 3, 2, 0)
+        .fire("fire9", 64, 512)
+        .conv("conv10", 1000, 1, 1, 0)
+        .global_avg_pool("gap")
+        .with_softmax()
+        .build("squeezenet")
+        .expect("squeezenet definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_22_layers() {
+        assert_eq!(build().num_layers(), 22);
+    }
+
+    #[test]
+    fn small_model_size() {
+        // SqueezeNet's selling point: ~1.2M params ≈ 5 MB of f32 weights.
+        let mb = build().total_weight_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb < 10.0, "SqueezeNet weights = {mb:.1} MiB");
+    }
+
+    #[test]
+    fn classifier_outputs_1000_classes() {
+        let m = build();
+        assert_eq!(m.layers().last().unwrap().output_shape().elements(), 1000);
+    }
+
+    #[test]
+    fn fire9_expand_has_512_channels() {
+        let m = build();
+        let fire9 = m
+            .layers()
+            .iter()
+            .find(|l| l.name() == "fire9.expand")
+            .unwrap();
+        assert_eq!(fire9.output_shape().channels, 512);
+    }
+}

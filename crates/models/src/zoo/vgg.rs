@@ -1,0 +1,75 @@
+//! The VGG family (Simonyan & Zisserman, 2014): configurations B (VGG-13),
+//! D (VGG-16) and E (VGG-19). All convolutions are 3×3 stride 1 pad 1;
+//! five 2×2 max-pools halve the resolution; three FC layers classify.
+//!
+//! Layer counts: VGG-13 = 18, VGG-16 = 21, VGG-19 = 24
+//! (convs + pools + fcs).
+
+use crate::builder::DnnModelBuilder;
+use crate::graph::DnnModel;
+use crate::shapes::TensorShape;
+
+/// Convs per stage for each configuration.
+fn stage_convs(depth: usize) -> [usize; 5] {
+    match depth {
+        13 => [2, 2, 2, 2, 2],
+        16 => [2, 2, 3, 3, 3],
+        19 => [2, 2, 4, 4, 4],
+        _ => panic!("unsupported VGG depth {depth} (expected 13, 16 or 19)"),
+    }
+}
+
+/// Builds VGG-`depth` for `depth ∈ {13, 16, 19}`.
+///
+/// # Panics
+///
+/// Panics on an unsupported depth.
+pub fn build(depth: usize) -> DnnModel {
+    let stages = stage_convs(depth);
+    let channels = [64usize, 128, 256, 512, 512];
+    let mut b = DnnModelBuilder::new(TensorShape::new(3, 224, 224));
+    for (si, (&n, &ch)) in stages.iter().zip(channels.iter()).enumerate() {
+        for ci in 0..n {
+            b = b.conv(&format!("conv{}_{}", si + 1, ci + 1), ch, 3, 1, 1);
+        }
+        b = b.max_pool(&format!("pool{}", si + 1), 2, 2, 0);
+    }
+    b.fc("fc6", 4096)
+        .fc("fc7", 4096)
+        .fc("fc8", 1000)
+        .with_softmax()
+        .build(format!("vgg{depth}"))
+        .expect("vgg definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts() {
+        assert_eq!(build(13).num_layers(), 18);
+        assert_eq!(build(16).num_layers(), 21);
+        assert_eq!(build(19).num_layers(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported VGG depth")]
+    fn rejects_unknown_depth() {
+        let _ = build(11);
+    }
+
+    #[test]
+    fn final_feature_map_is_512x7x7() {
+        let m = build(16);
+        // Layer before fc6 is pool5.
+        let pool5 = m.layer(m.num_layers() - 4);
+        assert_eq!(pool5.output_shape(), TensorShape::new(512, 7, 7));
+    }
+
+    #[test]
+    fn depth_increases_flops_monotonically() {
+        assert!(build(19).total_flops() > build(16).total_flops());
+        assert!(build(16).total_flops() > build(13).total_flops());
+    }
+}

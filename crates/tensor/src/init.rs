@@ -1,0 +1,52 @@
+//! Weight initialization.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kaiming (He) uniform initialization: samples from
+/// `U(-b, b)` with `b = sqrt(6 / fan_in)`, the PyTorch default for conv
+/// and linear weights feeding ReLU-family activations.
+///
+/// ```
+/// use omniboost_tensor::kaiming_uniform;
+///
+/// let w = kaiming_uniform(&[16, 8, 3, 3], 8 * 3 * 3, 42);
+/// let bound = (6.0f32 / (8.0 * 9.0)).sqrt();
+/// assert!(w.data().iter().all(|v| v.abs() <= bound));
+/// ```
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0f32 / fan_in as f32).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-bound..bound)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_shrinks_with_fan_in() {
+        let wide = kaiming_uniform(&[4, 100], 100, 1);
+        let narrow = kaiming_uniform(&[4, 4], 4, 1);
+        assert!(wide.max_abs() < narrow.max_abs() + 0.8);
+        assert!(wide.max_abs() <= (6.0f32 / 100.0).sqrt());
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        assert_eq!(
+            kaiming_uniform(&[3, 3], 3, 5),
+            kaiming_uniform(&[3, 3], 3, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in must be positive")]
+    fn zero_fan_in_panics() {
+        let _ = kaiming_uniform(&[1], 0, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # omniboost-tensor
+//!
+//! A minimal, from-scratch tensor and neural-network library — the
+//! reproduction's substitute for PyTorch, which the paper uses to build
+//! and train its ~20k-parameter CNN throughput estimator (§IV-B, §V).
+//!
+//! Scope is deliberately exactly what the estimator needs:
+//!
+//! * dense [`Tensor`]s of `f32` with shape bookkeeping;
+//! * forward/backward [`Module`]s: [`Conv2d`], [`Linear`], [`Gelu`],
+//!   [`Relu`], [`MaxPool2d`], [`GlobalAvgPool`], [`Flatten`],
+//!   [`ResidualBlock`] and [`Sequential`] composition;
+//! * [`L1Loss`]/[`MseLoss`] criteria (the paper trains with L1 and reports
+//!   L2 as "too aggressive");
+//! * [`Sgd`] and [`Adam`] optimizers.
+//!
+//! Backpropagation is implemented per-module (each module caches its
+//! forward activations), which keeps gradients easy to verify against
+//! finite differences — the test suite does exactly that for every
+//! module.
+//!
+//! ```
+//! use omniboost_tensor::{Adam, L1Loss, Linear, Loss, Module, Optimizer, Tensor};
+//!
+//! let mut layer = Linear::new(4, 2, 42);
+//! let x = Tensor::randn(&[8, 4], 1);
+//! let target = Tensor::zeros(&[8, 2]);
+//! let mut opt = Adam::new(1e-2);
+//! for _ in 0..10 {
+//!     let y = layer.forward(&x);
+//!     let (loss, grad) = L1Loss.compute(&y, &target);
+//!     layer.zero_grad();
+//!     layer.backward(&grad);
+//!     opt.step(&mut layer.params_mut());
+//!     assert!(loss.is_finite());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod init;
+mod loss;
+mod module;
+pub mod ops;
+mod optim;
+mod tensor;
+
+pub use init::kaiming_uniform;
+pub use loss::{L1Loss, Loss, MseLoss};
+pub use module::{export_params, import_params, Module, Param, Sequential};
+pub use ops::activation::{Gelu, Relu};
+pub use ops::conv::Conv2d;
+pub use ops::flatten::Flatten;
+pub use ops::linear::Linear;
+pub use ops::pool::{GlobalAvgPool, MaxPool2d};
+pub use ops::residual::ResidualBlock;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,113 @@
+//! Regression criteria.
+//!
+//! The paper trains its estimator with **L1 loss** and reports that L2
+//! "proved to be too aggressive in some cases, thus resulting in
+//! sub-optimal model weights" (§V) — both are provided so the ablation
+//! can reproduce that comparison.
+
+use crate::tensor::Tensor;
+
+/// A differentiable scalar criterion over (prediction, target) batches.
+pub trait Loss {
+    /// Returns `(loss, d loss / d prediction)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    fn compute(&self, prediction: &Tensor, target: &Tensor) -> (f32, Tensor);
+
+    /// Criterion name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Mean absolute error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L1Loss;
+
+impl Loss for L1Loss {
+    fn compute(&self, prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+        assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
+        let n = prediction.len() as f32;
+        let mut loss = 0.0f32;
+        let grad: Vec<f32> = prediction
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| {
+                let d = p - t;
+                loss += d.abs();
+                d.signum() / n
+            })
+            .collect();
+        (loss / n, Tensor::from_vec(grad, prediction.shape()))
+    }
+
+    fn name(&self) -> &str {
+        "l1"
+    }
+}
+
+/// Mean squared error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl Loss for MseLoss {
+    fn compute(&self, prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+        assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
+        let n = prediction.len() as f32;
+        let mut loss = 0.0f32;
+        let grad: Vec<f32> = prediction
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&p, &t)| {
+                let d = p - t;
+                loss += d * d;
+                2.0 * d / n
+            })
+            .collect();
+        (loss / n, Tensor::from_vec(grad, prediction.shape()))
+    }
+
+    fn name(&self) -> &str {
+        "l2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_matches_hand_computation() {
+        let p = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let (l, g) = L1Loss.compute(&p, &t);
+        assert_eq!(l, 1.5);
+        assert_eq!(g.data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let p = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let (l, g) = MseLoss.compute(&p, &t);
+        assert_eq!(l, 2.5);
+        assert_eq!(g.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn zero_error_means_zero_loss() {
+        let p = Tensor::randn(&[4], 1);
+        let (l1, _) = L1Loss.compute(&p, &p);
+        let (l2, _) = MseLoss.compute(&p, &p);
+        assert_eq!(l1, 0.0);
+        assert_eq!(l2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = L1Loss.compute(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+}

@@ -1,0 +1,154 @@
+//! Element-wise activations: GELU (the paper's choice, §IV-B) and ReLU
+//! (kept for the GELU-vs-ReLU ablation).
+
+use crate::module::Module;
+use crate::tensor::Tensor;
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+/// Gaussian Error Linear Unit, tanh approximation:
+/// `gelu(x) = 0.5 x (1 + tanh(√(2/π)(x + 0.044715 x³)))`.
+///
+/// The paper replaces the original ResNet9 ReLUs with GELU and reports
+/// improved convergence and accuracy.
+///
+/// ```
+/// use omniboost_tensor::{Gelu, Module, Tensor};
+///
+/// let mut g = Gelu::new();
+/// let y = g.forward(&Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[1, 3]));
+/// assert!(y.data()[0] < 0.0 && y.data()[0] > -0.1); // small negative tail
+/// assert_eq!(y.data()[1], 0.0);
+/// assert!((y.data()[2] - 1.954).abs() < 1e-2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gelu {
+    cached_input: Option<Tensor>,
+}
+
+impl Gelu {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x)
+}
+
+impl Module for Gelu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(
+            input.data().iter().map(|&x| gelu_scalar(x)).collect(),
+            input.shape(),
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_output.shape(), input.shape());
+        Tensor::from_vec(
+            input
+                .data()
+                .iter()
+                .zip(grad_output.data())
+                .map(|(&x, &g)| g * gelu_grad_scalar(x))
+                .collect(),
+            input.shape(),
+        )
+    }
+}
+
+/// Rectified linear unit, `relu(x) = max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(
+            input.data().iter().map(|&x| x.max(0.0)).collect(),
+            input.shape(),
+        )
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_output.shape(), input.shape());
+        Tensor::from_vec(
+            input
+                .data()
+                .iter()
+                .zip(grad_output.data())
+                .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                .collect(),
+            input.shape(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation.
+        assert!((gelu_scalar(1.0) - 0.841_19).abs() < 1e-3);
+        assert!((gelu_scalar(-1.0) + 0.158_81).abs() < 1e-3);
+        assert_eq!(gelu_scalar(0.0), 0.0);
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_differences() {
+        let eps = 1e-3f32;
+        for x in [-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0] {
+            let numeric = (gelu_scalar(x + eps) - gelu_scalar(x - eps)) / (2.0 * eps);
+            let analytic = gelu_grad_scalar(x);
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "x={x}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_zeroes_negative_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]);
+        let _ = r.forward(&x);
+        let g = r.backward(&Tensor::from_vec(vec![5.0, 5.0], &[1, 2]));
+        assert_eq!(g.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn gelu_is_smoother_than_relu_near_zero() {
+        // GELU passes small negative values through (non-zero gradient).
+        assert!(gelu_grad_scalar(-0.1) > 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! 2-D convolution (direct algorithm).
+
+use crate::init::kaiming_uniform;
+use crate::module::{Module, Param};
+use crate::tensor::Tensor;
+
+/// 2-D convolution over `[N, C, H, W]` inputs with square kernels.
+///
+/// ```
+/// use omniboost_tensor::{Conv2d, Module, Tensor};
+///
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, 42);
+/// let y = conv.forward(&Tensor::randn(&[2, 3, 11, 40], 1));
+/// assert_eq!(y.shape(), &[2, 8, 11, 40]);
+/// ```
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// `[out_ch, in_ch, k, k]`.
+    weight: Param,
+    /// `[out_ch]`.
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        let fan_in = in_ch * kernel * kernel;
+        Self {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            weight: Param::new(kaiming_uniform(
+                &[out_ch, in_ch, kernel, kernel],
+                fan_in,
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_ch])),
+            cached_input: None,
+        }
+    }
+
+    fn out_extent(&self, inp: usize) -> usize {
+        (inp + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let [n, c, h, w] = match *input.shape() {
+            [n, c, h, w] => [n, c, h, w],
+            _ => panic!("Conv2d expects [N, C, H, W] input"),
+        };
+        assert_eq!(c, self.in_ch, "input channel mismatch");
+        let (oh, ow) = (self.out_extent(h), self.out_extent(w));
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        let x = input.data();
+        let wt = self.weight.value.data();
+        let b = self.bias.value.data();
+        let od = out.data_mut();
+        let k = self.kernel;
+        let s = self.stride;
+        let pad = self.pad as isize;
+        for ni in 0..n {
+            for oc in 0..self.out_ch {
+                // Bias initialization for the whole output plane.
+                let obase = ((ni * self.out_ch + oc) * oh) * ow;
+                od[obase..obase + oh * ow].fill(b[oc]);
+                // Accumulate one (ic, ky, kx) tap at a time; the inner ox
+                // loop is a contiguous shifted multiply-add, which the
+                // compiler vectorizes.
+                for ic in 0..c {
+                    let xplane = &x[((ni * c + ic) * h) * w..((ni * c + ic) * h + h) * w];
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let wv = wt[((oc * c + ic) * k + ky) * k + kx];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            for oy in 0..oh {
+                                let iy = (oy * s + ky) as isize - pad;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let xrow = &xplane[(iy as usize) * w..(iy as usize + 1) * w];
+                                let orow = &mut od[obase + oy * ow..obase + (oy + 1) * ow];
+                                for (ox, o) in orow.iter_mut().enumerate() {
+                                    let ix = (ox * s + kx) as isize - pad;
+                                    if ix >= 0 && ix < w as isize {
+                                        *o += wv * xrow[ix as usize];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let [n, c, h, w] = match *input.shape() {
+            [n, c, h, w] => [n, c, h, w],
+            _ => unreachable!(),
+        };
+        let (oh, ow) = (self.out_extent(h), self.out_extent(w));
+        assert_eq!(grad_output.shape(), &[n, self.out_ch, oh, ow]);
+        let x = input.data();
+        let g = grad_output.data();
+        let wt = self.weight.value.data().to_vec();
+        let k = self.kernel;
+        let s = self.stride;
+        let pad = self.pad as isize;
+
+        let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+        {
+            let dw = self.weight.grad.data_mut();
+            let gi = grad_input.data_mut();
+            for ni in 0..n {
+                for oc in 0..self.out_ch {
+                    let gbase = ((ni * self.out_ch + oc) * oh) * ow;
+                    for ic in 0..c {
+                        let xbase = ((ni * c + ic) * h) * w;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let wi = ((oc * c + ic) * k + ky) * k + kx;
+                                let wv = wt[wi];
+                                let mut dw_acc = 0.0f32;
+                                for oy in 0..oh {
+                                    let iy = (oy * s + ky) as isize - pad;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    let grow = &g[gbase + oy * ow..gbase + (oy + 1) * ow];
+                                    let xrow_base = xbase + (iy as usize) * w;
+                                    for (ox, gv) in grow.iter().enumerate() {
+                                        let ix = (ox * s + kx) as isize - pad;
+                                        if ix >= 0 && ix < w as isize {
+                                            let xi = xrow_base + ix as usize;
+                                            dw_acc += gv * x[xi];
+                                            gi[xi] += gv * wv;
+                                        }
+                                    }
+                                }
+                                dw[wi] += dw_acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let db = self.bias.grad.data_mut();
+            for ni in 0..n {
+                for oc in 0..self.out_ch {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            db[oc] += g[((ni * self.out_ch + oc) * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Loss, MseLoss};
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv, weight = identity over channels.
+        let mut conv = Conv2d::new(2, 2, 1, 1, 0, 1);
+        conv.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]);
+        let x = Tensor::randn(&[1, 2, 3, 3], 2);
+        let y = conv.forward(&x);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stride_and_pad_shape_math() {
+        let mut conv = Conv2d::new(1, 4, 3, 2, 1, 1);
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 11, 40]));
+        assert_eq!(y.shape(), &[1, 4, 6, 20]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 13);
+        let x = Tensor::randn(&[2, 2, 4, 4], 5);
+        let target = Tensor::randn(&[2, 3, 4, 4], 6);
+
+        let y = conv.forward(&x);
+        let (_, grad) = MseLoss.compute(&y, &target);
+        conv.zero_grad();
+        let gx = conv.backward(&grad);
+
+        let eps = 1e-2f32;
+        let analytic_w = conv.weight.grad.clone();
+        // Spot-check a spread of weight coordinates.
+        for idx in [0usize, 7, 13, 26, 53] {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let (lp, _) = MseLoss.compute(&conv.forward(&x), &target);
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let (lm, _) = MseLoss.compute(&conv.forward(&x), &target);
+            conv.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic_w.data()[idx];
+            assert!((numeric - a).abs() < 3e-2, "w[{idx}]: {numeric} vs {a}");
+        }
+        // Spot-check input gradient.
+        for idx in [0usize, 9, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let (lp, _) = MseLoss.compute(&conv.forward(&xp), &target);
+            xp.data_mut()[idx] -= 2.0 * eps;
+            let (lm, _) = MseLoss.compute(&conv.forward(&xp), &target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = gx.data()[idx];
+            assert!((numeric - a).abs() < 3e-2, "x[{idx}]: {numeric} vs {a}");
+        }
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 1);
+        assert_eq!(conv.num_params(), 3 * 8 * 9 + 8);
+    }
+}

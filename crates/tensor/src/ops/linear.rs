@@ -1,0 +1,195 @@
+//! Fully-connected layer.
+
+use crate::init::kaiming_uniform;
+use crate::module::{Module, Param};
+use crate::tensor::Tensor;
+
+/// `y = x W^T + b` over batched 2-D inputs `[N, in]`.
+///
+/// ```
+/// use omniboost_tensor::{Linear, Module, Tensor};
+///
+/// let mut l = Linear::new(3, 2, 7);
+/// let y = l.forward(&Tensor::randn(&[4, 3], 1));
+/// assert_eq!(y.shape(), &[4, 2]);
+/// ```
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    /// `[out, in]`.
+    weight: Param,
+    /// `[out]`.
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Self {
+            in_features,
+            out_features,
+            weight: Param::new(kaiming_uniform(
+                &[out_features, in_features],
+                in_features,
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Linear expects [N, in] input");
+        assert_eq!(input.shape()[1], self.in_features, "input width mismatch");
+        let n = input.shape()[0];
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        let w = self.weight.value.data();
+        let b = self.bias.value.data();
+        let x = input.data();
+        let od = out.data_mut();
+        for i in 0..n {
+            for o in 0..self.out_features {
+                let mut acc = b[o];
+                let wrow = &w[o * self.in_features..(o + 1) * self.in_features];
+                let xrow = &x[i * self.in_features..(i + 1) * self.in_features];
+                for (wv, xv) in wrow.iter().zip(xrow) {
+                    acc += wv * xv;
+                }
+                od[i * self.out_features + o] = acc;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let n = input.shape()[0];
+        assert_eq!(grad_output.shape(), &[n, self.out_features]);
+        let x = input.data();
+        let g = grad_output.data();
+        let w = self.weight.value.data().to_vec();
+
+        // dW[o][i] += sum_n g[n][o] * x[n][i];  db[o] += sum_n g[n][o].
+        {
+            let dw = self.weight.grad.data_mut();
+            for s in 0..n {
+                for o in 0..self.out_features {
+                    let gv = g[s * self.out_features + o];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    let xrow = &x[s * self.in_features..(s + 1) * self.in_features];
+                    let dwrow = &mut dw[o * self.in_features..(o + 1) * self.in_features];
+                    for (d, xv) in dwrow.iter_mut().zip(xrow) {
+                        *d += gv * xv;
+                    }
+                }
+            }
+        }
+        {
+            let db = self.bias.grad.data_mut();
+            for s in 0..n {
+                for o in 0..self.out_features {
+                    db[o] += g[s * self.out_features + o];
+                }
+            }
+        }
+
+        // dx[n][i] = sum_o g[n][o] * W[o][i].
+        let mut grad_input = Tensor::zeros(&[n, self.in_features]);
+        let gi = grad_input.data_mut();
+        for s in 0..n {
+            for o in 0..self.out_features {
+                let gv = g[s * self.out_features + o];
+                if gv == 0.0 {
+                    continue;
+                }
+                let wrow = &w[o * self.in_features..(o + 1) * self.in_features];
+                let girow = &mut gi[s * self.in_features..(s + 1) * self.in_features];
+                for (d, wv) in girow.iter_mut().zip(wrow) {
+                    *d += gv * wv;
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{Loss, MseLoss};
+
+    /// Finite-difference gradient check on a tiny layer.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Linear::new(3, 2, 11);
+        let x = Tensor::randn(&[4, 3], 5);
+        let target = Tensor::randn(&[4, 2], 6);
+
+        let y = layer.forward(&x);
+        let (_, grad) = MseLoss.compute(&y, &target);
+        layer.zero_grad();
+        let gx = layer.backward(&grad);
+
+        let eps = 1e-3f32;
+        // Check weight gradients.
+        let analytic = layer.weight.grad.clone();
+        for idx in 0..layer.weight.value.len() {
+            let orig = layer.weight.value.data()[idx];
+            layer.weight.value.data_mut()[idx] = orig + eps;
+            let (lp, _) = MseLoss.compute(&layer.forward(&x), &target);
+            layer.weight.value.data_mut()[idx] = orig - eps;
+            let (lm, _) = MseLoss.compute(&layer.forward(&x), &target);
+            layer.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 2e-2,
+                "w[{idx}]: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+        // Check input gradients on one coordinate.
+        let mut xp = x.clone();
+        xp.data_mut()[0] += eps;
+        let (lp, _) = MseLoss.compute(&layer.forward(&xp), &target);
+        xp.data_mut()[0] -= 2.0 * eps;
+        let (lm, _) = MseLoss.compute(&layer.forward(&xp), &target);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((numeric - gx.data()[0]).abs() < 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn rejects_wrong_width() {
+        let mut l = Linear::new(3, 2, 1);
+        let _ = l.forward(&Tensor::zeros(&[1, 4]));
+    }
+
+    #[test]
+    fn bias_starts_zero() {
+        let l = Linear::new(4, 4, 1);
+        assert_eq!(l.bias.value.max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Neural-network building blocks.
+
+pub mod activation;
+pub mod conv;
+pub mod flatten;
+pub mod linear;
+pub mod pool;
+pub mod residual;

@@ -1,0 +1,125 @@
+//! Property-based tests over the tensor/NN substrate.
+
+use omniboost_tensor::{
+    Adam, Conv2d, Flatten, Gelu, GlobalAvgPool, L1Loss, Linear, Loss, MaxPool2d, Module,
+    MseLoss, Optimizer, Sequential, Tensor,
+};
+use proptest::prelude::*;
+
+fn arb_small_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-3.0f32..3.0, n).prop_map(move |data| Tensor::from_vec(data, shape))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Element-wise algebra: addition commutes, Hadamard distributes over
+    /// scalar scaling.
+    #[test]
+    fn tensor_algebra(a in arb_small_tensor(&[3, 4]), b in arb_small_tensor(&[3, 4]), s in -2.0f32..2.0) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        let left = a.hadamard(&b).scale(s);
+        let right = a.scale(s).hadamard(&b);
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() <= 1e-4 * (1.0 + x.abs()));
+        }
+    }
+
+    /// Convolution is a linear operator in its input when bias is zero:
+    /// conv(αx) = α·conv(x).
+    #[test]
+    fn conv_is_linear_with_zero_bias(x in arb_small_tensor(&[1, 2, 5, 5]), alpha in -2.0f32..2.0) {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 7);
+        for p in conv.params_mut().into_iter().skip(1) { // zero the bias
+            p.value.fill_zero();
+        }
+        let y1 = conv.forward(&x.scale(alpha));
+        let y2 = conv.forward(&x).scale(alpha);
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Max pooling never invents values: every output element is present
+    /// in the input, and pooling is monotone under input scaling by a
+    /// positive constant.
+    #[test]
+    fn maxpool_selects_existing_values(x in arb_small_tensor(&[1, 2, 4, 6])) {
+        let mut pool = MaxPool2d::new(2);
+        let y = pool.forward(&x);
+        for v in y.data() {
+            prop_assert!(x.data().contains(v));
+        }
+    }
+
+    /// GELU is bounded below by a small constant and asymptotically
+    /// linear: |gelu(x)| <= |x| + 0.2 everywhere.
+    #[test]
+    fn gelu_is_bounded(x in arb_small_tensor(&[1, 16])) {
+        let mut g = Gelu::new();
+        let y = g.forward(&x);
+        for (xi, yi) in x.data().iter().zip(y.data()) {
+            prop_assert!(yi.abs() <= xi.abs() + 0.2);
+            prop_assert!(*yi >= -0.2);
+        }
+    }
+
+    /// Losses are non-negative, zero exactly on perfect predictions, and
+    /// symmetric in sign of the error for L1.
+    #[test]
+    fn loss_axioms(p in arb_small_tensor(&[2, 3]), t in arb_small_tensor(&[2, 3])) {
+        let (l1, _) = L1Loss.compute(&p, &t);
+        let (l2, _) = MseLoss.compute(&p, &t);
+        prop_assert!(l1 >= 0.0 && l2 >= 0.0);
+        let (self1, _) = L1Loss.compute(&p, &p);
+        prop_assert_eq!(self1, 0.0);
+        // Swapping prediction and target leaves both losses unchanged.
+        let (l1s, _) = L1Loss.compute(&t, &p);
+        prop_assert!((l1 - l1s).abs() < 1e-6);
+    }
+
+    /// One Adam step on any loss surface moves parameters by at most the
+    /// learning rate per coordinate (the Adam step-size bound).
+    #[test]
+    fn adam_step_is_bounded(x in arb_small_tensor(&[4, 3]), t in arb_small_tensor(&[4, 2])) {
+        let mut layer = Linear::new(3, 2, 3);
+        let before: Vec<f32> = layer.params_mut().iter().flat_map(|p| p.value.data().to_vec()).collect();
+        let y = layer.forward(&x);
+        let (_, grad) = MseLoss.compute(&y, &t);
+        layer.zero_grad();
+        layer.backward(&grad);
+        let lr = 0.05f32;
+        Adam::new(lr).step(&mut layer.params_mut());
+        let after: Vec<f32> = layer.params_mut().iter().flat_map(|p| p.value.data().to_vec()).collect();
+        for (b, a) in before.iter().zip(&after) {
+            // Adam's per-step displacement is bounded by ~lr/(1-beta1).
+            prop_assert!((b - a).abs() <= lr * 11.0, "{b} -> {a}");
+        }
+    }
+
+    /// A full network forward pass is deterministic and batch-consistent:
+    /// evaluating a 2-batch equals evaluating the two samples separately.
+    #[test]
+    fn forward_is_batch_consistent(a in arb_small_tensor(&[1, 2, 4, 4]), b in arb_small_tensor(&[1, 2, 4, 4])) {
+        let build = || {
+            Sequential::new()
+                .push(Conv2d::new(2, 4, 3, 1, 1, 11))
+                .push(Gelu::new())
+                .push(GlobalAvgPool::new())
+                .push(Flatten::new())
+                .push(Linear::new(4, 2, 12))
+        };
+        let mut net = build();
+        let mut data = a.data().to_vec();
+        data.extend_from_slice(b.data());
+        let batch = Tensor::from_vec(data, &[2, 2, 4, 4]);
+        let yb = net.forward(&batch);
+        let ya = net.forward(&a);
+        let yb2 = net.forward(&b);
+        for i in 0..2 {
+            prop_assert!((yb.get(&[0, i]) - ya.get(&[0, i])).abs() < 1e-4);
+            prop_assert!((yb.get(&[1, i]) - yb2.get(&[0, i])).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Mix explorer: run all four §V schedulers (baseline, MOSAIC, GA,
+//! OmniBoost) on a workload given on the command line and print the
+//! Fig. 5-style comparison table.
+//!
+//! Run with
+//! `cargo run --release --example mix_explorer -- vgg19 resnet50 inception-v3 vgg16`
+//! (model names as printed by the zoo; defaults to a heavy 4-mix).
+
+use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic};
+use omniboost::{format_comparison, ComparisonRow, OmniBoost, OmniBoostConfig, Runtime};
+use omniboost_hw::{Board, Workload};
+use omniboost_models::ModelId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<ModelId> = if args.is_empty() {
+        vec![
+            ModelId::Vgg19,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+            ModelId::Vgg16,
+        ]
+    } else {
+        args.iter()
+            .map(|a| a.parse())
+            .collect::<Result<_, _>>()?
+    };
+    let workload = Workload::from_ids(ids);
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board.clone());
+
+    println!("exploring {workload}\n");
+    let mut rows: Vec<ComparisonRow> = Vec::new();
+
+    let base = runtime.run(&mut GpuOnly::new(), &workload)?;
+    let base_t = base.report.average;
+    rows.push(ComparisonRow {
+        scheduler: "baseline".into(),
+        average: base_t,
+        normalized: 1.0,
+        decision_time: base.decision_time,
+    });
+
+    let out = runtime.run(&mut Mosaic::new(), &workload)?;
+    rows.push(ComparisonRow {
+        scheduler: "mosaic".into(),
+        average: out.report.average,
+        normalized: out.report.average / base_t,
+        decision_time: out.decision_time,
+    });
+
+    let out = runtime.run(
+        &mut Genetic::new(GeneticConfig {
+            generations: 15,
+            ..GeneticConfig::default()
+        }),
+        &workload,
+    )?;
+    rows.push(ComparisonRow {
+        scheduler: "ga".into(),
+        average: out.report.average,
+        normalized: out.report.average / base_t,
+        decision_time: out.decision_time,
+    });
+
+    println!("training OmniBoost's estimator (once; reused for any mix)...");
+    let (mut ob, _) = OmniBoost::design_time(&board, OmniBoostConfig::quick());
+    let out = runtime.run(&mut ob, &workload)?;
+    rows.push(ComparisonRow {
+        scheduler: "omniboost".into(),
+        average: out.report.average,
+        normalized: out.report.average / base_t,
+        decision_time: out.decision_time,
+    });
+    println!("\n{}", format_comparison(&workload.to_string(), &rows));
+    println!("omniboost mapping:\n{}", out.mapping);
+    Ok(())
+}

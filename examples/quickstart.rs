@@ -1,0 +1,47 @@
+//! Quickstart: schedule a 3-DNN workload with OmniBoost and compare it
+//! against the everything-on-the-GPU baseline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use omniboost::{OmniBoost, OmniBoostConfig, Runtime};
+use omniboost_hw::{Board, Device, Mapping, Workload};
+use omniboost_models::ModelId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The board: a calibrated HiKey970 stand-in (Mali-G72 GPU +
+    //    Cortex-A73 "big" cluster + Cortex-A53 "LITTLE" cluster).
+    let board = Board::hikey970();
+
+    // 2. Design time (once per platform): profile the model zoo, generate
+    //    random workloads, measure them on the board, train the CNN
+    //    throughput estimator. `quick()` keeps this demo under a minute;
+    //    use `OmniBoostConfig::default()` for the paper's full setup.
+    println!("training the throughput estimator (design time)...");
+    let (mut scheduler, history) = OmniBoost::design_time(&board, OmniBoostConfig::quick());
+    println!(
+        "  estimator trained: final validation L1 loss = {:.4}",
+        history.final_validation_loss()
+    );
+
+    // 3. Run time: ask OmniBoost for a mapping of a concurrent mix.
+    let workload = Workload::from_ids([ModelId::Vgg19, ModelId::ResNet50, ModelId::MobileNet]);
+    println!("\nscheduling {workload} ...");
+    let runtime = Runtime::new(board);
+    let outcome = runtime.run(&mut scheduler, &workload)?;
+
+    println!("\ndecided mapping (pipeline stages per DNN):");
+    println!("{}", outcome.mapping);
+    println!(
+        "\nmeasured average throughput T = {:.2} inf/s (decision took {:?})",
+        outcome.report.average, outcome.decision_time
+    );
+
+    // 4. Compare against the common scheduling approach.
+    let baseline = runtime.measure(&workload, &Mapping::all_on(&workload, Device::Gpu))?;
+    println!(
+        "baseline (all on GPU)       T = {:.2} inf/s  ->  OmniBoost speedup {:.2}x",
+        baseline.average,
+        outcome.report.average / baseline.average
+    );
+    Ok(())
+}

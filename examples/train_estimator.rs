@@ -1,0 +1,67 @@
+//! Train the CNN throughput estimator from scratch and inspect its
+//! quality: loss curves (Fig. 4) plus per-sample prediction accuracy
+//! against the board on held-out workloads.
+//!
+//! Run with `cargo run --release --example train_estimator`.
+
+use omniboost::estimator::{
+    mean_absolute_percentage_error, r_squared, CnnEstimator, DatasetConfig, TrainConfig,
+};
+use omniboost_hw::{Board, Mapping, ThroughputModel, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = Board::hikey970();
+
+    // A mid-size dataset keeps this example fast; the fig4 harness runs
+    // the paper's full 500-workload configuration.
+    let dataset = DatasetConfig {
+        num_workloads: 150,
+        ..DatasetConfig::default()
+    }
+    .generate(&board);
+    println!("generated {} labelled workloads", dataset.samples.len());
+
+    let config = TrainConfig {
+        epochs: 40,
+        ..TrainConfig::default()
+    };
+    let (estimator, history) = CnnEstimator::train(&board, &dataset, &config);
+    println!("epoch    train-L1    val-L1");
+    for (e, (tr, va)) in history.train.iter().zip(&history.validation).enumerate() {
+        if e % 5 == 0 || e + 1 == history.train.len() {
+            println!("{:>5}    {:>8.4}    {:>6.4}", e + 1, tr, va);
+        }
+    }
+
+    // Accuracy probe on fresh random workloads never seen in training.
+    let sim = board.simulator();
+    let mut rng = StdRng::seed_from_u64(0xACC);
+    let mut predicted = Vec::new();
+    let mut measured = Vec::new();
+    for _ in 0..25 {
+        let workload = Workload::from_ids(random_mix(&mut rng));
+        let mapping = Mapping::random(&workload, 3, &mut rng);
+        let truth = sim.evaluate(&workload, &mapping)?;
+        let guess = estimator.predict_average(&workload, &mapping)?;
+        predicted.push(guess);
+        measured.push(truth.average);
+    }
+    println!(
+        "\nheld-out accuracy over 25 fresh workloads: MAPE = {:.1}%, R^2 = {:.3}",
+        mean_absolute_percentage_error(&predicted, &measured),
+        r_squared(&predicted, &measured)
+    );
+    Ok(())
+}
+
+fn random_mix(rng: &mut StdRng) -> Vec<omniboost_models::ModelId> {
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    let mut ids = omniboost_models::ModelId::ALL.to_vec();
+    ids.shuffle(rng);
+    let k = rng.gen_range(1..=4);
+    ids.truncate(k);
+    ids
+}

@@ -1,0 +1,16 @@
+//! Workspace umbrella crate for the OmniBoost (DAC 2023) reproduction.
+//!
+//! This crate exists so that the repository-level `examples/` and
+//! `tests/` directories can exercise the whole stack through a single
+//! dependency; the real public API lives in [`omniboost`] and the
+//! substrate crates it re-exports.
+
+#![forbid(unsafe_code)]
+
+pub use omniboost;
+pub use omniboost_baselines;
+pub use omniboost_estimator;
+pub use omniboost_hw;
+pub use omniboost_mcts;
+pub use omniboost_models;
+pub use omniboost_tensor;

@@ -1,0 +1,157 @@
+//! Integration tests asserting the *paper-level* properties the
+//! reproduction must exhibit — the qualitative shapes of §II and §V.
+
+use omniboost::baselines::RandomSplit;
+use omniboost::Runtime;
+use omniboost_hw::{Board, Device, Mapping, Scheduler, Workload};
+use omniboost_models::{zoo, ModelId};
+
+/// §II / Fig. 1: for the motivational 4-DNN workload, only a minority of
+/// random splits beat the all-on-GPU baseline, but some clearly do.
+#[test]
+fn fig1_shape_minority_of_random_splits_beat_baseline() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board.clone());
+    let workload = Workload::from_ids([
+        ModelId::AlexNet,
+        ModelId::MobileNet,
+        ModelId::Vgg19,
+        ModelId::SqueezeNet,
+    ]);
+    let base = runtime
+        .measure(&workload, &Mapping::all_on(&workload, Device::Gpu))
+        .unwrap()
+        .average;
+
+    let mut splitter = RandomSplit::new(0xF1);
+    let mut above = 0usize;
+    let mut best: f64 = 0.0;
+    let n = 60;
+    for _ in 0..n {
+        let m = splitter.decide(&board, &workload).unwrap();
+        let norm = runtime.measure(&workload, &m).unwrap().average / base;
+        if norm > 1.0 {
+            above += 1;
+        }
+        best = best.max(norm);
+    }
+    assert!(
+        above * 2 < n,
+        "a majority ({above}/{n}) of random splits beat the baseline; Fig. 1 shows a minority"
+    );
+    assert!(above > 0, "some random splits must beat the baseline");
+    assert!(
+        best > 1.2,
+        "the best random split should gain noticeably (paper: +60%), got {best:.2}x"
+    );
+}
+
+/// §V-A / Fig. 5b regime: stacking a heavy 4-DNN mix on the GPU
+/// overcommits its working set and collapses well below fair sharing.
+#[test]
+fn fig5b_regime_heavy_gpu_stacking_collapses() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board.clone());
+    let solo = Workload::from_ids([ModelId::Vgg19]);
+    let solo_t = runtime
+        .measure(&solo, &Mapping::all_on(&solo, Device::Gpu))
+        .unwrap()
+        .per_dnn[0];
+
+    let heavy = Workload::from_ids([
+        ModelId::Vgg19,
+        ModelId::ResNet50,
+        ModelId::InceptionV3,
+        ModelId::Vgg16,
+    ]);
+    let stacked = runtime
+        .measure(&heavy, &Mapping::all_on(&heavy, Device::Gpu))
+        .unwrap()
+        .per_dnn[0];
+    // Fair sharing alone would give solo/4; thrash must push well below.
+    assert!(
+        stacked < solo_t / 6.0,
+        "vgg19 stacked {stacked} vs solo {solo_t}: no saturation visible"
+    );
+}
+
+/// Fig. 1 vs Fig. 5b distinction: the lighter motivational mix does NOT
+/// collapse when stacked (its working set fits), so the baseline there
+/// is near fair sharing.
+#[test]
+fn light_mix_gpu_stacking_is_near_fair_sharing() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board.clone());
+    let solo = Workload::from_ids([ModelId::AlexNet]);
+    let solo_t = runtime
+        .measure(&solo, &Mapping::all_on(&solo, Device::Gpu))
+        .unwrap()
+        .per_dnn[0];
+    let light = Workload::from_ids([
+        ModelId::AlexNet,
+        ModelId::MobileNet,
+        ModelId::Vgg19,
+        ModelId::SqueezeNet,
+    ]);
+    let stacked = runtime
+        .measure(&light, &Mapping::all_on(&light, Device::Gpu))
+        .unwrap()
+        .per_dnn[0];
+    assert!(
+        stacked > solo_t / 6.0,
+        "alexnet stacked {stacked} vs solo {solo_t}: light mix should not thrash"
+    );
+}
+
+/// §V: per-device single-DNN performance ordering GPU > big > LITTLE for
+/// every zoo model (the premise of the common scheduling approach).
+#[test]
+fn gpu_dominates_for_solo_inference_across_the_zoo() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board);
+    for id in ModelId::ALL {
+        let w = Workload::new(vec![zoo::build(id)]);
+        let t = |d: Device| {
+            runtime
+                .measure(&w, &Mapping::all_on(&w, d))
+                .unwrap()
+                .average
+        };
+        let (g, b, l) = (t(Device::Gpu), t(Device::BigCpu), t(Device::LittleCpu));
+        assert!(g > b && b > l, "{id}: gpu {g}, big {b}, little {l}");
+    }
+}
+
+/// The design-space combinatorics quoted in §II.
+#[test]
+fn design_space_size_matches_paper() {
+    let workload = Workload::from_ids([
+        ModelId::AlexNet,
+        ModelId::MobileNet,
+        ModelId::Vgg19,
+        ModelId::SqueezeNet,
+    ]);
+    let n = workload.total_layers() as u64;
+    assert_eq!(n, 84);
+    assert_eq!(n * (n - 1) * (n - 2) / 6, 95_284); // "≈ 95,000"
+}
+
+/// Pipelining a single heavy DNN across GPU + big CPU beats running it
+/// on the big CPU alone (inter-layer parallelism, §I) — the premise that
+/// makes layer splitting worthwhile at all.
+#[test]
+fn pipelining_exploits_interlayer_parallelism() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board);
+    let w = Workload::from_ids([ModelId::Vgg19]);
+    let mut split = Mapping::all_on(&w, Device::Gpu);
+    for l in 12..24 {
+        split.assign(0, l, Device::BigCpu);
+    }
+    let piped = runtime.measure(&w, &split).unwrap().average;
+    let big_only = runtime
+        .measure(&w, &Mapping::all_on(&w, Device::BigCpu))
+        .unwrap()
+        .average;
+    assert!(piped > big_only);
+}

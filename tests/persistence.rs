@@ -1,0 +1,47 @@
+//! Integration test: the design-time artefact survives a round trip to
+//! disk and drives identical scheduling decisions afterwards — the
+//! "train once" deployment story.
+
+use omniboost::estimator::{CnnEstimator, DatasetConfig, TrainConfig};
+use omniboost::{OmniBoost, OmniBoostConfig};
+use omniboost::mcts::SearchBudget;
+use omniboost_hw::{Board, Scheduler, Workload};
+use omniboost_models::ModelId;
+
+#[test]
+fn saved_estimator_reproduces_scheduling_decisions() {
+    let board = Board::hikey970();
+    let dataset = DatasetConfig {
+        num_workloads: 30,
+        threads: 4,
+        ..DatasetConfig::default()
+    }
+    .generate(&board);
+    let (estimator, _) = CnnEstimator::train(
+        &board,
+        &dataset,
+        &TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
+    );
+
+    let dir = std::env::temp_dir().join("omniboost-persistence-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("estimator.bin");
+    estimator.save(&path).unwrap();
+    let restored = CnnEstimator::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let config = OmniBoostConfig {
+        budget: SearchBudget::with_iterations(80),
+        ..OmniBoostConfig::quick()
+    };
+    let mut a = OmniBoost::from_estimator(estimator, config.clone());
+    let mut b = OmniBoost::from_estimator(restored, config);
+
+    let workload = Workload::from_ids([ModelId::Vgg19, ModelId::MobileNet, ModelId::ResNet50]);
+    let ma = a.decide(&board, &workload).unwrap();
+    let mb = b.decide(&board, &workload).unwrap();
+    assert_eq!(ma, mb, "loaded estimator must reproduce the decision");
+}

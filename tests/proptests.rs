@@ -1,0 +1,109 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cross-crate invariants.
+
+use omniboost_estimator::{EmbeddingTensor, MaskTensor};
+use omniboost_hw::{
+    AnalyticModel, Board, Device, Mapping, NoiseModel, ThroughputModel, Workload,
+};
+use omniboost_models::{zoo, ModelId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_mix() -> impl Strategy<Value = Vec<ModelId>> {
+    // 1..=4 distinct models drawn from the zoo.
+    proptest::sample::subsequence(ModelId::ALL.to_vec(), 1..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mappings always partition every DNN's layers into
+    /// contiguous, non-overlapping, device-alternating segments.
+    #[test]
+    fn mapping_segments_partition_layers(mix in arb_mix(), seed in 0u64..1000) {
+        let workload = Workload::from_ids(mix);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::random(&workload, 3, &mut rng);
+        mapping.validate(&workload).unwrap();
+        for (di, dnn) in workload.dnns().iter().enumerate() {
+            let segs = mapping.segments(di);
+            prop_assert!(segs.len() <= 3);
+            prop_assert_eq!(segs[0].start, 0);
+            prop_assert_eq!(segs.last().unwrap().end, dnn.num_layers());
+            for w in segs.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+                prop_assert_ne!(w[0].device, w[1].device);
+            }
+            let covered: usize = segs.iter().map(|s| s.len()).sum();
+            prop_assert_eq!(covered, dnn.num_layers());
+        }
+    }
+
+    /// The DES and the analytic solver agree on feasibility and sign:
+    /// both produce finite positive throughput for every valid mapping,
+    /// and their averages agree within an order of magnitude.
+    #[test]
+    fn des_and_analytic_agree_roughly(mix in arb_mix(), seed in 0u64..500) {
+        let board = Board::hikey970();
+        let workload = Workload::from_ids(mix);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::random(&workload, 3, &mut rng);
+        let des = board.simulator().evaluate(&workload, &mapping).unwrap();
+        let ana = AnalyticModel::new(board).evaluate(&workload, &mapping).unwrap();
+        prop_assert!(des.average > 0.0 && des.average.is_finite());
+        prop_assert!(ana.average > 0.0 && ana.average.is_finite());
+        let ratio = des.average / ana.average;
+        prop_assert!((0.1..10.0).contains(&ratio), "des {} vs analytic {}", des.average, ana.average);
+    }
+
+    /// Mask totals equal the workload's layer count and masked inputs are
+    /// bounded by mask count × embedding value.
+    #[test]
+    fn mask_accounts_for_every_layer(mix in arb_mix(), seed in 0u64..500) {
+        let board = Board::hikey970();
+        let embedding = EmbeddingTensor::profile(&board, &zoo::build_all(), NoiseModel::none());
+        let workload = Workload::from_ids(mix);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::random(&workload, 3, &mut rng);
+        let mask = MaskTensor::build(&embedding, &workload, &mapping).unwrap();
+        prop_assert_eq!(mask.total_assignments() as usize, workload.total_layers());
+        let input = mask.apply(&embedding);
+        prop_assert!(input.data().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    /// Throughput reports are internally consistent: average equals the
+    /// mean of per-DNN rates, and per-device totals are non-negative.
+    #[test]
+    fn throughput_report_consistency(mix in arb_mix(), seed in 0u64..500) {
+        let board = Board::hikey970();
+        let workload = Workload::from_ids(mix);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::random(&workload, 3, &mut rng);
+        let r = board.simulator().evaluate(&workload, &mapping).unwrap();
+        let mean = r.per_dnn.iter().sum::<f64>() / r.per_dnn.len() as f64;
+        prop_assert!((r.average - mean).abs() < 1e-9);
+        prop_assert!(r.per_device.iter().all(|v| *v >= 0.0));
+        // Devices hosting no layer report zero completions.
+        for d in Device::ALL {
+            if mapping.layers_on(d) == 0 {
+                prop_assert_eq!(r.per_device[d.index()], 0.0);
+            }
+        }
+    }
+
+    /// Offloading work from an overcommitted GPU never makes the board
+    /// model produce NaN/negative values, across arbitrary split points.
+    #[test]
+    fn arbitrary_single_splits_stay_finite(cut in 1usize..23, dev in 0usize..3) {
+        let board = Board::hikey970();
+        let workload = Workload::from_ids([ModelId::Vgg19]);
+        let mut mapping = Mapping::all_on(&workload, Device::Gpu);
+        let device = Device::from_index(dev).unwrap();
+        for l in cut..24 {
+            mapping.assign(0, l, device);
+        }
+        let r = board.simulator().evaluate(&workload, &mapping).unwrap();
+        prop_assert!(r.average.is_finite() && r.average > 0.0);
+    }
+}

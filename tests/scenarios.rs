@@ -1,0 +1,55 @@
+//! Integration tests for the named application scenarios (§I's motivating
+//! application classes) across the full scheduling stack.
+
+use omniboost::baselines::{ConvToGpu, GpuOnly};
+use omniboost::{OracleOmniBoost, Runtime};
+use omniboost::mcts::SearchBudget;
+use omniboost_hw::{Board, Workload};
+use omniboost_models::Scenario;
+
+/// Every scenario preset is admissible and schedulable by both a static
+/// heuristic and the guided search, and the guided mapping is never
+/// worse than the static ones.
+#[test]
+fn all_scenarios_schedule_end_to_end() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board.clone());
+    for scenario in Scenario::ALL {
+        let workload: Workload = scenario.models().into_iter().collect();
+        board.admit(&workload).expect("scenario must be admissible");
+
+        let base = runtime
+            .run(&mut GpuOnly::new(), &workload)
+            .unwrap_or_else(|e| panic!("{scenario}: baseline failed: {e}"))
+            .report
+            .average;
+        let conv = runtime
+            .run(&mut ConvToGpu::new(), &workload)
+            .expect("conv-to-gpu")
+            .report
+            .average;
+        let mut guided = OracleOmniBoost::new(SearchBudget::with_iterations(120), 3, 9);
+        let smart = runtime
+            .run(&mut guided, &workload)
+            .expect("guided")
+            .report
+            .average;
+        assert!(base > 0.0 && conv > 0.0 && smart > 0.0);
+        assert!(
+            smart * 1.05 >= base.max(conv),
+            "{scenario}: guided {smart} worse than static ({base}, {conv})"
+        );
+    }
+}
+
+/// The surveillance hub runs at the board's concurrency ceiling; adding
+/// one more network anywhere must be rejected.
+#[test]
+fn surveillance_hub_sits_at_the_admission_limit() {
+    let board = Board::hikey970();
+    let mut models = Scenario::SurveillanceHub.models();
+    assert_eq!(models.len(), board.max_concurrent_dnns);
+    models.push(omniboost_models::ModelId::SqueezeNet);
+    let overloaded: Workload = models.into_iter().collect();
+    assert!(board.admit(&overloaded).is_err());
+}
