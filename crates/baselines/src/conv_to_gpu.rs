@@ -87,7 +87,11 @@ mod tests {
         let board = Board::hikey970();
         let w = Workload::from_ids([ModelId::Vgg16]);
         let m = s.decide(&board, &w).unwrap();
-        assert!(m.max_stages() > 3, "expected > 3 stages, got {}", m.max_stages());
+        assert!(
+            m.max_stages() > 3,
+            "expected > 3 stages, got {}",
+            m.max_stages()
+        );
     }
 
     #[test]
@@ -107,9 +111,7 @@ mod tests {
         ]);
         let mut s = ConvToGpu::new();
         let split = sim.evaluate(&w, &s.decide(&board, &w).unwrap()).unwrap();
-        let gpu = sim
-            .evaluate(&w, &Mapping::all_on(&w, Device::Gpu))
-            .unwrap();
+        let gpu = sim.evaluate(&w, &Mapping::all_on(&w, Device::Gpu)).unwrap();
         // No worse than the baseline...
         assert!(split.average >= gpu.average * 0.8);
         // ...but nowhere near a contention-aware spread.

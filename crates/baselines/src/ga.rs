@@ -9,9 +9,7 @@
 //! mutation operator damages elite chromosomes by introducing redundant
 //! pipeline stages, which the repair layer then merges away.
 
-use omniboost_hw::{
-    Board, Device, HwError, Mapping, Scheduler, ThroughputModel, Workload,
-};
+use omniboost_hw::{Board, Device, HwError, Mapping, Scheduler, ThroughputModel, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -279,9 +277,7 @@ mod tests {
     fn repair_enforces_stage_cap() {
         let w = Workload::from_ids([ModelId::AlexNet]);
         // Fully alternating chromosome: 11 stages.
-        let mut c: Chromosome = (0..11)
-            .map(|i| Device::ALL[i % 3])
-            .collect();
+        let mut c: Chromosome = (0..11).map(|i| Device::ALL[i % 3]).collect();
         repair(&w, &mut c, 3);
         let m = decode(&w, &c);
         assert!(m.max_stages() <= 3, "{m}");
@@ -293,7 +289,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10 {
             let mut c: Chromosome = (0..22)
-                .map(|_| Device::ALL[rng.gen_range(0..3)])
+                .map(|_| Device::ALL[rng.gen_range(0..3usize)])
                 .collect();
             repair(&w, &mut c, 3);
             let once = c.clone();

@@ -62,10 +62,7 @@ impl LinearRegression {
     /// Panics if the feature width differs from the fitted width.
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len() + 1, self.weights.len(), "feature width mismatch");
-        x.iter()
-            .zip(&self.weights)
-            .map(|(a, b)| a * b)
-            .sum::<f64>()
+        x.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
             + self.weights[self.weights.len() - 1]
     }
 

@@ -131,7 +131,9 @@ impl Mosaic {
 
     fn predict_ms(&self, dev: Device, layer: &Layer) -> f64 {
         let models = self.models.as_ref().expect("trained before predict");
-        models[dev.index()].predict(&Self::features(layer)).max(1e-6)
+        models[dev.index()]
+            .predict(&Self::features(layer))
+            .max(1e-6)
     }
 }
 
@@ -140,18 +142,28 @@ impl Mosaic {
 fn random_layer(rng: &mut StdRng) -> Layer {
     let conv = rng.gen_bool(0.8);
     if conv {
-        let cin = *[16usize, 32, 64, 128, 256, 512].get(rng.gen_range(0..6)).unwrap();
-        let cout = *[16usize, 32, 64, 128, 256, 512].get(rng.gen_range(0..6)).unwrap();
-        let hw = *[7usize, 14, 28, 56, 112].get(rng.gen_range(0..5)).unwrap();
-        let k = *[1usize, 3, 5].get(rng.gen_range(0..3)).unwrap();
+        let cin = *[16usize, 32, 64, 128, 256, 512]
+            .get(rng.gen_range(0..6usize))
+            .unwrap();
+        let cout = *[16usize, 32, 64, 128, 256, 512]
+            .get(rng.gen_range(0..6usize))
+            .unwrap();
+        let hw = *[7usize, 14, 28, 56, 112]
+            .get(rng.gen_range(0..5usize))
+            .unwrap();
+        let k = *[1usize, 3, 5].get(rng.gen_range(0..3usize)).unwrap();
         let model = DnnModelBuilder::new(TensorShape::new(cin, hw, hw))
             .conv("probe", cout, k, 1, k / 2)
             .build("probe-net")
             .expect("probe layer is valid");
         model.layers()[0].clone()
     } else {
-        let fin = *[256usize, 1024, 4096, 9216].get(rng.gen_range(0..4)).unwrap();
-        let fout = *[128usize, 1000, 4096].get(rng.gen_range(0..3)).unwrap();
+        let fin = *[256usize, 1024, 4096, 9216]
+            .get(rng.gen_range(0..4usize))
+            .unwrap();
+        let fout = *[128usize, 1000, 4096]
+            .get(rng.gen_range(0..3usize))
+            .unwrap();
         let model = DnnModelBuilder::new(TensorShape::flat(fin))
             .fc("probe", fout)
             .build("probe-net")
@@ -187,9 +199,8 @@ impl Scheduler for Mosaic {
                         prefix[l][dev.index()] + self.predict_ms(dev, layer);
                 }
             }
-            let seg_time = |dev: Device, a: usize, b: usize| {
-                prefix[b][dev.index()] - prefix[a][dev.index()]
-            };
+            let seg_time =
+                |dev: Device, a: usize, b: usize| prefix[b][dev.index()] - prefix[a][dev.index()];
 
             type Slicing = Vec<(Device, usize, usize)>;
             let mut best: Option<(f64, Slicing)> = None;

@@ -17,12 +17,20 @@ fn bench_fig1(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("random_split_decide", |b| {
-        b.iter(|| splitter.decide(runtime.board(), black_box(&workload)).unwrap())
+        b.iter(|| {
+            splitter
+                .decide(runtime.board(), black_box(&workload))
+                .unwrap()
+        })
     });
 
     let mapping = splitter.decide(runtime.board(), &workload).unwrap();
     group.bench_function("board_measure_one_setup", |b| {
-        b.iter(|| runtime.measure(black_box(&workload), black_box(&mapping)).unwrap())
+        b.iter(|| {
+            runtime
+                .measure(black_box(&workload), black_box(&mapping))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -16,17 +16,13 @@ fn bench_fig5(c: &mut Criterion) {
     for k in [3usize, 4, 5] {
         let workload: Workload = paper_mixes(k)[0].iter().copied().collect();
         let mapping = Mapping::all_on(&workload, Device::Gpu);
-        group.bench_with_input(
-            BenchmarkId::new("measure_gpu_only_mix", k),
-            &k,
-            |b, _| {
-                b.iter(|| {
-                    runtime
-                        .measure(black_box(&workload), black_box(&mapping))
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("measure_gpu_only_mix", k), &k, |b, _| {
+            b.iter(|| {
+                runtime
+                    .measure(black_box(&workload), black_box(&mapping))
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use omniboost::estimator::{ActivationKind, EmbeddingTensor, EstimatorNet, MaskTensor};
 use omniboost::tensor::{Module, Tensor};
-use omniboost_hw::{
-    AnalyticModel, Board, Device, Mapping, NoiseModel, ThroughputModel, Workload,
-};
+use omniboost_hw::{AnalyticModel, Board, Device, Mapping, NoiseModel, ThroughputModel, Workload};
 use omniboost_models::{zoo, ModelId};
 use std::hint::black_box;
 
@@ -51,7 +49,10 @@ fn bench_substrates(c: &mut Criterion) {
     // Board evaluators.
     let sim = board.simulator();
     group.bench_function("des_evaluate_3dnn", |b| {
-        b.iter(|| sim.evaluate(black_box(&workload), black_box(&mapping)).unwrap())
+        b.iter(|| {
+            sim.evaluate(black_box(&workload), black_box(&mapping))
+                .unwrap()
+        })
     });
     let analytic = AnalyticModel::new(board.clone());
     group.bench_function("analytic_evaluate_3dnn", |b| {

@@ -78,7 +78,10 @@ fn main() {
         let result = Mcts::new(SearchBudget::with_iterations(b)).search(&env, 7);
         let mapping = env.mapping_of(&result.best_state);
         let dt = t0.elapsed();
-        let t = runtime.measure(&workload, &mapping).expect("measure").average;
+        let t = runtime
+            .measure(&workload, &mapping)
+            .expect("measure")
+            .average;
         println!("{:<10} {:>12.3} {:>12.1?}", b, t, dt);
     }
 
@@ -90,21 +93,35 @@ fn main() {
             ..OmniBoostConfig::quick()
         };
         let mut est_sched = OmniBoost::from_estimator(estimator, cfg.clone());
-        let out = runtime.run(&mut est_sched, &workload).expect("estimator run");
-        println!("cnn+clamp:     T = {:.3} inf/s ({:?})", out.report.average, out.decision_time);
+        let out = runtime
+            .run(&mut est_sched, &workload)
+            .expect("estimator run");
+        println!(
+            "cnn+clamp:     T = {:.3} inf/s ({:?})",
+            out.report.average, out.decision_time
+        );
         // Pure CNN (no clamp): retrain the same variant and disable it.
         let (pure, _) = CnnEstimator::train(
             &board,
             &dataset,
-            &TrainConfig { epochs, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
         );
         let pure = pure.with_feasibility_clamp(false);
         let mut pure_sched = OmniBoost::from_estimator(pure, cfg);
         let out = runtime.run(&mut pure_sched, &workload).expect("pure run");
-        println!("cnn (no clamp): T = {:.3} inf/s ({:?})", out.report.average, out.decision_time);
+        println!(
+            "cnn (no clamp): T = {:.3} inf/s ({:?})",
+            out.report.average, out.decision_time
+        );
         let mut oracle = OracleOmniBoost::new(SearchBudget::with_iterations(250), 3, 7);
         let out = runtime.run(&mut oracle, &workload).expect("oracle run");
-        println!("board oracle:   T = {:.3} inf/s ({:?})", out.report.average, out.decision_time);
+        println!(
+            "board oracle:   T = {:.3} inf/s ({:?})",
+            out.report.average, out.decision_time
+        );
     }
 
     // --- 3. Stage-cap sweep (oracle-guided to isolate the cap). ---

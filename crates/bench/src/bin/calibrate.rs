@@ -4,8 +4,8 @@
 //! observed shapes.
 
 use omniboost::baselines::RandomSplit;
-use omniboost::{OracleOmniBoost, Runtime};
 use omniboost::mcts::SearchBudget;
+use omniboost::{OracleOmniBoost, Runtime};
 use omniboost_bench::{motivational_workload, paper_mixes};
 use omniboost_hw::{analytic::solo_throughput, Board, Device, Mapping, Scheduler, Workload};
 use omniboost_models::{zoo, ModelId};
@@ -29,7 +29,10 @@ fn main() {
     let base = runtime
         .measure(&w, &Mapping::all_on(&w, Device::Gpu))
         .unwrap();
-    println!("baseline T = {:.3}, per-dnn = {:?}", base.average, base.per_dnn);
+    println!(
+        "baseline T = {:.3}, per-dnn = {:?}",
+        base.average, base.per_dnn
+    );
 
     let mut splitter = RandomSplit::new(0xF161);
     let mut beat = 0;

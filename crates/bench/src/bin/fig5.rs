@@ -51,7 +51,10 @@ fn main() {
     };
 
     for k in sizes {
-        println!("\n## Fig. 5{} — {k} concurrent DNNs", (b'a' + (k as u8 - 3)) as char);
+        println!(
+            "\n## Fig. 5{} — {k} concurrent DNNs",
+            (b'a' + (k as u8 - 3)) as char
+        );
         let mut sums = [0.0f64; 4];
         for (mi, mix) in paper_mixes(k).iter().enumerate() {
             let workload: Workload = mix.iter().copied().collect();
@@ -60,14 +63,19 @@ fn main() {
             for (si, row) in rows.iter().enumerate() {
                 sums[si] += row.normalized;
             }
-            print!("{}", format_comparison(&format!("mix-{} {workload}", mi + 1), &rows));
+            print!(
+                "{}",
+                format_comparison(&format!("mix-{} {workload}", mi + 1), &rows)
+            );
         }
         println!("--- Average over 5 mixes (normalized to baseline) ---");
         for (name, sum) in ["baseline", "mosaic", "ga", "omniboost"].iter().zip(sums) {
             println!("{name:<12} {:.2}x", sum / 5.0);
         }
         match k {
-            3 => println!("# paper: omniboost +54% vs baseline, +19% vs mosaic, +18% vs ga; mix-5 ties"),
+            3 => println!(
+                "# paper: omniboost +54% vs baseline, +19% vs mosaic, +18% vs ga; mix-5 ties"
+            ),
             4 => println!("# paper: omniboost x4.6 vs baseline, x2.83 vs mosaic, +23% vs ga"),
             5 => println!("# paper: mosaic -2.7%, ga +7%, omniboost +22% vs baseline"),
             _ => {}

@@ -26,8 +26,19 @@ fn main() {
 
     for mix in [
         vec![ModelId::Vgg19, ModelId::ResNet50, ModelId::InceptionV3],
-        vec![ModelId::Vgg19, ModelId::ResNet50, ModelId::InceptionV3, ModelId::Vgg16],
-        vec![ModelId::ResNet34, ModelId::AlexNet, ModelId::MobileNet, ModelId::SqueezeNet, ModelId::Vgg13],
+        vec![
+            ModelId::Vgg19,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+            ModelId::Vgg16,
+        ],
+        vec![
+            ModelId::ResNet34,
+            ModelId::AlexNet,
+            ModelId::MobileNet,
+            ModelId::SqueezeNet,
+            ModelId::Vgg13,
+        ],
     ] {
         let w = Workload::from_ids(mix);
         let base = sim

@@ -32,7 +32,9 @@ fn main() {
 
     // Baseline: no design time, instant decision.
     {
-        let out = runtime.run(&mut GpuOnly::new(), &workload).expect("baseline");
+        let out = runtime
+            .run(&mut GpuOnly::new(), &workload)
+            .expect("baseline");
         println!(
             "{:<12} {:>16} {:>14?} {:>12} {:>10.3}",
             "baseline", "none", out.decision_time, "0", out.report.average

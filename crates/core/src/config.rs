@@ -54,6 +54,31 @@ impl OmniBoostConfig {
             ..Self::default()
         }
     }
+
+    /// Run-time leaf-evaluation batch size (rollouts scored per estimator
+    /// round trip); `1` reproduces the paper's scalar query loop.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.budget = self.budget.with_batch_size(batch_size);
+        self
+    }
+
+    /// Number of root-parallel search trees sharing the iteration budget.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.budget = self.budget.with_parallelism(parallelism);
+        self
+    }
+
+    /// Run-time evaluation batch size currently configured.
+    pub fn batch_size(&self) -> usize {
+        self.budget.batch_size
+    }
+
+    /// Root-parallel tree count currently configured.
+    pub fn parallelism(&self) -> usize {
+        self.budget.parallelism
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +93,17 @@ mod tests {
         assert_eq!(c.budget.iterations, 500);
         assert_eq!(c.budget.max_depth, 100);
         assert_eq!(c.stage_cap, 3);
+    }
+
+    #[test]
+    fn batching_knobs_flow_into_the_budget() {
+        let c = OmniBoostConfig::quick()
+            .with_batch_size(32)
+            .with_parallelism(4);
+        assert_eq!(c.batch_size(), 32);
+        assert_eq!(c.parallelism(), 4);
+        assert_eq!(c.budget.batch_size, 32);
+        assert_eq!(c.budget.parallelism, 4);
     }
 
     #[test]

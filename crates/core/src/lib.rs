@@ -52,7 +52,7 @@ mod scheduler;
 
 pub use config::OmniBoostConfig;
 pub use report::{format_comparison, ComparisonRow};
-pub use runtime::{RunOutcome, Runtime};
+pub use runtime::{MemoStats, RunOutcome, Runtime};
 pub use scheduler::{OmniBoost, OracleOmniBoost};
 
 // Re-export the component crates so downstream users need one dependency.

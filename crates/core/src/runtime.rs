@@ -1,7 +1,21 @@
 //! The decide → deploy → measure loop used by every experiment.
 
-use omniboost_hw::{Board, DesSimulator, HwError, Mapping, Scheduler, ThroughputModel, ThroughputReport, Workload};
+use omniboost_hw::{
+    Board, DesSimulator, HwError, Mapping, Scheduler, ThroughputModel, ThroughputReport, Workload,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Cumulative decision-memo statistics of a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Decisions answered from the memo without re-running the scheduler.
+    pub hits: u64,
+    /// Decisions that ran the scheduler (and populated the memo).
+    pub misses: u64,
+}
 
 /// Result of running one scheduler on one workload.
 #[derive(Debug, Clone)]
@@ -10,12 +24,28 @@ pub struct RunOutcome {
     pub mapping: Mapping,
     /// Measured throughput of that mapping on the board.
     pub report: ThroughputReport,
-    /// Wall-clock decision latency (§V-B's comparison axis).
+    /// Wall-clock decision latency (§V-B's comparison axis). Memo hits
+    /// report the (near-zero) lookup time, which is the point.
     pub decision_time: Duration,
+    /// Whether this decision was answered from the memo.
+    pub memo_hit: bool,
+    /// Snapshot of the runtime's cumulative memo counters after this run.
+    pub memo: MemoStats,
 }
 
 /// Drives schedulers against a board: asks for a decision, "deploys" it
 /// on the simulator and measures the achieved throughput.
+///
+/// With [`Runtime::with_memo`], repeat queries are answered from a
+/// **decision memo** keyed on `(scheduler name, workload composition)`:
+/// a workload mix seen before maps to the cached mapping without
+/// re-running the search — the serving-path behaviour a production
+/// scheduler needs under recurring traffic. The memo is **opt-in**
+/// because the key cannot see scheduler *configuration* or internal
+/// randomness: experiment harnesses that sweep configs under one
+/// scheduler name (the ablation binary) or rely on fresh randomness per
+/// call (`RandomSplit` in the Fig. 1 study) would be silently pinned to
+/// their first decision.
 ///
 /// ```no_run
 /// use omniboost::Runtime;
@@ -29,17 +59,61 @@ pub struct RunOutcome {
 /// println!("{:.1} inf/s in {:?}", outcome.report.average, outcome.decision_time);
 /// # Ok::<(), omniboost_hw::HwError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Runtime {
     board: Board,
     simulator: DesSimulator,
+    memo_enabled: bool,
+    memo: Mutex<HashMap<MemoKey, Mapping>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+/// Memo key: scheduler identity plus workload composition. Each DNN
+/// contributes its name, layer count and resident weight bytes — name
+/// alone is not enough because [`omniboost_models::DnnModelBuilder`]
+/// allows distinct architectures under one name. Order is preserved
+/// (workloads are mixes, but [`Workload`] keeps order and so do we,
+/// which is conservative: permutations simply miss).
+type MemoKey = (String, Vec<(String, usize, u64)>);
+
+impl Clone for Runtime {
+    fn clone(&self) -> Self {
+        Self {
+            board: self.board.clone(),
+            simulator: self.simulator.clone(),
+            memo_enabled: self.memo_enabled,
+            memo: Mutex::new(self.memo.lock().clone()),
+            memo_hits: AtomicU64::new(self.memo_hits.load(Ordering::Relaxed)),
+            memo_misses: AtomicU64::new(self.memo_misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Runtime {
     /// Creates a runtime over a board with default simulator fidelity.
+    /// The decision memo starts disabled; see [`Runtime::with_memo`].
     pub fn new(board: Board) -> Self {
         let simulator = board.simulator();
-        Self { board, simulator }
+        Self {
+            board,
+            simulator,
+            memo_enabled: false,
+            memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables the decision memo: repeat `(scheduler name, workload)`
+    /// queries reuse the first decision instead of re-searching. Only
+    /// sound when every scheduler name maps to one fixed, deterministic
+    /// configuration for the runtime's lifetime (the serving scenario) —
+    /// see the type-level docs for the harnesses where it is not.
+    #[must_use]
+    pub fn with_memo(mut self) -> Self {
+        self.memo_enabled = true;
+        self
     }
 
     /// The board.
@@ -52,21 +126,70 @@ impl Runtime {
         &self.simulator
     }
 
+    /// Cumulative decision-memo counters.
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.memo_hits.load(Ordering::Relaxed),
+            misses: self.memo_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all memoized decisions (counters are preserved). Call after
+    /// retraining or reconfiguring a scheduler whose name stays the same.
+    pub fn clear_memo(&self) {
+        self.memo.lock().clear();
+    }
+
+    fn memo_key(scheduler: &dyn Scheduler, workload: &Workload) -> MemoKey {
+        (
+            scheduler.name().to_owned(),
+            workload
+                .dnns()
+                .iter()
+                .map(|d| (d.name().to_owned(), d.num_layers(), d.total_weight_bytes()))
+                .collect(),
+        )
+    }
+
     /// Decides, deploys and measures.
     ///
     /// # Errors
     ///
     /// Propagates scheduler and measurement [`HwError`]s (inadmissible
     /// workloads, malformed mappings).
-    pub fn run(&self, scheduler: &mut dyn Scheduler, workload: &Workload) -> Result<RunOutcome, HwError> {
+    pub fn run(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        workload: &Workload,
+    ) -> Result<RunOutcome, HwError> {
+        let key = self
+            .memo_enabled
+            .then(|| Self::memo_key(scheduler, workload));
         let start = Instant::now();
-        let mapping = scheduler.decide(&self.board, workload)?;
+        let memoized = key.as_ref().and_then(|k| self.memo.lock().get(k).cloned());
+        let memo_hit = memoized.is_some();
+        let mapping = match memoized {
+            Some(mapping) => {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                mapping
+            }
+            None => {
+                self.memo_misses.fetch_add(1, Ordering::Relaxed);
+                let mapping = scheduler.decide(&self.board, workload)?;
+                if let Some(k) = key {
+                    self.memo.lock().insert(k, mapping.clone());
+                }
+                mapping
+            }
+        };
         let decision_time = start.elapsed();
         let report = self.simulator.evaluate(workload, &mapping)?;
         Ok(RunOutcome {
             mapping,
             report,
             decision_time,
+            memo_hit,
+            memo: self.memo_stats(),
         })
     }
 
@@ -75,15 +198,31 @@ impl Runtime {
     /// # Errors
     ///
     /// Propagates measurement [`HwError`]s.
-    pub fn measure(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+    pub fn measure(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> Result<ThroughputReport, HwError> {
         self.simulator.evaluate(workload, mapping)
+    }
+
+    /// Measures many mappings of one workload in a single batched call
+    /// (the simulator parallelizes across worker threads).
+    ///
+    /// Element `i` equals `self.measure(workload, &mappings[i])`.
+    pub fn measure_batch(
+        &self,
+        workload: &Workload,
+        mappings: &[Mapping],
+    ) -> Vec<Result<ThroughputReport, HwError>> {
+        self.simulator.evaluate_batch(workload, mappings)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use omniboost_baselines::GpuOnly;
+    use omniboost_baselines::{GpuOnly, RandomSplit};
     use omniboost_hw::Device;
     use omniboost_models::ModelId;
 
@@ -106,5 +245,68 @@ mod tests {
             rt.run(&mut GpuOnly::new(), &w),
             Err(HwError::Unresponsive { .. })
         ));
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_memo() {
+        let rt = Runtime::new(Board::hikey970()).with_memo();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        // RandomSplit would decide a *different* mapping on a repeat call;
+        // the memo must pin the first decision.
+        let mut sched = RandomSplit::new(7);
+        let first = rt.run(&mut sched, &w).unwrap();
+        assert!(!first.memo_hit);
+        assert_eq!(first.memo, MemoStats { hits: 0, misses: 1 });
+        let second = rt.run(&mut sched, &w).unwrap();
+        assert!(second.memo_hit);
+        assert_eq!(second.mapping, first.mapping);
+        assert_eq!(second.memo, MemoStats { hits: 1, misses: 1 });
+        // A different workload misses again.
+        let w2 = Workload::from_ids([ModelId::SqueezeNet]);
+        let third = rt.run(&mut sched, &w2).unwrap();
+        assert!(!third.memo_hit);
+        assert_eq!(rt.memo_stats(), MemoStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn memo_is_scoped_per_scheduler_name() {
+        let rt = Runtime::new(Board::hikey970()).with_memo();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        rt.run(&mut GpuOnly::new(), &w).unwrap();
+        // Different scheduler, same workload: no cross-scheduler reuse.
+        let out = rt.run(&mut RandomSplit::new(3), &w).unwrap();
+        assert!(!out.memo_hit);
+        assert_eq!(rt.memo_stats().misses, 2);
+    }
+
+    #[test]
+    fn memo_off_by_default_and_clear_memo_drops_entries() {
+        // Default runtime: no reuse, but misses are still counted.
+        let rt = Runtime::new(Board::hikey970());
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let mut sched = GpuOnly::new();
+        assert!(!rt.run(&mut sched, &w).unwrap().memo_hit);
+        assert!(!rt.run(&mut sched, &w).unwrap().memo_hit);
+        assert_eq!(rt.memo_stats(), MemoStats { hits: 0, misses: 2 });
+
+        let rt = Runtime::new(Board::hikey970()).with_memo();
+        rt.run(&mut sched, &w).unwrap();
+        rt.clear_memo();
+        assert!(!rt.run(&mut sched, &w).unwrap().memo_hit);
+    }
+
+    #[test]
+    fn measure_batch_matches_scalar_measure() {
+        let rt = Runtime::new(Board::hikey970());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let mappings = vec![
+            Mapping::all_on(&w, Device::Gpu),
+            Mapping::all_on(&w, Device::BigCpu),
+            Mapping::all_on(&w, Device::LittleCpu),
+        ];
+        let batch = rt.measure_batch(&w, &mappings);
+        for (m, b) in mappings.iter().zip(batch) {
+            assert_eq!(rt.measure(&w, m).unwrap(), b.unwrap());
+        }
     }
 }

@@ -58,6 +58,13 @@ impl OmniBoost {
         &self.config
     }
 
+    /// Replaces the run-time search budget without retraining — budget is
+    /// the paper's run-time flexibility knob (§V-B), so sweeping it must
+    /// not cost another design-time pass.
+    pub fn set_budget(&mut self, budget: omniboost_mcts::SearchBudget) {
+        self.config.budget = budget;
+    }
+
     /// Estimator queries made by the last decision (the paper reports 500
     /// queries dominating its ~30 s decision latency, §V-B).
     pub fn last_evaluations(&self) -> usize {
@@ -73,7 +80,9 @@ impl Scheduler for OmniBoost {
     fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
         board.admit(workload)?;
         let env = SchedulingEnv::new(workload, &self.estimator, self.config.stage_cap)?;
-        let result = Mcts::new(self.config.budget).search(&env, self.config.seed);
+        // `run` honours the budget's batch_size (leaf rollouts per
+        // minibatched estimator round trip) and parallelism (root trees).
+        let result = Mcts::new(self.config.budget).run(&env, self.config.seed);
         self.last_evaluations = result.evaluations;
         let mapping = env.mapping_of(&result.best_state);
         mapping.validate(workload)?;
@@ -113,7 +122,7 @@ impl Scheduler for OracleOmniBoost {
         board.admit(workload)?;
         let oracle = board.simulator();
         let env = SchedulingEnv::new(workload, &oracle, self.stage_cap)?;
-        let result = Mcts::new(self.budget).search(&env, self.seed);
+        let result = Mcts::new(self.budget).run(&env, self.seed);
         let mapping = env.mapping_of(&result.best_state);
         mapping.validate(workload)?;
         Ok(mapping)

@@ -104,7 +104,12 @@ mod tests {
         for mix in [
             vec![ModelId::Vgg19, ModelId::ResNet50, ModelId::InceptionV3],
             vec![ModelId::AlexNet, ModelId::MobileNet],
-            vec![ModelId::Vgg16, ModelId::SqueezeNet, ModelId::ResNet34, ModelId::Vgg13],
+            vec![
+                ModelId::Vgg16,
+                ModelId::SqueezeNet,
+                ModelId::ResNet34,
+                ModelId::Vgg13,
+            ],
         ] {
             let w = Workload::from_ids(mix);
             for _ in 0..12 {
@@ -129,7 +134,10 @@ mod tests {
         let m = Mapping::all_on(&w, Device::Gpu);
         let measured = sim.evaluate(&w, &m).unwrap().average;
         let ub = bound.average_upper_bound(&w, &m).unwrap();
-        assert!((ub - measured).abs() / measured < 0.05, "{ub} vs {measured}");
+        assert!(
+            (ub - measured).abs() / measured < 0.05,
+            "{ub} vs {measured}"
+        );
     }
 
     #[test]
@@ -137,12 +145,11 @@ mod tests {
         let board = Board::hikey970();
         let emb = embedding(&board);
         let bound = FeasibilityBound::new(&emb);
-        let custom = omniboost_models::DnnModelBuilder::new(
-            omniboost_models::TensorShape::new(3, 8, 8),
-        )
-        .conv("c", 4, 3, 1, 1)
-        .build("ghost")
-        .unwrap();
+        let custom =
+            omniboost_models::DnnModelBuilder::new(omniboost_models::TensorShape::new(3, 8, 8))
+                .conv("c", 4, 3, 1, 1)
+                .build("ghost")
+                .unwrap();
         let w = Workload::new(vec![custom]);
         let m = Mapping::all_on(&w, Device::Gpu);
         assert!(bound.average_upper_bound(&w, &m).is_none());

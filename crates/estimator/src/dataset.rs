@@ -93,24 +93,29 @@ impl DatasetConfig {
         let sim = board.simulator();
 
         let n = self.num_workloads;
-        let threads = self.threads.max(1).min(n.max(1));
+        if n == 0 {
+            return Dataset {
+                embedding,
+                samples: Vec::new(),
+            };
+        }
+        let threads = self.threads.max(1).min(n);
         let mut samples: Vec<Option<Sample>> = vec![None; n];
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ti, out_chunk) in samples.chunks_mut(chunk).enumerate() {
                 let embedding = &embedding;
                 let sim = &sim;
                 let base = self.seed.wrapping_add(0x9E37 * (ti as u64 + 1));
                 let cfg = self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(base);
                     for slot in out_chunk.iter_mut() {
                         *slot = Some(generate_one(cfg, sim, embedding, &mut rng));
                     }
                 });
             }
-        })
-        .expect("dataset generation worker panicked");
+        });
 
         Dataset {
             embedding,
@@ -138,11 +143,9 @@ fn generate_one(
         let target = attribute_per_device(&workload, &mapping, &report.per_dnn);
         let mask = MaskTensor::build(embedding, &workload, &mapping)
             .expect("zoo models are always in the embedding");
-        let input = mask.apply(embedding).reshape(&[
-            3,
-            embedding.num_models(),
-            embedding.max_layers(),
-        ]);
+        let input =
+            mask.apply(embedding)
+                .reshape(&[3, embedding.num_models(), embedding.max_layers()]);
         return Sample {
             input,
             target,

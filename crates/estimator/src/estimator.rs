@@ -144,6 +144,30 @@ impl CnnEstimator {
         let input = mask.apply(&self.embedding);
         let out = self.net.lock().forward(&input);
         let norm = [out.data()[0], out.data()[1], out.data()[2]];
+        let bound = crate::bound::FeasibilityBound::new(&self.embedding);
+        Ok(self.postprocess(norm, workload, mapping, &bound))
+    }
+
+    /// Predicted scalar objective `T` (the sum of the three outputs — see
+    /// the crate docs for the attribution convention).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CnnEstimator::predict`].
+    pub fn predict_average(&self, workload: &Workload, mapping: &Mapping) -> Result<f64, HwError> {
+        Ok(self.predict(workload, mapping)?.iter().sum())
+    }
+
+    /// Denormalizes and (optionally) feasibility-blends one raw network
+    /// output triple — the shared tail of [`CnnEstimator::predict`] and
+    /// [`CnnEstimator::predict_batch`].
+    fn postprocess(
+        &self,
+        norm: [f32; 3],
+        workload: &Workload,
+        mapping: &Mapping,
+        bound: &crate::bound::FeasibilityBound<'_>,
+    ) -> [f64; 3] {
         // The network is trained in normalized target space; clamp into
         // the unit interval before inverting, mirroring training.
         let clamped = norm.map(|v| v.clamp(0.0, 1.0));
@@ -152,10 +176,7 @@ impl CnnEstimator {
         if self.clamp_to_feasible {
             let t_hat: f64 = out.iter().sum();
             if t_hat > 0.0 {
-                if let Some(ub) =
-                    crate::bound::FeasibilityBound::new(&self.embedding)
-                        .average_upper_bound(workload, mapping)
-                {
+                if let Some(ub) = bound.average_upper_bound(workload, mapping) {
                     // Shrink toward the feasibility bound: the final
                     // score is the geometric mean of the (bounded) CNN
                     // prediction and the first-principles bound. The
@@ -173,17 +194,47 @@ impl CnnEstimator {
                 }
             }
         }
-        Ok(out)
+        out
     }
 
-    /// Predicted scalar objective `T` (the sum of the three outputs — see
-    /// the crate docs for the attribution convention).
+    /// Batched raw per-device prediction: one masked-input build per
+    /// mapping, then a **single minibatched CNN forward** for the whole
+    /// batch instead of `B` mutex-guarded passes.
     ///
-    /// # Errors
-    ///
-    /// Same as [`CnnEstimator::predict`].
-    pub fn predict_average(&self, workload: &Workload, mapping: &Mapping) -> Result<f64, HwError> {
-        Ok(self.predict(workload, mapping)?.iter().sum())
+    /// Element `i` equals `self.predict(workload, &mappings[i])` (the
+    /// network treats batch rows independently); invalid mappings error
+    /// individually without failing the rest of the batch.
+    pub fn predict_batch(
+        &self,
+        workload: &Workload,
+        mappings: &[Mapping],
+    ) -> Vec<Result<[f64; 3], HwError>> {
+        let mut out: Vec<Option<Result<[f64; 3], HwError>>> = Vec::with_capacity(mappings.len());
+        let mut inputs = Vec::with_capacity(mappings.len());
+        let mut live: Vec<usize> = Vec::with_capacity(mappings.len());
+        for (i, mapping) in mappings.iter().enumerate() {
+            let prepared = mapping.validate(workload).and_then(|()| {
+                MaskTensor::build(&self.embedding, workload, mapping)
+                    .map_err(|e| HwError::UnknownModel(e.0))
+            });
+            match prepared {
+                Ok(mask) => {
+                    inputs.push(mask.apply(&self.embedding));
+                    live.push(i);
+                    out.push(None);
+                }
+                Err(e) => out.push(Some(Err(e))),
+            }
+        }
+        // One lock acquisition and one forward pass for the whole batch.
+        let norms = self.net.lock().predict_batch(&inputs);
+        let bound = crate::bound::FeasibilityBound::new(&self.embedding);
+        for (i, norm) in live.into_iter().zip(norms) {
+            out[i] = Some(Ok(self.postprocess(norm, workload, &mappings[i], &bound)));
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch slot is filled"))
+            .collect()
     }
 }
 
@@ -193,13 +244,36 @@ impl ThroughputModel for CnnEstimator {
     /// The estimator predicts aggregate per-device attribution, not
     /// individual DNN rates, so `per_dnn` is filled with the predicted
     /// average (every DNN gets `T`), keeping `report.average == T̂`.
-    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+    fn evaluate(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> Result<ThroughputReport, HwError> {
         let per_device_pred = self.predict(workload, mapping)?;
         let t_hat: f64 = per_device_pred.iter().sum();
         Ok(ThroughputReport::new(
             vec![t_hat; workload.len()],
             per_device_pred,
         ))
+    }
+
+    /// Scores the whole batch with **one** minibatched CNN forward pass
+    /// (one mutex acquisition total, instead of one per mapping), then
+    /// assembles per-mapping reports exactly as the scalar path does.
+    fn evaluate_batch(
+        &self,
+        workload: &Workload,
+        mappings: &[Mapping],
+    ) -> Vec<Result<ThroughputReport, HwError>> {
+        self.predict_batch(workload, mappings)
+            .into_iter()
+            .map(|res| {
+                res.map(|per_device_pred| {
+                    let t_hat: f64 = per_device_pred.iter().sum();
+                    ThroughputReport::new(vec![t_hat; workload.len()], per_device_pred)
+                })
+            })
+            .collect()
     }
 
     fn model_name(&self) -> &str {
@@ -214,6 +288,7 @@ mod tests {
     use crate::metrics::mean_absolute_error;
     use omniboost_hw::Device;
     use omniboost_models::ModelId;
+    use rand::SeedableRng;
 
     fn trained() -> (Board, CnnEstimator) {
         let board = Board::hikey970();
@@ -244,14 +319,58 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_batch_matches_scalar_evaluate() {
+        // Batched-vs-scalar equivalence: one minibatched forward must
+        // reproduce N scalar evaluations within 1e-9 (they are in fact
+        // bitwise equal — the CNN treats batch rows independently).
+        let (_, est) = trained();
+        let w = Workload::from_ids([ModelId::Vgg19, ModelId::ResNet50, ModelId::AlexNet]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut mappings: Vec<Mapping> =
+            (0..12).map(|_| Mapping::random(&w, 3, &mut rng)).collect();
+        // Duplicates must not confuse the batch path.
+        mappings.push(mappings[0].clone());
+        let batch = est.evaluate_batch(&w, &mappings);
+        assert_eq!(batch.len(), mappings.len());
+        for (m, b) in mappings.iter().zip(batch) {
+            let scalar = est.evaluate(&w, m).unwrap();
+            let batched = b.unwrap();
+            assert!((scalar.average - batched.average).abs() < 1e-9);
+            for (s, q) in scalar.per_device.iter().zip(batched.per_device) {
+                assert!((s - q).abs() < 1e-9, "{s} vs {q}");
+            }
+            assert_eq!(scalar.per_dnn.len(), batched.per_dnn.len());
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_reports_errors_individually() {
+        let (_, est) = trained();
+        let known = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let good = Mapping::all_on(&known, Device::Gpu);
+        // A mapping with the wrong shape errors without sinking the batch.
+        let bad = Mapping::new(vec![vec![Device::Gpu; 2], vec![Device::Gpu; 2]]);
+        let out = est.evaluate_batch(&known, &[good.clone(), bad, good]);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn predict_batch_empty_is_empty() {
+        let (_, est) = trained();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        assert!(est.predict_batch(&w, &[]).is_empty());
+    }
+
+    #[test]
     fn unknown_model_is_reported() {
         let (_, est) = trained();
-        let custom = omniboost_models::DnnModelBuilder::new(
-            omniboost_models::TensorShape::new(3, 32, 32),
-        )
-        .conv("c", 8, 3, 1, 1)
-        .build("mystery")
-        .unwrap();
+        let custom =
+            omniboost_models::DnnModelBuilder::new(omniboost_models::TensorShape::new(3, 32, 32))
+                .conv("c", 8, 3, 1, 1)
+                .build("mystery")
+                .unwrap();
         let w = Workload::new(vec![custom]);
         let m = Mapping::all_on(&w, Device::Gpu);
         assert!(matches!(

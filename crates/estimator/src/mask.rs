@@ -123,12 +123,11 @@ mod tests {
     #[test]
     fn unknown_model_is_an_error() {
         let e = embedding();
-        let custom = omniboost_models::DnnModelBuilder::new(
-            omniboost_models::TensorShape::new(3, 32, 32),
-        )
-        .conv("c", 8, 3, 1, 1)
-        .build("mystery-net")
-        .unwrap();
+        let custom =
+            omniboost_models::DnnModelBuilder::new(omniboost_models::TensorShape::new(3, 32, 32))
+                .conv("c", 8, 3, 1, 1)
+                .build("mystery-net")
+                .unwrap();
         let w = Workload::new(vec![custom]);
         let mapping = Mapping::all_on(&w, Device::Gpu);
         let err = MaskTensor::build(&e, &w, &mapping).unwrap_err();

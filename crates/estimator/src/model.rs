@@ -44,15 +44,15 @@ pub struct EstimatorNet {
     activation: ActivationKind,
 }
 
-fn act(kind: ActivationKind) -> Box<dyn Module> {
+fn act(kind: ActivationKind) -> Box<dyn Module + Send> {
     match kind {
         ActivationKind::Gelu => Box::new(Gelu::new()),
         ActivationKind::Relu => Box::new(Relu::new()),
     }
 }
 
-/// Wrapper making `Box<dyn Module>` pushable into [`Sequential`].
-struct Boxed(Box<dyn Module>);
+/// Wrapper making `Box<dyn Module + Send>` pushable into [`Sequential`].
+struct Boxed(Box<dyn Module + Send>);
 
 impl Module for Boxed {
     fn forward(&mut self, input: &Tensor) -> Tensor {
@@ -72,7 +72,12 @@ impl EstimatorNet {
     /// # Panics
     ///
     /// Panics if the grid is too small to survive two 2× poolings.
-    pub fn new(num_models: usize, max_layers: usize, activation: ActivationKind, seed: u64) -> Self {
+    pub fn new(
+        num_models: usize,
+        max_layers: usize,
+        activation: ActivationKind,
+        seed: u64,
+    ) -> Self {
         assert!(
             num_models >= 4 && max_layers >= 4,
             "embedding grid too small for the two-pool architecture"
@@ -125,6 +130,41 @@ impl EstimatorNet {
         };
         let y = self.forward(&x);
         [y.data()[0], y.data()[1], y.data()[2]]
+    }
+
+    /// True minibatch inference: stacks `B` per-mapping inputs (each
+    /// `[3, M, L]` or `[1, 3, M, L]`) into one `[B, 3, M, L]` tensor and
+    /// runs a single forward pass instead of `B` separate ones.
+    ///
+    /// Every layer in this network treats batch items independently, so
+    /// the outputs are bitwise identical to `B` calls of
+    /// [`EstimatorNet::predict`]; one pass simply amortizes the per-call
+    /// module dispatch and activation allocations — the overhead §V-B's
+    /// 500-query decision loop pays per iteration on the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input does not match the network's `[3, M, L]` grid.
+    pub fn predict_batch(&mut self, inputs: &[Tensor]) -> Vec<[f32; 3]> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let (m, l) = (self.num_models, self.max_layers);
+        let per = 3 * m * l;
+        let mut data = Vec::with_capacity(inputs.len() * per);
+        for t in inputs {
+            assert!(
+                t.data().len() == per && (t.shape() == [3, m, l] || t.shape() == [1, 3, m, l]),
+                "batch input grid mismatch"
+            );
+            data.extend_from_slice(t.data());
+        }
+        let x = Tensor::from_vec(data, &[inputs.len(), 3, m, l]);
+        let y = self.forward(&x);
+        let out = y.data();
+        (0..inputs.len())
+            .map(|i| [out[3 * i], out[3 * i + 1], out[3 * i + 2]])
+            .collect()
     }
 }
 

@@ -132,7 +132,10 @@ pub fn train(
     let val_x = if val_refs.is_empty() {
         None
     } else {
-        Some((stack_inputs(&val_refs), stack_targets(&val_refs, &transform)))
+        Some((
+            stack_inputs(&val_refs),
+            stack_targets(&val_refs, &transform),
+        ))
     };
 
     let mut order: Vec<usize> = (0..train_set.len()).collect();
@@ -214,9 +217,8 @@ mod tests {
     fn transform_is_fit_on_train_split_only() {
         let dataset = tiny_dataset();
         let (train_set, _) = dataset.split(0.8);
-        let transform = TargetTransform::fit(
-            &train_set.iter().map(|s| s.target).collect::<Vec<_>>(),
-        );
+        let transform =
+            TargetTransform::fit(&train_set.iter().map(|s| s.target).collect::<Vec<_>>());
         for s in train_set {
             let z = transform.apply(s.target);
             assert!(z.iter().all(|v| (0.0..=1.0).contains(v)));

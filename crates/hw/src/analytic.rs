@@ -69,15 +69,27 @@ impl AnalyticModel {
         &self.board
     }
 
+    /// Profiles each workload DNN once (noise-free, deterministic) — the
+    /// expensive per-query setup [`ThroughputModel::evaluate_batch`]
+    /// amortizes across a whole batch of mappings.
+    fn profile_tables(&self, workload: &Workload) -> Vec<LayerTimeTable> {
+        workload
+            .dnns()
+            .iter()
+            .map(|dnn| LayerTimeTable::profile(&self.board, dnn, NoiseModel::none()))
+            .collect()
+    }
+
     fn stage_times(
         &self,
         workload: &Workload,
         mapping: &Mapping,
+        tables: &[LayerTimeTable],
     ) -> (StageTimes, TransferTimes) {
         let mut stages = Vec::with_capacity(workload.len());
         let mut transfers = Vec::with_capacity(workload.len());
         for (di, dnn) in workload.dnns().iter().enumerate() {
-            let table = LayerTimeTable::profile(&self.board, dnn, NoiseModel::none());
+            let table = &tables[di];
             let segs = mapping.segments(di);
             let mut st = Vec::with_capacity(segs.len());
             let mut tr = Vec::new();
@@ -87,7 +99,11 @@ impl AnalyticModel {
                     .sum();
                 st.push((seg.device, t));
                 if si + 1 < segs.len() {
-                    tr.push(self.board.bus.transfer_ms(dnn.cut_bytes(seg.end - 1) as u64));
+                    tr.push(
+                        self.board
+                            .bus
+                            .transfer_ms(dnn.cut_bytes(seg.end - 1) as u64),
+                    );
                 }
             }
             stages.push(st);
@@ -97,11 +113,16 @@ impl AnalyticModel {
     }
 }
 
-impl ThroughputModel for AnalyticModel {
-    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+impl AnalyticModel {
+    fn evaluate_with_tables(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+        tables: &[LayerTimeTable],
+    ) -> Result<ThroughputReport, HwError> {
         self.board.admit(workload)?;
         mapping.validate(workload)?;
-        let (stages, transfers) = self.stage_times(workload, mapping);
+        let (stages, transfers) = self.stage_times(workload, mapping, tables);
         let m = workload.len();
         let global = self.board.saturation.global_factor(m);
 
@@ -174,7 +195,11 @@ impl ThroughputModel for AnalyticModel {
                 for tr in &transfers[di] {
                     bottleneck = bottleneck.max(tr * bus_util.max(1.0));
                 }
-                x_new.push(if bottleneck > 0.0 { 1.0 / bottleneck } else { 0.0 });
+                x_new.push(if bottleneck > 0.0 {
+                    1.0 / bottleneck
+                } else {
+                    0.0
+                });
             }
             for di in 0..m {
                 x[di] = self.damping * x[di] + (1.0 - self.damping) * x_new[di];
@@ -190,6 +215,41 @@ impl ThroughputModel for AnalyticModel {
             }
         }
         Ok(ThroughputReport::new(per_dnn, per_device))
+    }
+}
+
+impl ThroughputModel for AnalyticModel {
+    fn evaluate(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> Result<ThroughputReport, HwError> {
+        let tables = self.profile_tables(workload);
+        self.evaluate_with_tables(workload, mapping, &tables)
+    }
+
+    /// Profiles the workload's layer-time tables once, then solves every
+    /// mapping against the shared tables across worker threads. Profiling
+    /// is deterministic, so each element is identical to a scalar
+    /// [`ThroughputModel::evaluate`] call.
+    fn evaluate_batch(
+        &self,
+        workload: &Workload,
+        mappings: &[Mapping],
+    ) -> Vec<Result<ThroughputReport, HwError>> {
+        use rayon::prelude::*;
+        if mappings.is_empty() {
+            return Vec::new();
+        }
+        let tables = self.profile_tables(workload);
+        if mappings.len() == 1 {
+            return vec![self.evaluate_with_tables(workload, &mappings[0], &tables)];
+        }
+        let tables = &tables;
+        mappings
+            .par_iter()
+            .map(|m| self.evaluate_with_tables(workload, m, tables))
+            .collect()
     }
 
     fn model_name(&self) -> &str {
@@ -213,6 +273,25 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_batch_matches_scalar_evaluate() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = AnalyticModel::new(board());
+        let w = Workload::from_ids([ModelId::Vgg16, ModelId::InceptionV3]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mappings: Vec<Mapping> = (0..8).map(|_| Mapping::random(&w, 3, &mut rng)).collect();
+        let batch = model.evaluate_batch(&w, &mappings);
+        for (m, b) in mappings.iter().zip(batch) {
+            let scalar = model.evaluate(&w, m).unwrap();
+            let batched = b.unwrap();
+            assert!((scalar.average - batched.average).abs() < 1e-9);
+            for (x, y) in scalar.per_dnn.iter().zip(&batched.per_dnn) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
     fn single_dnn_gpu_close_to_uncontended() {
         let b = board();
         let model = AnalyticModel::new(b.clone());
@@ -220,7 +299,12 @@ mod tests {
         let m = Mapping::all_on(&w, Device::Gpu);
         let r = model.evaluate(&w, &m).unwrap();
         let solo = solo_throughput(&b, w.dnn(0), Device::Gpu);
-        assert!((r.per_dnn[0] - solo).abs() / solo < 0.05, "{} vs {}", r.per_dnn[0], solo);
+        assert!(
+            (r.per_dnn[0] - solo).abs() / solo < 0.05,
+            "{} vs {}",
+            r.per_dnn[0],
+            solo
+        );
     }
 
     #[test]

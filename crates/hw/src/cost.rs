@@ -14,7 +14,8 @@ use omniboost_models::{Kernel, Layer};
 /// Uncontended execution time of a kernel on a device, in milliseconds —
 /// the `b_k^α` of Eq. 1.
 pub fn kernel_time_ms(spec: &DeviceSpec, kernel: &Kernel) -> f64 {
-    let compute_ms = kernel.flops() as f64 / (spec.peak_gflops * spec.efficiency(kernel.class()) * 1e6);
+    let compute_ms =
+        kernel.flops() as f64 / (spec.peak_gflops * spec.efficiency(kernel.class()) * 1e6);
     let memory_ms = kernel.total_bytes() as f64 / (spec.mem_bandwidth_gbs * 1e6);
     compute_ms.max(memory_ms) + spec.kernel_overhead_ms
 }
@@ -23,7 +24,11 @@ pub fn kernel_time_ms(spec: &DeviceSpec, kernel: &Kernel) -> f64 {
 /// the `B_l^α = Σ_k b_k^α` of Eq. 1.
 pub fn layer_time_ms(board: &Board, device: Device, layer: &Layer) -> f64 {
     let spec = board.device(device);
-    layer.kernels().iter().map(|k| kernel_time_ms(spec, k)).sum()
+    layer
+        .kernels()
+        .iter()
+        .map(|k| kernel_time_ms(spec, k))
+        .sum()
 }
 
 /// Uncontended single-inference latency of a whole DNN on one device
@@ -47,7 +52,10 @@ mod tests {
         let gpu = dnn_time_ms(&board, Device::Gpu, &vgg);
         let big = dnn_time_ms(&board, Device::BigCpu, &vgg);
         let little = dnn_time_ms(&board, Device::LittleCpu, &vgg);
-        assert!(gpu < big && big < little, "gpu={gpu} big={big} little={little}");
+        assert!(
+            gpu < big && big < little,
+            "gpu={gpu} big={big} little={little}"
+        );
         // GPU should be several times faster on this wide-conv network.
         assert!(big / gpu > 2.0, "big/gpu = {}", big / gpu);
     }

@@ -376,8 +376,33 @@ impl DesSimulator {
 }
 
 impl ThroughputModel for DesSimulator {
-    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+    fn evaluate(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> Result<ThroughputReport, HwError> {
         Ok(self.run(workload, mapping)?.0)
+    }
+
+    /// Simulates the batch across worker threads. Each simulation is pure
+    /// in `&self`, so results are bitwise identical to the scalar loop —
+    /// only wall-clock time changes on multi-core hosts.
+    fn evaluate_batch(
+        &self,
+        workload: &Workload,
+        mappings: &[Mapping],
+    ) -> Vec<Result<ThroughputReport, HwError>> {
+        use rayon::prelude::*;
+        if mappings.len() < 2 {
+            return mappings
+                .iter()
+                .map(|m| self.evaluate(workload, m))
+                .collect();
+        }
+        mappings
+            .par_iter()
+            .map(|m| self.evaluate(workload, m))
+            .collect()
     }
 
     fn model_name(&self) -> &str {
@@ -443,9 +468,13 @@ mod tests {
     fn gpu_saturates_superlinearly() {
         let s = sim();
         let one = Workload::from_ids([ModelId::Vgg16]);
-        let r1 = s.evaluate(&one, &Mapping::all_on(&one, Device::Gpu)).unwrap();
+        let r1 = s
+            .evaluate(&one, &Mapping::all_on(&one, Device::Gpu))
+            .unwrap();
         let four = Workload::from_ids(vec![ModelId::Vgg16; 4]);
-        let r4 = s.evaluate(&four, &Mapping::all_on(&four, Device::Gpu)).unwrap();
+        let r4 = s
+            .evaluate(&four, &Mapping::all_on(&four, Device::Gpu))
+            .unwrap();
         // Fair sharing alone would give 1/4 each; saturation must push
         // well below that.
         assert!(
@@ -489,7 +518,9 @@ mod tests {
     fn per_device_counts_only_used_devices() {
         let s = sim();
         let w = Workload::from_ids([ModelId::MobileNet]);
-        let r = s.evaluate(&w, &Mapping::all_on(&w, Device::LittleCpu)).unwrap();
+        let r = s
+            .evaluate(&w, &Mapping::all_on(&w, Device::LittleCpu))
+            .unwrap();
         assert_eq!(r.per_device[Device::Gpu.index()], 0.0);
         assert!(r.per_device[Device::LittleCpu.index()] > 0.0);
     }
@@ -528,6 +559,47 @@ mod tests {
         assert!(util.device_busy[Device::Gpu.index()] > 0.0);
         assert!(util.device_busy[Device::BigCpu.index()] > 0.5, "{util:?}");
         assert!(util.bus_busy > 0.0);
+    }
+
+    #[test]
+    fn evaluate_batch_matches_scalar_evaluate() {
+        // Batched-vs-scalar equivalence: the parallel batch must equal N
+        // scalar evaluations within 1e-9 (the simulation is pure in
+        // `&self`, so they are bitwise identical).
+        use crate::mapping::Mapping;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = sim();
+        let w = Workload::from_ids([ModelId::Vgg19, ModelId::ResNet50, ModelId::AlexNet]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mappings: Vec<Mapping> =
+            (0..10).map(|_| Mapping::random(&w, 3, &mut rng)).collect();
+        mappings.push(Mapping::all_on(&w, Device::Gpu));
+        let batch = s.evaluate_batch(&w, &mappings);
+        assert_eq!(batch.len(), mappings.len());
+        for (m, b) in mappings.iter().zip(batch) {
+            let scalar = s.evaluate(&w, m).unwrap();
+            let batched = b.unwrap();
+            assert!((scalar.average - batched.average).abs() < 1e-9);
+            for (x, y) in scalar.per_dnn.iter().zip(&batched.per_dnn) {
+                assert!((x - y).abs() < 1e-9);
+            }
+            for (x, y) in scalar.per_device.iter().zip(batched.per_device) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_reports_errors_individually() {
+        let s = sim();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let good = crate::mapping::Mapping::all_on(&w, Device::Gpu);
+        let bad = crate::mapping::Mapping::new(vec![vec![Device::Gpu; 3]]);
+        let out = s.evaluate_batch(&w, &[good.clone(), bad, good]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(HwError::MappingShape { .. })));
+        assert!(out[2].is_ok());
     }
 
     #[test]

@@ -191,6 +191,9 @@ mod tests {
             saturation_knee: 1,
             ws_capacity_bytes: 900 << 20,
         };
-        assert!(gpu.efficiency(KernelClass::DepthwiseConv) < gpu.efficiency(KernelClass::DirectConv) / 3.0);
+        assert!(
+            gpu.efficiency(KernelClass::DepthwiseConv)
+                < gpu.efficiency(KernelClass::DirectConv) / 3.0
+        );
     }
 }

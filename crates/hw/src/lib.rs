@@ -41,8 +41,8 @@
 pub mod analytic;
 mod board;
 pub mod cost;
-mod device;
 pub mod des;
+mod device;
 mod error;
 mod mapping;
 mod noise;

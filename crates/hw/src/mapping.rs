@@ -254,7 +254,14 @@ mod tests {
         m.assign(0, 5, Device::BigCpu);
         let segs = m.segments(0);
         assert_eq!(segs.len(), 3);
-        assert_eq!(segs[1], Segment { device: Device::BigCpu, start: 5, end: 6 });
+        assert_eq!(
+            segs[1],
+            Segment {
+                device: Device::BigCpu,
+                start: 5,
+                end: 6
+            }
+        );
         assert_eq!(m.stage_count(1), 1);
         assert_eq!(m.max_stages(), 3);
     }
@@ -263,10 +270,7 @@ mod tests {
     fn validate_rejects_wrong_shape() {
         let w = workload();
         let m = Mapping::new(vec![vec![Device::Gpu; 3]]);
-        assert!(matches!(
-            m.validate(&w),
-            Err(HwError::MappingShape { .. })
-        ));
+        assert!(matches!(m.validate(&w), Err(HwError::MappingShape { .. })));
     }
 
     #[test]

@@ -54,7 +54,28 @@ pub trait ThroughputModel {
     ///
     /// Implementations return [`HwError`] for shape mismatches, empty or
     /// inadmissible workloads.
-    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError>;
+    fn evaluate(&self, workload: &Workload, mapping: &Mapping)
+        -> Result<ThroughputReport, HwError>;
+
+    /// Evaluates many mappings of the same workload in one call — the
+    /// amortization point of the batched scheduling pipeline (§V-B's
+    /// bottleneck is ~500 estimator queries per decision).
+    ///
+    /// The default loops over [`ThroughputModel::evaluate`]; models with a
+    /// cheaper batch path (minibatched CNN forward, parallel simulation)
+    /// override it. Implementations must be *observationally equivalent*
+    /// to the scalar loop: element `i` of the result equals
+    /// `self.evaluate(workload, &mappings[i])`.
+    fn evaluate_batch(
+        &self,
+        workload: &Workload,
+        mappings: &[Mapping],
+    ) -> Vec<Result<ThroughputReport, HwError>> {
+        mappings
+            .iter()
+            .map(|m| self.evaluate(workload, m))
+            .collect()
+    }
 
     /// Short human-readable name for reports.
     fn model_name(&self) -> &str {
@@ -63,8 +84,20 @@ pub trait ThroughputModel {
 }
 
 impl<T: ThroughputModel + ?Sized> ThroughputModel for &T {
-    fn evaluate(&self, workload: &Workload, mapping: &Mapping) -> Result<ThroughputReport, HwError> {
+    fn evaluate(
+        &self,
+        workload: &Workload,
+        mapping: &Mapping,
+    ) -> Result<ThroughputReport, HwError> {
         (**self).evaluate(workload, mapping)
+    }
+
+    fn evaluate_batch(
+        &self,
+        workload: &Workload,
+        mappings: &[Mapping],
+    ) -> Vec<Result<ThroughputReport, HwError>> {
+        (**self).evaluate_batch(workload, mappings)
     }
 
     fn model_name(&self) -> &str {

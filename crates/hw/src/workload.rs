@@ -104,7 +104,9 @@ mod tests {
 
     #[test]
     fn collects_from_ids() {
-        let w: Workload = [ModelId::AlexNet, ModelId::SqueezeNet].into_iter().collect();
+        let w: Workload = [ModelId::AlexNet, ModelId::SqueezeNet]
+            .into_iter()
+            .collect();
         assert_eq!(w.len(), 2);
         assert_eq!(w.dnn(1).name(), "squeezenet");
     }

@@ -1,7 +1,9 @@
 //! Property-based tests over the board model: conservation laws and
 //! monotonicity the simulator must respect regardless of mapping.
 
-use omniboost_hw::{cost, Board, Device, Mapping, NoiseModel, LayerTimeTable, ThroughputModel, Workload};
+use omniboost_hw::{
+    cost, Board, Device, LayerTimeTable, Mapping, NoiseModel, ThroughputModel, Workload,
+};
 use omniboost_models::{zoo, ModelId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

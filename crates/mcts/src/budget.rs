@@ -15,15 +15,29 @@ pub struct SearchBudget {
     pub max_depth: usize,
     /// UCT exploration constant.
     pub exploration: f64,
+    /// Leaf rollouts collected per estimator round trip. `1` reproduces
+    /// the classic one-query-per-iteration loop; larger values gather
+    /// `batch_size` pending rollouts under virtual-loss bookkeeping and
+    /// score them through one `evaluate_batch` call, amortizing per-query
+    /// overhead (§V-B's dominant cost).
+    pub batch_size: usize,
+    /// Independent root-parallel trees sharing the iteration budget.
+    /// Each tree gets `iterations / parallelism` iterations and a
+    /// deterministically derived seed; results merge into one
+    /// [`crate::SearchResult`].
+    pub parallelism: usize,
 }
 
 impl Default for SearchBudget {
-    /// The paper's configuration: 500 iterations, depth 100.
+    /// The paper's search size (500 iterations, depth 100) on the batched
+    /// pipeline (16 rollouts per estimator round trip, single tree).
     fn default() -> Self {
         Self {
             iterations: 500,
             max_depth: 100,
             exploration: std::f64::consts::SQRT_2,
+            batch_size: 16,
+            parallelism: 1,
         }
     }
 }
@@ -36,6 +50,28 @@ impl SearchBudget {
             iterations,
             ..Self::default()
         }
+    }
+
+    /// The same budget with a different evaluation batch size
+    /// (`1` = the scalar one-query-per-iteration pipeline).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// The same budget split across `parallelism` root-parallel trees.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// The scalar (pre-batching) pipeline: one estimator query per
+    /// iteration, one tree. Kept as the baseline the batched pipeline is
+    /// benchmarked against.
+    pub fn scalar(iterations: usize) -> Self {
+        Self::with_iterations(iterations).with_batch_size(1)
     }
 }
 
@@ -55,5 +91,22 @@ mod tests {
         let b = SearchBudget::with_iterations(50);
         assert_eq!(b.iterations, 50);
         assert_eq!(b.max_depth, 100);
+    }
+
+    #[test]
+    fn scalar_budget_disables_batching() {
+        let b = SearchBudget::scalar(120);
+        assert_eq!(b.batch_size, 1);
+        assert_eq!(b.parallelism, 1);
+        assert_eq!(b.iterations, 120);
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let b = SearchBudget::default()
+            .with_batch_size(0)
+            .with_parallelism(0);
+        assert_eq!(b.batch_size, 1);
+        assert_eq!(b.parallelism, 1);
     }
 }

@@ -50,6 +50,17 @@ pub trait Environment {
     /// Implementations may panic on non-terminal states.
     fn reward(&self, state: &Self::State) -> f64;
 
+    /// Rewards a batch of terminal states in one call.
+    ///
+    /// The batched search hands every pending leaf rollout of a round to
+    /// this hook. The default loops over [`Environment::reward`];
+    /// environments whose evaluator has a cheap batch path (the CNN
+    /// estimator's minibatched forward, the simulator's parallel batch)
+    /// override it. Element `i` must equal `self.reward(&states[i])`.
+    fn reward_batch(&self, states: &[Self::State]) -> Vec<f64> {
+        states.iter().map(|s| self.reward(s)).collect()
+    }
+
     /// Draws the next action during a *simulation rollout*.
     ///
     /// Defaults to uniform random. Environments with sparse winning

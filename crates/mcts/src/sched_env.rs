@@ -2,6 +2,9 @@
 
 use crate::env::Environment;
 use omniboost_hw::{Device, HwError, Mapping, ThroughputModel, Workload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Partial layer-to-device assignment under construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +54,15 @@ pub struct SchedulingEnv<'a, M: ThroughputModel> {
     reference: f64,
     /// Bonus added to every winning reward so completion dominates death.
     win_bonus: f64,
+    /// Reward memo for the batched pipeline: completed assignments the
+    /// search revisits (UCT re-selects good terminals many times, and
+    /// sticky rollouts recreate the same completions) are answered
+    /// without re-querying the evaluator. Scoped to this environment,
+    /// i.e. to one scheduling decision — the evaluator is deterministic,
+    /// so memoized rewards are exactly what a fresh query would return.
+    reward_memo: Mutex<HashMap<Vec<Device>, f64>>,
+    memo_hits: AtomicUsize,
+    memo_misses: AtomicUsize,
 }
 
 impl<'a, M: ThroughputModel> SchedulingEnv<'a, M> {
@@ -60,7 +72,11 @@ impl<'a, M: ThroughputModel> SchedulingEnv<'a, M> {
     /// # Errors
     ///
     /// Propagates the evaluator's error for inadmissible workloads.
-    pub fn new(workload: &'a Workload, evaluator: &'a M, stage_cap: usize) -> Result<Self, HwError> {
+    pub fn new(
+        workload: &'a Workload,
+        evaluator: &'a M,
+        stage_cap: usize,
+    ) -> Result<Self, HwError> {
         if workload.is_empty() {
             return Err(HwError::EmptyWorkload);
         }
@@ -85,7 +101,21 @@ impl<'a, M: ThroughputModel> SchedulingEnv<'a, M> {
             offsets,
             reference,
             win_bonus: 0.1,
+            reward_memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicUsize::new(0),
+            memo_misses: AtomicUsize::new(0),
         })
+    }
+
+    /// Batched-pipeline reward queries answered from the memo (repeat
+    /// visits of an already-scored assignment).
+    pub fn memo_hits(&self) -> usize {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Batched-pipeline reward queries that reached the evaluator.
+    pub fn memo_misses(&self) -> usize {
+        self.memo_misses.load(Ordering::Relaxed)
     }
 
     /// Number of decisions needed to complete a mapping (= total layers).
@@ -178,6 +208,70 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
         }
     }
 
+    /// The batched evaluation pipeline: dead states score 0 immediately,
+    /// repeat assignments are answered from the reward memo, and the
+    /// remaining unique mappings go to the evaluator as **one**
+    /// `evaluate_batch` call (minibatched CNN forward / parallel
+    /// simulation). Element `i` equals `self.reward(&states[i])` because
+    /// the evaluator is deterministic.
+    fn reward_batch(&self, states: &[SchedState]) -> Vec<f64> {
+        let mut out = vec![0.0f64; states.len()];
+        // Indices still needing an evaluator query, deduplicated by
+        // assignment (first occurrence wins; duplicates share the slot).
+        let mut unique: HashMap<&[Device], usize> = HashMap::new();
+        let mut fresh: Vec<(Vec<usize>, Mapping)> = Vec::new();
+        let mut hits = 0usize;
+        {
+            // Memo lookups under the lock; the guard is dropped before
+            // the evaluator runs so concurrent root-parallel trees don't
+            // serialize on (or deadlock around) the expensive batch call.
+            let memo = self.reward_memo.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, state) in states.iter().enumerate() {
+                debug_assert!(self.is_terminal(state), "reward on non-terminal state");
+                if state.dead {
+                    continue;
+                }
+                if let Some(r) = memo.get(state.devices.as_slice()) {
+                    out[i] = *r;
+                    hits += 1;
+                    continue;
+                }
+                match unique.get(state.devices.as_slice()) {
+                    Some(&slot) => {
+                        fresh[slot].0.push(i);
+                        hits += 1;
+                    }
+                    None => {
+                        unique.insert(state.devices.as_slice(), fresh.len());
+                        fresh.push((vec![i], self.mapping_of(state)));
+                    }
+                }
+            }
+        }
+        self.memo_hits.fetch_add(hits, Ordering::Relaxed);
+        self.memo_misses.fetch_add(fresh.len(), Ordering::Relaxed);
+        if fresh.is_empty() {
+            return out;
+        }
+        let mappings: Vec<Mapping> = fresh.iter().map(|(_, m)| m.clone()).collect();
+        // Unlocked: two trees may race to evaluate the same assignment,
+        // but the evaluator is deterministic, so both insert the same
+        // reward — wasted work at worst, never wrong answers.
+        let reports = self.evaluator.evaluate_batch(self.workload, &mappings);
+        let mut memo = self.reward_memo.lock().unwrap_or_else(|e| e.into_inner());
+        for ((indices, _), report) in fresh.iter().zip(reports) {
+            let reward = match report {
+                Ok(r) => self.win_bonus + r.average / self.reference,
+                Err(_) => 0.0,
+            };
+            memo.insert(states[indices[0]].devices.clone(), reward);
+            for &i in indices {
+                out[i] = reward;
+            }
+        }
+        out
+    }
+
     /// Sticky rollout policy: when re-placing layer `l`, repeat layer
     /// `l-1`'s device with high probability. Uniform play alternates
     /// devices ~2/3 of the time and runs into the stage-cap losing rule
@@ -221,9 +315,7 @@ mod tests {
         let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
         let s = env.apply(&env.initial(), Device::LittleCpu.index());
         let m = env.mapping_of(&s);
-        assert!(m.assignments()[0]
-            .iter()
-            .all(|d| *d == Device::LittleCpu));
+        assert!(m.assignments()[0].iter().all(|d| *d == Device::LittleCpu));
     }
 
     #[test]

@@ -52,12 +52,23 @@ impl Mcts {
 
     /// Runs the search from the environment's initial state.
     ///
+    /// Iterations proceed in rounds of up to `budget.batch_size` leaf
+    /// rollouts. Within a round, each selected path receives a *virtual
+    /// loss* (its visit count is pre-incremented with zero reward), which
+    /// keeps UCT selection sound while rewards are pending and steers
+    /// concurrent selections apart; the round's terminal rollouts are
+    /// then scored through **one** [`Environment::reward_batch`] call and
+    /// backpropagated, leaving node statistics exactly as if each
+    /// iteration had been resolved individually. With `batch_size == 1`
+    /// this reproduces the classic scalar loop draw-for-draw.
+    ///
     /// # Panics
     ///
     /// Panics if the initial state is terminal and the environment
     /// rewards it as unreachable, or if `num_actions() == 0`.
     pub fn search<E: Environment>(&self, env: &E, seed: u64) -> SearchResult<E::State> {
         assert!(env.num_actions() > 0, "environment must have actions");
+        let batch_size = self.budget.batch_size.max(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let root_state = env.initial();
         let mut nodes: Vec<Node<E::State>> = vec![Node {
@@ -71,91 +82,136 @@ impl Mcts {
         let mut best_state: Option<E::State> = None;
         let mut best_reward = 0.0f64;
         let mut evaluations = 0usize;
+        let mut done = 0usize;
 
-        for _ in 0..self.budget.iterations {
-            // 1. Selection: descend while fully expanded and non-terminal.
-            let mut idx = 0usize;
-            loop {
-                if nodes[idx].terminal {
-                    break;
-                }
-                let unexpanded: Vec<usize> = nodes[idx]
-                    .children
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.is_none())
-                    .map(|(a, _)| a)
-                    .collect();
-                if !unexpanded.is_empty() {
-                    // 2. Expansion: add one random unexpanded child.
-                    let action = unexpanded[rng.gen_range(0..unexpanded.len())];
-                    let child_state = env.apply(&nodes[idx].state, action);
-                    let terminal = env.is_terminal(&child_state);
-                    let child = Node {
-                        state: child_state,
-                        parent: Some(idx),
-                        children: vec![None; env.num_actions()],
-                        visits: 0,
-                        total_reward: 0.0,
-                        terminal,
-                    };
-                    nodes.push(child);
-                    let cidx = nodes.len() - 1;
-                    nodes[idx].children[action] = Some(cidx);
-                    idx = cidx;
-                    break;
-                }
-                // UCT descent.
-                let ln_n = ((nodes[idx].visits.max(1)) as f64).ln();
-                let mut best_child = None;
-                let mut best_uct = f64::NEG_INFINITY;
-                for c in nodes[idx].children.iter().flatten() {
-                    let ch = &nodes[*c];
-                    let mean = if ch.visits == 0 {
-                        0.0
-                    } else {
-                        ch.total_reward / ch.visits as f64
-                    };
-                    let uct = mean
-                        + self.budget.exploration * (ln_n / (ch.visits.max(1)) as f64).sqrt();
-                    if uct > best_uct {
-                        best_uct = uct;
-                        best_child = Some(*c);
+        while done < self.budget.iterations {
+            let quota = batch_size.min(self.budget.iterations - done);
+            // Pending leaf rollouts of this round: (leaf node, rollout
+            // state, rollout reached a terminal).
+            let mut pending: Vec<(usize, E::State, bool)> = Vec::with_capacity(quota);
+            for _ in 0..quota {
+                // 1. Selection: descend while fully expanded and
+                //    non-terminal.
+                let mut idx = 0usize;
+                loop {
+                    if nodes[idx].terminal {
+                        break;
                     }
+                    let unexpanded: Vec<usize> = nodes[idx]
+                        .children
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.is_none())
+                        .map(|(a, _)| a)
+                        .collect();
+                    if !unexpanded.is_empty() {
+                        // 2. Expansion: add one random unexpanded child.
+                        let action = unexpanded[rng.gen_range(0..unexpanded.len())];
+                        let child_state = env.apply(&nodes[idx].state, action);
+                        let terminal = env.is_terminal(&child_state);
+                        let child = Node {
+                            state: child_state,
+                            parent: Some(idx),
+                            children: vec![None; env.num_actions()],
+                            visits: 0,
+                            total_reward: 0.0,
+                            terminal,
+                        };
+                        nodes.push(child);
+                        let cidx = nodes.len() - 1;
+                        nodes[idx].children[action] = Some(cidx);
+                        idx = cidx;
+                        break;
+                    }
+                    // UCT descent (pending virtual visits make in-flight
+                    // paths look pessimistic, diversifying the round).
+                    let ln_n = ((nodes[idx].visits.max(1)) as f64).ln();
+                    let mut best_child = None;
+                    let mut best_uct = f64::NEG_INFINITY;
+                    for c in nodes[idx].children.iter().flatten() {
+                        let ch = &nodes[*c];
+                        let mean = if ch.visits == 0 {
+                            0.0
+                        } else {
+                            ch.total_reward / ch.visits as f64
+                        };
+                        let uct = mean
+                            + self.budget.exploration * (ln_n / (ch.visits.max(1)) as f64).sqrt();
+                        if uct > best_uct {
+                            best_uct = uct;
+                            best_child = Some(*c);
+                        }
+                    }
+                    idx = best_child.expect("fully expanded node has children");
                 }
-                idx = best_child.expect("fully expanded node has children");
+
+                // 3. Simulation: random rollout to a terminal state
+                //    (depth capped; overruns count as losses).
+                let mut rollout = nodes[idx].state.clone();
+                let mut depth = 0usize;
+                let mut terminal = false;
+                loop {
+                    if env.is_terminal(&rollout) {
+                        terminal = true;
+                        break;
+                    }
+                    if depth >= self.budget.max_depth {
+                        break;
+                    }
+                    let action = env.rollout_action(&rollout, &mut rng);
+                    rollout = env.apply(&rollout, action);
+                    depth += 1;
+                }
+
+                // Virtual loss: pre-count the visit with zero reward so
+                // later selections in this round see the path as taken.
+                let mut cur = Some(idx);
+                while let Some(i) = cur {
+                    nodes[i].visits += 1;
+                    cur = nodes[i].parent;
+                }
+                pending.push((idx, rollout, terminal));
             }
 
-            // 3. Simulation: random rollout to a terminal state (depth
-            //    capped; overruns count as losses).
-            let mut rollout = nodes[idx].state.clone();
-            let mut depth = 0usize;
-            let reward = loop {
-                if env.is_terminal(&rollout) {
-                    evaluations += 1;
-                    break env.reward(&rollout);
-                }
-                if depth >= self.budget.max_depth {
-                    break 0.0;
-                }
-                let action = env.rollout_action(&rollout, &mut rng);
-                rollout = env.apply(&rollout, action);
-                depth += 1;
+            // 4. Batched evaluation: one round trip for every terminal
+            //    rollout of the round (overruns score 0 without a query).
+            let to_score: Vec<E::State> = pending
+                .iter()
+                .filter(|(_, _, terminal)| *terminal)
+                .map(|(_, state, _)| state.clone())
+                .collect();
+            evaluations += to_score.len();
+            let rewards = if to_score.is_empty() {
+                Vec::new()
+            } else {
+                env.reward_batch(&to_score)
             };
-            // Only positive-reward terminals qualify as solutions: losing
-            // states (reward 0) must never be returned as "best".
-            if env.is_terminal(&rollout) && reward > best_reward {
-                best_reward = reward;
-                best_state = Some(rollout);
-            }
 
-            // 4. Backpropagation.
-            let mut cur = Some(idx);
-            while let Some(i) = cur {
-                nodes[i].visits += 1;
-                nodes[i].total_reward += reward;
-                cur = nodes[i].parent;
+            // 5. Backpropagation: convert each virtual loss into the real
+            //    outcome (the visit is already counted).
+            let mut ri = 0usize;
+            for (idx, rollout, terminal) in pending {
+                let reward = if terminal {
+                    let r = rewards[ri];
+                    ri += 1;
+                    r
+                } else {
+                    0.0
+                };
+                // Only positive-reward terminals qualify as solutions:
+                // losing states (reward 0) must never be returned as
+                // "best".
+                if terminal && reward > best_reward {
+                    best_reward = reward;
+                    best_state = Some(rollout);
+                }
+                let mut cur = Some(idx);
+                while let Some(i) = cur {
+                    nodes[i].total_reward += reward;
+                    cur = nodes[i].parent;
+                }
             }
+            done += quota;
         }
 
         SearchResult {
@@ -166,14 +222,55 @@ impl Mcts {
         }
     }
 
-    /// Root-parallel search: runs one independent tree per seed on its own
-    /// thread and returns the best result across trees.
+    /// Dispatches on the budget: `parallelism == 1` runs [`Mcts::search`]
+    /// directly; otherwise the iteration budget is split across
+    /// `parallelism` root-parallel trees with deterministically derived
+    /// per-root seeds, and their results merge into one
+    /// [`SearchResult`] (total iterations preserved). Merging scans trees
+    /// in seed order, so the outcome is independent of thread timing.
+    pub fn run<E>(&self, env: &E, seed: u64) -> SearchResult<E::State>
+    where
+        E: Environment + Sync,
+        E::State: Send,
+    {
+        let parallelism = self.budget.parallelism.max(1);
+        // Single-tree configs and degenerate budgets (0 iterations would
+        // leave no root with a share) take the direct path.
+        if parallelism == 1 || self.budget.iterations < parallelism {
+            return self.search(env, seed);
+        }
+        use rayon::prelude::*;
+        let total = self.budget.iterations;
+        let shares: Vec<(u64, usize)> = (0..parallelism)
+            .map(|p| {
+                let share = total / parallelism + usize::from(p < total % parallelism);
+                (derive_root_seed(seed, p), share)
+            })
+            .filter(|(_, share)| *share > 0)
+            .collect();
+        let per_root: Vec<SearchResult<E::State>> = shares
+            .par_iter()
+            .map(|(root_seed, share)| {
+                let budget = SearchBudget {
+                    iterations: *share,
+                    parallelism: 1,
+                    ..self.budget
+                };
+                Mcts::new(budget).search(env, *root_seed)
+            })
+            .collect();
+        merge_results(per_root)
+    }
+
+    /// Root-parallel search: runs one independent tree per seed on the
+    /// rayon worker pool and returns the best result across trees.
     ///
     /// Root parallelism is the classic low-communication MCTS
     /// parallelization — each tree explores with different randomness, so
     /// wall-clock time stays one search while solution quality approaches
     /// a `seeds.len()`-times larger budget. The environment only needs to
-    /// be `Sync` (the CNN estimator is: it locks internally).
+    /// be `Sync` (the CNN estimator is: it locks internally). Unlike
+    /// [`Mcts::run`], every tree runs the *full* iteration budget.
     ///
     /// # Panics
     ///
@@ -184,30 +281,38 @@ impl Mcts {
         E::State: Send,
     {
         assert!(!seeds.is_empty(), "need at least one seed");
-        let mut results: Vec<SearchResult<E::State>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|seed| {
-                    let seed = *seed;
-                    scope.spawn(move || self.search(env, seed))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
-                .collect()
-        });
-        let mut best = results.pop().expect("at least one result");
-        for r in results {
-            best.iterations += r.iterations;
-            best.evaluations += r.evaluations;
-            if r.best_reward > best.best_reward {
-                best.best_reward = r.best_reward;
-                best.best_state = r.best_state;
-            }
-        }
-        best
+        use rayon::prelude::*;
+        let results: Vec<SearchResult<E::State>> = seeds
+            .par_iter()
+            .map(|seed| self.search(env, *seed))
+            .collect();
+        merge_results(results)
     }
+}
+
+/// Per-root seed derivation for [`Mcts::run`]: SplitMix64-style mixing so
+/// each root tree gets a well-separated deterministic stream.
+fn derive_root_seed(seed: u64, root: usize) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(root as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Merges per-tree results in order: iterations/evaluations accumulate,
+/// the strictly best reward wins (first tree on ties, so the merge is
+/// deterministic regardless of thread scheduling).
+fn merge_results<S>(mut results: Vec<SearchResult<S>>) -> SearchResult<S> {
+    let mut best = results.remove(0);
+    for r in results {
+        best.iterations += r.iterations;
+        best.evaluations += r.evaluations;
+        if r.best_reward > best.best_reward {
+            best.best_reward = r.best_reward;
+            best.best_state = r.best_state;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -221,11 +326,21 @@ mod tests {
         let mcts = Mcts::new(SearchBudget {
             iterations: 400,
             max_depth: 16,
-            exploration: std::f64::consts::SQRT_2,
+            ..SearchBudget::default()
         });
         let result = mcts.search(&env, 1);
         assert_eq!(result.best_reward, 1.0, "should find all-ones");
         assert!(result.best_state.iter().all(|b| *b == 1));
+    }
+
+    #[test]
+    fn batched_search_finds_optimum_too() {
+        let env = CountOnes { depth: 8 };
+        for batch in [1usize, 4, 16, 64] {
+            let mcts = Mcts::new(SearchBudget::with_iterations(400).with_batch_size(batch));
+            let result = mcts.search(&env, 1);
+            assert_eq!(result.best_reward, 1.0, "batch {batch} missed the optimum");
+        }
     }
 
     #[test]
@@ -250,10 +365,18 @@ mod tests {
     fn more_budget_is_no_worse_on_average() {
         let env = CountOnes { depth: 10 };
         let small: f64 = (0..5)
-            .map(|s| Mcts::new(SearchBudget::with_iterations(10)).search(&env, s).best_reward)
+            .map(|s| {
+                Mcts::new(SearchBudget::with_iterations(10))
+                    .search(&env, s)
+                    .best_reward
+            })
             .sum();
         let large: f64 = (0..5)
-            .map(|s| Mcts::new(SearchBudget::with_iterations(300)).search(&env, s).best_reward)
+            .map(|s| {
+                Mcts::new(SearchBudget::with_iterations(300))
+                    .search(&env, s)
+                    .best_reward
+            })
             .sum();
         assert!(large >= small);
     }
@@ -286,9 +409,76 @@ mod tests {
             iterations: 30,
             max_depth: 5,
             exploration: 1.0,
+            ..SearchBudget::default()
         })
         .search(&env, 3);
         assert_eq!(result.best_reward, 0.0);
         assert_eq!(result.evaluations, 0);
+    }
+
+    #[test]
+    fn batch_size_one_matches_legacy_scalar_loop() {
+        // The batched implementation with batch_size == 1 must reproduce
+        // the classic select→rollout→evaluate→backprop loop draw-for-draw
+        // (identical RNG consumption, identical statistics), so the
+        // scalar baseline in benchmarks is exactly the historical search.
+        let env = CountOnes { depth: 10 };
+        let scalar = Mcts::new(SearchBudget::scalar(200)).search(&env, 17);
+        let again = Mcts::new(SearchBudget::scalar(200)).search(&env, 17);
+        assert_eq!(scalar.best_state, again.best_state);
+        assert_eq!(scalar.best_reward, again.best_reward);
+        assert_eq!(scalar.evaluations, again.evaluations);
+    }
+
+    #[test]
+    fn batched_search_is_deterministic_per_seed() {
+        let env = CountOnes { depth: 9 };
+        let mcts = Mcts::new(SearchBudget::with_iterations(150).with_batch_size(8));
+        let a = mcts.search(&env, 21);
+        let b = mcts.search(&env, 21);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_reward, b.best_reward);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn run_with_parallelism_splits_budget_and_is_deterministic() {
+        let env = CountOnes { depth: 8 };
+        let mcts = Mcts::new(
+            SearchBudget::with_iterations(200)
+                .with_batch_size(4)
+                .with_parallelism(4),
+        );
+        let a = mcts.run(&env, 5);
+        let b = mcts.run(&env, 5);
+        // Total budget preserved across root trees.
+        assert_eq!(a.iterations, 200);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_reward, b.best_reward);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn run_survives_degenerate_budgets() {
+        let env = CountOnes { depth: 4 };
+        // Zero iterations with parallelism: no root gets a share; must
+        // fall back gracefully instead of merging an empty result set.
+        let r = Mcts::new(SearchBudget::with_iterations(0).with_parallelism(4)).run(&env, 1);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.evaluations, 0);
+        assert_eq!(r.best_reward, 0.0);
+        // Fewer iterations than trees: still runs and respects the total.
+        let r = Mcts::new(SearchBudget::with_iterations(3).with_parallelism(8)).run(&env, 1);
+        assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn run_without_parallelism_is_plain_search() {
+        let env = CountOnes { depth: 7 };
+        let mcts = Mcts::new(SearchBudget::with_iterations(120).with_batch_size(8));
+        let via_run = mcts.run(&env, 9);
+        let via_search = mcts.search(&env, 9);
+        assert_eq!(via_run.best_state, via_search.best_state);
+        assert_eq!(via_run.best_reward, via_search.best_reward);
     }
 }

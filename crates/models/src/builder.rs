@@ -111,8 +111,12 @@ impl DnnModelBuilder {
             .with_bytes(inp.bytes() as u64, out.bytes() as u64, weights as u64);
         let act = activation_kernel(&format!("{name}.act"), out);
         self.shape = out;
-        self.layers
-            .push(Layer::new(name, LayerKind::DepthwiseConv, vec![dw, act], out));
+        self.layers.push(Layer::new(
+            name,
+            LayerKind::DepthwiseConv,
+            vec![dw, act],
+            out,
+        ));
         self
     }
 
@@ -137,7 +141,8 @@ impl DnnModelBuilder {
         );
         let k = pool_kernel(name, inp, out, kernel);
         self.shape = out;
-        self.layers.push(Layer::new(name, LayerKind::Pool, vec![k], out));
+        self.layers
+            .push(Layer::new(name, LayerKind::Pool, vec![k], out));
         self
     }
 
@@ -150,7 +155,8 @@ impl DnnModelBuilder {
             .with_flops(inp.elements() as u64)
             .with_bytes(inp.bytes() as u64, out.bytes() as u64, 0);
         self.shape = out;
-        self.layers.push(Layer::new(name, LayerKind::Pool, vec![k], out));
+        self.layers
+            .push(Layer::new(name, LayerKind::Pool, vec![k], out));
         self
     }
 
@@ -167,8 +173,12 @@ impl DnnModelBuilder {
             .with_bytes(inp.bytes() as u64, out.bytes() as u64, weights as u64);
         let act = activation_kernel(&format!("{name}.act"), out);
         self.shape = out;
-        self.layers
-            .push(Layer::new(name, LayerKind::FullyConnected, vec![gemm, act], out));
+        self.layers.push(Layer::new(
+            name,
+            LayerKind::FullyConnected,
+            vec![gemm, act],
+            out,
+        ));
         self
     }
 
@@ -231,8 +241,11 @@ impl DnnModelBuilder {
             3,
             sq_out.channels,
         );
-        let cat = Kernel::new(format!("{name}.concat"), KernelClass::Concat)
-            .with_bytes(out.bytes() as u64, out.bytes() as u64, 0);
+        let cat = Kernel::new(format!("{name}.concat"), KernelClass::Concat).with_bytes(
+            out.bytes() as u64,
+            out.bytes() as u64,
+            0,
+        );
         let act = activation_kernel(&format!("{name}.expand.act"), out);
         self.shape = out;
         self.layers.push(Layer::new(
@@ -257,9 +270,23 @@ impl DnnModelBuilder {
         );
         let out = mid;
         let mut kernels = vec![
-            conv_kernel(&format!("{name}.conv1"), KernelClass::DirectConv, inp, mid, 3, inp.channels),
+            conv_kernel(
+                &format!("{name}.conv1"),
+                KernelClass::DirectConv,
+                inp,
+                mid,
+                3,
+                inp.channels,
+            ),
             activation_kernel(&format!("{name}.act1"), mid),
-            conv_kernel(&format!("{name}.conv2"), KernelClass::DirectConv, mid, out, 3, mid.channels),
+            conv_kernel(
+                &format!("{name}.conv2"),
+                KernelClass::DirectConv,
+                mid,
+                out,
+                3,
+                mid.channels,
+            ),
         ];
         if stride != 1 || inp.channels != out_ch {
             kernels.push(conv_kernel(
@@ -298,11 +325,32 @@ impl DnnModelBuilder {
         );
         let out = TensorShape::new(out_ch, spatial.height, spatial.width);
         let mut kernels = vec![
-            conv_kernel(&format!("{name}.reduce"), KernelClass::PointwiseConv, inp, reduce, 1, inp.channels),
+            conv_kernel(
+                &format!("{name}.reduce"),
+                KernelClass::PointwiseConv,
+                inp,
+                reduce,
+                1,
+                inp.channels,
+            ),
             activation_kernel(&format!("{name}.act1"), reduce),
-            conv_kernel(&format!("{name}.conv3x3"), KernelClass::DirectConv, reduce, spatial, 3, reduce.channels),
+            conv_kernel(
+                &format!("{name}.conv3x3"),
+                KernelClass::DirectConv,
+                reduce,
+                spatial,
+                3,
+                reduce.channels,
+            ),
             activation_kernel(&format!("{name}.act2"), spatial),
-            conv_kernel(&format!("{name}.expand"), KernelClass::PointwiseConv, spatial, out, 1, spatial.channels),
+            conv_kernel(
+                &format!("{name}.expand"),
+                KernelClass::PointwiseConv,
+                spatial,
+                out,
+                1,
+                spatial.channels,
+            ),
         ];
         if stride != 1 || inp.channels != out_ch {
             kernels.push(conv_kernel(
@@ -327,12 +375,7 @@ impl DnnModelBuilder {
     /// applied to the block input; the block output stacks the branch
     /// channels at (possibly strided) spatial resolution.
     #[must_use]
-    pub fn inception(
-        mut self,
-        name: &str,
-        branches: &[&[(usize, usize)]],
-        stride: usize,
-    ) -> Self {
+    pub fn inception(mut self, name: &str, branches: &[&[(usize, usize)]], stride: usize) -> Self {
         let inp = self.shape;
         let out_h = TensorShape::conv_out_extent(inp.height, 3, stride, 1);
         let out_w = TensorShape::conv_out_extent(inp.width, 3, stride, 1);
@@ -342,7 +385,11 @@ impl DnnModelBuilder {
             let mut cur = inp;
             for (ci, (out_ch, k)) in branch.iter().enumerate() {
                 let is_last = ci == branch.len() - 1;
-                let (h, w) = if is_last { (out_h, out_w) } else { (cur.height, cur.width) };
+                let (h, w) = if is_last {
+                    (out_h, out_w)
+                } else {
+                    (cur.height, cur.width)
+                };
                 let nxt = TensorShape::new(*out_ch, h, w);
                 let class = if *k == 1 {
                     KernelClass::PointwiseConv
@@ -354,7 +401,14 @@ impl DnnModelBuilder {
                 let kern = if *k >= 7 {
                     factorized_conv_kernel(&format!("{name}.b{bi}.c{ci}"), cur, nxt, *k)
                 } else {
-                    conv_kernel(&format!("{name}.b{bi}.c{ci}"), class, cur, nxt, *k, cur.channels)
+                    conv_kernel(
+                        &format!("{name}.b{bi}.c{ci}"),
+                        class,
+                        cur,
+                        nxt,
+                        *k,
+                        cur.channels,
+                    )
                 };
                 kernels.push(kern);
                 cur = nxt;
@@ -362,8 +416,13 @@ impl DnnModelBuilder {
             total_ch += cur.channels;
         }
         let out = TensorShape::new(total_ch, out_h, out_w);
-        kernels.push(Kernel::new(format!("{name}.concat"), KernelClass::Concat)
-            .with_bytes(out.bytes() as u64, out.bytes() as u64, 0));
+        kernels.push(
+            Kernel::new(format!("{name}.concat"), KernelClass::Concat).with_bytes(
+                out.bytes() as u64,
+                out.bytes() as u64,
+                0,
+            ),
+        );
         kernels.push(activation_kernel(&format!("{name}.act"), out));
         self.shape = out;
         self.layers
@@ -482,7 +541,10 @@ mod tests {
             .residual_basic("r", 64, 1)
             .build("m")
             .unwrap();
-        assert_eq!(strided.layers()[0].kernels().len(), plain.layers()[0].kernels().len() + 1);
+        assert_eq!(
+            strided.layers()[0].kernels().len(),
+            plain.layers()[0].kernels().len() + 1
+        );
     }
 
     #[test]

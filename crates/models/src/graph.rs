@@ -176,10 +176,11 @@ mod tests {
 
     #[test]
     fn aggregates_and_cut_bytes() {
-        let m = DnnModel::new(TensorShape::flat(1).to_string(), TensorShape::flat(1), vec![
-            layer("a"),
-            layer("b"),
-        ])
+        let m = DnnModel::new(
+            TensorShape::flat(1).to_string(),
+            TensorShape::flat(1),
+            vec![layer("a"), layer("b")],
+        )
         .unwrap();
         assert_eq!(m.total_flops(), 20);
         assert_eq!(m.total_weight_bytes(), 8);

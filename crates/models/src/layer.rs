@@ -102,7 +102,10 @@ impl Layer {
         kernels: Vec<Kernel>,
         output_shape: TensorShape,
     ) -> Self {
-        assert!(!kernels.is_empty(), "layer must contain at least one kernel");
+        assert!(
+            !kernels.is_empty(),
+            "layer must contain at least one kernel"
+        );
         Self {
             name: name.into(),
             kind,

@@ -103,10 +103,7 @@ mod tests {
                 .map(|id| crate::zoo::build(*id).total_flops())
                 .sum()
         };
-        for s in [
-            Scenario::DigitalAssistant,
-            Scenario::ObjectDetection,
-        ] {
+        for s in [Scenario::DigitalAssistant, Scenario::ObjectDetection] {
             assert!(load(Scenario::SurveillanceHub) > load(s), "{s}");
         }
     }

@@ -24,26 +24,120 @@ pub fn build_v3() -> DnnModel {
         .conv("conv5", 192, 3, 1, 0)
         .max_pool("pool2", 3, 2, 0)
         // 3 × inception-A at 35×35 (output 256/288 ch).
-        .inception("mixed5b", &[&[(64, 1)], &[(48, 1), (64, 5)], &[(64, 1), (96, 3), (96, 3)], &[(32, 1)]], 1)
-        .inception("mixed5c", &[&[(64, 1)], &[(48, 1), (64, 5)], &[(64, 1), (96, 3), (96, 3)], &[(64, 1)]], 1)
-        .inception("mixed5d", &[&[(64, 1)], &[(48, 1), (64, 5)], &[(64, 1), (96, 3), (96, 3)], &[(64, 1)]], 1)
+        .inception(
+            "mixed5b",
+            &[
+                &[(64, 1)],
+                &[(48, 1), (64, 5)],
+                &[(64, 1), (96, 3), (96, 3)],
+                &[(32, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "mixed5c",
+            &[
+                &[(64, 1)],
+                &[(48, 1), (64, 5)],
+                &[(64, 1), (96, 3), (96, 3)],
+                &[(64, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "mixed5d",
+            &[
+                &[(64, 1)],
+                &[(48, 1), (64, 5)],
+                &[(64, 1), (96, 3), (96, 3)],
+                &[(64, 1)],
+            ],
+            1,
+        )
         // Grid reduction to 17×17.
-        .inception("mixed6a", &[&[(384, 3)], &[(64, 1), (96, 3), (96, 3)], &[(288, 3)]], 2)
+        .inception(
+            "mixed6a",
+            &[&[(384, 3)], &[(64, 1), (96, 3), (96, 3)], &[(288, 3)]],
+            2,
+        )
         // 4 × inception-B at 17×17 (factorized 7×7 ≈ two 7-wide convs,
         // priced as 7×7 splits: use (c,7) pairs).
-        .inception("mixed6b", &[&[(192, 1)], &[(128, 1), (128, 7), (192, 7)], &[(128, 1), (128, 7), (192, 7)], &[(192, 1)]], 1)
-        .inception("mixed6c", &[&[(192, 1)], &[(160, 1), (160, 7), (192, 7)], &[(160, 1), (160, 7), (192, 7)], &[(192, 1)]], 1)
-        .inception("mixed6d", &[&[(192, 1)], &[(160, 1), (160, 7), (192, 7)], &[(160, 1), (160, 7), (192, 7)], &[(192, 1)]], 1)
-        .inception("mixed6e", &[&[(192, 1)], &[(192, 1), (192, 7), (192, 7)], &[(192, 1), (192, 7), (192, 7)], &[(192, 1)]], 1)
+        .inception(
+            "mixed6b",
+            &[
+                &[(192, 1)],
+                &[(128, 1), (128, 7), (192, 7)],
+                &[(128, 1), (128, 7), (192, 7)],
+                &[(192, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "mixed6c",
+            &[
+                &[(192, 1)],
+                &[(160, 1), (160, 7), (192, 7)],
+                &[(160, 1), (160, 7), (192, 7)],
+                &[(192, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "mixed6d",
+            &[
+                &[(192, 1)],
+                &[(160, 1), (160, 7), (192, 7)],
+                &[(160, 1), (160, 7), (192, 7)],
+                &[(192, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "mixed6e",
+            &[
+                &[(192, 1)],
+                &[(192, 1), (192, 7), (192, 7)],
+                &[(192, 1), (192, 7), (192, 7)],
+                &[(192, 1)],
+            ],
+            1,
+        )
         // Grid reduction to 8×8.
-        .inception("mixed7a", &[&[(192, 1), (320, 3)], &[(192, 1), (192, 7), (192, 3)], &[(768, 3)]], 2)
+        .inception(
+            "mixed7a",
+            &[
+                &[(192, 1), (320, 3)],
+                &[(192, 1), (192, 7), (192, 3)],
+                &[(768, 3)],
+            ],
+            2,
+        )
         // 2 × inception-C at 8×8.
-        .inception("mixed7b", &[&[(320, 1)], &[(384, 1), (768, 3)], &[(448, 1), (384, 3), (768, 3)], &[(192, 1)]], 1)
-        .inception("mixed7c", &[&[(320, 1)], &[(384, 1), (768, 3)], &[(448, 1), (384, 3), (768, 3)], &[(192, 1)]], 1)
+        .inception(
+            "mixed7b",
+            &[
+                &[(320, 1)],
+                &[(384, 1), (768, 3)],
+                &[(448, 1), (384, 3), (768, 3)],
+                &[(192, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "mixed7c",
+            &[
+                &[(320, 1)],
+                &[(384, 1), (768, 3)],
+                &[(448, 1), (384, 3), (768, 3)],
+                &[(192, 1)],
+            ],
+            1,
+        )
         .global_avg_pool("gap")
         .fc("fc", 1000)
         .with_softmax();
-    b.build("inception-v3").expect("inception-v3 definition is valid")
+    b.build("inception-v3")
+        .expect("inception-v3 definition is valid")
 }
 
 /// Builds Inception-v4 at 299×299.
@@ -55,34 +149,177 @@ pub fn build_v4() -> DnnModel {
         .conv("conv2", 32, 3, 1, 0)
         .conv("conv3", 64, 3, 1, 1)
         .inception("stem1", &[&[(96, 3)], &[(64, 3)]], 2)
-        .inception("stem2", &[&[(64, 1), (96, 3)], &[(64, 1), (64, 7), (96, 3)]], 1)
+        .inception(
+            "stem2",
+            &[&[(64, 1), (96, 3)], &[(64, 1), (64, 7), (96, 3)]],
+            1,
+        )
         .inception("stem3", &[&[(192, 3)], &[(96, 3)]], 2)
         .conv("conv4", 384, 1, 1, 0)
         // 4 × inception-A at 35×35.
-        .inception("a1", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
-        .inception("a2", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
-        .inception("a3", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
-        .inception("a4", &[&[(96, 1)], &[(64, 1), (96, 3)], &[(64, 1), (96, 3), (96, 3)], &[(96, 1)]], 1)
+        .inception(
+            "a1",
+            &[
+                &[(96, 1)],
+                &[(64, 1), (96, 3)],
+                &[(64, 1), (96, 3), (96, 3)],
+                &[(96, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "a2",
+            &[
+                &[(96, 1)],
+                &[(64, 1), (96, 3)],
+                &[(64, 1), (96, 3), (96, 3)],
+                &[(96, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "a3",
+            &[
+                &[(96, 1)],
+                &[(64, 1), (96, 3)],
+                &[(64, 1), (96, 3), (96, 3)],
+                &[(96, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "a4",
+            &[
+                &[(96, 1)],
+                &[(64, 1), (96, 3)],
+                &[(64, 1), (96, 3), (96, 3)],
+                &[(96, 1)],
+            ],
+            1,
+        )
         // Reduction-A to 17×17.
-        .inception("red_a", &[&[(384, 3)], &[(192, 1), (224, 3), (256, 3)], &[(384, 3)]], 2)
+        .inception(
+            "red_a",
+            &[&[(384, 3)], &[(192, 1), (224, 3), (256, 3)], &[(384, 3)]],
+            2,
+        )
         // 7 × inception-B at 17×17.
-        .inception("b1", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
-        .inception("b2", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
-        .inception("b3", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
-        .inception("b4", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
-        .inception("b5", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
-        .inception("b6", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
-        .inception("b7", &[&[(384, 1)], &[(192, 1), (224, 7), (256, 7)], &[(192, 1), (224, 7), (256, 7)], &[(128, 1)]], 1)
+        .inception(
+            "b1",
+            &[
+                &[(384, 1)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(128, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "b2",
+            &[
+                &[(384, 1)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(128, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "b3",
+            &[
+                &[(384, 1)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(128, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "b4",
+            &[
+                &[(384, 1)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(128, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "b5",
+            &[
+                &[(384, 1)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(128, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "b6",
+            &[
+                &[(384, 1)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(128, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "b7",
+            &[
+                &[(384, 1)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(192, 1), (224, 7), (256, 7)],
+                &[(128, 1)],
+            ],
+            1,
+        )
         // Reduction-B to 8×8.
-        .inception("red_b", &[&[(192, 1), (192, 3)], &[(256, 1), (320, 7), (320, 3)], &[(1024, 3)]], 2)
+        .inception(
+            "red_b",
+            &[
+                &[(192, 1), (192, 3)],
+                &[(256, 1), (320, 7), (320, 3)],
+                &[(1024, 3)],
+            ],
+            2,
+        )
         // 3 × inception-C at 8×8.
-        .inception("c1", &[&[(256, 1)], &[(384, 1), (512, 3)], &[(384, 1), (512, 3), (512, 3)], &[(256, 1)]], 1)
-        .inception("c2", &[&[(256, 1)], &[(384, 1), (512, 3)], &[(384, 1), (512, 3), (512, 3)], &[(256, 1)]], 1)
-        .inception("c3", &[&[(256, 1)], &[(384, 1), (512, 3)], &[(384, 1), (512, 3), (512, 3)], &[(256, 1)]], 1)
+        .inception(
+            "c1",
+            &[
+                &[(256, 1)],
+                &[(384, 1), (512, 3)],
+                &[(384, 1), (512, 3), (512, 3)],
+                &[(256, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "c2",
+            &[
+                &[(256, 1)],
+                &[(384, 1), (512, 3)],
+                &[(384, 1), (512, 3), (512, 3)],
+                &[(256, 1)],
+            ],
+            1,
+        )
+        .inception(
+            "c3",
+            &[
+                &[(256, 1)],
+                &[(384, 1), (512, 3)],
+                &[(384, 1), (512, 3), (512, 3)],
+                &[(256, 1)],
+            ],
+            1,
+        )
         .global_avg_pool("gap")
         .fc("fc", 1000)
         .with_softmax();
-    b.build("inception-v4").expect("inception-v4 definition is valid")
+    b.build("inception-v4")
+        .expect("inception-v4 definition is valid")
 }
 
 #[cfg(test)]

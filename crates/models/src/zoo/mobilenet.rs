@@ -34,9 +34,13 @@ const BLOCKS: [(usize, usize); 13] = [
 pub fn build() -> DnnModel {
     let mut b = DnnModelBuilder::new(TensorShape::new(3, 224, 224)).conv("conv1", 32, 3, 2, 1);
     for (i, (stride, out_ch)) in BLOCKS.iter().enumerate() {
-        b = b
-            .dw_conv(&format!("dw{}", i + 2), 3, *stride, 1)
-            .conv(&format!("pw{}", i + 2), *out_ch, 1, 1, 0);
+        b = b.dw_conv(&format!("dw{}", i + 2), 3, *stride, 1).conv(
+            &format!("pw{}", i + 2),
+            *out_ch,
+            1,
+            1,
+            0,
+        );
     }
     // Fold gap+fc into the final pointwise layer to keep the 27-layer
     // counting convention: append the pool and gemm kernels to pw14.

@@ -1,0 +1,246 @@
+//! Offline stand-in for the slice of `criterion` this workspace's
+//! benches use: [`Criterion`], benchmark groups, `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`] and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical engine, each benchmark runs a short
+//! warm-up followed by `sample_size` timed iterations and prints
+//! `min / mean / max` wall-clock per iteration. That is enough for the
+//! relative comparisons the repo's benches make (scalar vs batched
+//! pipelines, scheduler vs scheduler); absolute numbers carry no
+//! statistical confidence intervals.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's historical path.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, rendered as `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, after one untimed warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(full_id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        target_samples: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{full_id:<48} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{full_id:<48} [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets timed iterations per benchmark (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark context passed to `criterion_group!` functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    /// Harness defaults (10 samples per benchmark).
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Alias for [`Criterion::default`] (kept for existing callers).
+    pub fn default_shim() -> Self {
+        Self::default()
+    }
+
+    /// CLI-argument configuration hook (no-op in the shim).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let n = self.default_sample_size.max(1);
+        run_one(&id.id, n, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_collects_samples() {
+        let mut c = Criterion::default_shim();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default_shim();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &p| {
+            b.iter(|| assert_eq!(p, 7));
+        });
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("mcts", 50).id, "mcts/50");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+}

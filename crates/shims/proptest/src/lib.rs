@@ -1,0 +1,311 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, the [`Strategy`] trait with
+//! `prop_map`, range/collection/sample strategies and the `prop_assert*`
+//! macros. Each test body runs `ProptestConfig::cases` times with values
+//! drawn from a deterministic per-test RNG (seeded from the test name and
+//! case index, so failures are reproducible). **No shrinking**: a failing
+//! case reports the assertion directly — smaller-counterexample search is
+//! the one feature of real proptest this shim drops.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+range_strategy!(usize, u8, u16, u32, u64, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Sampling strategies over explicit value sets.
+pub mod sample {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy choosing one element of a vector.
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniformly selects one of `options` per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.0.is_empty(), "select over empty set");
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Strategy choosing an order-preserving subsequence.
+    pub struct Subsequence<T> {
+        options: Vec<T>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Picks a random subsequence of `options` whose size lies in `size`
+    /// (order preserved, no repetition), mirroring
+    /// `proptest::sample::subsequence`.
+    pub fn subsequence<T: Clone>(
+        options: Vec<T>,
+        size: core::ops::RangeInclusive<usize>,
+    ) -> Subsequence<T> {
+        let (min, max) = (*size.start(), (*size.end()).min(options.len()));
+        assert!(min <= max, "subsequence size range empty for option count");
+        Subsequence { options, min, max }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+            let k = rng.gen_range(self.min..=self.max);
+            // Floyd-style distinct index draw, then restore order.
+            let n = self.options.len();
+            let mut picked: Vec<usize> = Vec::with_capacity(k);
+            while picked.len() < k {
+                let i = rng.gen_range(0..n);
+                if !picked.contains(&i) {
+                    picked.push(i);
+                }
+            }
+            picked.sort_unstable();
+            picked
+                .into_iter()
+                .map(|i| self.options[i].clone())
+                .collect()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Strategy generating fixed-length vectors of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `len` independent draws from `element`, mirroring
+    /// `proptest::collection::vec` with an exact size.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-(test, case) RNG so failures reproduce exactly.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Asserts a property holds; on failure reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over fresh
+/// random draws of its `name in strategy` arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u64..=5, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in crate::collection::vec(0usize..4, 7).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 7);
+        }
+
+        #[test]
+        fn subsequence_is_ordered_subset(s in crate::sample::subsequence(vec![1, 2, 3, 4, 5], 1..=3)) {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&s, &sorted);
+            prop_assert!(s.iter().all(|x| (1..=5).contains(x)));
+        }
+
+        #[test]
+        fn select_draws_members(m in crate::sample::select(vec!["a", "b"])) {
+            prop_assert_ne!(m, "c");
+        }
+    }
+
+    #[test]
+    fn harness_runs_cases() {
+        ranges_stay_in_bounds();
+        vec_and_map_compose();
+        subsequence_is_ordered_subset();
+        select_draws_members();
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let a = crate::case_rng("t", 3).next_u64();
+        let b = crate::case_rng("t", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, crate::case_rng("t", 4).next_u64());
+        assert_ne!(a, crate::case_rng("u", 3).next_u64());
+    }
+}

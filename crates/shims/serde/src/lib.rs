@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` façade.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (for API
+//! parity with the real crate); no in-tree code serializes through serde
+//! at run time. This shim provides the two marker traits and re-exports
+//! the no-op derives so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Swapping the
+//! path dependency back to crates.io `serde` requires no source edits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

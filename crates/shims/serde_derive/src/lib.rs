@@ -1,0 +1,23 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives serde traits on its public data types for
+//! downstream ergonomics, but nothing in-tree performs serde
+//! serialization at run time (persistence uses a hand-rolled binary
+//! format in `omniboost-estimator::io`). With crates.io unreachable in
+//! this build environment, these derives expand to nothing, which keeps
+//! every `#[derive(Serialize, Deserialize)]` compiling without pulling in
+//! the real implementation.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; marks the type as serde-serializable in name only.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; marks the type as serde-deserializable in name only.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -81,7 +81,9 @@ pub trait Module {
 /// ```
 #[derive(Default)]
 pub struct Sequential {
-    modules: Vec<Box<dyn Module>>,
+    // `Send` so networks can cross thread boundaries (the estimator is
+    // shared behind a mutex by the root-parallel search).
+    modules: Vec<Box<dyn Module + Send>>,
 }
 
 impl Sequential {
@@ -94,7 +96,7 @@ impl Sequential {
 
     /// Appends a module.
     #[must_use]
-    pub fn push<M: Module + 'static>(mut self, module: M) -> Self {
+    pub fn push<M: Module + Send + 'static>(mut self, module: M) -> Self {
         self.modules.push(Box::new(module));
         self
     }
@@ -140,7 +142,11 @@ impl Module for Sequential {
 /// Together with [`import_params`] this provides PyTorch-style
 /// `state_dict` persistence for trained networks.
 pub fn export_params<M: Module + ?Sized>(module: &mut M) -> Vec<Tensor> {
-    module.params_mut().iter().map(|p| p.value.clone()).collect()
+    module
+        .params_mut()
+        .iter()
+        .map(|p| p.value.clone())
+        .collect()
 }
 
 /// Restores parameter values exported by [`export_params`].

@@ -28,7 +28,14 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a Kaiming-initialized convolution.
-    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         let fan_in = in_ch * kernel * kernel;
         Self {
             in_ch,
@@ -49,6 +56,94 @@ impl Conv2d {
     fn out_extent(&self, inp: usize) -> usize {
         (inp + 2 * self.pad - self.kernel) / self.stride + 1
     }
+
+    /// Batched im2col/GEMM-structured forward for `N > 1`.
+    ///
+    /// Lowers the input into a `[C·k·k, N·OH·OW]` column matrix once, then
+    /// accumulates one tap row at a time into a `[OC, N·OH·OW]` buffer
+    /// whose inner runs are `N·OH·OW` long — versus `OW` in the direct
+    /// kernel — so the multiply-adds vectorize across the whole batch.
+    /// This is the structural speedup batching buys: same FLOPs, far
+    /// fewer short loops.
+    ///
+    /// Numerical contract: taps accumulate in the same `(ic, ky, kx)`
+    /// order onto the bias as the direct kernel, so outputs are
+    /// bit-identical except that padded positions contribute an explicit
+    /// `w·0.0` instead of being skipped (can flip a `-0.0` to `+0.0`,
+    /// never a value change).
+    fn forward_batched_gemm(&self, n: usize, c: usize, h: usize, w: usize, x: &[f32]) -> Tensor {
+        let (oh, ow) = (self.out_extent(h), self.out_extent(w));
+        let k = self.kernel;
+        let s = self.stride;
+        let pad = self.pad as isize;
+        let spatial = oh * ow;
+        let cols_w = n * spatial;
+        let kk = c * k * k;
+        // im2col: cols[(ic·k+ky)·k+kx][ni·spatial + oy·ow + ox] = x value
+        // under that tap (0.0 in the padding ring).
+        let mut cols = vec![0.0f32; kk * cols_w];
+        for ic in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_base = (((ic * k) + ky) * k + kx) * cols_w;
+                    for ni in 0..n {
+                        let xplane = &x[((ni * c + ic) * h) * w..((ni * c + ic) * h + h) * w];
+                        for oy in 0..oh {
+                            let iy = (oy * s + ky) as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = &xplane[(iy as usize) * w..(iy as usize + 1) * w];
+                            let dst = &mut cols[row_base + ni * spatial + oy * ow..][..ow];
+                            if s == 1 {
+                                let off = kx as isize - pad;
+                                let lo = (-off).max(0) as usize;
+                                let hi = ow.min((w as isize - off).max(0) as usize);
+                                if lo < hi {
+                                    dst[lo..hi].copy_from_slice(
+                                        &xrow[(lo as isize + off) as usize
+                                            ..(hi as isize + off) as usize],
+                                    );
+                                }
+                            } else {
+                                for (ox, d) in dst.iter_mut().enumerate() {
+                                    let ix = (ox * s + kx) as isize - pad;
+                                    if ix >= 0 && ix < w as isize {
+                                        *d = xrow[ix as usize];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Rank-1 tap accumulation onto the bias, then scatter back to the
+        // [N, OC, OH, OW] layout.
+        let wt = self.weight.value.data();
+        let b = self.bias.value.data();
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        let od = out.data_mut();
+        let mut acc = vec![0.0f32; cols_w];
+        for oc in 0..self.out_ch {
+            acc.fill(b[oc]);
+            for row in 0..kk {
+                let wv = wt[oc * kk + row];
+                if wv == 0.0 {
+                    continue;
+                }
+                let col_row = &cols[row * cols_w..(row + 1) * cols_w];
+                for (a, v) in acc.iter_mut().zip(col_row) {
+                    *a += wv * v;
+                }
+            }
+            for ni in 0..n {
+                od[((ni * self.out_ch + oc) * oh) * ow..][..spatial]
+                    .copy_from_slice(&acc[ni * spatial..(ni + 1) * spatial]);
+            }
+        }
+        out
+    }
 }
 
 impl Module for Conv2d {
@@ -58,6 +153,11 @@ impl Module for Conv2d {
             _ => panic!("Conv2d expects [N, C, H, W] input"),
         };
         assert_eq!(c, self.in_ch, "input channel mismatch");
+        if n > 1 {
+            let out = self.forward_batched_gemm(n, c, h, w, input.data());
+            self.cached_input = Some(input.clone());
+            return out;
+        }
         let (oh, ow) = (self.out_extent(h), self.out_extent(w));
         let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
         let x = input.data();
@@ -90,10 +190,31 @@ impl Module for Conv2d {
                                 }
                                 let xrow = &xplane[(iy as usize) * w..(iy as usize + 1) * w];
                                 let orow = &mut od[obase + oy * ow..obase + (oy + 1) * ow];
-                                for (ox, o) in orow.iter_mut().enumerate() {
-                                    let ix = (ox * s + kx) as isize - pad;
-                                    if ix >= 0 && ix < w as isize {
-                                        *o += wv * xrow[ix as usize];
+                                if s == 1 {
+                                    // Stride-1 fast path: the in-bounds ox
+                                    // range is contiguous, so hoist the
+                                    // bounds check out of the inner loop
+                                    // and let it vectorize. Accumulation
+                                    // order is unchanged (out-of-range ox
+                                    // never contributed), keeping results
+                                    // bitwise identical to the branchy
+                                    // general case below.
+                                    let off = kx as isize - pad; // ix = ox + off
+                                    let lo = (-off).max(0) as usize;
+                                    let hi = ow.min((w as isize - off).max(0) as usize);
+                                    if lo < hi {
+                                        let xseg = &xrow[(lo as isize + off) as usize
+                                            ..(hi as isize + off) as usize];
+                                        for (o, xv) in orow[lo..hi].iter_mut().zip(xseg) {
+                                            *o += wv * xv;
+                                        }
+                                    }
+                                } else {
+                                    for (ox, o) in orow.iter_mut().enumerate() {
+                                        let ix = (ox * s + kx) as isize - pad;
+                                        if ix >= 0 && ix < w as isize {
+                                            *o += wv * xrow[ix as usize];
+                                        }
                                     }
                                 }
                             }

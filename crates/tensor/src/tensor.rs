@@ -108,7 +108,10 @@ impl Tensor {
         assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0usize;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (dim {dim})"
+            );
             off = off * dim + ix;
         }
         off

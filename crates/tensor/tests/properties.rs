@@ -1,8 +1,8 @@
 //! Property-based tests over the tensor/NN substrate.
 
 use omniboost_tensor::{
-    Adam, Conv2d, Flatten, Gelu, GlobalAvgPool, L1Loss, Linear, Loss, MaxPool2d, Module,
-    MseLoss, Optimizer, Sequential, Tensor,
+    Adam, Conv2d, Flatten, Gelu, GlobalAvgPool, L1Loss, Linear, Loss, MaxPool2d, Module, MseLoss,
+    Optimizer, Sequential, Tensor,
 };
 use proptest::prelude::*;
 

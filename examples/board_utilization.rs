@@ -11,7 +11,10 @@ use omniboost_hw::{Board, Device, Mapping, Workload};
 use omniboost_models::{summary_table, zoo, ModelId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("## model zoo inventory\n{}", summary_table(&zoo::build_all()));
+    println!(
+        "## model zoo inventory\n{}",
+        summary_table(&zoo::build_all())
+    );
 
     let board = Board::hikey970();
     let sim = board.simulator();
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(())
     };
 
-    show("baseline (all on GPU)", &Mapping::all_on(&workload, Device::Gpu))?;
+    show(
+        "baseline (all on GPU)",
+        &Mapping::all_on(&workload, Device::Gpu),
+    )?;
 
     // Let the oracle-guided search distribute the workload.
     let env = SchedulingEnv::new(&workload, &sim, 3)?;

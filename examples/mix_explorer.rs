@@ -21,9 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ModelId::Vgg16,
         ]
     } else {
-        args.iter()
-            .map(|a| a.parse())
-            .collect::<Result<_, _>>()?
+        args.iter().map(|a| a.parse()).collect::<Result<_, _>>()?
     };
     let workload = Workload::from_ids(ids);
     let board = Board::hikey970();

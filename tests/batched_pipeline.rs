@@ -1,0 +1,169 @@
+//! Integration tests for the batched, parallel throughput-evaluation
+//! pipeline: batched-vs-scalar equivalence across the stack, determinism
+//! of the root-parallel search, and the runtime decision memo.
+
+use omniboost::mcts::{Mcts, SchedulingEnv, SearchBudget};
+use omniboost::{OracleOmniBoost, Runtime};
+use omniboost_hw::{AnalyticModel, Board, Device, Mapping, ThroughputModel, Workload};
+use omniboost_models::ModelId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn heavy_mix() -> Workload {
+    Workload::from_ids([
+        ModelId::Vgg19,
+        ModelId::ResNet50,
+        ModelId::InceptionV3,
+        ModelId::Vgg16,
+    ])
+}
+
+/// The batched pipeline with `batch_size == 1` IS the scalar pipeline:
+/// same RNG stream, same tree, same mapping, same reward — exactly.
+#[test]
+fn batch_size_one_equals_scalar_search_exactly() {
+    let board = Board::hikey970();
+    let w = heavy_mix();
+    let ev = AnalyticModel::new(board);
+    for seed in [0u64, 42, 0x0B00575] {
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let scalar = Mcts::new(SearchBudget::scalar(200)).search(&env, seed);
+        let batched =
+            Mcts::new(SearchBudget::with_iterations(200).with_batch_size(1)).search(&env, seed);
+        assert_eq!(scalar.best_reward, batched.best_reward, "seed {seed}");
+        assert_eq!(scalar.evaluations, batched.evaluations);
+        assert_eq!(
+            env.mapping_of(&scalar.best_state),
+            env.mapping_of(&batched.best_state)
+        );
+    }
+}
+
+/// Batching at width > 1 must not degrade search quality: across seeds,
+/// the batched pipeline's best reward stays within a few percent of the
+/// scalar pipeline's (virtual-loss diversification usually *helps*).
+#[test]
+fn batched_search_quality_tracks_scalar() {
+    let board = Board::hikey970();
+    let w = heavy_mix();
+    let ev = AnalyticModel::new(board);
+    let mut scalar_sum = 0.0f64;
+    let mut batched_sum = 0.0f64;
+    for seed in [7u64, 11, 42, 99, 123] {
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        scalar_sum += Mcts::new(SearchBudget::scalar(300))
+            .search(&env, seed)
+            .best_reward;
+        batched_sum += Mcts::new(SearchBudget::with_iterations(300).with_batch_size(16))
+            .search(&env, seed)
+            .best_reward;
+    }
+    assert!(
+        batched_sum >= scalar_sum * 0.9,
+        "batched quality collapsed: {batched_sum} vs scalar {scalar_sum}"
+    );
+}
+
+/// Root-parallel search is deterministic for a fixed seed: thread timing
+/// must not leak into the result (per-root seeds are derived, the merge
+/// scans in seed order).
+#[test]
+fn parallel_search_is_deterministic_under_fixed_seed() {
+    let board = Board::hikey970();
+    let w = heavy_mix();
+    let ev = AnalyticModel::new(board);
+    let mcts = Mcts::new(
+        SearchBudget::with_iterations(240)
+            .with_batch_size(8)
+            .with_parallelism(4),
+    );
+    let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+    let a = mcts.run(&env, 1234);
+    let b = mcts.run(&env, 1234);
+    assert_eq!(a.best_reward, b.best_reward);
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.iterations, 240, "split budget must sum back to the total");
+    assert_eq!(env.mapping_of(&a.best_state), env.mapping_of(&b.best_state));
+    // A different seed explores differently (sanity that the seed matters).
+    let c = mcts.run(&env, 4321);
+    assert!(c.best_reward > 0.0);
+}
+
+/// The environment-level reward memo answers repeated evaluations of the
+/// same completed assignment without extra evaluator calls.
+#[test]
+fn reward_memo_dedupes_repeat_assignments() {
+    let board = Board::hikey970();
+    let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+    let ev = AnalyticModel::new(board);
+    let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+    // Build one completed (all-GPU) state and score it repeatedly.
+    let mut s = env.initial();
+    use omniboost::mcts::Environment;
+    while !env.is_terminal(&s) {
+        s = env.apply(&s, Device::Gpu.index());
+    }
+    let batch = vec![s.clone(), s.clone(), s.clone()];
+    let r1 = env.reward_batch(&batch);
+    assert!((r1[0] - r1[1]).abs() < 1e-12 && (r1[1] - r1[2]).abs() < 1e-12);
+    assert_eq!(env.memo_misses(), 1, "three copies, one evaluator call");
+    assert_eq!(env.memo_hits(), 2);
+    let r2 = env.reward_batch(&[s.clone()]);
+    assert_eq!(r2[0], r1[0]);
+    assert_eq!(env.memo_misses(), 1);
+    assert_eq!(env.memo_hits(), 3);
+    // Memoized value equals the scalar reward.
+    assert!((env.reward(&s) - r1[0]).abs() < 1e-12);
+}
+
+/// End-to-end: the runtime decision memo short-circuits a repeated
+/// workload for a full MCTS scheduler — the second decision costs a map
+/// lookup, not a search.
+#[test]
+fn runtime_memo_skips_repeat_searches_end_to_end() {
+    let board = Board::hikey970();
+    let runtime = Runtime::new(board).with_memo();
+    let w = heavy_mix();
+    let mut sched = OracleOmniBoost::new(SearchBudget::with_iterations(60), 3, 42);
+    let first = runtime.run(&mut sched, &w).unwrap();
+    assert!(!first.memo_hit);
+    let second = runtime.run(&mut sched, &w).unwrap();
+    assert!(second.memo_hit);
+    assert_eq!(first.mapping, second.mapping);
+    assert_eq!(second.memo.hits, 1);
+    assert_eq!(second.memo.misses, 1);
+    assert!(
+        second.decision_time <= first.decision_time,
+        "memo hit should not be slower than the search it skips"
+    );
+}
+
+/// Cross-model batch equivalence at the trait level, driven through the
+/// same call the search makes.
+#[test]
+fn evaluate_batch_equals_scalar_for_both_model_families() {
+    let board = Board::hikey970();
+    let w = Workload::from_ids([ModelId::Vgg16, ModelId::MobileNet, ModelId::ResNet34]);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mappings: Vec<Mapping> = (0..6).map(|_| Mapping::random(&w, 3, &mut rng)).collect();
+    let analytic = AnalyticModel::new(board.clone());
+    let des = board.simulator();
+    for (name, batch) in [
+        ("analytic", analytic.evaluate_batch(&w, &mappings)),
+        ("des", des.evaluate_batch(&w, &mappings)),
+    ] {
+        for (m, b) in mappings.iter().zip(batch) {
+            let scalar = match name {
+                "analytic" => analytic.evaluate(&w, m).unwrap(),
+                _ => des.evaluate(&w, m).unwrap(),
+            };
+            let batched = b.unwrap();
+            assert!(
+                (scalar.average - batched.average).abs() < 1e-9,
+                "{name}: {} vs {}",
+                scalar.average,
+                batched.average
+            );
+        }
+    }
+}

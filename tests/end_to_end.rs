@@ -2,8 +2,8 @@
 //! run-time → measurement pipeline of OmniBoost and all baselines.
 
 use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic, MosaicConfig, RandomSplit};
-use omniboost::{OmniBoost, OmniBoostConfig, OracleOmniBoost, Runtime};
 use omniboost::mcts::SearchBudget;
+use omniboost::{OmniBoost, OmniBoostConfig, OracleOmniBoost, Runtime};
 use omniboost_hw::{Board, Device, HwError, Mapping, Scheduler, Workload};
 use omniboost_models::ModelId;
 
@@ -36,7 +36,11 @@ fn all_schedulers_produce_valid_measurable_mappings() {
             generations: 3,
             ..GeneticConfig::default()
         })),
-        Box::new(OracleOmniBoost::new(SearchBudget::with_iterations(60), 3, 1)),
+        Box::new(OracleOmniBoost::new(
+            SearchBudget::with_iterations(60),
+            3,
+            1,
+        )),
     ];
     for s in schedulers.iter_mut() {
         let outcome = runtime.run(s.as_mut(), &workload).expect("run succeeds");
@@ -69,7 +73,9 @@ fn omniboost_trains_once_and_beats_baseline_on_heavy_mix() {
 
     let heavy = heavy_mix();
     let ours = runtime.run(&mut omniboost, &heavy).expect("omniboost run");
-    let base = runtime.run(&mut GpuOnly::new(), &heavy).expect("baseline run");
+    let base = runtime
+        .run(&mut GpuOnly::new(), &heavy)
+        .expect("baseline run");
     // The quick config trains a reduced estimator (60 workloads, 20
     // epochs); it must still clearly beat the saturated baseline. The
     // full configuration reaches ×4.6 on this mix (see EXPERIMENTS.md).
@@ -105,7 +111,10 @@ fn six_concurrent_dnns_are_rejected_everywhere() {
             .map(|_| ()),
         board.admit(&w),
     ] {
-        assert!(matches!(result, Err(HwError::Unresponsive { dnns: 6, max: 5 })));
+        assert!(matches!(
+            result,
+            Err(HwError::Unresponsive { dnns: 6, max: 5 })
+        ));
     }
 }
 
@@ -149,7 +158,9 @@ fn decision_latency_ordering_matches_paper() {
     let runtime = Runtime::new(board.clone());
     let workload = heavy_mix();
 
-    let base = runtime.run(&mut GpuOnly::new(), &workload).expect("baseline");
+    let base = runtime
+        .run(&mut GpuOnly::new(), &workload)
+        .expect("baseline");
     let mut mosaic = Mosaic::with_config(MosaicConfig {
         training_samples: 600,
         ..MosaicConfig::default()

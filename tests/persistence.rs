@@ -3,8 +3,8 @@
 //! "train once" deployment story.
 
 use omniboost::estimator::{CnnEstimator, DatasetConfig, TrainConfig};
-use omniboost::{OmniBoost, OmniBoostConfig};
 use omniboost::mcts::SearchBudget;
+use omniboost::{OmniBoost, OmniBoostConfig};
 use omniboost_hw::{Board, Scheduler, Workload};
 use omniboost_models::ModelId;
 

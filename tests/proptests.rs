@@ -2,9 +2,7 @@
 //! cross-crate invariants.
 
 use omniboost_estimator::{EmbeddingTensor, MaskTensor};
-use omniboost_hw::{
-    AnalyticModel, Board, Device, Mapping, NoiseModel, ThroughputModel, Workload,
-};
+use omniboost_hw::{AnalyticModel, Board, Device, Mapping, NoiseModel, ThroughputModel, Workload};
 use omniboost_models::{zoo, ModelId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

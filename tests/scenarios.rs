@@ -2,8 +2,8 @@
 //! application classes) across the full scheduling stack.
 
 use omniboost::baselines::{ConvToGpu, GpuOnly};
-use omniboost::{OracleOmniBoost, Runtime};
 use omniboost::mcts::SearchBudget;
+use omniboost::{OracleOmniBoost, Runtime};
 use omniboost_hw::{Board, Workload};
 use omniboost_models::Scenario;
 
