@@ -3,19 +3,28 @@
 //! completes in seconds; the `runtime_table` binary reports full-budget
 //! numbers), plus scalar-vs-batched-vs-parallel variants of the
 //! OmniBoost evaluation pipeline at the paper's full 500-iteration
-//! budget. Running this bench also writes a `BENCH_decision_latency.json`
-//! snapshot comparing the pipelines.
+//! budget, A/B-ing the sticky and stage-budget-aware rollout policies.
+//! Running this bench also writes a `BENCH_decision_latency.json`
+//! snapshot comparing the pipelines (live-terminal yield, effective
+//! batch fill, memo/dedup counters) and the cross-decision evaluation
+//! cache (cold vs warm decision).
+//!
+//! `SMOKE=1` (the CI mode) shrinks budgets/samples so the whole bench
+//! runs in well under a minute and **does not** rewrite the JSON
+//! snapshot — it exists to keep the serving-path metrics executing end
+//! to end, not to publish numbers from a noisy shared runner.
 
 use criterion::Criterion;
 use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic, MosaicConfig};
-use omniboost::mcts::{Mcts, SchedulingEnv, SearchBudget};
+use omniboost::estimator::{CachedEstimator, EvalCache};
+use omniboost::mcts::{Mcts, RolloutPolicy, SchedulingEnv, SearchBudget};
 use omniboost::{OmniBoost, OmniBoostConfig};
 use omniboost_bench::paper_mixes;
 use omniboost_hw::{Board, Scheduler, Workload};
 use std::hint::black_box;
 use std::time::Instant;
 
-fn bench_decisions(c: &mut Criterion, board: &Board, trained: &mut OmniBoost) {
+fn bench_decisions(c: &mut Criterion, board: &Board, trained: &mut OmniBoost, iters: usize) {
     let workload: Workload = paper_mixes(4)[0].iter().copied().collect();
     let mut group = c.benchmark_group("decision_latency");
     group.sample_size(10);
@@ -46,16 +55,22 @@ fn bench_decisions(c: &mut Criterion, board: &Board, trained: &mut OmniBoost) {
     group.bench_function("omniboost_budget50", |b| {
         trained.set_budget(SearchBudget::with_iterations(50));
         b.iter(|| {
+            // This row measures a *cold* decision: clear the scheduler's
+            // cross-decision cache so iteration 2+ doesn't silently
+            // benchmark warm cache lookups (the explicit cold/warm
+            // comparison lives in the cross_decision_cache snapshot).
+            trained.eval_cache().clear();
             trained
                 .decide(black_box(board), black_box(&workload))
                 .unwrap()
         })
     });
 
-    // Scalar vs batched vs root-parallel evaluation pipelines at the
-    // paper's full budget, sharing the one trained estimator.
+    // Scalar vs batched vs root-parallel evaluation pipelines (and the
+    // sticky-vs-budget-aware rollout A/B) at equal iteration budget,
+    // sharing the one trained estimator.
     let est = trained.estimator();
-    for (name, budget) in pipeline_variants() {
+    for (name, budget) in pipeline_variants(iters) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let env = SchedulingEnv::new(&workload, est, 3).unwrap();
@@ -67,68 +82,129 @@ fn bench_decisions(c: &mut Criterion, board: &Board, trained: &mut OmniBoost) {
 }
 
 /// The pipeline variants compared in both the bench and the snapshot:
-/// equal 500-iteration budget throughout.
-fn pipeline_variants() -> Vec<(&'static str, SearchBudget)> {
+/// equal iteration budget throughout. The two `sticky` rows replay PR 1's
+/// rollout policy so the budget-aware yield/latency win stays measured.
+fn pipeline_variants(iters: usize) -> Vec<(&'static str, SearchBudget)> {
+    let base = SearchBudget::with_iterations(iters);
     vec![
-        ("omniboost_scalar_budget500", SearchBudget::scalar(500)),
+        ("omniboost_scalar", base.with_batch_size(1)),
         (
-            "omniboost_batch16_budget500",
-            SearchBudget::with_iterations(500).with_batch_size(16),
+            "omniboost_scalar_sticky",
+            base.with_batch_size(1)
+                .with_rollout_policy(RolloutPolicy::Sticky),
         ),
+        ("omniboost_batch16", base.with_batch_size(16)),
         (
-            "omniboost_batch64_budget500",
-            SearchBudget::with_iterations(500).with_batch_size(64),
+            "omniboost_batch16_sticky",
+            base.with_batch_size(16)
+                .with_rollout_policy(RolloutPolicy::Sticky),
         ),
+        // Equal-evaluator-work row: at full yield, iters/4 iterations
+        // perform about as many real estimator queries as the sticky
+        // policy extracts from the full budget — the latency-parity
+        // point of the yield win.
         (
-            "omniboost_batch16_par4_budget500",
-            SearchBudget::with_iterations(500)
-                .with_batch_size(16)
-                .with_parallelism(4),
+            "omniboost_batch16_quarter_budget",
+            SearchBudget::with_iterations(iters.div_ceil(4)).with_batch_size(16),
+        ),
+        ("omniboost_batch64", base.with_batch_size(64)),
+        (
+            "omniboost_batch16_par4",
+            base.with_batch_size(16).with_parallelism(4),
         ),
     ]
 }
 
-/// Writes `BENCH_decision_latency.json`: median-of-5 decision latency and
-/// achieved search reward for each pipeline variant on the heavy 4-DNN
-/// mix, at equal iteration budget, on this host.
-fn write_snapshot(trained: &OmniBoost) {
+/// Writes `BENCH_decision_latency.json`: median-of-5 decision latency,
+/// achieved search reward, live-terminal yield, effective batch fill and
+/// cache counters for each pipeline variant on the heavy 4-DNN mix, at
+/// equal iteration budget, on this host — plus a cold/warm cross-decision
+/// cache comparison. With `write: false` (smoke mode) everything is still
+/// measured — so the metrics path cannot silently rot — but the snapshot
+/// file is left untouched.
+fn write_snapshot(trained: &OmniBoost, iters: usize, samples: usize, write: bool) {
     let workload: Workload = paper_mixes(4)[0].iter().copied().collect();
     let est = trained.estimator();
 
     let mut rows = Vec::new();
     let mut scalar_ms = None;
-    for (name, budget) in pipeline_variants() {
-        let mut samples_ms: Vec<f64> = (0..5)
-            .map(|_| {
-                let env = SchedulingEnv::new(&workload, est, 3).unwrap();
-                let t = Instant::now();
-                let _ = Mcts::new(budget).run(&env, 42);
-                t.elapsed().as_secs_f64() * 1e3
-            })
-            .collect();
+    for (name, budget) in pipeline_variants(iters) {
+        let run_once = || {
+            let env = SchedulingEnv::new(&workload, est, 3).unwrap();
+            let t = Instant::now();
+            let result = Mcts::new(budget).run(&env, 42);
+            (t.elapsed().as_secs_f64() * 1e3, env, result)
+        };
+        // The search is deterministic per seed and each run gets a fresh
+        // env, so any run's counters are representative — reuse the timed
+        // runs instead of paying a separate stats run.
+        let mut runs: Vec<_> = (0..samples.max(1)).map(|_| run_once()).collect();
+        let mut samples_ms: Vec<f64> = runs.iter().map(|r| r.0).collect();
         samples_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples_ms[samples_ms.len() / 2];
-        let env = SchedulingEnv::new(&workload, est, 3).unwrap();
-        let result = Mcts::new(budget).run(&env, 42);
-        if name == "omniboost_scalar_budget500" {
+        let (_, env, result) = runs.pop().expect("at least one run");
+        if name == "omniboost_scalar" {
             scalar_ms = Some(median);
         }
         let speedup = scalar_ms.map_or(1.0, |s| s / median);
+        // The search counts its own scoring rounds (summed across root
+        // trees), so the fill metric cannot drift from the real split.
+        let fill = if result.rounds == 0 {
+            0.0
+        } else {
+            result.live_terminal_rollouts as f64 / result.rounds as f64
+        };
         rows.push(format!(
             concat!(
                 "    {{\"pipeline\": \"{}\", \"median_decision_ms\": {:.3}, ",
-                "\"speedup_vs_scalar_path\": {:.2}, \"best_reward\": {:.6}, ",
-                "\"evaluations\": {}, \"memo_hits\": {}, \"unique_evaluator_queries\": {}}}"
+                "\"speedup_vs_scalar\": {:.2}, \"best_reward\": {:.6}, ",
+                "\"evaluator_queries\": {}, \"terminal_rollouts\": {}, ",
+                "\"live_terminal_rollouts\": {}, \"live_terminal_yield\": {:.3}, ",
+                "\"avg_live_rollouts_per_round\": {:.1}, \"batch_size\": {}, ",
+                "\"memo_hits\": {}, \"batch_dedup_hits\": {}}}"
             ),
             name,
             median,
             speedup,
             result.best_reward,
             result.evaluations,
+            result.terminal_rollouts,
+            result.live_terminal_rollouts,
+            result.live_terminal_rollouts as f64 / result.iterations.max(1) as f64,
+            fill,
+            budget.batch_size,
             env.memo_hits(),
-            env.memo_misses(),
+            env.batch_dedup_hits(),
         ));
     }
+
+    // Cross-decision cache: the same decision repeated against a shared
+    // EvalCache — the recurring-traffic serving scenario.
+    let cache = EvalCache::new(8192);
+    let budget = SearchBudget::with_iterations(iters).with_batch_size(16);
+    let mut decision_ms = Vec::new();
+    for _ in 0..3 {
+        let cached = CachedEstimator::new(est, &cache);
+        let env = SchedulingEnv::new(&workload, &cached, 3).unwrap();
+        let t = Instant::now();
+        let _ = Mcts::new(budget).run(&env, 42);
+        decision_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = cache.stats();
+    let cache_json = format!(
+        concat!(
+            "{{\"capacity\": 8192, \"decisions\": 3, ",
+            "\"cold_decision_ms\": {:.3}, \"warm_decision_ms\": {:.3}, ",
+            "\"hits\": {}, \"misses\": {}, \"evictions\": {}, ",
+            "\"hit_rate\": {:.3}}}"
+        ),
+        decision_ms[0],
+        decision_ms[2],
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate(),
+    );
 
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
@@ -136,20 +212,36 @@ fn write_snapshot(trained: &OmniBoost) {
             "{{\n",
             "  \"benchmark\": \"decision_latency\",\n",
             "  \"workload\": \"{}\",\n",
-            "  \"iteration_budget\": 500,\n",
+            "  \"iteration_budget\": {},\n",
             "  \"seed\": 42,\n",
             "  \"host_threads\": {},\n",
-            "  \"note\": \"equal iteration budget throughout; the scalar row is the ",
-            "one-query-per-iteration pipeline on today's kernels — the pre-refactor ",
-            "seed pipeline measured ~2.2x slower than it on this host (1.28ms/query ",
-            "vs 0.58ms) before the batched-conv and interior-split kernel work\",\n",
-            "  \"pipelines\": [\n{}\n  ]\n",
+            "  \"note\": \"sticky rows replay PR 1's 90%-sticky rollout policy; the ",
+            "others use the stage-budget-aware policy; all rows benefit from known-loss ",
+            "pruning at expansion. evaluator_queries counts mappings that actually ",
+            "reached the estimator (memo hits, within-batch duplicates and dead states ",
+            "are free) — PR 1's 30.4ms batch16 figure was cheap because only ~65/500 ",
+            "rollouts scored; at full yield the same budget performs the paper's full ",
+            "500 queries (compare the quarter-budget row for equal evaluator work). ",
+            "cross_decision_cache repeats one decision against a shared EvalCache: the ",
+            "warm decision is the recurring-traffic serving path and beats every ",
+            "search-from-scratch number including PR 1's\",\n",
+            "  \"pipelines\": [\n{}\n  ],\n",
+            "  \"cross_decision_cache\": {}\n",
             "}}\n"
         ),
         workload,
+        iters,
         threads,
-        rows.join(",\n")
+        rows.join(",\n"),
+        cache_json,
     );
+    if !write {
+        // CI smoke mode: everything above ran (so the yield/fill/cache
+        // pipeline is exercised end to end) but a noisy shared runner
+        // must not publish numbers.
+        println!("smoke mode: skipping BENCH_decision_latency.json rewrite\n{json}");
+        return;
+    }
     // Benches run with the package directory as CWD; pin the snapshot to
     // the workspace root.
     let path = concat!(
@@ -161,11 +253,21 @@ fn write_snapshot(trained: &OmniBoost) {
 }
 
 fn main() {
+    // An env var rather than a CLI flag: upstream criterion (which the
+    // shim may be swapped back to) rejects unrecognized arguments.
+    let smoke = std::env::var_os("SMOKE").is_some_and(|v| v != "0" && !v.is_empty());
     // One design-time pass (dataset + training) shared by the timed
     // groups and the snapshot writer.
     let board = Board::hikey970();
-    let (mut trained, _) = OmniBoost::design_time(&board, OmniBoostConfig::quick());
+    let mut design = OmniBoostConfig::quick();
+    if smoke {
+        design.dataset.num_workloads = 16;
+        design.training.epochs = 2;
+    }
+    let (mut trained, _) = OmniBoost::design_time(&board, design);
+    let iters = if smoke { 100 } else { 500 };
     let mut criterion = Criterion::default().configure_from_args();
-    bench_decisions(&mut criterion, &board, &mut trained);
-    write_snapshot(&trained);
+    bench_decisions(&mut criterion, &board, &mut trained, iters);
+    let samples = if smoke { 1 } else { 5 };
+    write_snapshot(&trained, iters, samples, !smoke);
 }

@@ -2,7 +2,7 @@
 
 use omniboost_estimator::{DatasetConfig, TrainConfig};
 use omniboost_hw::Device;
-use omniboost_mcts::SearchBudget;
+use omniboost_mcts::{RolloutPolicy, SearchBudget};
 
 /// Configuration for both phases of OmniBoost.
 ///
@@ -23,6 +23,10 @@ pub struct OmniBoostConfig {
     pub stage_cap: usize,
     /// Seed for the run-time search.
     pub seed: u64,
+    /// Entry bound of the cross-decision evaluation cache (reports the
+    /// estimator computed for one `decide` call are reused by later
+    /// calls on recurring workloads). 0 disables the cache.
+    pub eval_cache_capacity: usize,
 }
 
 impl Default for OmniBoostConfig {
@@ -33,6 +37,7 @@ impl Default for OmniBoostConfig {
             budget: SearchBudget::default(),
             stage_cap: Device::COUNT,
             seed: 0x0B00575,
+            eval_cache_capacity: 8192,
         }
     }
 }
@@ -79,6 +84,25 @@ impl OmniBoostConfig {
     pub fn parallelism(&self) -> usize {
         self.budget.parallelism
     }
+
+    /// Simulation rollout policy (sticky vs budget-aware A/B knob).
+    #[must_use]
+    pub fn with_rollout_policy(mut self, policy: RolloutPolicy) -> Self {
+        self.budget = self.budget.with_rollout_policy(policy);
+        self
+    }
+
+    /// Rollout policy currently configured.
+    pub fn rollout_policy(&self) -> RolloutPolicy {
+        self.budget.rollout_policy
+    }
+
+    /// Bounds (or, with 0, disables) the cross-decision evaluation cache.
+    #[must_use]
+    pub fn with_eval_cache_capacity(mut self, capacity: usize) -> Self {
+        self.eval_cache_capacity = capacity;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +128,20 @@ mod tests {
         assert_eq!(c.parallelism(), 4);
         assert_eq!(c.budget.batch_size, 32);
         assert_eq!(c.budget.parallelism, 4);
+    }
+
+    #[test]
+    fn cache_and_policy_knobs_flow_through() {
+        let c = OmniBoostConfig::quick()
+            .with_eval_cache_capacity(123)
+            .with_rollout_policy(RolloutPolicy::Sticky);
+        assert_eq!(c.eval_cache_capacity, 123);
+        assert_eq!(c.rollout_policy(), RolloutPolicy::Sticky);
+        assert_eq!(
+            OmniBoostConfig::default().rollout_policy(),
+            RolloutPolicy::BudgetAware
+        );
+        assert!(OmniBoostConfig::default().eval_cache_capacity > 0);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod runtime;
 mod scheduler;
 
 pub use config::OmniBoostConfig;
+pub use omniboost_hw::EvalCacheStats;
 pub use report::{format_comparison, ComparisonRow};
 pub use runtime::{MemoStats, RunOutcome, Runtime};
 pub use scheduler::{OmniBoost, OracleOmniBoost};

@@ -1,7 +1,8 @@
 //! The decide → deploy → measure loop used by every experiment.
 
 use omniboost_hw::{
-    Board, DesSimulator, HwError, Mapping, Scheduler, ThroughputModel, ThroughputReport, Workload,
+    Board, DesSimulator, EvalCacheStats, HwError, Mapping, Scheduler, ThroughputModel,
+    ThroughputReport, Workload,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -31,6 +32,12 @@ pub struct RunOutcome {
     pub memo_hit: bool,
     /// Snapshot of the runtime's cumulative memo counters after this run.
     pub memo: MemoStats,
+    /// Snapshot of the scheduler's cross-decision evaluation-cache
+    /// counters after this run (`None` for cache-less schedulers) — the
+    /// second cache layer next to the decision memo: the memo reuses
+    /// whole decisions, the eval cache reuses individual estimator
+    /// reports inside fresh decisions.
+    pub eval_cache: Option<EvalCacheStats>,
 }
 
 /// Drives schedulers against a board: asks for a decision, "deploys" it
@@ -190,6 +197,7 @@ impl Runtime {
             decision_time,
             memo_hit,
             memo: self.memo_stats(),
+            eval_cache: scheduler.eval_cache_stats(),
         })
     }
 
@@ -293,6 +301,14 @@ mod tests {
         rt.run(&mut sched, &w).unwrap();
         rt.clear_memo();
         assert!(!rt.run(&mut sched, &w).unwrap().memo_hit);
+    }
+
+    #[test]
+    fn cacheless_schedulers_report_no_eval_cache() {
+        let rt = Runtime::new(Board::hikey970());
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let outcome = rt.run(&mut GpuOnly::new(), &w).unwrap();
+        assert_eq!(outcome.eval_cache, None);
     }
 
     #[test]

@@ -105,6 +105,12 @@ impl CnnEstimator {
         }
         let embedding =
             EmbeddingTensor::from_raw(model_names, layer_counts, max_layers, scale_ms, values);
+        // Exactly 4 triples: anything else is a truncated/garbled blob.
+        // Without this guard, `chunks(3)` would panic on a ragged final
+        // chunk (`copy_from_slice`) or silently zero-fill missing rows.
+        if transform_flat.len() != 12 {
+            return Err(LoadError::Corrupt("target transform"));
+        }
         let mut arrays = [[0.0f32; 3]; 4];
         for (i, chunk) in transform_flat.chunks(3).enumerate().take(4) {
             arrays[i].copy_from_slice(chunk);

@@ -161,10 +161,10 @@ impl CnnEstimator {
             return Err(LoadError::Corrupt("embedding values"));
         }
 
+        // Shape validation (exactly 4×3 values) lives in
+        // `CnnEstimator::rebuild`, the single choke point every loader
+        // goes through.
         let transform_flat = get_f32s(buf)?;
-        if transform_flat.len() != 12 {
-            return Err(LoadError::Corrupt("target transform"));
-        }
 
         if buf.remaining() < 5 {
             return Err(LoadError::Corrupt("network header"));
@@ -291,6 +291,62 @@ mod tests {
             restored.predict(&w, &m).unwrap()
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Byte offset of the target transform's length field inside a blob
+    /// (everything before it is the header + embedding section).
+    fn transform_offset(est: &CnnEstimator) -> usize {
+        let emb = est.embedding();
+        let mut off = 4 + 2; // magic + version
+        off += 4 + 4 + 8; // num_models + max_layers + scale_ms
+        for row in 0..emb.num_models() {
+            off += 4 + emb.model_name_of(row).len() + 4; // name + layer count
+        }
+        off + 8 + 4 * emb.raw_values().len() // values length + body
+    }
+
+    #[test]
+    fn truncated_transform_roundtrips_to_corrupt_not_panic() {
+        // A persisted blob whose target transform lost one value used to
+        // reach `copy_from_slice` on a ragged chunk and panic; it must
+        // round-trip to `LoadError::Corrupt` instead.
+        let (_, est) = trained();
+        let blob = est.to_bytes().to_vec();
+        let off = transform_offset(&est);
+        let len = u64::from_le_bytes(blob[off..off + 8].try_into().unwrap());
+        assert_eq!(len, 12, "blob layout drifted; fix transform_offset");
+        let mut bad = blob.clone();
+        bad[off..off + 8].copy_from_slice(&11u64.to_le_bytes());
+        bad.drain(off + 8..off + 12); // drop one f32; rest stays aligned
+        assert!(matches!(
+            CnnEstimator::from_bytes(Bytes::from(bad)),
+            Err(LoadError::Corrupt("target transform"))
+        ));
+    }
+
+    #[test]
+    fn short_multiple_of_three_transform_is_rejected_not_zero_filled() {
+        // 9 values chunk evenly into 3×3, which the old rebuild accepted
+        // and silently zero-filled the fourth row with — corrupting
+        // predictions instead of failing the load.
+        let (_, est) = trained();
+        let blob = est.to_bytes().to_vec();
+        let off = transform_offset(&est);
+        let mut bad = blob.clone();
+        bad[off..off + 8].copy_from_slice(&9u64.to_le_bytes());
+        bad.drain(off + 8..off + 8 + 12); // drop three f32s
+        assert!(matches!(
+            CnnEstimator::from_bytes(Bytes::from(bad)),
+            Err(LoadError::Corrupt("target transform"))
+        ));
+        // An oversized transform is equally corrupt: splice 4 extra bytes.
+        let mut long = blob;
+        long[off..off + 8].copy_from_slice(&13u64.to_le_bytes());
+        long.splice(off + 8..off + 8, 0.25f32.to_le_bytes());
+        assert!(matches!(
+            CnnEstimator::from_bytes(Bytes::from(long)),
+            Err(LoadError::Corrupt("target transform"))
+        ));
     }
 
     #[test]

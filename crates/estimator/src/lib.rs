@@ -17,6 +17,11 @@
 //!    the normalized per-component throughput attribution, whose sum is
 //!    the paper's average-throughput objective `T`.
 //!
+//! For serving recurring traffic, [`EvalCache`]/[`CachedEstimator`]
+//! (module [`cache`]) add a bounded, sharded, cross-decision LRU over
+//! evaluator reports keyed on `(workload fingerprint, mapping)`, so
+//! repeat queries skip the CNN forward entirely.
+//!
 //! ## Output attribution convention
 //!
 //! The paper trains the three outputs as "the average throughput for each
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod bound;
+pub mod cache;
 mod dataset;
 mod embedding;
 mod estimator;
@@ -53,6 +59,7 @@ mod preprocess;
 mod train;
 
 pub use bound::FeasibilityBound;
+pub use cache::{CachedEstimator, EvalCache};
 pub use dataset::{Dataset, DatasetConfig, Sample};
 pub use embedding::EmbeddingTensor;
 pub use estimator::CnnEstimator;
@@ -60,5 +67,6 @@ pub use io::LoadError;
 pub use mask::{MaskTensor, UnknownModelError};
 pub use metrics::{mean_absolute_error, mean_absolute_percentage_error, r_squared};
 pub use model::{ActivationKind, EstimatorNet};
+pub use omniboost_hw::EvalCacheStats;
 pub use preprocess::TargetTransform;
 pub use train::{LossKind, TrainConfig, TrainHistory};

@@ -44,6 +44,7 @@ pub mod cost;
 pub mod des;
 mod device;
 mod error;
+mod fnv;
 mod mapping;
 mod noise;
 pub mod profile;
@@ -55,8 +56,9 @@ pub use board::{Board, BusSpec, SaturationModel};
 pub use des::{DesConfig, DesSimulator, UtilizationReport};
 pub use device::{Device, DeviceKind, DeviceSpec};
 pub use error::HwError;
+pub use fnv::Fnv1a;
 pub use mapping::{Mapping, Segment};
 pub use noise::NoiseModel;
 pub use profile::LayerTimeTable;
-pub use scheduler::{Scheduler, ThroughputModel, ThroughputReport};
+pub use scheduler::{EvalCacheStats, Scheduler, ThroughputModel, ThroughputReport};
 pub use workload::Workload;

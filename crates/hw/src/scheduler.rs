@@ -105,6 +105,32 @@ impl<T: ThroughputModel + ?Sized> ThroughputModel for &T {
     }
 }
 
+/// Counters of a cross-decision evaluation cache (see
+/// `omniboost_estimator`'s `EvalCache`): how many evaluator queries were
+/// answered from the cache, how many reached the model, and how many
+/// entries the bounded cache evicted to stay within capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvalCacheStats {
+    /// Queries answered from the cache without touching the evaluator.
+    pub hits: u64,
+    /// Queries that reached the evaluator (and populated the cache).
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl EvalCacheStats {
+    /// Fraction of lookups answered from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A multi-DNN scheduler: given a board and a workload, produce a mapping.
 ///
 /// Implemented by OmniBoost itself and by every baseline of §V
@@ -119,6 +145,14 @@ pub trait Scheduler {
     ///
     /// Returns [`HwError`] if the workload is inadmissible for the board.
     fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError>;
+
+    /// Cumulative counters of the scheduler's cross-decision evaluation
+    /// cache, if it has one (`None` for cache-less schedulers). Surfaced
+    /// on `RunOutcome` next to the runtime's decision-memo stats so
+    /// serving-path cache effectiveness is observable per run.
+    fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,35 @@ impl Workload {
     pub fn layer_counts(&self) -> Vec<usize> {
         self.dnns.iter().map(DnnModel::num_layers).collect()
     }
+
+    /// Stable 64-bit fingerprint of the workload's composition, used as
+    /// the workload half of cross-decision cache keys.
+    ///
+    /// Each DNN contributes its name plus **per-layer** cost structure
+    /// (flops, weight bytes, output bytes) — name and aggregate totals
+    /// alone are not enough because
+    /// [`omniboost_models::DnnModelBuilder`] allows distinct
+    /// architectures under one name, and two layer orderings with equal
+    /// totals map to different throughputs. Order-sensitive (mixes keep
+    /// order throughout the stack), process-independent (FNV-1a, no
+    /// `RandomState`), and stable across runs so persisted caches could
+    /// reuse it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::Fnv1a::default();
+        for dnn in &self.dnns {
+            h.write(dnn.name().as_bytes());
+            // Separator so ("ab", 1-layer) never collides with ("a", ...).
+            h.write(&[0xFF]);
+            h.write(&(dnn.num_layers() as u64).to_le_bytes());
+            for layer in dnn.layers() {
+                h.write(&layer.flops().to_le_bytes());
+                h.write(&layer.weight_bytes().to_le_bytes());
+                h.write(&(layer.output_bytes() as u64).to_le_bytes());
+            }
+        }
+        h.finish()
+    }
 }
 
 impl FromIterator<DnnModel> for Workload {
@@ -126,5 +155,48 @@ mod tests {
     fn display_lists_models() {
         let w = Workload::from_ids([ModelId::AlexNet, ModelId::Vgg13]);
         assert_eq!(w.to_string(), "mix[alexnet, vgg13]");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_compositions() {
+        let a = Workload::from_ids([ModelId::AlexNet, ModelId::Vgg13]);
+        let b = Workload::from_ids([ModelId::AlexNet, ModelId::Vgg13]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same mix, same print");
+        let c = Workload::from_ids([ModelId::Vgg13, ModelId::AlexNet]);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "order-sensitive");
+        let d = Workload::from_ids([ModelId::AlexNet]);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert_ne!(Workload::new(vec![]).fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_per_layer_structure() {
+        // Same name, same layer count, same total weight bytes — only
+        // the pool's position differs (so the second conv runs at a
+        // different spatial size). Aggregate-only hashing collides here
+        // and the eval cache would serve the wrong workload's reports.
+        use omniboost_models::{DnnModelBuilder, TensorShape};
+        let pool_first = DnnModelBuilder::new(TensorShape::new(3, 32, 32))
+            .conv("c1", 8, 3, 1, 1)
+            .max_pool("p", 2, 2, 0)
+            .conv("c2", 8, 3, 1, 1)
+            .build("custom")
+            .unwrap();
+        let pool_last = DnnModelBuilder::new(TensorShape::new(3, 32, 32))
+            .conv("c1", 8, 3, 1, 1)
+            .conv("c2", 8, 3, 1, 1)
+            .max_pool("p", 2, 2, 0)
+            .build("custom")
+            .unwrap();
+        assert_eq!(pool_first.name(), pool_last.name());
+        assert_eq!(pool_first.num_layers(), pool_last.num_layers());
+        assert_eq!(
+            pool_first.total_weight_bytes(),
+            pool_last.total_weight_bytes(),
+            "the point of the test: aggregates tie, structure differs"
+        );
+        let a = Workload::new(vec![pool_first]);
+        let b = Workload::new(vec![pool_last]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -1,6 +1,7 @@
 //! The environment abstraction the tree search explores.
 
-use rand::RngCore;
+use crate::budget::RolloutPolicy;
+use rand::{Rng, RngCore};
 
 /// Terminal status of a state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +42,23 @@ pub trait Environment {
     /// Whether the state is terminal (win or loss).
     fn is_terminal(&self, state: &Self::State) -> bool;
 
+    /// Whether the state is a **known loss**: terminal with reward 0,
+    /// decidable without consulting the evaluator (for scheduling, the
+    /// §IV-C stage-cap rule).
+    ///
+    /// The search prunes losing children at expansion time — their value
+    /// is exact, so spending iterations on them is pure waste, and
+    /// pruning is sound because a loss can never score above any live
+    /// terminal. Environments without cheap loss detection keep the
+    /// default `false` (nothing is pruned).
+    ///
+    /// Implementations must guarantee `is_losing(s) ⇒ is_terminal(s) &&
+    /// reward(s) == 0`.
+    fn is_losing(&self, state: &Self::State) -> bool {
+        let _ = state;
+        false
+    }
+
     /// Reward of a terminal state. Calling this is the expensive step —
     /// for scheduling it invokes the throughput estimator — so the search
     /// counts these calls against its budget.
@@ -61,17 +79,40 @@ pub trait Environment {
         states.iter().map(|s| self.reward(s)).collect()
     }
 
+    /// Like [`Environment::reward_batch`], but also reports how many of
+    /// the rewards actually **queried the evaluator** (as opposed to
+    /// being answered by a memo, a within-batch duplicate, or a dead
+    /// state's constant 0).
+    ///
+    /// The search uses this to account estimator work truthfully: a
+    /// terminal rollout is not an evaluation if no evaluator ran for it.
+    /// The default assumes every state costs one query, matching the
+    /// default `reward_batch` loop; environments with memoization or
+    /// free-scoring states override it alongside `reward_batch`.
+    fn reward_batch_counted(&self, states: &[Self::State]) -> (Vec<f64>, usize) {
+        (self.reward_batch(states), states.len())
+    }
+
     /// Draws the next action during a *simulation rollout*.
     ///
-    /// Defaults to uniform random. Environments with sparse winning
-    /// regions (like stage-capped scheduling, where uniformly random
-    /// device choices alternate pipeline stages into the losing rule
-    /// almost surely) should override this with a heavier playout policy;
-    /// tree *expansion* still enumerates every action, so optimality
-    /// pressure is unaffected.
-    fn rollout_action(&self, state: &Self::State, rng: &mut dyn RngCore) -> usize {
-        let _ = state;
-        (rng.next_u32() as usize) % self.num_actions()
+    /// `policy` comes straight from `SearchBudget::rollout_policy` — the
+    /// budget is the single source of truth, so A/B-ing playout policies
+    /// is one builder call with no second knob to keep in sync.
+    ///
+    /// Defaults to uniform random, ignoring the policy. Environments with
+    /// sparse winning regions (like stage-capped scheduling, where
+    /// uniformly random device choices alternate pipeline stages into the
+    /// losing rule almost surely) override this with heavier playout
+    /// policies; tree *expansion* still enumerates every action, so
+    /// optimality pressure is unaffected.
+    fn rollout_action(
+        &self,
+        state: &Self::State,
+        rng: &mut dyn RngCore,
+        policy: RolloutPolicy,
+    ) -> usize {
+        let _ = (state, policy);
+        rng.gen_range(0..self.num_actions())
     }
 
     /// Status helper combining the two queries.
@@ -122,6 +163,15 @@ pub(crate) mod test_env {
             assert!(self.is_terminal(state));
             state.iter().sum::<usize>() as f64 / self.depth as f64
         }
+    }
+
+    #[test]
+    fn default_counted_batch_charges_every_state() {
+        let env = CountOnes { depth: 2 };
+        let t = env.apply(&env.apply(&env.initial(), 1), 0);
+        let (rewards, queries) = env.reward_batch_counted(&[t.clone(), t]);
+        assert_eq!(queries, 2, "default accounting is one query per state");
+        assert_eq!(rewards.len(), 2);
     }
 
     #[test]

@@ -12,10 +12,20 @@
 //!   order is irrelevant since they ultimately run concurrently).
 //! * **Winning state** — every layer of every DNN assigned.
 //! * **Losing state** — a pipeline with more stages than the device count
-//!   `x` (redundant stages mean extra transfers and delay).
+//!   `x` (redundant stages mean extra transfers and delay). The search
+//!   prunes such children at expansion time ([`Environment::is_losing`]):
+//!   their reward is exactly 0 without consulting the evaluator, and a
+//!   decided prefix's stages can never merge again, so pruning is sound.
 //! * **Evaluation** — completed mappings are scored by a throughput
 //!   estimator; the search is budgeted (the paper uses 500 iterations,
-//!   depth 100).
+//!   depth 100). [`SearchResult::evaluations`] counts the queries that
+//!   actually reached the evaluator (memo hits, within-batch duplicates
+//!   and dead states are free).
+//! * **Rollouts** — simulation playouts follow [`RolloutPolicy`]
+//!   (`SearchBudget::rollout_policy`): the default stage-budget-aware
+//!   policy provably reaches a live terminal from any live state, so the
+//!   batched pipeline's evaluation batches actually fill; the historical
+//!   90%-sticky policy remains available for A/B runs.
 //!
 //! The search ([`Mcts`]) is generic over an [`Environment`], and the
 //! scheduling environment ([`SchedulingEnv`]) is generic over any
@@ -46,7 +56,7 @@ mod env;
 mod sched_env;
 mod tree;
 
-pub use budget::SearchBudget;
+pub use budget::{RolloutPolicy, SearchBudget};
 pub use env::{Environment, Status};
 pub use sched_env::{SchedState, SchedulingEnv};
 pub use tree::{Mcts, SearchResult};

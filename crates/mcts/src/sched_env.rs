@@ -1,7 +1,9 @@
 //! The multi-DNN scheduling environment (§IV-C).
 
+use crate::budget::RolloutPolicy;
 use crate::env::Environment;
 use omniboost_hw::{Device, HwError, Mapping, ThroughputModel, Workload};
+use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -13,6 +15,11 @@ pub struct SchedState {
     devices: Vec<Device>,
     /// Next decision index.
     decision: usize,
+    /// Pipeline-stage count of the decided prefix of the DNN currently
+    /// being edited (decisions run DNN by DNN, so one counter suffices).
+    /// Maintained incrementally by `apply` — this is what makes both the
+    /// losing-rule check and the budget-aware rollout policy O(1).
+    stages: usize,
     /// Whether a losing condition (stage-cap violation) was hit.
     dead: bool,
 }
@@ -26,6 +33,12 @@ impl SchedState {
     /// Decisions already taken.
     pub fn decisions_taken(&self) -> usize {
         self.decision
+    }
+
+    /// Pipeline stages in the decided prefix of the DNN currently being
+    /// edited (0 before the first decision).
+    pub fn current_dnn_stages(&self) -> usize {
+        self.stages
     }
 }
 
@@ -56,12 +69,20 @@ pub struct SchedulingEnv<'a, M: ThroughputModel> {
     win_bonus: f64,
     /// Reward memo for the batched pipeline: completed assignments the
     /// search revisits (UCT re-selects good terminals many times, and
-    /// sticky rollouts recreate the same completions) are answered
+    /// rollout policies recreate the same completions) are answered
     /// without re-querying the evaluator. Scoped to this environment,
     /// i.e. to one scheduling decision — the evaluator is deterministic,
     /// so memoized rewards are exactly what a fresh query would return.
+    /// (Cross-decision reuse is the estimator-side `EvalCache`'s job.)
     reward_memo: Mutex<HashMap<Vec<Device>, f64>>,
+    /// Reward queries answered from the memo (a previous round scored
+    /// the same assignment).
     memo_hits: AtomicUsize,
+    /// Reward queries answered by deduplication *within* one batch (two
+    /// pending rollouts of the same round completed identically). Kept
+    /// separate from `memo_hits` so cache-effectiveness numbers don't
+    /// conflate "the memo worked" with "the round duplicated itself".
+    batch_dedup_hits: AtomicUsize,
     memo_misses: AtomicUsize,
 }
 
@@ -103,14 +124,22 @@ impl<'a, M: ThroughputModel> SchedulingEnv<'a, M> {
             win_bonus: 0.1,
             reward_memo: Mutex::new(HashMap::new()),
             memo_hits: AtomicUsize::new(0),
+            batch_dedup_hits: AtomicUsize::new(0),
             memo_misses: AtomicUsize::new(0),
         })
     }
 
-    /// Batched-pipeline reward queries answered from the memo (repeat
-    /// visits of an already-scored assignment).
+    /// Batched-pipeline reward queries answered from the cross-round
+    /// memo (repeat visits of an assignment scored in an earlier round).
     pub fn memo_hits(&self) -> usize {
         self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Batched-pipeline reward queries answered by within-batch
+    /// deduplication (two rollouts of the *same* round completed the
+    /// same assignment — not a memo hit).
+    pub fn batch_dedup_hits(&self) -> usize {
+        self.batch_dedup_hits.load(Ordering::Relaxed)
     }
 
     /// Batched-pipeline reward queries that reached the evaluator.
@@ -160,6 +189,7 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
         SchedState {
             devices: vec![Device::Gpu; self.workload.total_layers()],
             decision: 0,
+            stages: 0,
             dead: false,
         }
     }
@@ -180,12 +210,26 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
                     *d = device;
                 }
                 // A whole-DNN placement is always 1 stage: no prune check.
+                next.stages = 1;
             }
             Decision::Layer(di, l) => {
-                next.devices[self.offsets[di] + l] = device;
-                if self.prefix_stages(&next, di, l) > self.stage_cap {
-                    next.dead = true;
+                let off = self.offsets[di];
+                // Re-placing layer `l` adds a stage boundary exactly when
+                // it differs from the (final) layer `l-1`; layers after
+                // `l` are not yet decided, so the incremental count stays
+                // exact.
+                if device != next.devices[off + l - 1] {
+                    next.stages += 1;
+                    if next.stages > self.stage_cap {
+                        next.dead = true;
+                    }
                 }
+                next.devices[off + l] = device;
+                debug_assert_eq!(
+                    next.stages,
+                    self.prefix_stages(&next, di, l),
+                    "incremental stage count drifted from the prefix scan"
+                );
             }
         }
         next.decision += 1;
@@ -194,6 +238,12 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
 
     fn is_terminal(&self, state: &SchedState) -> bool {
         state.dead || state.decision >= self.decisions.len()
+    }
+
+    /// The §IV-C losing rule is decidable without the evaluator, so the
+    /// search can prune stage-cap-violating children at expansion time.
+    fn is_losing(&self, state: &SchedState) -> bool {
+        state.dead
     }
 
     fn reward(&self, state: &SchedState) -> f64 {
@@ -215,12 +265,21 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
     /// simulation). Element `i` equals `self.reward(&states[i])` because
     /// the evaluator is deterministic.
     fn reward_batch(&self, states: &[SchedState]) -> Vec<f64> {
+        self.reward_batch_counted(states).0
+    }
+
+    /// [`SchedulingEnv::reward_batch`] plus truthful accounting: the
+    /// second element is the number of **actual evaluator queries**
+    /// (unique, un-memoized, live assignments) — dead states, memo hits
+    /// and within-batch duplicates are answered for free.
+    fn reward_batch_counted(&self, states: &[SchedState]) -> (Vec<f64>, usize) {
         let mut out = vec![0.0f64; states.len()];
         // Indices still needing an evaluator query, deduplicated by
         // assignment (first occurrence wins; duplicates share the slot).
         let mut unique: HashMap<&[Device], usize> = HashMap::new();
         let mut fresh: Vec<(Vec<usize>, Mapping)> = Vec::new();
-        let mut hits = 0usize;
+        let mut memo_hits = 0usize;
+        let mut dedup_hits = 0usize;
         {
             // Memo lookups under the lock; the guard is dropped before
             // the evaluator runs so concurrent root-parallel trees don't
@@ -233,13 +292,13 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
                 }
                 if let Some(r) = memo.get(state.devices.as_slice()) {
                     out[i] = *r;
-                    hits += 1;
+                    memo_hits += 1;
                     continue;
                 }
                 match unique.get(state.devices.as_slice()) {
                     Some(&slot) => {
                         fresh[slot].0.push(i);
-                        hits += 1;
+                        dedup_hits += 1;
                     }
                     None => {
                         unique.insert(state.devices.as_slice(), fresh.len());
@@ -248,10 +307,13 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
                 }
             }
         }
-        self.memo_hits.fetch_add(hits, Ordering::Relaxed);
+        self.memo_hits.fetch_add(memo_hits, Ordering::Relaxed);
+        self.batch_dedup_hits
+            .fetch_add(dedup_hits, Ordering::Relaxed);
         self.memo_misses.fetch_add(fresh.len(), Ordering::Relaxed);
+        let queries = fresh.len();
         if fresh.is_empty() {
-            return out;
+            return (out, queries);
         }
         let mappings: Vec<Mapping> = fresh.iter().map(|(_, m)| m.clone()).collect();
         // Unlocked: two trees may race to evaluate the same assignment,
@@ -269,22 +331,78 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
                 out[i] = reward;
             }
         }
-        out
+        (out, queries)
     }
 
-    /// Sticky rollout policy: when re-placing layer `l`, repeat layer
-    /// `l-1`'s device with high probability. Uniform play alternates
-    /// devices ~2/3 of the time and runs into the stage-cap losing rule
-    /// almost surely on deep networks; stickiness keeps playouts alive
-    /// while the tree itself still enumerates every action.
-    fn rollout_action(&self, state: &SchedState, rng: &mut dyn rand::RngCore) -> usize {
-        const STICKINESS_PERCENT: u32 = 90;
-        if let Decision::Layer(di, l) = self.decisions[state.decision] {
-            if rng.next_u32() % 100 < STICKINESS_PERCENT {
-                return state.devices[self.offsets[di] + l - 1].index();
+    /// Simulation playout policy, selected by
+    /// `SearchBudget::rollout_policy` (the search threads it through).
+    ///
+    /// **Budget-aware** (default): whole-DNN placements draw uniformly
+    /// (they always reset to 1 stage). When re-placing layer `l`, compute
+    /// the remaining stage budget `b = stage_cap - stages(prefix)` in
+    /// O(1) from the state's tracked counter. `b == 0` forces the
+    /// previous layer's device — the only moves that could kill the
+    /// playout are never taken, so **every playout from a live state
+    /// reaches a live terminal**. While `b > 0`, switch devices with
+    /// probability `b / (remaining_layers + b)` (uniform over the other
+    /// devices), spreading splits across the network's remaining depth.
+    /// The denominator keeps the probability strictly below 1 at every
+    /// depth: the playout may *leave budget unspent*, so mappings with
+    /// fewer than `stage_cap` stages (a whole DNN on one device, say)
+    /// stay sampleable — a `b / remaining` rule would force
+    /// exactly-`stage_cap`-stage terminals and bias the search away from
+    /// low-stage optima.
+    ///
+    /// **Sticky** (the historical A/B baseline): repeat the previous
+    /// layer's device with 90% probability, else draw uniformly — alive
+    /// *often*, but on deep networks most playouts still die on the
+    /// stage cap (~13% live-terminal yield on the heavy 4-DNN mix).
+    fn rollout_action(
+        &self,
+        state: &SchedState,
+        rng: &mut dyn rand::RngCore,
+        policy: RolloutPolicy,
+    ) -> usize {
+        match policy {
+            RolloutPolicy::Sticky => {
+                const STICKINESS: f64 = 0.90;
+                if let Decision::Layer(di, l) = self.decisions[state.decision] {
+                    if rng.gen_bool(STICKINESS) {
+                        return state.devices[self.offsets[di] + l - 1].index();
+                    }
+                }
+                rng.gen_range(0..Device::COUNT)
             }
+            RolloutPolicy::BudgetAware => match self.decisions[state.decision] {
+                Decision::WholeDnn(_) => rng.gen_range(0..Device::COUNT),
+                Decision::Layer(di, l) => {
+                    let prev = state.devices[self.offsets[di] + l - 1];
+                    // Live state ⇒ stages ≤ cap, so this never underflows.
+                    let budget = self.stage_cap - state.stages;
+                    if budget == 0 {
+                        return prev.index();
+                    }
+                    let remaining = self.workload.dnn(di).num_layers() - l;
+                    // Strictly below 1 (see doc): keeping the previous
+                    // device must stay possible at every depth so
+                    // sub-cap-stage mappings remain in the playout
+                    // distribution.
+                    let p_switch = budget as f64 / (remaining + budget) as f64;
+                    if rng.gen_bool(p_switch) {
+                        // Uniform over the devices other than `prev`, so
+                        // a "switch" draw always spends budget.
+                        let k = rng.gen_range(0..Device::COUNT - 1);
+                        if k >= prev.index() {
+                            k + 1
+                        } else {
+                            k
+                        }
+                    } else {
+                        prev.index()
+                    }
+                }
+            },
         }
-        (rng.next_u32() as usize) % Device::COUNT
     }
 }
 
@@ -295,6 +413,7 @@ mod tests {
     use crate::tree::Mcts;
     use omniboost_hw::{AnalyticModel, Board};
     use omniboost_models::ModelId;
+    use rand::SeedableRng;
 
     fn setup() -> (Workload, AnalyticModel) {
         let board = Board::hikey970();
@@ -390,5 +509,246 @@ mod tests {
             SchedulingEnv::new(&w, &ev, 3),
             Err(HwError::EmptyWorkload)
         ));
+    }
+
+    #[test]
+    fn stage_counter_tracks_prefix_scan() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use rand::Rng as _;
+        for _ in 0..50 {
+            let mut s = env.initial();
+            while !env.is_terminal(&s) {
+                s = env.apply(&s, rng.gen_range(0..Device::COUNT));
+            }
+            // The debug_assert inside `apply` checks the counter against
+            // the O(n) scan at every step; reaching a terminal without
+            // panicking is the property.
+            assert!(env.is_terminal(&s));
+        }
+    }
+
+    fn rollout_to_terminal<M: ThroughputModel>(
+        env: &SchedulingEnv<'_, M>,
+        mut s: SchedState,
+        rng: &mut rand::rngs::StdRng,
+    ) -> SchedState {
+        while !env.is_terminal(&s) {
+            let a = env.rollout_action(&s, rng, RolloutPolicy::BudgetAware);
+            s = env.apply(&s, a);
+        }
+        s
+    }
+
+    #[test]
+    fn budget_aware_rollouts_never_die_from_live_states() {
+        // From ANY live state — including prefixes that already spent the
+        // whole stage budget — budget-aware playouts must reach a live
+        // terminal. Drive to random live states first (tree-style uniform
+        // actions, retrying past deaths), then roll out.
+        let board = Board::hikey970();
+        let w = Workload::from_ids([
+            ModelId::Vgg19,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+            ModelId::AlexNet,
+        ]);
+        let ev = AnalyticModel::new(board);
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use rand::Rng as _;
+        for trial in 0..200 {
+            // Random live prefix of random length.
+            let target = rng.gen_range(0..env.num_decisions());
+            let mut s = env.initial();
+            while s.decisions_taken() < target && !env.is_terminal(&s) {
+                let next = env.apply(&s, rng.gen_range(0..Device::COUNT));
+                if next.is_dead() {
+                    continue; // that action kills; try another draw
+                }
+                s = next;
+            }
+            let t = rollout_to_terminal(&env, s, &mut rng);
+            assert!(
+                !t.is_dead(),
+                "trial {trial}: budget-aware rollout died on the stage cap"
+            );
+            assert!(env.reward(&t) > 0.0);
+        }
+    }
+
+    #[test]
+    fn budget_aware_forces_previous_device_when_budget_exhausted() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        // Burn the whole budget: place DNN 0, then alternate twice.
+        let mut s = env.apply(&env.initial(), Device::Gpu.index());
+        s = env.apply(&s, Device::BigCpu.index());
+        s = env.apply(&s, Device::LittleCpu.index());
+        assert_eq!(s.current_dnn_stages(), 3);
+        assert!(!s.is_dead());
+        // Every rollout draw must now repeat the previous layer's device.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = env.rollout_action(&s, &mut rng, RolloutPolicy::BudgetAware);
+            assert_eq!(a, Device::LittleCpu.index(), "forced move violated");
+        }
+    }
+
+    #[test]
+    fn budget_aware_playouts_sample_sub_cap_mappings_too() {
+        // The playout distribution must not force every terminal to the
+        // full stage cap: single-stage (whole-DNN) completions have to
+        // remain reachable or the search can never return low-stage
+        // optima from its rollouts.
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut saw_sub_cap = false;
+        let mut saw_full_cap = false;
+        for _ in 0..200 {
+            let t = rollout_to_terminal(&env, env.initial(), &mut rng);
+            assert!(!t.is_dead());
+            let stages = env.mapping_of(&t).max_stages();
+            saw_sub_cap |= stages < 3;
+            saw_full_cap |= stages == 3;
+        }
+        assert!(saw_sub_cap, "playouts never leave stage budget unspent");
+        assert!(saw_full_cap, "playouts never use the full stage budget");
+    }
+
+    #[test]
+    fn sticky_policy_remains_available_for_ab_runs() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let result = Mcts::new(
+            SearchBudget::with_iterations(100).with_rollout_policy(RolloutPolicy::Sticky),
+        )
+        .search(&env, 3);
+        assert!(result.best_reward > 0.0);
+        assert!(!result.best_state.is_dead());
+    }
+
+    #[test]
+    fn budget_aware_yield_dominates_sticky_on_heavy_mix() {
+        // The tentpole claim: on the heavy 4-DNN mix with cap 3, sticky
+        // playouts mostly die while budget-aware playouts essentially all
+        // reach live terminals.
+        let board = Board::hikey970();
+        let w = Workload::from_ids([
+            ModelId::Vgg19,
+            ModelId::ResNet50,
+            ModelId::InceptionV3,
+            ModelId::AlexNet,
+        ]);
+        let ev = AnalyticModel::new(board);
+        let budget = SearchBudget::with_iterations(500).with_batch_size(16);
+
+        let sticky_env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let sticky =
+            Mcts::new(budget.with_rollout_policy(RolloutPolicy::Sticky)).search(&sticky_env, 42);
+
+        let aware_env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let aware = Mcts::new(budget).search(&aware_env, 42);
+
+        assert!(
+            aware.live_terminal_rollouts >= 450,
+            "budget-aware yield {}/500 below the 450 bar",
+            aware.live_terminal_rollouts
+        );
+        assert!(
+            aware.live_terminal_rollouts > sticky.live_terminal_rollouts * 2,
+            "aware {} vs sticky {}",
+            aware.live_terminal_rollouts,
+            sticky.live_terminal_rollouts
+        );
+        assert!(aware.best_reward > 0.0);
+    }
+
+    /// Counts every mapping that reaches the evaluator.
+    struct CountingModel {
+        inner: AnalyticModel,
+        queries: AtomicUsize,
+    }
+
+    impl ThroughputModel for CountingModel {
+        fn evaluate(
+            &self,
+            workload: &Workload,
+            mapping: &Mapping,
+        ) -> Result<omniboost_hw::ThroughputReport, HwError> {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            self.inner.evaluate(workload, mapping)
+        }
+
+        fn evaluate_batch(
+            &self,
+            workload: &Workload,
+            mappings: &[Mapping],
+        ) -> Vec<Result<omniboost_hw::ThroughputReport, HwError>> {
+            self.queries.fetch_add(mappings.len(), Ordering::Relaxed);
+            self.inner.evaluate_batch(workload, mappings)
+        }
+    }
+
+    #[test]
+    fn search_evaluations_equal_actual_evaluator_queries() {
+        // The §V-B accounting invariant: `SearchResult::evaluations` must
+        // equal the number of mappings the evaluator actually scored —
+        // dead states, memo hits and within-batch duplicates are free.
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let counting = CountingModel {
+            inner: AnalyticModel::new(board),
+            queries: AtomicUsize::new(0),
+        };
+        for (batch, policy) in [
+            (1usize, RolloutPolicy::BudgetAware),
+            (16, RolloutPolicy::BudgetAware),
+            (16, RolloutPolicy::Sticky),
+        ] {
+            let env = SchedulingEnv::new(&w, &counting, 3).unwrap();
+            let before = counting.queries.load(Ordering::Relaxed);
+            let result = Mcts::new(
+                SearchBudget::with_iterations(200)
+                    .with_batch_size(batch)
+                    .with_rollout_policy(policy),
+            )
+            .search(&env, 9);
+            let actual = counting.queries.load(Ordering::Relaxed) - before;
+            assert_eq!(
+                result.evaluations, actual,
+                "batch {batch} {policy:?}: reported {} vs actual {actual}",
+                result.evaluations
+            );
+            // Cross-check against the env's own counters.
+            assert_eq!(result.evaluations, env.memo_misses());
+            assert!(result.live_terminal_rollouts <= result.terminal_rollouts);
+            assert!(result.terminal_rollouts <= result.iterations);
+        }
+    }
+
+    #[test]
+    fn memo_and_dedup_counters_are_split() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let mut s = env.initial();
+        while !env.is_terminal(&s) {
+            s = env.apply(&s, Device::Gpu.index());
+        }
+        // Three copies in one batch: 1 evaluator query + 2 dedup hits.
+        let (r, queries) = env.reward_batch_counted(&[s.clone(), s.clone(), s.clone()]);
+        assert_eq!(queries, 1);
+        assert!((r[0] - r[1]).abs() < 1e-12 && (r[1] - r[2]).abs() < 1e-12);
+        assert_eq!(env.memo_misses(), 1);
+        assert_eq!(env.batch_dedup_hits(), 2);
+        assert_eq!(env.memo_hits(), 0, "same-round dups are not memo hits");
+        // A later batch with the same assignment: a true memo hit.
+        let (_, queries) = env.reward_batch_counted(&[s.clone()]);
+        assert_eq!(queries, 0);
+        assert_eq!(env.memo_hits(), 1);
+        assert_eq!(env.batch_dedup_hits(), 2);
+        assert_eq!(env.memo_misses(), 1);
     }
 }

@@ -15,23 +15,50 @@ pub struct SearchResult<S> {
     pub best_reward: f64,
     /// Iterations performed.
     pub iterations: usize,
-    /// Estimator (reward) evaluations performed — the dominant run-time
-    /// cost the paper discusses in §V-B.
+    /// **Actual evaluator queries** performed — the dominant run-time
+    /// cost the paper discusses in §V-B. Counted by the environment
+    /// ([`Environment::reward_batch_counted`]): terminal rollouts
+    /// answered by a memo, by within-batch deduplication, or scored 0 as
+    /// dead states never reach the evaluator and are not counted here.
     pub evaluations: usize,
+    /// Rollouts that reached *any* terminal state (live or dead) within
+    /// the depth cap.
+    pub terminal_rollouts: usize,
+    /// Rollouts that reached a **live** terminal (positive reward) — the
+    /// yield that determines how full each evaluation batch actually is.
+    pub live_terminal_rollouts: usize,
+    /// Batched scoring rounds performed (per root tree, accumulated by
+    /// the root-parallel merge) — `live_terminal_rollouts / rounds` is
+    /// the effective evaluation batch fill.
+    pub rounds: usize,
+}
+
+/// Per-action slot of a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Child {
+    /// Not tried yet.
+    Unexplored,
+    /// Tried and found to be a known loss ([`Environment::is_losing`]);
+    /// its exact value is 0, so no node is materialized and selection
+    /// never descends here.
+    Pruned,
+    /// Expanded into a tree node.
+    Node(usize),
 }
 
 struct Node<S> {
     state: S,
     parent: Option<usize>,
-    /// child node index per action; `None` = unexpanded.
-    children: Vec<Option<usize>>,
+    /// Child slot per action.
+    children: Vec<Child>,
     visits: u64,
     total_reward: f64,
     terminal: bool,
 }
 
-/// Monte-Carlo Tree Search with UCT selection, single-child expansion,
-/// uniform random rollouts and mean-reward backpropagation.
+/// Monte-Carlo Tree Search with UCT selection, single-child expansion
+/// with known-loss pruning ([`Environment::is_losing`]), policy-driven
+/// rollouts and mean-reward backpropagation.
 ///
 /// See the crate docs for a complete example.
 #[derive(Debug, Clone, Copy)]
@@ -75,13 +102,16 @@ impl Mcts {
             terminal: env.is_terminal(&root_state),
             state: root_state.clone(),
             parent: None,
-            children: vec![None; env.num_actions()],
+            children: vec![Child::Unexplored; env.num_actions()],
             visits: 0,
             total_reward: 0.0,
         }];
         let mut best_state: Option<E::State> = None;
         let mut best_reward = 0.0f64;
         let mut evaluations = 0usize;
+        let mut terminal_rollouts = 0usize;
+        let mut live_terminal_rollouts = 0usize;
+        let mut rounds = 0usize;
         let mut done = 0usize;
 
         while done < self.budget.iterations {
@@ -97,29 +127,51 @@ impl Mcts {
                     if nodes[idx].terminal {
                         break;
                     }
-                    let unexpanded: Vec<usize> = nodes[idx]
+                    let mut unexplored: Vec<usize> = nodes[idx]
                         .children
                         .iter()
                         .enumerate()
-                        .filter(|(_, c)| c.is_none())
+                        .filter(|(_, c)| **c == Child::Unexplored)
                         .map(|(a, _)| a)
                         .collect();
-                    if !unexpanded.is_empty() {
-                        // 2. Expansion: add one random unexpanded child.
-                        let action = unexpanded[rng.gen_range(0..unexpanded.len())];
+                    // 2. Expansion: try random unexplored actions,
+                    //    pruning known losses (their value is exactly 0;
+                    //    materializing them would burn an iteration per
+                    //    loss) until a live child expands. A loss is only
+                    //    kept if it is the node's very last option, so
+                    //    every non-terminal node on a path always ends up
+                    //    with at least one real child.
+                    let mut expanded = None;
+                    while !unexplored.is_empty() {
+                        let pick = rng.gen_range(0..unexplored.len());
+                        let action = unexplored.swap_remove(pick);
                         let child_state = env.apply(&nodes[idx].state, action);
+                        if env.is_losing(&child_state)
+                            && (!unexplored.is_empty()
+                                || nodes[idx]
+                                    .children
+                                    .iter()
+                                    .any(|c| matches!(c, Child::Node(_))))
+                        {
+                            nodes[idx].children[action] = Child::Pruned;
+                            continue;
+                        }
                         let terminal = env.is_terminal(&child_state);
                         let child = Node {
                             state: child_state,
                             parent: Some(idx),
-                            children: vec![None; env.num_actions()],
+                            children: vec![Child::Unexplored; env.num_actions()],
                             visits: 0,
                             total_reward: 0.0,
                             terminal,
                         };
                         nodes.push(child);
                         let cidx = nodes.len() - 1;
-                        nodes[idx].children[action] = Some(cidx);
+                        nodes[idx].children[action] = Child::Node(cidx);
+                        expanded = Some(cidx);
+                        break;
+                    }
+                    if let Some(cidx) = expanded {
                         idx = cidx;
                         break;
                     }
@@ -128,7 +180,8 @@ impl Mcts {
                     let ln_n = ((nodes[idx].visits.max(1)) as f64).ln();
                     let mut best_child = None;
                     let mut best_uct = f64::NEG_INFINITY;
-                    for c in nodes[idx].children.iter().flatten() {
+                    for c in &nodes[idx].children {
+                        let Child::Node(c) = c else { continue };
                         let ch = &nodes[*c];
                         let mean = if ch.visits == 0 {
                             0.0
@@ -158,7 +211,7 @@ impl Mcts {
                     if depth >= self.budget.max_depth {
                         break;
                     }
-                    let action = env.rollout_action(&rollout, &mut rng);
+                    let action = env.rollout_action(&rollout, &mut rng, self.budget.rollout_policy);
                     rollout = env.apply(&rollout, action);
                     depth += 1;
                 }
@@ -175,16 +228,19 @@ impl Mcts {
 
             // 4. Batched evaluation: one round trip for every terminal
             //    rollout of the round (overruns score 0 without a query).
+            //    The environment reports how many states actually cost an
+            //    evaluator query (memo hits / dedup / dead are free).
             let to_score: Vec<E::State> = pending
                 .iter()
                 .filter(|(_, _, terminal)| *terminal)
                 .map(|(_, state, _)| state.clone())
                 .collect();
-            evaluations += to_score.len();
             let rewards = if to_score.is_empty() {
                 Vec::new()
             } else {
-                env.reward_batch(&to_score)
+                let (rewards, queries) = env.reward_batch_counted(&to_score);
+                evaluations += queries;
+                rewards
             };
 
             // 5. Backpropagation: convert each virtual loss into the real
@@ -194,6 +250,10 @@ impl Mcts {
                 let reward = if terminal {
                     let r = rewards[ri];
                     ri += 1;
+                    terminal_rollouts += 1;
+                    if r > 0.0 {
+                        live_terminal_rollouts += 1;
+                    }
                     r
                 } else {
                     0.0
@@ -212,6 +272,7 @@ impl Mcts {
                 }
             }
             done += quota;
+            rounds += 1;
         }
 
         SearchResult {
@@ -219,6 +280,9 @@ impl Mcts {
             best_reward,
             iterations: self.budget.iterations,
             evaluations,
+            terminal_rollouts,
+            live_terminal_rollouts,
+            rounds,
         }
     }
 
@@ -299,14 +363,17 @@ fn derive_root_seed(seed: u64, root: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Merges per-tree results in order: iterations/evaluations accumulate,
-/// the strictly best reward wins (first tree on ties, so the merge is
-/// deterministic regardless of thread scheduling).
+/// Merges per-tree results in order: iterations/evaluations/rollout
+/// counters accumulate, the strictly best reward wins (first tree on
+/// ties, so the merge is deterministic regardless of thread scheduling).
 fn merge_results<S>(mut results: Vec<SearchResult<S>>) -> SearchResult<S> {
     let mut best = results.remove(0);
     for r in results {
         best.iterations += r.iterations;
         best.evaluations += r.evaluations;
+        best.terminal_rollouts += r.terminal_rollouts;
+        best.live_terminal_rollouts += r.live_terminal_rollouts;
+        best.rounds += r.rounds;
         if r.best_reward > best.best_reward {
             best.best_reward = r.best_reward;
             best.best_state = r.best_state;

@@ -1,9 +1,11 @@
 //! Property-based tests over the tree search and scheduling environment.
 
 use omniboost_hw::{AnalyticModel, Board, Device, Workload};
-use omniboost_mcts::{Environment, Mcts, SchedulingEnv, SearchBudget};
+use omniboost_mcts::{Environment, Mcts, RolloutPolicy, SchedulingEnv, SearchBudget};
 use omniboost_models::ModelId;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn arb_mix() -> impl Strategy<Value = Vec<ModelId>> {
     proptest::sample::subsequence(ModelId::ALL.to_vec(), 1..=3)
@@ -86,5 +88,82 @@ proptest! {
         let small = Mcts::new(SearchBudget::with_iterations(25)).search(&env, seed);
         let large = Mcts::new(SearchBudget::with_iterations(150)).search(&env, seed);
         prop_assert!(large.best_reward >= small.best_reward - 1e-9);
+    }
+
+    /// Budget-aware playouts from ANY reachable live state never die on
+    /// the stage cap: drive the environment to a random live state with
+    /// arbitrary (death-avoiding) actions, then roll out to a terminal
+    /// with the environment's own policy.
+    #[test]
+    fn budget_aware_rollouts_from_reachable_live_states_never_die(
+        mix in arb_mix(),
+        prefix_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let board = Board::hikey970();
+        let evaluator = AnalyticModel::new(board);
+        let workload = Workload::from_ids(mix);
+        let env = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random reachable live prefix (retry draws that would kill).
+        let target = (prefix_frac * env.num_decisions() as f64) as usize;
+        let mut state = env.initial();
+        while state.decisions_taken() < target {
+            let next = env.apply(&state, rng.gen_range(0..Device::COUNT));
+            if !next.is_dead() {
+                state = next;
+            }
+        }
+        prop_assert!(!env.is_terminal(&state) || !state.is_dead());
+        // Policy rollout to the end.
+        while !env.is_terminal(&state) {
+            let action = env.rollout_action(&state, &mut rng, RolloutPolicy::BudgetAware);
+            state = env.apply(&state, action);
+        }
+        prop_assert!(!state.is_dead(), "budget-aware playout died");
+        prop_assert!(env.reward(&state) > 0.0);
+        prop_assert!(env.mapping_of(&state).max_stages() <= 3);
+    }
+
+    /// Batched search under the budget-aware policy is deterministic per
+    /// seed, and every rollout of the heavy regime reaches a live
+    /// terminal (the batch actually fills).
+    #[test]
+    fn batched_budget_aware_search_is_deterministic_and_full_yield(
+        mix in arb_mix(),
+        seed in 0u64..500,
+    ) {
+        let board = Board::hikey970();
+        let evaluator = AnalyticModel::new(board);
+        let workload = Workload::from_ids(mix);
+        let mcts = Mcts::new(SearchBudget::with_iterations(60).with_batch_size(8));
+        let env_a = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+        let a = mcts.search(&env_a, seed);
+        let env_b = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+        let b = mcts.search(&env_b, seed);
+        prop_assert_eq!(&a.best_state, &b.best_state);
+        prop_assert_eq!(a.best_reward, b.best_reward);
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.live_terminal_rollouts, b.live_terminal_rollouts);
+        // Small mixes fit the depth cap, so full yield is guaranteed.
+        prop_assert_eq!(a.live_terminal_rollouts, a.iterations);
+        prop_assert_eq!(a.terminal_rollouts, a.iterations);
+    }
+
+    /// `batch_size == 1` under the budget-aware policy reproduces the
+    /// scalar one-query-per-iteration loop draw-for-draw.
+    #[test]
+    fn batch_size_one_still_matches_scalar_loop(seed in 0u64..200) {
+        let board = Board::hikey970();
+        let evaluator = AnalyticModel::new(board);
+        let workload = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let env_s = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+        let scalar = Mcts::new(SearchBudget::scalar(50)).search(&env_s, seed);
+        let env_b = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+        let batched = Mcts::new(SearchBudget::with_iterations(50).with_batch_size(1))
+            .search(&env_b, seed);
+        prop_assert_eq!(&scalar.best_state, &batched.best_state);
+        prop_assert_eq!(scalar.best_reward, batched.best_reward);
+        prop_assert_eq!(scalar.evaluations, batched.evaluations);
     }
 }
