@@ -1,0 +1,23 @@
+# Convenience entry points for the OmniBoost reproduction.
+
+# Tier-1 verification: everything CI's test job runs.
+.PHONY: verify
+verify:
+	cargo build --release
+	cargo test -q
+
+# Perf smoke: both perf benches end to end in SMOKE mode — shrunken
+# budgets/epochs, metrics pipelines fully exercised, no JSON snapshot
+# rewrites (numbers from noisy runners must not be published).
+.PHONY: perf-smoke
+perf-smoke:
+	SMOKE=1 cargo bench --bench decision_latency
+	SMOKE=1 cargo bench --bench estimator_training
+
+# Full perf snapshots: rewrites BENCH_decision_latency.json and
+# BENCH_estimator_training.json with this host's numbers (the
+# estimator_training direct-backward baseline takes a few minutes).
+.PHONY: perf-snapshots
+perf-snapshots:
+	cargo bench --bench decision_latency
+	cargo bench --bench estimator_training

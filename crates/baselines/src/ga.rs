@@ -9,7 +9,10 @@
 //! mutation operator damages elite chromosomes by introducing redundant
 //! pipeline stages, which the repair layer then merges away.
 
-use omniboost_hw::{Board, Device, HwError, Mapping, Scheduler, ThroughputModel, Workload};
+use omniboost_estimator::{CachedEstimator, EvalCache};
+use omniboost_hw::{
+    Board, Device, EvalCacheStats, HwError, Mapping, Scheduler, ThroughputModel, Workload,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,6 +35,12 @@ pub struct GeneticConfig {
     pub max_stages: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Capacity of the cross-decision evaluation cache (0 disables).
+    /// Elites are re-measured every generation and recurring workloads
+    /// re-evolve from the same seed population, so the GA benefits from
+    /// the same `(workload, mapping)` memoization OmniBoost's serving
+    /// path uses — keeping decision-latency comparisons fair.
+    pub eval_cache_capacity: usize,
 }
 
 impl Default for GeneticConfig {
@@ -51,6 +60,7 @@ impl Default for GeneticConfig {
             elitism: 2,
             max_stages: 3,
             seed: 0x6E7E71C,
+            eval_cache_capacity: 8192,
         }
     }
 }
@@ -68,12 +78,27 @@ impl Default for GeneticConfig {
 /// assert!(mapping.max_stages() <= 3);
 /// # Ok::<(), omniboost_hw::HwError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Genetic {
     config: GeneticConfig,
     /// Fitness evaluations performed by the last `decide` call (the
-    /// run-time cost driver discussed in §V-B).
+    /// run-time cost driver discussed in §V-B). With the cache enabled
+    /// this counts *actual* board measurements — cache hits are free.
     last_evaluations: usize,
+    /// Cross-decision evaluation cache. Guarded by `cached_board`: a
+    /// `decide` call against a different board drops every entry, so
+    /// stale fitness from other hardware can never be replayed.
+    eval_cache: EvalCache,
+    cached_board: Option<Board>,
+}
+
+impl Clone for Genetic {
+    /// Clones get a *fresh* cache: sharing one would let concurrent
+    /// clones corrupt each other's `last_evaluations` accounting (and
+    /// the cache refills on first decision anyway).
+    fn clone(&self) -> Self {
+        Self::new(self.config)
+    }
 }
 
 impl Genetic {
@@ -82,6 +107,8 @@ impl Genetic {
         Self {
             config,
             last_evaluations: 0,
+            eval_cache: EvalCache::new(config.eval_cache_capacity),
+            cached_board: None,
         }
     }
 
@@ -93,6 +120,11 @@ impl Genetic {
     /// The configuration.
     pub fn config(&self) -> &GeneticConfig {
         &self.config
+    }
+
+    /// The cross-decision evaluation cache.
+    pub fn eval_cache(&self) -> &EvalCache {
+        &self.eval_cache
     }
 }
 
@@ -167,7 +199,18 @@ impl Scheduler for Genetic {
 
     fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
         board.admit(workload)?;
-        let sim = board.simulator();
+        // The cache key is (workload, mapping) only — entries are valid
+        // for exactly one board, so a board change must flush.
+        if self.cached_board.as_ref() != Some(board) {
+            self.eval_cache.clear();
+            self.cached_board = Some(board.clone());
+        }
+        // Every fitness measurement flows through the cross-decision
+        // cache (a no-op when capacity is 0): re-measured elites within
+        // a decision and recurring workloads across decisions both
+        // amortize, mirroring OmniBoost's serving path.
+        let sim = CachedEstimator::new(board.simulator(), &self.eval_cache);
+        let misses_before = self.eval_cache.stats().misses;
         let total = workload.total_layers();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let cfg = self.config;
@@ -248,7 +291,13 @@ impl Scheduler for Genetic {
                 .collect();
         }
 
-        self.last_evaluations = evals;
+        // Report real board measurements: with the cache enabled only
+        // misses ran the simulator, matching OmniBoost's accounting.
+        self.last_evaluations = if self.eval_cache.is_disabled() {
+            evals
+        } else {
+            (self.eval_cache.stats().misses - misses_before) as usize
+        };
         let best = scores
             .iter()
             .enumerate()
@@ -256,6 +305,10 @@ impl Scheduler for Genetic {
             .map(|(i, _)| i)
             .expect("non-empty population");
         Ok(decode(workload, &population[best]))
+    }
+
+    fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
+        (!self.eval_cache.is_disabled()).then(|| self.eval_cache.stats())
     }
 }
 
@@ -316,6 +369,65 @@ mod tests {
         m.validate(&w).unwrap();
         assert!(m.max_stages() <= 3);
         assert!(ga.last_evaluations() > 0);
+    }
+
+    /// The GA re-evolves per decision, so a recurring workload replays
+    /// the exact same candidate sequence — a fully-warm decision runs
+    /// zero fresh board measurements.
+    #[test]
+    fn recurring_decisions_amortize_through_the_eval_cache() {
+        let board = Board::hikey970();
+        let mut ga = Genetic::new(tiny_config());
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let m1 = ga.decide(&board, &w).unwrap();
+        let cold = ga.eval_cache_stats().expect("cache enabled by default");
+        assert!(cold.misses > 0);
+        let cold_evals = ga.last_evaluations();
+        assert!(cold_evals > 0);
+        // Within a single decision, elites are re-measured every
+        // generation, so even the cold decision saves work.
+        assert!(cold.hits > 0, "elite re-measurement should hit: {cold:?}");
+        let m2 = ga.decide(&board, &w).unwrap();
+        assert_eq!(m1, m2, "deterministic per seed");
+        let warm = ga.eval_cache_stats().unwrap();
+        assert_eq!(warm.misses, cold.misses, "no new measurements when warm");
+        assert_eq!(ga.last_evaluations(), 0, "fully-warm decision is free");
+    }
+
+    /// Cached fitness is valid for one board only: deciding against
+    /// different hardware must flush, never replay stale throughputs.
+    #[test]
+    fn board_change_flushes_the_eval_cache() {
+        let board_a = Board::hikey970();
+        let mut board_b = Board::hikey970();
+        board_b.max_concurrent_dnns += 1; // distinct hardware
+        let mut ga = Genetic::new(tiny_config());
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        ga.decide(&board_a, &w).unwrap();
+        let warm = ga.eval_cache_stats().unwrap();
+        ga.decide(&board_b, &w).unwrap();
+        let after = ga.eval_cache_stats().unwrap();
+        assert!(
+            after.misses > warm.misses,
+            "different board must re-measure: {warm:?} -> {after:?}"
+        );
+        assert!(ga.last_evaluations() > 0);
+        // And clones never share cache state.
+        let clone = ga.clone();
+        assert!(clone.eval_cache().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_eval_cache() {
+        let board = Board::hikey970();
+        let mut ga = Genetic::new(GeneticConfig {
+            eval_cache_capacity: 0,
+            ..tiny_config()
+        });
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        ga.decide(&board, &w).unwrap();
+        assert_eq!(ga.eval_cache_stats(), None);
+        assert!(ga.last_evaluations() > 0, "uncached counting still works");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use criterion::Criterion;
 use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic, MosaicConfig};
 use omniboost::estimator::{CachedEstimator, EvalCache};
 use omniboost::mcts::{Mcts, RolloutPolicy, SchedulingEnv, SearchBudget};
-use omniboost::{OmniBoost, OmniBoostConfig};
+use omniboost::{OmniBoost, OmniBoostConfig, OracleOmniBoost};
 use omniboost_bench::paper_mixes;
 use omniboost_hw::{Board, Scheduler, Workload};
 use std::hint::black_box;
@@ -206,6 +206,53 @@ fn write_snapshot(trained: &OmniBoost, iters: usize, samples: usize, write: bool
         stats.hit_rate(),
     );
 
+    // Baseline schedulers now share the same cross-decision caching as
+    // OmniBoost (PR 2 follow-up): repeat one decision per baseline and
+    // surface its cold/warm latency plus cache counters, so the fairness
+    // of the comparison is itself measured.
+    let mut baseline_rows = Vec::new();
+    {
+        let board = Board::hikey970();
+        let mut ga = Genetic::new(GeneticConfig {
+            population: 8,
+            generations: 3,
+            ..GeneticConfig::default()
+        });
+        let mut oracle = OracleOmniBoost::new(SearchBudget::with_iterations(60), 3, 42);
+        let mut row =
+            |name: &str, decide: &mut dyn FnMut(&Workload) -> Option<omniboost::EvalCacheStats>| {
+                let mut times = Vec::new();
+                let mut stats = None;
+                for _ in 0..2 {
+                    let t = Instant::now();
+                    stats = decide(&workload);
+                    times.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                let stats = stats.expect("cache enabled");
+                baseline_rows.push(format!(
+                    concat!(
+                        "    {{\"scheduler\": \"{}\", \"cold_decision_ms\": {:.3}, ",
+                        "\"warm_decision_ms\": {:.3}, \"hits\": {}, \"misses\": {}, ",
+                        "\"hit_rate\": {:.3}}}"
+                    ),
+                    name,
+                    times[0],
+                    times[1],
+                    stats.hits,
+                    stats.misses,
+                    stats.hit_rate(),
+                ));
+            };
+        row("ga_small", &mut |w| {
+            ga.decide(&board, w).unwrap();
+            ga.eval_cache_stats()
+        });
+        row("omniboost_oracle_budget60", &mut |w| {
+            oracle.decide(&board, w).unwrap();
+            oracle.eval_cache_stats()
+        });
+    }
+
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
         concat!(
@@ -226,7 +273,12 @@ fn write_snapshot(trained: &OmniBoost, iters: usize, samples: usize, write: bool
             "warm decision is the recurring-traffic serving path and beats every ",
             "search-from-scratch number including PR 1's\",\n",
             "  \"pipelines\": [\n{}\n  ],\n",
-            "  \"cross_decision_cache\": {}\n",
+            "  \"cross_decision_cache\": {},\n",
+            "  \"baseline_eval_caches_note\": \"PR 3: the GA and the oracle-guided ",
+            "ablation now route evaluations through the same cross-decision EvalCache ",
+            "as OmniBoost (reduced budgets: ga pop8/gen3, oracle 60 iterations), so ",
+            "warm-decision comparisons are cache-for-cache fair\",\n",
+            "  \"baseline_eval_caches\": [\n{}\n  ]\n",
             "}}\n"
         ),
         workload,
@@ -234,6 +286,7 @@ fn write_snapshot(trained: &OmniBoost, iters: usize, samples: usize, write: bool
         threads,
         rows.join(",\n"),
         cache_json,
+        baseline_rows.join(",\n"),
     );
     if !write {
         // CI smoke mode: everything above ran (so the yield/fill/cache

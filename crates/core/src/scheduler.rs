@@ -122,10 +122,18 @@ impl Scheduler for OmniBoost {
 /// Comparing [`OmniBoost`] against this quantifies how much throughput
 /// the estimator's approximation error costs — one of the design-choice
 /// ablations listed in `DESIGN.md`.
+///
+/// Oracle queries flow through the same cross-decision [`EvalCache`] as
+/// the estimator path (capacity matches [`OmniBoostConfig`]'s default;
+/// 0 disables), so decision-latency comparisons between the two are
+/// cache-for-cache fair. Cached reports are valid for exactly one
+/// board; deciding against a different board flushes the cache.
 pub struct OracleOmniBoost {
     budget: SearchBudget,
     stage_cap: usize,
     seed: u64,
+    eval_cache: EvalCache,
+    cached_board: Option<Board>,
 }
 
 impl OracleOmniBoost {
@@ -135,7 +143,22 @@ impl OracleOmniBoost {
             budget,
             stage_cap,
             seed,
+            eval_cache: EvalCache::new(OmniBoostConfig::default().eval_cache_capacity),
+            cached_board: None,
         }
+    }
+
+    /// Replaces the cross-decision cache capacity (0 disables; any
+    /// cached reports are dropped).
+    #[must_use]
+    pub fn with_eval_cache_capacity(mut self, capacity: usize) -> Self {
+        self.eval_cache = EvalCache::new(capacity);
+        self
+    }
+
+    /// The cross-decision evaluation cache.
+    pub fn eval_cache(&self) -> &EvalCache {
+        &self.eval_cache
     }
 }
 
@@ -146,12 +169,21 @@ impl Scheduler for OracleOmniBoost {
 
     fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
         board.admit(workload)?;
-        let oracle = board.simulator();
+        // Cache keys carry no board identity — flush on board change.
+        if self.cached_board.as_ref() != Some(board) {
+            self.eval_cache.clear();
+            self.cached_board = Some(board.clone());
+        }
+        let oracle = CachedEstimator::new(board.simulator(), &self.eval_cache);
         let env = SchedulingEnv::new(workload, &oracle, self.stage_cap)?;
         let result = Mcts::new(self.budget).run(&env, self.seed);
         let mapping = env.mapping_of(&result.best_state);
         mapping.validate(workload)?;
         Ok(mapping)
+    }
+
+    fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
+        (!self.eval_cache.is_disabled()).then(|| self.eval_cache.stats())
     }
 }
 
@@ -238,6 +270,28 @@ mod tests {
         sched.decide(&board, &w).unwrap();
         assert_eq!(sched.eval_cache_stats(), None);
         assert!(sched.eval_cache().is_disabled());
+    }
+
+    /// Oracle decisions amortize through the same cross-decision cache
+    /// as estimator decisions — the fairness fix for latency A/Bs.
+    #[test]
+    fn oracle_recurring_decisions_amortize() {
+        let board = Board::hikey970();
+        let mut sched = OracleOmniBoost::new(SearchBudget::with_iterations(60), 3, 9);
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let m1 = sched.decide(&board, &w).unwrap();
+        let cold = sched.eval_cache_stats().expect("cache enabled by default");
+        assert!(cold.misses > 0);
+        let m2 = sched.decide(&board, &w).unwrap();
+        assert_eq!(m1, m2, "search is deterministic per seed");
+        let warm = sched.eval_cache_stats().unwrap();
+        assert_eq!(warm.misses, cold.misses, "warm decision ran no oracle");
+        assert!(warm.hits > cold.hits);
+        // Opting out still works.
+        let mut uncached = OracleOmniBoost::new(SearchBudget::with_iterations(10), 3, 9)
+            .with_eval_cache_capacity(0);
+        uncached.decide(&board, &w).unwrap();
+        assert_eq!(uncached.eval_cache_stats(), None);
     }
 
     #[test]

@@ -148,8 +148,9 @@ impl CnnEstimator {
         let mask = MaskTensor::build(&self.embedding, workload, mapping)
             .map_err(|e| HwError::UnknownModel(e.0))?;
         let input = mask.apply(&self.embedding);
-        let out = self.net.lock().forward(&input);
-        let norm = [out.data()[0], out.data()[1], out.data()[2]];
+        // Inference-mode forward: no per-layer gradient caches on the
+        // serving path.
+        let norm = self.net.lock().predict(&input);
         let bound = crate::bound::FeasibilityBound::new(&self.embedding);
         Ok(self.postprocess(norm, workload, mapping, &bound))
     }

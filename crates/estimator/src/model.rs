@@ -42,6 +42,7 @@ pub struct EstimatorNet {
     num_models: usize,
     max_layers: usize,
     activation: ActivationKind,
+    training: bool,
 }
 
 fn act(kind: ActivationKind) -> Box<dyn Module + Send> {
@@ -63,6 +64,12 @@ impl Module for Boxed {
     }
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.0.params_mut()
+    }
+    fn set_training(&mut self, training: bool) {
+        self.0.set_training(training);
+    }
+    fn set_gemm_backward(&mut self, enabled: bool) {
+        self.0.set_gemm_backward(enabled);
     }
 }
 
@@ -102,6 +109,7 @@ impl EstimatorNet {
             num_models,
             max_layers,
             activation,
+            training: true,
         }
     }
 
@@ -121,14 +129,17 @@ impl EstimatorNet {
     }
 
     /// Convenience single-sample inference: `[3, M, L]` (or `[1, 3, M, L]`)
-    /// in, three outputs out.
+    /// in, three outputs out. Runs in inference mode — no layer caches
+    /// activations, so the serving path pays zero gradient-cache clones.
     pub fn predict(&mut self, input: &Tensor) -> [f32; 3] {
-        let x = if input.shape().len() == 3 {
-            input.reshape(&[1, 3, self.num_models, self.max_layers])
+        let was_training = self.training;
+        self.set_training(false);
+        let y = if input.shape().len() == 3 {
+            self.forward(&input.reshape(&[1, 3, self.num_models, self.max_layers]))
         } else {
-            input.clone()
+            self.forward(input)
         };
-        let y = self.forward(&x);
+        self.set_training(was_training);
         [y.data()[0], y.data()[1], y.data()[2]]
     }
 
@@ -141,6 +152,10 @@ impl EstimatorNet {
     /// [`EstimatorNet::predict`]; one pass simply amortizes the per-call
     /// module dispatch and activation allocations — the overhead §V-B's
     /// 500-query decision loop pays per iteration on the scalar path.
+    ///
+    /// Runs in inference mode: no layer caches activations for a
+    /// backward that never comes, so serving a batch no longer pays one
+    /// full input clone per conv/activation layer.
     ///
     /// # Panics
     ///
@@ -160,7 +175,10 @@ impl EstimatorNet {
             data.extend_from_slice(t.data());
         }
         let x = Tensor::from_vec(data, &[inputs.len(), 3, m, l]);
+        let was_training = self.training;
+        self.set_training(false);
         let y = self.forward(&x);
+        self.set_training(was_training);
         let out = y.data();
         (0..inputs.len())
             .map(|i| [out[3 * i], out[3 * i + 1], out[3 * i + 2]])
@@ -184,6 +202,15 @@ impl Module for EstimatorNet {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.net.params_mut()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+        self.net.set_training(training);
+    }
+
+    fn set_gemm_backward(&mut self, enabled: bool) {
+        self.net.set_gemm_backward(enabled);
     }
 }
 
@@ -236,5 +263,31 @@ mod tests {
     fn wrong_grid_is_rejected() {
         let mut net = EstimatorNet::new(11, 37, ActivationKind::Gelu, 1);
         let _ = net.forward(&Tensor::zeros(&[1, 3, 5, 5]));
+    }
+
+    /// The serving path must not keep gradient caches: after an
+    /// inference-mode batch, there is nothing for backward to consume.
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn predict_batch_leaves_no_gradient_caches() {
+        let mut net = EstimatorNet::new(11, 37, ActivationKind::Gelu, 6);
+        let inputs: Vec<Tensor> = (0..3).map(|i| Tensor::randn(&[3, 11, 37], i)).collect();
+        let _ = net.predict_batch(&inputs);
+        let _ = net.backward(&Tensor::zeros(&[3, 3]));
+    }
+
+    /// Inference mode changes bookkeeping, never values, and training
+    /// mode is restored afterwards.
+    #[test]
+    fn predict_matches_training_forward_values() {
+        let mut net = EstimatorNet::new(11, 37, ActivationKind::Gelu, 7);
+        let x = Tensor::randn(&[1, 3, 11, 37], 8);
+        let y = net.forward(&x);
+        let p = net.predict(&x);
+        assert_eq!([y.data()[0], y.data()[1], y.data()[2]], p);
+        // Training still works after a predict call (mode restored).
+        let y2 = net.forward(&x);
+        let g = net.backward(&Tensor::full(y2.shape(), 1.0));
+        assert!(g.max_abs() > 0.0);
     }
 }

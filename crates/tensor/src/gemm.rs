@@ -1,0 +1,423 @@
+//! Packed, register-blocked `f32` matrix kernels — the shared GEMM core
+//! behind every batched forward *and* backward pass.
+//!
+//! Three multiply shapes cover the whole training hot path:
+//!
+//! * [`gemm_nn`] — `C += A·B`. Conv/linear forward (`out = W·cols`,
+//!   `y = G·W`) and the linear input gradient. The per-element
+//!   accumulation starts from the existing `C` value and walks `k` in
+//!   ascending order, so with `C` pre-filled with the bias the result is
+//!   **bit-identical** to the seed's sequential tap loop (the contract
+//!   the batched-vs-scalar 1e-9 equivalence tests rely on).
+//! * [`gemm_nt`] — `C += A·Bᵀ`. The weight gradients (`dW = G·colsᵀ`,
+//!   `dW = Gᵀ·X` transposed): tiny output, huge reduction dimension.
+//!   Uses lane-blocked partial sums (deterministic, but *not* the
+//!   sequential order — gradient consumers tolerate ≤1e-5).
+//! * [`gemm_tn`] — `C += Aᵀ·B`. The lowered input gradient
+//!   (`dcols = Wᵀ·G`): rank-1 updates tiled over the wide axis.
+//!
+//! All kernels are allocation-free given a caller-held [`GemmScratch`]
+//! (the packing buffers), which the conv/linear modules reuse across
+//! steps — one piece of the PR's "no per-call allocations" budget.
+
+/// Micro-kernel row count (A-panel height).
+const MR: usize = 4;
+/// Micro-kernel column count (B-panel width) — 16 `f32`s = two AVX (or
+/// four SSE) vectors, putting the `MR×NR` accumulator block at 8 AVX
+/// registers: half the architectural register file, leaving room for
+/// the broadcast value and the B panel loads.
+const NR: usize = 16;
+/// Lane count for the dot-product kernel ([`gemm_nt`]) — 16 `f32`s =
+/// two AVX vectors per accumulator, giving eight independent add chains
+/// across the four accumulators to hide floating-point latency.
+const LANES: usize = 16;
+/// Column tile width for the rank-1 kernel ([`gemm_tn`]): 512 floats =
+/// 2 KiB per row, so a whole `k × TW` B-tile stays cache-resident while
+/// every C row crosses it.
+const TW: usize = 512;
+
+/// Reusable packing buffers for [`gemm_nn`]. Hold one per module and the
+/// kernels never allocate after the first call at a given size.
+#[derive(Debug, Default, Clone)]
+pub struct GemmScratch {
+    apack: Vec<f32>,
+    bpack: Vec<f32>,
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]`, row-major.
+///
+/// Numerical contract: every output element accumulates its `k` products
+/// in ascending order on top of the *existing* `C` value, exactly like a
+/// naive `for kk { c += a*b }` loop — register blocking changes which
+/// elements are computed together, never the per-element operation
+/// sequence. Callers pre-fill `C` with the bias (or zeros) and get
+/// bitwise-reproducible results regardless of `m`/`n` blocking.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` extent implies.
+pub fn gemm_nn(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    assert!(a.len() >= m * k, "A too short");
+    assert!(b.len() >= k * n, "B too short");
+    assert!(c.len() >= m * n, "C too short");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        return; // C += 0 contribution.
+    }
+    // Pack A once per call: per MR-row block, k-major with the MR rows
+    // interleaved (`apack[(block*k + kk)*MR + r]`), zero-padded so the
+    // micro-kernel always reads full MR-wide slabs.
+    let mblocks = m.div_ceil(MR);
+    scratch.apack.clear();
+    scratch.apack.resize(mblocks * k * MR, 0.0);
+    for ib in 0..mblocks {
+        let base = ib * k * MR;
+        for r in 0..MR {
+            let row = ib * MR + r;
+            if row >= m {
+                break;
+            }
+            let arow = &a[row * k..row * k + k];
+            for (kk, &av) in arow.iter().enumerate() {
+                scratch.apack[base + kk * MR + r] = av;
+            }
+        }
+    }
+    // March over NR-wide column tiles; pack the B tile contiguously
+    // (k-major, zero-padded to NR) and reuse it for every A block.
+    scratch.bpack.clear();
+    scratch.bpack.resize(k * NR, 0.0);
+    let mut j0 = 0usize;
+    while j0 < n {
+        let nr = NR.min(n - j0);
+        for kk in 0..k {
+            let brow = &b[kk * n + j0..kk * n + j0 + nr];
+            let dst = &mut scratch.bpack[kk * NR..kk * NR + NR];
+            dst[..nr].copy_from_slice(brow);
+            for d in dst[nr..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+        for ib in 0..mblocks {
+            let mr = MR.min(m - ib * MR);
+            let apanel = &scratch.apack[ib * k * MR..(ib + 1) * k * MR];
+            microkernel(
+                mr,
+                nr,
+                apanel,
+                &scratch.bpack,
+                &mut c[(ib * MR) * n + j0..],
+                n,
+            );
+        }
+        j0 += nr;
+    }
+}
+
+/// The `MR×NR` register-tile inner loop: loads the live `mr×nr` corner of
+/// `C`, accumulates all `k` slabs in order, stores it back.
+fn microkernel(mr: usize, nr: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+        acc_row[..nr].copy_from_slice(&c[r * ldc..r * ldc + nr]);
+    }
+    for (ak, bk) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        // Full MR×NR update: rows beyond `mr` accumulate padded zeros
+        // into dead accumulators, which keeps this loop branch-free.
+        for (acc_row, &av) in acc.iter_mut().zip(ak) {
+            for (av_acc, &bv) in acc_row.iter_mut().zip(bk) {
+                *av_acc += av * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate().take(mr) {
+        c[r * ldc..r * ldc + nr].copy_from_slice(&acc_row[..nr]);
+    }
+}
+
+/// `C[m×n] += A[m×k] · Bᵀ` with `B` stored row-major as `[n×k]` — the
+/// dot-product shape (`dW = G·colsᵀ`), where `m`/`n` are small and `k` is
+/// the huge batched-spatial axis.
+///
+/// Each dot product uses [`LANES`] parallel partial sums reduced
+/// pairwise, then the scalar tail: deterministic for a given `k`, and
+/// identical for every row, but not the strict sequential order (the
+/// gradient consumers tolerate far looser than the ~1e-7 relative
+/// difference blocking introduces — blocked sums are, if anything, more
+/// accurate).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its extents imply.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "A too short");
+    assert!(b.len() >= n * k, "B too short");
+    assert!(c.len() >= m * n, "C too short");
+    // 2×2 output tile: four dot products share the two streamed A rows
+    // and two streamed B rows, halving memory traffic on the huge axis.
+    let mut i = 0usize;
+    while i < m {
+        let two_i = i + 1 < m;
+        let (a0, a1) = (
+            &a[i * k..i * k + k],
+            &a[if two_i { i + 1 } else { i } * k..][..k],
+        );
+        let mut j = 0usize;
+        while j < n {
+            let two_j = j + 1 < n;
+            let b0 = &b[j * k..j * k + k];
+            let b1 = &b[if two_j { j + 1 } else { j } * k..][..k];
+            let (d00, d01, d10, d11) = dot2x2(a0, a1, b0, b1);
+            c[i * n + j] += d00;
+            if two_j {
+                c[i * n + j + 1] += d01;
+            }
+            if two_i {
+                c[(i + 1) * n + j] += d10;
+                if two_j {
+                    c[(i + 1) * n + j + 1] += d11;
+                }
+            }
+            j += 2;
+        }
+        i += 2;
+    }
+}
+
+/// Four simultaneous lane-blocked dot products over equal-length rows.
+fn dot2x2(a0: &[f32], a1: &[f32], b0: &[f32], b1: &[f32]) -> (f32, f32, f32, f32) {
+    let k = a0.len();
+    let mut l00 = [0.0f32; LANES];
+    let mut l01 = [0.0f32; LANES];
+    let mut l10 = [0.0f32; LANES];
+    let mut l11 = [0.0f32; LANES];
+    let chunks = k / LANES * LANES;
+    let mut idx = 0usize;
+    while idx < chunks {
+        // Fixed-size array views: exact lengths are visible to the
+        // vectorizer and every bounds check vanishes.
+        let xa0: &[f32; LANES] = a0[idx..idx + LANES].try_into().expect("exact");
+        let xa1: &[f32; LANES] = a1[idx..idx + LANES].try_into().expect("exact");
+        let xb0: &[f32; LANES] = b0[idx..idx + LANES].try_into().expect("exact");
+        let xb1: &[f32; LANES] = b1[idx..idx + LANES].try_into().expect("exact");
+        for l in 0..LANES {
+            l00[l] += xa0[l] * xb0[l];
+            l01[l] += xa0[l] * xb1[l];
+            l10[l] += xa1[l] * xb0[l];
+            l11[l] += xa1[l] * xb1[l];
+        }
+        idx += LANES;
+    }
+    let mut d = (reduce(&l00), reduce(&l01), reduce(&l10), reduce(&l11));
+    for (((&xa0, &xa1), &xb0), &xb1) in a0[chunks..]
+        .iter()
+        .zip(&a1[chunks..])
+        .zip(&b0[chunks..])
+        .zip(&b1[chunks..])
+    {
+        d.0 += xa0 * xb0;
+        d.1 += xa0 * xb1;
+        d.2 += xa1 * xb0;
+        d.3 += xa1 * xb1;
+    }
+    d
+}
+
+/// Pairwise lane reduction (fixed tree, deterministic).
+fn reduce(l: &[f32; LANES]) -> f32 {
+    let mut width = LANES / 2;
+    let mut acc = *l;
+    while width > 0 {
+        for i in 0..width {
+            acc[i] += acc[i + width];
+        }
+        width /= 2;
+    }
+    acc[0]
+}
+
+/// `C[m×n] += Aᵀ · B` with `A` stored row-major as `[k×m]` — the rank-1
+/// shape (`dcols = Wᵀ·G`), where `k` is small (output channels) and `n`
+/// is the huge batched-spatial axis.
+///
+/// `ldb` is B's row stride (≥ `n`), so a caller can multiply against a
+/// column window of a wider matrix — the conv backward uses this to
+/// produce one *sample's* lowered gradient at a time into an L2-sized
+/// tile that col2im consumes while hot, instead of round-tripping the
+/// full `[C·k·k, N·OH·OW]` matrix through memory.
+///
+/// Tiled over `n` so the `k` streamed B rows stay cache-resident while
+/// all `m` C rows cross the tile; the inner update is a contiguous
+/// `axpy`, which vectorizes fully. Zero `A` coefficients are skipped
+/// (they contribute nothing).
+///
+/// # Panics
+///
+/// Panics if `ldb < n` or any slice is shorter than its extents imply.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], ldb: usize, c: &mut [f32]) {
+    assert!(ldb >= n, "B row stride below row width");
+    assert!(a.len() >= k * m, "A too short");
+    assert!(k == 0 || b.len() >= (k - 1) * ldb + n, "B too short");
+    assert!(c.len() >= m * n, "C too short");
+    let mut j0 = 0usize;
+    while j0 < n {
+        let w = TW.min(n - j0);
+        for i in 0..m {
+            let crow = &mut c[i * n + j0..i * n + j0 + w];
+            // Four rank-1 updates per pass: quarters the C-row
+            // read/write traffic and gives the vectorizer independent
+            // products to overlap.
+            let mut p = 0usize;
+            while p + 4 <= k {
+                let (a0, a1, a2, a3) = (
+                    a[p * m + i],
+                    a[(p + 1) * m + i],
+                    a[(p + 2) * m + i],
+                    a[(p + 3) * m + i],
+                );
+                let b0 = &b[p * ldb + j0..p * ldb + j0 + w];
+                let b1 = &b[(p + 1) * ldb + j0..(p + 1) * ldb + j0 + w];
+                let b2 = &b[(p + 2) * ldb + j0..(p + 2) * ldb + j0 + w];
+                let b3 = &b[(p + 3) * ldb + j0..(p + 3) * ldb + j0 + w];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+                }
+                p += 4;
+            }
+            while p < k {
+                let av = a[p * m + i];
+                if av != 0.0 {
+                    let brow = &b[p * ldb + j0..p * ldb + j0 + w];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+                p += 1;
+            }
+        }
+        j0 += w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randv(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    #[test]
+    fn nn_matches_naive_bitwise_across_odd_shapes() {
+        let mut scratch = GemmScratch::default();
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 27, 33), (24, 216, 130)] {
+            let a = randv(m * k, 1);
+            let b = randv(k * n, 2);
+            let init = randv(m * n, 3); // non-zero init: the bias contract
+            let mut c = init.clone();
+            let mut reference = init.clone();
+            gemm_nn(m, k, n, &a, &b, &mut c, &mut scratch);
+            naive_nn(m, k, n, &a, &b, &mut reference);
+            assert_eq!(c, reference, "shape ({m},{k},{n}) must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive_to_tolerance() {
+        for &(m, k, n) in &[(1, 3, 1), (2, 100, 3), (5, 1031, 9), (16, 2048, 72)] {
+            let a = randv(m * k, 4);
+            let b = randv(n * k, 5);
+            let mut c = randv(m * n, 6);
+            let reference: Vec<f32> = (0..m * n)
+                .map(|ij| {
+                    let (i, j) = (ij / n, ij % n);
+                    let dot: f64 = (0..k)
+                        .map(|p| f64::from(a[i * k + p]) * f64::from(b[j * k + p]))
+                        .sum();
+                    c[ij] + dot as f32
+                })
+                .collect();
+            gemm_nt(m, k, n, &a, &b, &mut c);
+            for (x, y) in c.iter().zip(&reference) {
+                assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_naive_to_tolerance() {
+        for &(m, k, n) in &[(1, 1, 3), (9, 4, 600), (72, 16, 1300)] {
+            let a = randv(k * m, 7);
+            let b = randv(k * n, 8);
+            let mut c = randv(m * n, 9);
+            let reference: Vec<f32> = (0..m * n)
+                .map(|ij| {
+                    let (i, j) = (ij / n, ij % n);
+                    let dot: f64 = (0..k)
+                        .map(|p| f64::from(a[p * m + i]) * f64::from(b[p * n + j]))
+                        .sum();
+                    c[ij] + dot as f32
+                })
+                .collect();
+            gemm_tn(m, k, n, &a, &b, n, &mut c);
+            for (x, y) in c.iter().zip(&reference) {
+                assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    /// A strided B window (ldb > n) multiplies the same as slicing the
+    /// columns out densely.
+    #[test]
+    fn tn_strided_window_matches_dense() {
+        let (m, k, n, ldb, off) = (5usize, 3usize, 7usize, 20usize, 6usize);
+        let a = randv(k * m, 10);
+        let wide = randv(k * ldb, 11);
+        // Dense copy of the window's columns.
+        let mut dense = Vec::with_capacity(k * n);
+        for p in 0..k {
+            dense.extend_from_slice(&wide[p * ldb + off..p * ldb + off + n]);
+        }
+        let mut c_strided = vec![0.0f32; m * n];
+        let mut c_dense = vec![0.0f32; m * n];
+        gemm_tn(m, k, n, &a, &wide[off..], ldb, &mut c_strided);
+        gemm_tn(m, k, n, &a, &dense, n, &mut c_dense);
+        assert_eq!(c_strided, c_dense);
+    }
+
+    #[test]
+    fn empty_extents_are_noops() {
+        let mut scratch = GemmScratch::default();
+        let mut c = vec![1.0f32; 4];
+        gemm_nn(0, 3, 2, &[], &[0.0; 6], &mut c, &mut scratch);
+        gemm_nn(2, 0, 2, &[], &[], &mut c, &mut scratch);
+        gemm_nt(2, 0, 2, &[], &[], &mut c);
+        gemm_tn(2, 0, 2, &[], &[], 2, &mut c);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+}

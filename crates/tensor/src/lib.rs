@@ -7,17 +7,22 @@
 //! Scope is deliberately exactly what the estimator needs:
 //!
 //! * dense [`Tensor`]s of `f32` with shape bookkeeping;
+//! * a shared packed, register-blocked GEMM core ([`gemm`]) behind the
+//!   batched convolution/linear forward *and* backward passes;
 //! * forward/backward [`Module`]s: [`Conv2d`], [`Linear`], [`Gelu`],
 //!   [`Relu`], [`MaxPool2d`], [`GlobalAvgPool`], [`Flatten`],
-//!   [`ResidualBlock`] and [`Sequential`] composition;
+//!   [`ResidualBlock`] and [`Sequential`] composition — with a
+//!   train/eval mode switch ([`Module::set_training`]) so serving-path
+//!   forwards keep no gradient caches;
 //! * [`L1Loss`]/[`MseLoss`] criteria (the paper trains with L1 and reports
 //!   L2 as "too aggressive");
 //! * [`Sgd`] and [`Adam`] optimizers.
 //!
 //! Backpropagation is implemented per-module (each module caches its
-//! forward activations), which keeps gradients easy to verify against
-//! finite differences — the test suite does exactly that for every
-//! module.
+//! forward activations in training mode), which keeps gradients easy to
+//! verify against finite differences — the test suite does exactly that
+//! for every module, and additionally property-tests the GEMM-structured
+//! batched backward against the direct reference kernels.
 //!
 //! ```
 //! use omniboost_tensor::{Adam, L1Loss, Linear, Loss, Module, Optimizer, Tensor};
@@ -39,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gemm;
 mod init;
 mod loss;
 mod module;
@@ -46,6 +52,7 @@ pub mod ops;
 mod optim;
 mod tensor;
 
+pub use gemm::{gemm_nn, gemm_nt, gemm_tn, GemmScratch};
 pub use init::kaiming_uniform;
 pub use loss::{L1Loss, Loss, MseLoss};
 pub use module::{export_params, import_params, Module, Param, Sequential};

@@ -53,6 +53,24 @@ pub trait Module {
         Vec::new()
     }
 
+    /// Switches between training mode (the default: `forward` caches
+    /// whatever `backward` needs) and inference mode (`forward` keeps
+    /// **no** gradient caches — no input clones, no argmax maps — and a
+    /// subsequent `backward` panics). Containers must propagate to their
+    /// children; leaf modules without caches can ignore it.
+    fn set_training(&mut self, training: bool) {
+        let _ = training;
+    }
+
+    /// Selects between the GEMM-structured batched backward (the
+    /// default) and the direct reference kernels — the A/B knob behind
+    /// the `estimator_training` bench and the gradient-equivalence
+    /// tests. Containers must propagate; modules with a single backward
+    /// can ignore it.
+    fn set_gemm_backward(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
     /// Zeroes all parameter gradients.
     fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -114,16 +132,27 @@ impl Sequential {
 
 impl Module for Sequential {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut x = input.clone();
-        for m in self.modules.iter_mut() {
+        // Feed `input` to the first module by reference — cloning it here
+        // would charge every training step (and every batched serving
+        // query) one full minibatch copy before any work happens.
+        let mut iter = self.modules.iter_mut();
+        let Some(first) = iter.next() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input);
+        for m in iter {
             x = m.forward(&x);
         }
         x
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = grad_output.clone();
-        for m in self.modules.iter_mut().rev() {
+        let mut iter = self.modules.iter_mut().rev();
+        let Some(last) = iter.next() else {
+            return grad_output.clone();
+        };
+        let mut g = last.backward(grad_output);
+        for m in iter {
             g = m.backward(&g);
         }
         g
@@ -134,6 +163,18 @@ impl Module for Sequential {
             .iter_mut()
             .flat_map(|m| m.params_mut())
             .collect()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        for m in self.modules.iter_mut() {
+            m.set_training(training);
+        }
+    }
+
+    fn set_gemm_backward(&mut self, enabled: bool) {
+        for m in self.modules.iter_mut() {
+            m.set_gemm_backward(enabled);
+        }
     }
 }
 

@@ -1,5 +1,6 @@
-//! Fully-connected layer.
+//! Fully-connected layer on the shared [`crate::gemm`] core.
 
+use crate::gemm::{gemm_nn, gemm_nt, gemm_tn, GemmScratch};
 use crate::init::kaiming_uniform;
 use crate::module::{Module, Param};
 use crate::tensor::Tensor;
@@ -21,6 +22,9 @@ pub struct Linear {
     /// `[out]`.
     bias: Param,
     cached_input: Option<Tensor>,
+    training: bool,
+    gemm_backward: bool,
+    scratch: GemmScratch,
 }
 
 impl Linear {
@@ -36,6 +40,9 @@ impl Linear {
             )),
             bias: Param::new(Tensor::zeros(&[out_features])),
             cached_input: None,
+            training: true,
+            gemm_backward: true,
+            scratch: GemmScratch::default(),
         }
     }
 
@@ -48,44 +55,17 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
-}
 
-impl Module for Linear {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.shape().len(), 2, "Linear expects [N, in] input");
-        assert_eq!(input.shape()[1], self.in_features, "input width mismatch");
-        let n = input.shape()[0];
-        let mut out = Tensor::zeros(&[n, self.out_features]);
-        let w = self.weight.value.data();
-        let b = self.bias.value.data();
-        let x = input.data();
-        let od = out.data_mut();
-        for i in 0..n {
-            for o in 0..self.out_features {
-                let mut acc = b[o];
-                let wrow = &w[o * self.in_features..(o + 1) * self.in_features];
-                let xrow = &x[i * self.in_features..(i + 1) * self.in_features];
-                for (wv, xv) in wrow.iter().zip(xrow) {
-                    acc += wv * xv;
-                }
-                od[i * self.out_features + o] = acc;
-            }
-        }
-        self.cached_input = Some(input.clone());
-        out
+    /// Whether a gradient cache from the last training-mode forward is
+    /// held.
+    pub fn has_grad_cache(&self) -> bool {
+        self.cached_input.is_some()
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward called before forward");
-        let n = input.shape()[0];
-        assert_eq!(grad_output.shape(), &[n, self.out_features]);
-        let x = input.data();
-        let g = grad_output.data();
+    /// The seed's direct backward loops — the A/B reference for
+    /// [`Module::set_gemm_backward`].
+    fn backward_direct(&mut self, n: usize, x: &[f32], g: &[f32]) -> Tensor {
         let w = self.weight.value.data().to_vec();
-
         // dW[o][i] += sum_n g[n][o] * x[n][i];  db[o] += sum_n g[n][o].
         {
             let dw = self.weight.grad.data_mut();
@@ -111,7 +91,6 @@ impl Module for Linear {
                 }
             }
         }
-
         // dx[n][i] = sum_o g[n][o] * W[o][i].
         let mut grad_input = Tensor::zeros(&[n, self.in_features]);
         let gi = grad_input.data_mut();
@@ -131,8 +110,95 @@ impl Module for Linear {
         grad_input
     }
 
+    /// GEMM-shaped backward: `dW += Gᵀ·X`, `db += column-sums of G`,
+    /// `dX = G·W` — the same three-pass structure as the convolution.
+    fn backward_gemm(&mut self, n: usize, x: &[f32], g: &[f32]) -> Tensor {
+        {
+            let db = self.bias.grad.data_mut();
+            for s in 0..n {
+                for o in 0..self.out_features {
+                    db[o] += g[s * self.out_features + o];
+                }
+            }
+        }
+        gemm_tn(
+            self.out_features,
+            n,
+            self.in_features,
+            g,
+            x,
+            self.in_features,
+            self.weight.grad.data_mut(),
+        );
+        let mut grad_input = Tensor::zeros(&[n, self.in_features]);
+        gemm_nn(
+            n,
+            self.out_features,
+            self.in_features,
+            g,
+            self.weight.value.data(),
+            grad_input.data_mut(),
+            &mut self.scratch,
+        );
+        grad_input
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Linear expects [N, in] input");
+        assert_eq!(input.shape()[1], self.in_features, "input width mismatch");
+        let n = input.shape()[0];
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        let b = self.bias.value.data();
+        let od = out.data_mut();
+        for row in od.chunks_exact_mut(self.out_features) {
+            row.copy_from_slice(b);
+        }
+        // y += X · Wᵀ (dot-product shape: W stored `[out, in]`).
+        gemm_nt(
+            n,
+            self.in_features,
+            self.out_features,
+            input.data(),
+            self.weight.value.data(),
+            od,
+        );
+        if self.training {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_input = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        let n = input.shape()[0];
+        assert_eq!(grad_output.shape(), &[n, self.out_features]);
+        let g = grad_output.data();
+        let out = if self.gemm_backward {
+            self.backward_gemm(n, input.data(), g)
+        } else {
+            self.backward_direct(n, input.data(), g)
+        };
+        self.cached_input = Some(input);
+        out
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn set_gemm_backward(&mut self, enabled: bool) {
+        self.gemm_backward = enabled;
     }
 }
 
@@ -178,6 +244,40 @@ mod tests {
         let (lm, _) = MseLoss.compute(&layer.forward(&xp), &target);
         let numeric = (lp - lm) / (2.0 * eps);
         assert!((numeric - gx.data()[0]).abs() < 2e-2);
+    }
+
+    /// The GEMM backward matches the direct reference within 1e-5.
+    #[test]
+    fn gemm_backward_matches_direct_reference() {
+        let mut a = Linear::new(7, 5, 21);
+        let mut b = Linear::new(7, 5, 21);
+        b.set_gemm_backward(false);
+        let x = Tensor::randn(&[9, 7], 1);
+        let ya = a.forward(&x);
+        let _ = b.forward(&x);
+        let grad = Tensor::randn(ya.shape(), 2);
+        a.zero_grad();
+        b.zero_grad();
+        let gxa = a.backward(&grad);
+        let gxb = b.backward(&grad);
+        for (p, q) in gxa.data().iter().zip(gxb.data()) {
+            assert!((p - q).abs() < 1e-5 * (1.0 + q.abs()), "dX {p} vs {q}");
+        }
+        for (p, q) in a.weight.grad.data().iter().zip(b.weight.grad.data()) {
+            assert!((p - q).abs() < 1e-5 * (1.0 + q.abs()), "dW {p} vs {q}");
+        }
+        assert_eq!(a.bias.grad, b.bias.grad, "db is order-identical");
+    }
+
+    #[test]
+    fn eval_mode_forward_keeps_no_grad_cache() {
+        let mut l = Linear::new(3, 2, 4);
+        l.set_training(false);
+        let _ = l.forward(&Tensor::randn(&[4, 3], 1));
+        assert!(!l.has_grad_cache());
+        l.set_training(true);
+        let _ = l.forward(&Tensor::randn(&[4, 3], 2));
+        assert!(l.has_grad_cache());
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub struct MaxPool2d {
     cached_input_shape: Vec<usize>,
     /// Flat input index of each output's argmax.
     cached_argmax: Vec<usize>,
+    training: bool,
 }
 
 impl MaxPool2d {
@@ -34,6 +35,7 @@ impl MaxPool2d {
             window,
             cached_input_shape: Vec::new(),
             cached_argmax: Vec::new(),
+            training: true,
         }
     }
 }
@@ -49,9 +51,18 @@ impl Module for MaxPool2d {
         assert!(oh > 0 && ow > 0, "input smaller than pooling window");
         let x = input.data();
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        self.cached_argmax = vec![0; out.len()];
-        self.cached_input_shape = input.shape().to_vec();
         let od = out.data_mut();
+        // One window-iteration loop for both modes: training records
+        // each output's argmax for backward (buffers reused across
+        // steps — clear+resize keeps the allocation); inference clears
+        // the caches and skips only the bookkeeping writes, so the
+        // indexing arithmetic can never drift between train and serve.
+        self.cached_argmax.clear();
+        self.cached_input_shape.clear();
+        if self.training {
+            self.cached_argmax.resize(od.len(), 0);
+            self.cached_input_shape.extend_from_slice(input.shape());
+        }
         for ni in 0..n {
             for ci in 0..c {
                 for oy in 0..oh {
@@ -71,7 +82,9 @@ impl Module for MaxPool2d {
                         }
                         let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
                         od[oidx] = best;
-                        self.cached_argmax[oidx] = best_idx;
+                        if self.training {
+                            self.cached_argmax[oidx] = best_idx;
+                        }
                     }
                 }
             }
@@ -91,12 +104,18 @@ impl Module for MaxPool2d {
         }
         grad_input
     }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C, 1, 1]`.
 #[derive(Debug, Default)]
 pub struct GlobalAvgPool {
     cached_input_shape: Vec<usize>,
+    /// Inverted training flag so `Default` (false) means training mode.
+    inference: bool,
 }
 
 impl GlobalAvgPool {
@@ -112,7 +131,10 @@ impl Module for GlobalAvgPool {
             [n, c, h, w] => [n, c, h, w],
             _ => panic!("GlobalAvgPool expects [N, C, H, W] input"),
         };
-        self.cached_input_shape = input.shape().to_vec();
+        self.cached_input_shape.clear();
+        if !self.inference {
+            self.cached_input_shape.extend_from_slice(input.shape());
+        }
         let x = input.data();
         let mut out = Tensor::zeros(&[n, c, 1, 1]);
         let od = out.data_mut();
@@ -149,6 +171,10 @@ impl Module for GlobalAvgPool {
             }
         }
         grad_input
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.inference = !training;
     }
 }
 

@@ -98,6 +98,91 @@ proptest! {
         }
     }
 
+    /// The GEMM-structured batched backward agrees with the direct
+    /// reference kernels on dW, dX and db within 1e-5, across batch
+    /// sizes, kernels, strides and pads.
+    #[test]
+    fn conv_backward_gemm_equals_direct(
+        n in 1usize..=3,
+        cin in 1usize..=3,
+        cout in 1usize..=4,
+        k in 1usize..=3,
+        s in 1usize..=2,
+        p in 0usize..=1,
+        h in 4usize..=6,
+        w in 4usize..=7,
+        seed in 0u64..1000,
+    ) {
+        let mut gemm_conv = Conv2d::new(cin, cout, k, s, p, seed);
+        let mut direct_conv = Conv2d::new(cin, cout, k, s, p, seed);
+        direct_conv.set_gemm_backward(false);
+        let x = Tensor::randn(&[n, cin, h, w], seed.wrapping_add(1));
+        let y = gemm_conv.forward(&x);
+        let _ = direct_conv.forward(&x);
+        let grad = Tensor::randn(y.shape(), seed.wrapping_add(2));
+        gemm_conv.zero_grad();
+        direct_conv.zero_grad();
+        let gx = gemm_conv.backward(&grad);
+        let gx_ref = direct_conv.backward(&grad);
+        let ctx = format!("n={n} cin={cin} cout={cout} k={k} s={s} p={p} h={h} w={w}");
+        for (a, b) in gx.data().iter().zip(gx_ref.data()) {
+            prop_assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()), "dX {a} vs {b} [{ctx}]");
+        }
+        for (pa, pb) in gemm_conv.params_mut().iter().zip(direct_conv.params_mut()) {
+            for (a, b) in pa.grad.data().iter().zip(pb.grad.data()) {
+                prop_assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()), "dW/db {a} vs {b} [{ctx}]");
+            }
+        }
+    }
+
+    /// The batched GEMM forward reproduces per-sample direct forwards
+    /// (the PR 1 contract, now carried by the shared packed kernel).
+    #[test]
+    fn conv_forward_batched_equals_per_sample(
+        n in 2usize..=4,
+        k in 1usize..=3,
+        s in 1usize..=2,
+        p in 0usize..=1,
+        seed in 0u64..1000,
+    ) {
+        let mut conv = Conv2d::new(2, 3, k, s, p, seed);
+        let h = 5usize;
+        let w = 6usize;
+        let x = Tensor::randn(&[n, 2, h, w], seed.wrapping_add(3));
+        let yb = conv.forward(&x);
+        let per = 2 * h * w;
+        let oper = yb.len() / n;
+        for i in 0..n {
+            let xi = Tensor::from_vec(x.data()[i * per..(i + 1) * per].to_vec(), &[1, 2, h, w]);
+            let yi = conv.forward(&xi);
+            for (a, b) in yb.data()[i * oper..(i + 1) * oper].iter().zip(yi.data()) {
+                prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Training a conv one SGD step with either backward keeps the two
+    /// weight sets within 1e-5 — the gradients feed updates identically.
+    #[test]
+    fn conv_sgd_step_agrees_across_backwards(x in arb_small_tensor(&[3, 2, 5, 5])) {
+        let build = || Conv2d::new(2, 3, 3, 1, 1, 31);
+        let mut a = build();
+        let mut b = build();
+        b.set_gemm_backward(false);
+        for conv in [&mut a, &mut b] {
+            let y = conv.forward(&x);
+            let (_, grad) = MseLoss.compute(&y, &Tensor::zeros(y.shape()));
+            conv.zero_grad();
+            conv.backward(&grad);
+            Adam::new(0.01).step(&mut conv.params_mut());
+        }
+        for (pa, pb) in a.params_mut().iter().zip(b.params_mut()) {
+            for (va, vb) in pa.value.data().iter().zip(pb.value.data()) {
+                prop_assert!((va - vb).abs() < 1e-5, "{va} vs {vb}");
+            }
+        }
+    }
+
     /// A full network forward pass is deterministic and batch-consistent:
     /// evaluating a 2-batch equals evaluating the two samples separately.
     #[test]
@@ -121,5 +206,27 @@ proptest! {
             prop_assert!((yb.get(&[0, i]) - ya.get(&[0, i])).abs() < 1e-4);
             prop_assert!((yb.get(&[1, i]) - yb2.get(&[0, i])).abs() < 1e-4);
         }
+    }
+
+    /// Inference mode changes bookkeeping, never values: an eval-mode
+    /// forward through a full pipeline equals the training-mode forward.
+    #[test]
+    fn inference_mode_preserves_values(x in arb_small_tensor(&[2, 2, 4, 4])) {
+        let mut net = Sequential::new()
+            .push(Conv2d::new(2, 4, 3, 1, 1, 17))
+            .push(Gelu::new())
+            .push(MaxPool2d::new(2))
+            .push(GlobalAvgPool::new())
+            .push(Flatten::new())
+            .push(Linear::new(4, 2, 18));
+        let y_train = net.forward(&x);
+        net.set_training(false);
+        let y_eval = net.forward(&x);
+        prop_assert_eq!(y_train, y_eval);
+        // And training mode keeps working after flipping back.
+        net.set_training(true);
+        let y2 = net.forward(&x);
+        let g = net.backward(&Tensor::full(y2.shape(), 1.0));
+        prop_assert!(g.max_abs() > 0.0);
     }
 }
