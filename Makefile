@@ -6,18 +6,21 @@ verify:
 	cargo build --release
 	cargo test -q
 
-# Perf smoke: both perf benches end to end in SMOKE mode — shrunken
-# budgets/epochs, metrics pipelines fully exercised, no JSON snapshot
-# rewrites (numbers from noisy runners must not be published).
+# Perf smoke: the perf benches end to end in SMOKE mode — shrunken
+# budgets/epochs/traces, metrics pipelines fully exercised, no JSON
+# snapshot rewrites (numbers from noisy runners must not be published).
 .PHONY: perf-smoke
 perf-smoke:
 	SMOKE=1 cargo bench --bench decision_latency
 	SMOKE=1 cargo bench --bench estimator_training
+	SMOKE=1 cargo bench --bench serving
 
-# Full perf snapshots: rewrites BENCH_decision_latency.json and
-# BENCH_estimator_training.json with this host's numbers (the
-# estimator_training direct-backward baseline takes a few minutes).
+# Full perf snapshots: rewrites BENCH_decision_latency.json,
+# BENCH_estimator_training.json and BENCH_serving.json with this host's
+# numbers (the estimator_training direct-backward baseline takes a few
+# minutes).
 .PHONY: perf-snapshots
 perf-snapshots:
 	cargo bench --bench decision_latency
 	cargo bench --bench estimator_training
+	cargo bench --bench serving

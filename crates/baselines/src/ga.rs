@@ -9,7 +9,7 @@
 //! mutation operator damages elite chromosomes by introducing redundant
 //! pipeline stages, which the repair layer then merges away.
 
-use omniboost_estimator::{CachedEstimator, EvalCache};
+use omniboost_estimator::{BoardScopedCache, EvalCache};
 use omniboost_hw::{
     Board, Device, EvalCacheStats, HwError, Mapping, Scheduler, ThroughputModel, Workload,
 };
@@ -85,11 +85,10 @@ pub struct Genetic {
     /// run-time cost driver discussed in §V-B). With the cache enabled
     /// this counts *actual* board measurements — cache hits are free.
     last_evaluations: usize,
-    /// Cross-decision evaluation cache. Guarded by `cached_board`: a
-    /// `decide` call against a different board drops every entry, so
-    /// stale fitness from other hardware can never be replayed.
-    eval_cache: EvalCache,
-    cached_board: Option<Board>,
+    /// Cross-decision evaluation cache, board-scoped: a `decide` call
+    /// against a different board drops every entry, so stale fitness
+    /// from other hardware can never be replayed.
+    eval_cache: BoardScopedCache,
 }
 
 impl Clone for Genetic {
@@ -107,8 +106,7 @@ impl Genetic {
         Self {
             config,
             last_evaluations: 0,
-            eval_cache: EvalCache::new(config.eval_cache_capacity),
-            cached_board: None,
+            eval_cache: BoardScopedCache::new(config.eval_cache_capacity),
         }
     }
 
@@ -124,7 +122,7 @@ impl Genetic {
 
     /// The cross-decision evaluation cache.
     pub fn eval_cache(&self) -> &EvalCache {
-        &self.eval_cache
+        self.eval_cache.cache()
     }
 }
 
@@ -199,18 +197,14 @@ impl Scheduler for Genetic {
 
     fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
         board.admit(workload)?;
-        // The cache key is (workload, mapping) only — entries are valid
-        // for exactly one board, so a board change must flush.
-        if self.cached_board.as_ref() != Some(board) {
-            self.eval_cache.clear();
-            self.cached_board = Some(board.clone());
-        }
-        // Every fitness measurement flows through the cross-decision
-        // cache (a no-op when capacity is 0): re-measured elites within
-        // a decision and recurring workloads across decisions both
-        // amortize, mirroring OmniBoost's serving path.
-        let sim = CachedEstimator::new(board.simulator(), &self.eval_cache);
-        let misses_before = self.eval_cache.stats().misses;
+        // Every fitness measurement flows through the board-scoped
+        // cross-decision cache (a no-op when capacity is 0): the scope
+        // flushes on board change — entries are valid for exactly one
+        // board — and re-measured elites within a decision plus
+        // recurring workloads across decisions both amortize, mirroring
+        // OmniBoost's serving path.
+        let scope = self.eval_cache.begin(board);
+        let sim = scope.wrap(board.simulator());
         let total = workload.total_layers();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let cfg = self.config;
@@ -293,11 +287,7 @@ impl Scheduler for Genetic {
 
         // Report real board measurements: with the cache enabled only
         // misses ran the simulator, matching OmniBoost's accounting.
-        self.last_evaluations = if self.eval_cache.is_disabled() {
-            evals
-        } else {
-            (self.eval_cache.stats().misses - misses_before) as usize
-        };
+        self.last_evaluations = scope.fresh_evaluations(evals);
         let best = scores
             .iter()
             .enumerate()
@@ -308,7 +298,7 @@ impl Scheduler for Genetic {
     }
 
     fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
-        (!self.eval_cache.is_disabled()).then(|| self.eval_cache.stats())
+        self.eval_cache.stats_if_enabled()
     }
 }
 

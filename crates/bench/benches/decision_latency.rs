@@ -3,11 +3,12 @@
 //! completes in seconds; the `runtime_table` binary reports full-budget
 //! numbers), plus scalar-vs-batched-vs-parallel variants of the
 //! OmniBoost evaluation pipeline at the paper's full 500-iteration
-//! budget, A/B-ing the sticky and stage-budget-aware rollout policies.
-//! Running this bench also writes a `BENCH_decision_latency.json`
+//! budget. Running this bench also writes a `BENCH_decision_latency.json`
 //! snapshot comparing the pipelines (live-terminal yield, effective
 //! batch fill, memo/dedup counters) and the cross-decision evaluation
-//! cache (cold vs warm decision).
+//! cache (cold vs warm decision). (The historical sticky-rollout A/B
+//! rows are gone with the policy itself — budget-aware rollouts are the
+//! only playout policy since the serving PR.)
 //!
 //! `SMOKE=1` (the CI mode) shrinks budgets/samples so the whole bench
 //! runs in well under a minute and **does not** rewrite the JSON
@@ -17,7 +18,7 @@
 use criterion::Criterion;
 use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic, MosaicConfig};
 use omniboost::estimator::{CachedEstimator, EvalCache};
-use omniboost::mcts::{Mcts, RolloutPolicy, SchedulingEnv, SearchBudget};
+use omniboost::mcts::{Mcts, SchedulingEnv, SearchBudget};
 use omniboost::{OmniBoost, OmniBoostConfig, OracleOmniBoost};
 use omniboost_bench::paper_mixes;
 use omniboost_hw::{Board, Scheduler, Workload};
@@ -82,27 +83,14 @@ fn bench_decisions(c: &mut Criterion, board: &Board, trained: &mut OmniBoost, it
 }
 
 /// The pipeline variants compared in both the bench and the snapshot:
-/// equal iteration budget throughout. The two `sticky` rows replay PR 1's
-/// rollout policy so the budget-aware yield/latency win stays measured.
+/// equal iteration budget throughout.
 fn pipeline_variants(iters: usize) -> Vec<(&'static str, SearchBudget)> {
     let base = SearchBudget::with_iterations(iters);
     vec![
         ("omniboost_scalar", base.with_batch_size(1)),
-        (
-            "omniboost_scalar_sticky",
-            base.with_batch_size(1)
-                .with_rollout_policy(RolloutPolicy::Sticky),
-        ),
         ("omniboost_batch16", base.with_batch_size(16)),
-        (
-            "omniboost_batch16_sticky",
-            base.with_batch_size(16)
-                .with_rollout_policy(RolloutPolicy::Sticky),
-        ),
-        // Equal-evaluator-work row: at full yield, iters/4 iterations
-        // perform about as many real estimator queries as the sticky
-        // policy extracts from the full budget — the latency-parity
-        // point of the yield win.
+        // Quarter-budget row: the warm-path operating point online
+        // serving uses for single-job-delta reschedules.
         (
             "omniboost_batch16_quarter_budget",
             SearchBudget::with_iterations(iters.div_ceil(4)).with_batch_size(16),
@@ -262,16 +250,16 @@ fn write_snapshot(trained: &OmniBoost, iters: usize, samples: usize, write: bool
             "  \"iteration_budget\": {},\n",
             "  \"seed\": 42,\n",
             "  \"host_threads\": {},\n",
-            "  \"note\": \"sticky rows replay PR 1's 90%-sticky rollout policy; the ",
-            "others use the stage-budget-aware policy; all rows benefit from known-loss ",
-            "pruning at expansion. evaluator_queries counts mappings that actually ",
-            "reached the estimator (memo hits, within-batch duplicates and dead states ",
-            "are free) — PR 1's 30.4ms batch16 figure was cheap because only ~65/500 ",
-            "rollouts scored; at full yield the same budget performs the paper's full ",
-            "500 queries (compare the quarter-budget row for equal evaluator work). ",
-            "cross_decision_cache repeats one decision against a shared EvalCache: the ",
-            "warm decision is the recurring-traffic serving path and beats every ",
-            "search-from-scratch number including PR 1's\",\n",
+            "  \"note\": \"all rows use the stage-budget-aware rollout policy (the ",
+            "sticky A/B baseline was removed once nothing benchmarked against it) and ",
+            "benefit from known-loss pruning at expansion. evaluator_queries counts ",
+            "mappings that actually reached the estimator (memo hits, within-batch ",
+            "duplicates and dead states are free); at full yield the 500-iteration ",
+            "budget performs the paper's full 500 queries — the quarter-budget row is ",
+            "the warm-reschedule operating point of the serving subsystem (see ",
+            "BENCH_serving.json). cross_decision_cache repeats one decision against a ",
+            "shared EvalCache: the warm decision is the recurring-traffic serving path ",
+            "and beats every search-from-scratch number\",\n",
             "  \"pipelines\": [\n{}\n  ],\n",
             "  \"cross_decision_cache\": {},\n",
             "  \"baseline_eval_caches_note\": \"PR 3: the GA and the oracle-guided ",

@@ -2,7 +2,7 @@
 
 use omniboost_estimator::{DatasetConfig, TrainConfig};
 use omniboost_hw::Device;
-use omniboost_mcts::{RolloutPolicy, SearchBudget};
+use omniboost_mcts::SearchBudget;
 
 /// Configuration for both phases of OmniBoost.
 ///
@@ -85,18 +85,6 @@ impl OmniBoostConfig {
         self.budget.parallelism
     }
 
-    /// Simulation rollout policy (sticky vs budget-aware A/B knob).
-    #[must_use]
-    pub fn with_rollout_policy(mut self, policy: RolloutPolicy) -> Self {
-        self.budget = self.budget.with_rollout_policy(policy);
-        self
-    }
-
-    /// Rollout policy currently configured.
-    pub fn rollout_policy(&self) -> RolloutPolicy {
-        self.budget.rollout_policy
-    }
-
     /// Bounds (or, with 0, disables) the cross-decision evaluation cache.
     #[must_use]
     pub fn with_eval_cache_capacity(mut self, capacity: usize) -> Self {
@@ -131,16 +119,9 @@ mod tests {
     }
 
     #[test]
-    fn cache_and_policy_knobs_flow_through() {
-        let c = OmniBoostConfig::quick()
-            .with_eval_cache_capacity(123)
-            .with_rollout_policy(RolloutPolicy::Sticky);
+    fn cache_knob_flows_through() {
+        let c = OmniBoostConfig::quick().with_eval_cache_capacity(123);
         assert_eq!(c.eval_cache_capacity, 123);
-        assert_eq!(c.rollout_policy(), RolloutPolicy::Sticky);
-        assert_eq!(
-            OmniBoostConfig::default().rollout_policy(),
-            RolloutPolicy::BudgetAware
-        );
         assert!(OmniBoostConfig::default().eval_cache_capacity > 0);
     }
 

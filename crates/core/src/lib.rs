@@ -53,7 +53,7 @@ mod scheduler;
 pub use config::OmniBoostConfig;
 pub use omniboost_hw::EvalCacheStats;
 pub use report::{format_comparison, ComparisonRow};
-pub use runtime::{MemoStats, RunOutcome, Runtime};
+pub use runtime::{MemoStats, PreviousDeployment, RunOutcome, Runtime};
 pub use scheduler::{OmniBoost, OracleOmniBoost};
 
 // Re-export the component crates so downstream users need one dependency.

@@ -18,6 +18,21 @@ pub struct MemoStats {
     pub misses: u64,
 }
 
+/// The rescheduling context of an online decision: the mapping the board
+/// was running before the workload changed, and how the new workload's
+/// DNNs pair up with it. Passed to [`Runtime::run_rescheduled`] so the
+/// outcome can report **migration cost** — the stability axis of online
+/// serving, next to throughput and decision latency.
+#[derive(Debug, Clone)]
+pub struct PreviousDeployment<'a> {
+    /// The mapping deployed before this decision.
+    pub mapping: &'a Mapping,
+    /// `pairing[i] = Some(j)`: DNN `i` of the new workload is DNN `j` of
+    /// the previous mapping (same job, carried across the event); `None`
+    /// marks a newly arrived DNN with nothing to migrate.
+    pub pairing: &'a [Option<usize>],
+}
+
 /// Result of running one scheduler on one workload.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -38,6 +53,11 @@ pub struct RunOutcome {
     /// whole decisions, the eval cache reuses individual estimator
     /// reports inside fresh decisions.
     pub eval_cache: Option<EvalCacheStats>,
+    /// Layers whose device changed relative to the previous deployment
+    /// (`None` when the run had no rescheduling context) — reported by
+    /// [`Runtime::run_rescheduled`] so serving metrics can show the
+    /// latency/stability frontier.
+    pub migrated_layers: Option<usize>,
 }
 
 /// Drives schedulers against a board: asks for a decision, "deploys" it
@@ -169,11 +189,63 @@ impl Runtime {
         scheduler: &mut dyn Scheduler,
         workload: &Workload,
     ) -> Result<RunOutcome, HwError> {
+        self.run_rescheduled(scheduler, workload, None)
+    }
+
+    /// [`Runtime::run`] with online-rescheduling context: the decision
+    /// proceeds identically (memo first, scheduler on a miss), and the
+    /// outcome additionally reports the **migration cost** against the
+    /// previous deployment — the number of layers whose device changed
+    /// across the event, with newly arrived DNNs contributing zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and measurement [`HwError`]s.
+    pub fn run_rescheduled(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        workload: &Workload,
+        previous: Option<PreviousDeployment<'_>>,
+    ) -> Result<RunOutcome, HwError> {
+        self.run_inner(scheduler, workload, previous, false)
+    }
+
+    /// [`Runtime::run_rescheduled`] with the decision memo **bypassed
+    /// and overwritten**: the scheduler decides unconditionally and its
+    /// fresh mapping replaces any memoized entry for the mix. Online
+    /// serving uses this for periodic drift repair — without it, a mix
+    /// memoized from an early (possibly warm-started) decision would
+    /// replay that mapping forever, and the scheduler's cold-refresh
+    /// cadence could never reach it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and measurement [`HwError`]s.
+    pub fn run_refreshed(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        workload: &Workload,
+        previous: Option<PreviousDeployment<'_>>,
+    ) -> Result<RunOutcome, HwError> {
+        self.run_inner(scheduler, workload, previous, true)
+    }
+
+    fn run_inner(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        workload: &Workload,
+        previous: Option<PreviousDeployment<'_>>,
+        bypass_memo: bool,
+    ) -> Result<RunOutcome, HwError> {
         let key = self
             .memo_enabled
             .then(|| Self::memo_key(scheduler, workload));
         let start = Instant::now();
-        let memoized = key.as_ref().and_then(|k| self.memo.lock().get(k).cloned());
+        let memoized = if bypass_memo {
+            None
+        } else {
+            key.as_ref().and_then(|k| self.memo.lock().get(k).cloned())
+        };
         let memo_hit = memoized.is_some();
         let mapping = match memoized {
             Some(mapping) => {
@@ -190,6 +262,9 @@ impl Runtime {
             }
         };
         let decision_time = start.elapsed();
+        let migrated_layers = previous
+            .as_ref()
+            .map(|p| mapping.migrated_layers(p.mapping, p.pairing));
         let report = self.simulator.evaluate(workload, &mapping)?;
         Ok(RunOutcome {
             mapping,
@@ -198,6 +273,7 @@ impl Runtime {
             memo_hit,
             memo: self.memo_stats(),
             eval_cache: scheduler.eval_cache_stats(),
+            migrated_layers,
         })
     }
 
@@ -309,6 +385,61 @@ mod tests {
         let w = Workload::from_ids([ModelId::AlexNet]);
         let outcome = rt.run(&mut GpuOnly::new(), &w).unwrap();
         assert_eq!(outcome.eval_cache, None);
+    }
+
+    #[test]
+    fn run_refreshed_bypasses_and_overwrites_the_memo() {
+        let rt = Runtime::new(Board::hikey970()).with_memo();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        // RandomSplit decides differently on every real call, which makes
+        // memo pinning (and its removal) observable.
+        let mut sched = RandomSplit::new(21);
+        let first = rt.run(&mut sched, &w).unwrap();
+        assert!(rt.run(&mut sched, &w).unwrap().memo_hit);
+
+        let refreshed = rt.run_refreshed(&mut sched, &w, None).unwrap();
+        assert!(!refreshed.memo_hit, "refresh must bypass the memo");
+        assert_ne!(refreshed.mapping, first.mapping, "fresh decision");
+        // The fresh mapping replaced the memo entry.
+        let after = rt.run(&mut sched, &w).unwrap();
+        assert!(after.memo_hit);
+        assert_eq!(after.mapping, refreshed.mapping);
+    }
+
+    #[test]
+    fn run_rescheduled_reports_migration_cost() {
+        let rt = Runtime::new(Board::hikey970());
+        let w2 = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let mut sched = GpuOnly::new();
+        let first = rt.run(&mut sched, &w2).unwrap();
+        assert_eq!(first.migrated_layers, None, "no context, no metric");
+
+        // SqueezeNet departs; AlexNet (new index 0) carries over from
+        // previous index 0 and GpuOnly re-maps it identically.
+        let w1 = Workload::from_ids([ModelId::AlexNet]);
+        let outcome = rt
+            .run_rescheduled(
+                &mut sched,
+                &w1,
+                Some(PreviousDeployment {
+                    mapping: &first.mapping,
+                    pairing: &[Some(0)],
+                }),
+            )
+            .unwrap();
+        assert_eq!(outcome.migrated_layers, Some(0));
+
+        // A scheduler that moves everything to another device migrates
+        // every carried layer.
+        let mut little = Mapping::all_on(&w1, Device::Gpu);
+        for l in 0..11 {
+            little.assign(0, l, Device::LittleCpu);
+        }
+        assert_eq!(
+            little.migrated_layers(&first.mapping, &[Some(0)]),
+            11,
+            "helper agrees with the hook's arithmetic"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The OmniBoost scheduler: estimator-guided MCTS.
 
 use crate::config::OmniBoostConfig;
-use omniboost_estimator::{CachedEstimator, CnnEstimator, EvalCache, TrainHistory};
+use omniboost_estimator::{BoardScopedCache, CnnEstimator, EvalCache, TrainHistory};
 use omniboost_hw::{Board, EvalCacheStats, HwError, Mapping, Scheduler, Workload};
 use omniboost_mcts::{Mcts, SchedulingEnv, SearchBudget};
 
@@ -20,8 +20,9 @@ pub struct OmniBoost {
     /// deciding one workload are reused by later decisions (recurring
     /// traffic re-visits the same mappings — starting with the GPU-only
     /// normalization baseline every `decide` call queries). Outlives the
-    /// per-decision reward memo inside the scheduling environment.
-    eval_cache: EvalCache,
+    /// per-decision reward memo inside the scheduling environment;
+    /// board-scoped, so deciding against different hardware flushes.
+    eval_cache: BoardScopedCache,
     last_evaluations: usize,
 }
 
@@ -40,7 +41,7 @@ impl OmniBoost {
 
     /// Wraps an already-trained estimator.
     pub fn from_estimator(estimator: CnnEstimator, config: OmniBoostConfig) -> Self {
-        let eval_cache = EvalCache::new(config.eval_cache_capacity);
+        let eval_cache = BoardScopedCache::new(config.eval_cache_capacity);
         Self {
             estimator,
             config,
@@ -57,7 +58,7 @@ impl OmniBoost {
     /// The cross-decision evaluation cache (disabled when the config's
     /// `eval_cache_capacity` is 0).
     pub fn eval_cache(&self) -> &EvalCache {
-        &self.eval_cache
+        self.eval_cache.cache()
     }
 
     /// The configuration.
@@ -89,10 +90,12 @@ impl Scheduler for OmniBoost {
     fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
         board.admit(workload)?;
         // Every estimator query of this decision flows through the
-        // cross-decision cache (a no-op wrapper when capacity is 0), so
-        // recurring workloads amortize evaluations across `decide` calls.
-        let cache_misses_before = self.eval_cache.stats().misses;
-        let cached = CachedEstimator::new(&self.estimator, &self.eval_cache);
+        // board-scoped cross-decision cache (a no-op wrapper when
+        // capacity is 0), so recurring workloads amortize evaluations
+        // across `decide` calls; the scope also handles flush-on-board-
+        // change and the fresh-query accounting below.
+        let scope = self.eval_cache.begin(board);
+        let cached = scope.wrap(&self.estimator);
         let env = SchedulingEnv::new(workload, &cached, self.config.stage_cap)?;
         // `run` honours the budget's batch_size (leaf rollouts per
         // minibatched estimator round trip) and parallelism (root trees).
@@ -101,18 +104,14 @@ impl Scheduler for OmniBoost {
         // evaluator; with the cache enabled, only its misses actually ran
         // a CNN forward — report those so "evaluations per decision"
         // stays truthful on the recurring-traffic path too.
-        self.last_evaluations = if self.eval_cache.is_disabled() {
-            result.evaluations
-        } else {
-            (self.eval_cache.stats().misses - cache_misses_before) as usize
-        };
+        self.last_evaluations = scope.fresh_evaluations(result.evaluations);
         let mapping = env.mapping_of(&result.best_state);
         mapping.validate(workload)?;
         Ok(mapping)
     }
 
     fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
-        (!self.eval_cache.is_disabled()).then(|| self.eval_cache.stats())
+        self.eval_cache.stats_if_enabled()
     }
 }
 
@@ -132,8 +131,7 @@ pub struct OracleOmniBoost {
     budget: SearchBudget,
     stage_cap: usize,
     seed: u64,
-    eval_cache: EvalCache,
-    cached_board: Option<Board>,
+    eval_cache: BoardScopedCache,
 }
 
 impl OracleOmniBoost {
@@ -143,8 +141,7 @@ impl OracleOmniBoost {
             budget,
             stage_cap,
             seed,
-            eval_cache: EvalCache::new(OmniBoostConfig::default().eval_cache_capacity),
-            cached_board: None,
+            eval_cache: BoardScopedCache::new(OmniBoostConfig::default().eval_cache_capacity),
         }
     }
 
@@ -152,13 +149,13 @@ impl OracleOmniBoost {
     /// cached reports are dropped).
     #[must_use]
     pub fn with_eval_cache_capacity(mut self, capacity: usize) -> Self {
-        self.eval_cache = EvalCache::new(capacity);
+        self.eval_cache = BoardScopedCache::new(capacity);
         self
     }
 
     /// The cross-decision evaluation cache.
     pub fn eval_cache(&self) -> &EvalCache {
-        &self.eval_cache
+        self.eval_cache.cache()
     }
 }
 
@@ -169,12 +166,10 @@ impl Scheduler for OracleOmniBoost {
 
     fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
         board.admit(workload)?;
-        // Cache keys carry no board identity — flush on board change.
-        if self.cached_board.as_ref() != Some(board) {
-            self.eval_cache.clear();
-            self.cached_board = Some(board.clone());
-        }
-        let oracle = CachedEstimator::new(board.simulator(), &self.eval_cache);
+        // The scope flushes on board change (cache keys carry no board
+        // identity, so reports are valid for exactly one board).
+        let scope = self.eval_cache.begin(board);
+        let oracle = scope.wrap(board.simulator());
         let env = SchedulingEnv::new(workload, &oracle, self.stage_cap)?;
         let result = Mcts::new(self.budget).run(&env, self.seed);
         let mapping = env.mapping_of(&result.best_state);
@@ -183,7 +178,7 @@ impl Scheduler for OracleOmniBoost {
     }
 
     fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
-        (!self.eval_cache.is_disabled()).then(|| self.eval_cache.stats())
+        self.eval_cache.stats_if_enabled()
     }
 }
 
@@ -294,18 +289,23 @@ mod tests {
         assert_eq!(uncached.eval_cache_stats(), None);
     }
 
+    /// Cached oracle reports are valid for exactly one board: deciding
+    /// against different hardware must flush (via the board scope),
+    /// never replay stale throughputs.
     #[test]
-    fn sticky_policy_config_still_schedules() {
-        use omniboost_mcts::RolloutPolicy;
-        let board = Board::hikey970();
-        let mut sched = OracleOmniBoost::new(
-            SearchBudget::with_iterations(80).with_rollout_policy(RolloutPolicy::Sticky),
-            3,
-            7,
+    fn oracle_board_change_flushes_the_eval_cache() {
+        let board_a = Board::hikey970();
+        let mut board_b = Board::hikey970();
+        board_b.max_concurrent_dnns += 1;
+        let mut sched = OracleOmniBoost::new(SearchBudget::with_iterations(40), 3, 9);
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        sched.decide(&board_a, &w).unwrap();
+        let warm = sched.eval_cache_stats().unwrap();
+        sched.decide(&board_b, &w).unwrap();
+        let after = sched.eval_cache_stats().unwrap();
+        assert!(
+            after.misses > warm.misses,
+            "different board must re-measure: {warm:?} -> {after:?}"
         );
-        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
-        let mapping = sched.decide(&board, &w).unwrap();
-        mapping.validate(&w).unwrap();
-        assert!(mapping.max_stages() <= 3);
     }
 }

@@ -1,0 +1,467 @@
+//! Board-scoped cross-decision evaluation caching.
+//!
+//! Every scheduler that owns an [`EvalCache`] used to repeat the same
+//! two fragments by hand in its `decide` implementation: *flush when the
+//! board changes* (cache keys carry no board identity, so reports are
+//! valid for exactly one piece of hardware) and *miss-delta accounting*
+//! (`last_evaluations` must count evaluator queries that actually ran,
+//! not cache hits). [`BoardScopedCache`] folds both into one wrapper:
+//! [`BoardScopedCache::begin`] scopes a decision to a board and hands
+//! back a [`DecisionScope`] that wraps evaluators and answers "how many
+//! fresh queries did this decision cost?" afterwards.
+//!
+//! The wrapper also owns **persistence**: a cache snapshot outlives the
+//! process ([`BoardScopedCache::save`] / [`BoardScopedCache::load`]),
+//! keyed on the process-stable [`Board::fingerprint`] so a snapshot
+//! collected on one piece of hardware can never warm-start another
+//! (entries themselves are keyed on the process-stable
+//! `Workload::fingerprint()`, so they mean the same thing in every
+//! process).
+
+use crate::cache::{CachedEstimator, EvalCache};
+use crate::io::LoadError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use omniboost_hw::{Board, Device, EvalCacheStats, Mapping, ThroughputModel, ThroughputReport};
+use std::fs;
+use std::path::Path;
+
+const MAGIC: u32 = 0x0B00_CACE;
+const VERSION: u16 = 1;
+
+/// An [`EvalCache`] bound to (at most) one board at a time, with the
+/// per-decision bookkeeping every caching scheduler needs.
+///
+/// ```
+/// use omniboost_estimator::BoardScopedCache;
+/// use omniboost_hw::{AnalyticModel, Board, Device, Mapping, ThroughputModel, Workload};
+/// use omniboost_models::ModelId;
+///
+/// let board = Board::hikey970();
+/// let mut cache = BoardScopedCache::new(1024);
+/// let w = Workload::from_ids([ModelId::AlexNet]);
+/// let m = Mapping::all_on(&w, Device::Gpu);
+///
+/// let scope = cache.begin(&board);
+/// let model = scope.wrap(AnalyticModel::new(board.clone()));
+/// model.evaluate(&w, &m)?;
+/// assert_eq!(scope.fresh_evaluations(0), 1);
+///
+/// // Same board, recurring mapping: the next decision is free.
+/// let scope = cache.begin(&board);
+/// let model = scope.wrap(AnalyticModel::new(board.clone()));
+/// model.evaluate(&w, &m)?;
+/// assert_eq!(scope.fresh_evaluations(1), 0);
+/// # Ok::<(), omniboost_hw::HwError>(())
+/// ```
+pub struct BoardScopedCache {
+    cache: EvalCache,
+    /// Fingerprint of the board the cached reports were computed
+    /// against; `None` until the first decision (or after `clear`).
+    board_fingerprint: Option<u64>,
+}
+
+impl std::fmt::Debug for BoardScopedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoardScopedCache")
+            .field("board_fingerprint", &self.board_fingerprint)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl BoardScopedCache {
+    /// Creates a cache holding at most `capacity` reports (0 disables
+    /// caching entirely, matching [`EvalCache::new`]).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cache: EvalCache::new(capacity),
+            board_fingerprint: None,
+        }
+    }
+
+    /// The underlying cache (stats, capacity, len).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Whether the cache is a no-op (capacity 0).
+    pub fn is_disabled(&self) -> bool {
+        self.cache.is_disabled()
+    }
+
+    /// Cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> EvalCacheStats {
+        self.cache.stats()
+    }
+
+    /// The stats when caching is enabled — the exact body every
+    /// scheduler's `eval_cache_stats` hook shares.
+    pub fn stats_if_enabled(&self) -> Option<EvalCacheStats> {
+        (!self.is_disabled()).then(|| self.stats())
+    }
+
+    /// Drops every cached report and forgets the bound board.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.board_fingerprint = None;
+    }
+
+    /// Scopes the next decision to `board`: flushes the cache if the
+    /// board changed since the last decision (stale reports from other
+    /// hardware must never be replayed) and snapshots the miss counter
+    /// so the scope can report how many evaluator queries the decision
+    /// actually cost.
+    pub fn begin(&mut self, board: &Board) -> DecisionScope<'_> {
+        let fp = board.fingerprint();
+        if self.board_fingerprint != Some(fp) {
+            self.cache.clear();
+            self.board_fingerprint = Some(fp);
+        }
+        DecisionScope {
+            misses_before: self.cache.stats().misses,
+            cache: &self.cache,
+        }
+    }
+
+    /// Serializes the board fingerprint plus every cached entry
+    /// (least-recently-used first, so loading replays recency).
+    pub fn to_bytes(&self) -> Bytes {
+        let entries = self.cache.entries_lru_first();
+        let mut buf = BytesMut::with_capacity(64 + entries.len() * 128);
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u64_le(self.board_fingerprint.unwrap_or(0));
+        buf.put_u64_le(entries.len() as u64);
+        for (fp, mapping, report) in &entries {
+            buf.put_u64_le(*fp);
+            buf.put_u32_le(mapping.len() as u32);
+            for devs in mapping.assignments() {
+                buf.put_u32_le(devs.len() as u32);
+                for d in devs {
+                    buf.put_u8(d.index() as u8);
+                }
+            }
+            buf.put_u32_le(report.per_dnn.len() as u32);
+            for t in &report.per_dnn {
+                buf.put_f64_le(*t);
+            }
+            for t in &report.per_device {
+                buf.put_f64_le(*t);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Reconstructs a snapshot written by [`BoardScopedCache::to_bytes`]
+    /// into a cache of the given `capacity`, validating that it was
+    /// collected on `board`.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Corrupt`]/[`LoadError::Version`] for malformed
+    /// blobs; [`LoadError::BoardMismatch`] when the snapshot belongs to
+    /// different hardware (callers start cold instead).
+    pub fn from_bytes(mut blob: Bytes, capacity: usize, board: &Board) -> Result<Self, LoadError> {
+        let buf = &mut blob;
+        if buf.remaining() < 4 + 2 + 8 + 8 {
+            return Err(LoadError::Corrupt("cache header"));
+        }
+        if buf.get_u32_le() != MAGIC {
+            return Err(LoadError::Corrupt("cache magic"));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(LoadError::Version(version));
+        }
+        let found = buf.get_u64_le();
+        let expected = board.fingerprint();
+        if found != expected {
+            return Err(LoadError::BoardMismatch { expected, found });
+        }
+        let count = buf.get_u64_le() as usize;
+        let out = Self {
+            cache: EvalCache::new(capacity),
+            board_fingerprint: Some(expected),
+        };
+        for _ in 0..count {
+            if buf.remaining() < 8 + 4 {
+                return Err(LoadError::Corrupt("cache entry header"));
+            }
+            let fp = buf.get_u64_le();
+            let dnns = buf.get_u32_le() as usize;
+            let mut assignments = Vec::with_capacity(dnns);
+            for _ in 0..dnns {
+                if buf.remaining() < 4 {
+                    return Err(LoadError::Corrupt("cache mapping length"));
+                }
+                let layers = buf.get_u32_le() as usize;
+                if buf.remaining() < layers {
+                    return Err(LoadError::Corrupt("cache mapping body"));
+                }
+                let devs: Result<Vec<Device>, _> = (0..layers)
+                    .map(|_| {
+                        Device::from_index(buf.get_u8() as usize)
+                            .ok_or(LoadError::Corrupt("cache device index"))
+                    })
+                    .collect();
+                assignments.push(devs?);
+            }
+            if buf.remaining() < 4 {
+                return Err(LoadError::Corrupt("cache report length"));
+            }
+            let per_dnn_len = buf.get_u32_le() as usize;
+            if buf.remaining() < (per_dnn_len + Device::COUNT) * 8 {
+                return Err(LoadError::Corrupt("cache report body"));
+            }
+            let per_dnn: Vec<f64> = (0..per_dnn_len).map(|_| buf.get_f64_le()).collect();
+            if per_dnn_len != dnns {
+                return Err(LoadError::Corrupt("cache report shape"));
+            }
+            let mut per_device = [0.0f64; Device::COUNT];
+            for d in &mut per_device {
+                *d = buf.get_f64_le();
+            }
+            if per_dnn
+                .iter()
+                .chain(per_device.iter())
+                .any(|v| !v.is_finite())
+            {
+                return Err(LoadError::Corrupt("cache report values"));
+            }
+            // `average` is derived, not stored — it can't disagree.
+            let report = ThroughputReport::new(per_dnn, per_device);
+            out.cache.insert(fp, &Mapping::new(assignments), report);
+        }
+        if buf.remaining() > 0 {
+            return Err(LoadError::Corrupt("cache trailing bytes"));
+        }
+        Ok(out)
+    }
+
+    /// Persists the cache next to the rest of the design-time artefacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Loads a snapshot previously written by [`BoardScopedCache::save`]
+    /// for the given board; see [`BoardScopedCache::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// I/O, corruption, version and board-mismatch [`LoadError`]s.
+    pub fn load(path: impl AsRef<Path>, capacity: usize, board: &Board) -> Result<Self, LoadError> {
+        let raw = fs::read(path)?;
+        Self::from_bytes(Bytes::from(raw), capacity, board)
+    }
+}
+
+/// One decision's view of a [`BoardScopedCache`]: wraps evaluators and
+/// accounts fresh evaluator work. See [`BoardScopedCache::begin`].
+pub struct DecisionScope<'c> {
+    cache: &'c EvalCache,
+    misses_before: u64,
+}
+
+impl<'c> DecisionScope<'c> {
+    /// The scoped cache (shareable across the whole decision).
+    pub fn cache(&self) -> &'c EvalCache {
+        self.cache
+    }
+
+    /// Threads every query of `model` through the scoped cache.
+    pub fn wrap<M: ThroughputModel>(&self, model: M) -> CachedEstimator<'c, M> {
+        CachedEstimator::new(model, self.cache)
+    }
+
+    /// Evaluator queries that actually ran since [`BoardScopedCache::begin`]
+    /// — the truthful `last_evaluations` every scheduler reports. With
+    /// caching disabled the cache counts nothing, so callers pass their
+    /// own `uncached_count` (the raw query tally) as the fallback.
+    pub fn fresh_evaluations(&self, uncached_count: usize) -> usize {
+        if self.cache.is_disabled() {
+            uncached_count
+        } else {
+            (self.cache.stats().misses - self.misses_before) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omniboost_hw::{AnalyticModel, Workload};
+    use omniboost_models::ModelId;
+
+    fn setup() -> (Board, Workload, Mapping) {
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        (board, w, m)
+    }
+
+    #[test]
+    fn board_change_flushes_between_decisions() {
+        let (board, w, m) = setup();
+        let mut cache = BoardScopedCache::new(64);
+        {
+            let scope = cache.begin(&board);
+            scope
+                .wrap(AnalyticModel::new(board.clone()))
+                .evaluate(&w, &m)
+                .unwrap();
+            assert_eq!(scope.fresh_evaluations(0), 1);
+        }
+        assert_eq!(cache.cache().len(), 1);
+        // A different board: the entry must not survive into the scope.
+        let mut other = Board::hikey970();
+        other.max_concurrent_dnns += 1;
+        let scope = cache.begin(&other);
+        scope
+            .wrap(AnalyticModel::new(other.clone()))
+            .evaluate(&w, &m)
+            .unwrap();
+        assert_eq!(scope.fresh_evaluations(0), 1, "stale report replayed");
+    }
+
+    #[test]
+    fn fresh_evaluations_falls_back_when_disabled() {
+        let (board, w, m) = setup();
+        let mut cache = BoardScopedCache::new(0);
+        assert!(cache.is_disabled());
+        assert_eq!(cache.stats_if_enabled(), None);
+        let scope = cache.begin(&board);
+        let model = scope.wrap(AnalyticModel::new(board.clone()));
+        model.evaluate(&w, &m).unwrap();
+        model.evaluate(&w, &m).unwrap();
+        assert_eq!(scope.fresh_evaluations(2), 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_warm_starts() {
+        let (board, w, m) = setup();
+        let mut cache = BoardScopedCache::new(64);
+        let scope = cache.begin(&board);
+        let model = scope.wrap(AnalyticModel::new(board.clone()));
+        let want = model.evaluate(&w, &m).unwrap();
+        let blob = cache.to_bytes();
+
+        let restored = BoardScopedCache::from_bytes(blob, 64, &board).unwrap();
+        assert_eq!(restored.cache().len(), 1);
+        // The restored cache answers without touching the evaluator, and
+        // `begin` on the same board must NOT flush it.
+        let mut restored = restored;
+        let scope = restored.begin(&board);
+        let got = scope
+            .cache()
+            .get(w.fingerprint(), &m)
+            .expect("persisted entry answers");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshot_for_other_hardware_is_rejected() {
+        let (board, w, m) = setup();
+        let mut cache = BoardScopedCache::new(16);
+        let scope = cache.begin(&board);
+        scope
+            .wrap(AnalyticModel::new(board.clone()))
+            .evaluate(&w, &m)
+            .unwrap();
+        let blob = cache.to_bytes();
+        let mut other = Board::hikey970();
+        other.bus.latency_ms *= 2.0;
+        assert!(matches!(
+            BoardScopedCache::from_bytes(blob, 16, &other),
+            Err(LoadError::BoardMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_snapshots_roundtrip_to_errors_not_panics() {
+        let (board, w, m) = setup();
+        let mut cache = BoardScopedCache::new(16);
+        let scope = cache.begin(&board);
+        scope
+            .wrap(AnalyticModel::new(board.clone()))
+            .evaluate(&w, &m)
+            .unwrap();
+        let blob = cache.to_bytes().to_vec();
+
+        // Wrong magic.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            BoardScopedCache::from_bytes(Bytes::from(bad), 16, &board),
+            Err(LoadError::Corrupt("cache magic"))
+        ));
+        // Future version.
+        let mut versioned = blob.clone();
+        versioned[4] = 0xFF;
+        assert!(matches!(
+            BoardScopedCache::from_bytes(Bytes::from(versioned), 16, &board),
+            Err(LoadError::Version(_))
+        ));
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..blob.len() {
+            let short = Bytes::from(blob[..cut].to_vec());
+            assert!(
+                BoardScopedCache::from_bytes(short, 16, &board).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Out-of-range device index.
+        let full = BoardScopedCache::from_bytes(Bytes::from(blob.clone()), 16, &board);
+        assert!(full.is_ok(), "baseline blob must load");
+        let mut bad_dev = blob.clone();
+        // Entry layout: header(4+2+8+8) + fp(8) + dnns(4) + first len(4),
+        // then device bytes start.
+        let dev_off = 4 + 2 + 8 + 8 + 8 + 4 + 4;
+        bad_dev[dev_off] = 9;
+        assert!(matches!(
+            BoardScopedCache::from_bytes(Bytes::from(bad_dev), 16, &board),
+            Err(LoadError::Corrupt("cache device index"))
+        ));
+        // Trailing garbage.
+        let mut long = blob;
+        long.push(0);
+        assert!(matches!(
+            BoardScopedCache::from_bytes(Bytes::from(long), 16, &board),
+            Err(LoadError::Corrupt("cache trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn save_load_via_filesystem_preserves_recency() {
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let model = AnalyticModel::new(board.clone());
+        let mut cache = BoardScopedCache::new(64);
+        let scope = cache.begin(&board);
+        let cached = scope.wrap(&model);
+        let mappings = [
+            Mapping::all_on(&w, Device::Gpu),
+            Mapping::all_on(&w, Device::BigCpu),
+            Mapping::all_on(&w, Device::LittleCpu),
+        ];
+        for m in &mappings {
+            cached.evaluate(&w, m).unwrap();
+        }
+        let dir = std::env::temp_dir().join("omniboost-cache-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evalcache.bin");
+        cache.save(&path).unwrap();
+        let restored = BoardScopedCache::load(&path, 64, &board).unwrap();
+        assert_eq!(restored.cache().len(), 3);
+        for m in &mappings {
+            assert_eq!(
+                restored.cache().get(w.fingerprint(), m).unwrap(),
+                model.evaluate(&w, m).unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

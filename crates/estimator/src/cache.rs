@@ -267,6 +267,34 @@ impl EvalCache {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// Snapshot of every cached entry, **least-recently-used first** (per
+    /// shard, shards concatenated) — replaying the snapshot through
+    /// [`EvalCache::insert`] reproduces the recency order, which is what
+    /// persistence ([`crate::BoardScopedCache::save`]) and cache merging
+    /// rely on.
+    pub fn entries_lru_first(&self) -> Vec<(u64, Mapping, ThroughputReport)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let s = shard.lock();
+            let mut i = s.tail;
+            while i != NIL {
+                let e = &s.slab[i];
+                out.push((e.key.0, e.key.1.clone(), e.value.clone()));
+                i = e.prev;
+            }
+        }
+        out
+    }
+
+    /// Copies every entry of `other` into this cache (recency order
+    /// preserved, capacity bound enforced by normal eviction). Used by
+    /// the serving daemon to merge per-board caches before persisting.
+    pub fn absorb(&self, other: &EvalCache) {
+        for (fp, mapping, report) in other.entries_lru_first() {
+            self.insert(fp, &mapping, report);
+        }
+    }
 }
 
 /// A [`ThroughputModel`] that answers repeat queries from an

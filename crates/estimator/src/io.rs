@@ -17,7 +17,8 @@ use std::path::Path;
 const MAGIC: u32 = 0x0B00_57E5;
 const VERSION: u16 = 1;
 
-/// Errors produced while loading an estimator blob.
+/// Errors produced while loading a persisted design-time artefact (an
+/// estimator blob or an evaluation-cache snapshot).
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum LoadError {
@@ -27,6 +28,16 @@ pub enum LoadError {
     Corrupt(&'static str),
     /// The blob was written by an incompatible format version.
     Version(u16),
+    /// A persisted evaluation cache belongs to different hardware: its
+    /// recorded board fingerprint does not match the board it is being
+    /// loaded for. Serving daemons treat this as "start cold", not as
+    /// corruption.
+    BoardMismatch {
+        /// Fingerprint of the board the cache is being loaded for.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -35,6 +46,11 @@ impl fmt::Display for LoadError {
             LoadError::Io(e) => write!(f, "i/o error reading estimator: {e}"),
             LoadError::Corrupt(what) => write!(f, "corrupt estimator blob: {what}"),
             LoadError::Version(v) => write!(f, "unsupported estimator format version {v}"),
+            LoadError::BoardMismatch { expected, found } => write!(
+                f,
+                "persisted cache was collected on different hardware \
+                 (board fingerprint {found:#018x}, expected {expected:#018x})"
+            ),
         }
     }
 }

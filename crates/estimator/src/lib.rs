@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod board_cache;
 pub mod bound;
 pub mod cache;
 mod dataset;
@@ -58,6 +59,7 @@ mod model;
 mod preprocess;
 mod train;
 
+pub use board_cache::{BoardScopedCache, DecisionScope};
 pub use bound::FeasibilityBound;
 pub use cache::{CachedEstimator, EvalCache};
 pub use dataset::{Dataset, DatasetConfig, Sample};

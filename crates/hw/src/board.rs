@@ -174,19 +174,31 @@ impl Board {
     /// [`HwError::EmptyWorkload`], [`HwError::Unresponsive`] (too many
     /// concurrent DNNs) or [`HwError::OutOfMemory`].
     pub fn admit(&self, workload: &Workload) -> Result<(), HwError> {
-        if workload.is_empty() {
+        self.admit_totals(workload.len(), workload.total_weight_bytes())
+    }
+
+    /// [`Board::admit`] from pre-aggregated totals — admission only ever
+    /// looks at the DNN count and the resident weight bytes, so callers
+    /// that track those incrementally (fleet placement probing every
+    /// board per arrival) can check admission without materializing a
+    /// hypothetical [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Board::admit`].
+    pub fn admit_totals(&self, dnns: usize, weight_bytes: u64) -> Result<(), HwError> {
+        if dnns == 0 {
             return Err(HwError::EmptyWorkload);
         }
-        if workload.len() > self.max_concurrent_dnns {
+        if dnns > self.max_concurrent_dnns {
             return Err(HwError::Unresponsive {
-                dnns: workload.len(),
+                dnns,
                 max: self.max_concurrent_dnns,
             });
         }
-        let required = workload.total_weight_bytes();
-        if required > self.memory_budget_bytes {
+        if weight_bytes > self.memory_budget_bytes {
             return Err(HwError::OutOfMemory {
-                required,
+                required: weight_bytes,
                 budget: self.memory_budget_bytes,
             });
         }
@@ -197,6 +209,59 @@ impl Board {
     /// reproduction's equivalent of "running on the board".
     pub fn simulator(&self) -> DesSimulator {
         DesSimulator::new(self.clone(), crate::des::DesConfig::default())
+    }
+
+    /// Combined peak compute across the board's components, in GFLOP/s —
+    /// the capacity denominator fleet placement uses to score load on
+    /// possibly heterogeneous boards.
+    pub fn total_peak_gflops(&self) -> f64 {
+        self.devices.iter().map(|d| d.peak_gflops).sum()
+    }
+
+    /// A load proxy for fleet placement: seconds of aggregate peak
+    /// compute one inference of every DNN in `workload` would consume on
+    /// this board (0 for an empty workload). Lower means more headroom;
+    /// comparable across boards of different sizes because the
+    /// denominator is each board's own capacity.
+    pub fn load_score(&self, workload: &Workload) -> f64 {
+        self.load_score_flops(workload.dnns().iter().map(|d| d.total_flops()).sum())
+    }
+
+    /// [`Board::load_score`] from a pre-aggregated FLOP total (see
+    /// [`Board::admit_totals`] for why callers track totals).
+    pub fn load_score_flops(&self, flops: u64) -> f64 {
+        flops as f64 / (self.total_peak_gflops() * 1e9).max(1.0)
+    }
+
+    /// Stable 64-bit fingerprint of the full hardware description —
+    /// every device spec, the bus, the saturation model and the board
+    /// limits. Process-independent (FNV-1a over a canonical byte
+    /// encoding), so persisted caches keyed on it can be validated
+    /// against the board they were collected on across process restarts.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::Fnv1a::default();
+        let f = |h: &mut crate::Fnv1a, v: f64| h.write(&v.to_bits().to_le_bytes());
+        for d in &self.devices {
+            h.write(d.name.as_bytes());
+            h.write(&[0xFF, d.kind as u8]);
+            f(&mut h, d.peak_gflops);
+            f(&mut h, d.mem_bandwidth_gbs);
+            f(&mut h, d.kernel_overhead_ms);
+            h.write(&(d.saturation_knee as u64).to_le_bytes());
+            h.write(&d.ws_capacity_bytes.to_le_bytes());
+        }
+        f(&mut h, self.bus.bandwidth_gbs);
+        f(&mut h, self.bus.latency_ms);
+        f(&mut h, self.saturation.count_alpha);
+        f(&mut h, self.saturation.count_max_excess);
+        f(&mut h, self.saturation.ws_alpha);
+        f(&mut h, self.saturation.ws_max_excess);
+        f(&mut h, self.saturation.global_alpha);
+        h.write(&(self.saturation.global_knee as u64).to_le_bytes());
+        h.write(&self.memory_budget_bytes.to_le_bytes());
+        h.write(&(self.max_concurrent_dnns as u64).to_le_bytes());
+        h.finish()
     }
 }
 
@@ -263,6 +328,29 @@ mod tests {
         // Fair sharing must dominate the count penalty (Fig. 1 regime).
         let s = Board::hikey970().saturation;
         assert!(s.device_factor(4, 1) < 1.6);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_hardware() {
+        let a = Board::hikey970();
+        assert_eq!(a.fingerprint(), Board::hikey970().fingerprint());
+        let mut b = Board::hikey970();
+        b.max_concurrent_dnns += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = Board::hikey970();
+        c.bus.latency_ms += 0.01;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn load_score_grows_with_workload() {
+        let b = Board::hikey970();
+        assert_eq!(b.load_score(&Workload::new(vec![])), 0.0);
+        let light = b.load_score(&Workload::from_ids([ModelId::SqueezeNet]));
+        let heavy = b.load_score(&Workload::from_ids([ModelId::SqueezeNet, ModelId::Vgg19]));
+        assert!(light > 0.0);
+        assert!(heavy > light);
+        assert!(b.total_peak_gflops() > 240.0, "sum across components");
     }
 
     #[test]

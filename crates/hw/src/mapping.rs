@@ -199,6 +199,38 @@ impl Mapping {
             .collect()
     }
 
+    /// Migration cost against a previous mapping: the number of layers
+    /// whose device changed, pairing this mapping's DNN `i` with the
+    /// previous mapping's DNN `pairing[i]` (`None` marks a newly arrived
+    /// DNN, which has nothing to migrate and contributes 0). Layers are
+    /// compared positionally — the pairing must reference a DNN of the
+    /// same architecture, which online rescheduling guarantees because
+    /// jobs keep their model across events.
+    ///
+    /// This is the stability half of the serving latency/stability
+    /// frontier: every counted layer means weights re-uploaded and a
+    /// pipeline re-plumbed on the board.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairing` is shorter than this mapping or pairs DNNs
+    /// whose layer counts differ.
+    pub fn migrated_layers(&self, previous: &Mapping, pairing: &[Option<usize>]) -> usize {
+        assert!(pairing.len() >= self.assignments.len(), "pairing too short");
+        self.assignments
+            .iter()
+            .zip(pairing)
+            .map(|(devs, pair)| match pair {
+                Some(j) => {
+                    let prev = &previous.assignments[*j];
+                    assert_eq!(devs.len(), prev.len(), "paired DNNs must match shape");
+                    devs.iter().zip(prev).filter(|(a, b)| a != b).count()
+                }
+                None => 0,
+            })
+            .sum()
+    }
+
     /// Total layers assigned to `device` across the workload.
     pub fn layers_on(&self, device: Device) -> usize {
         self.assignments
@@ -297,6 +329,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn migrated_layers_counts_device_changes() {
+        let w = workload();
+        let prev = Mapping::all_on(&w, Device::Gpu);
+        let mut next = prev.clone();
+        next.assign(0, 3, Device::BigCpu);
+        next.assign(1, 0, Device::LittleCpu);
+        // Identity pairing: two layers moved.
+        assert_eq!(next.migrated_layers(&prev, &[Some(0), Some(1)]), 2);
+        assert_eq!(prev.migrated_layers(&prev, &[Some(0), Some(1)]), 0);
+        // DNN 1 newly arrived: only DNN 0's move counts.
+        assert_eq!(next.migrated_layers(&prev, &[Some(0), None]), 1);
+        // Cross pairing after a departure: new DNN 0 was previous DNN 1.
+        let single = Mapping::new(vec![vec![Device::Gpu; 22]]);
+        let w1 = Workload::from_ids([ModelId::SqueezeNet]);
+        single.validate(&w1).unwrap();
+        assert_eq!(single.migrated_layers(&next, &[Some(1)]), 1);
     }
 
     #[test]

@@ -4,33 +4,6 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Simulation-phase playout policy used by the scheduling environment.
-///
-/// Tree *expansion* always enumerates every action, so the policy only
-/// shapes where random playouts land — never which mappings the search
-/// can reach.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum RolloutPolicy {
-    /// Repeat the previous layer's device with 90% probability, else play
-    /// uniformly. Keeps playouts alive *most* of the time, but on deep
-    /// networks the accumulated 10% switch chances still run into the
-    /// stage-cap losing rule for the large majority of rollouts (~13%
-    /// live-terminal yield on the heavy 4-DNN mix). Kept as the A/B
-    /// baseline for [`RolloutPolicy::BudgetAware`].
-    Sticky,
-    /// Stage-budget-aware playouts (default): when the DNN being edited
-    /// has no stage budget left, force the previous layer's device; while
-    /// budget remains, switch devices with probability
-    /// `remaining_budget / (remaining_layers + remaining_budget)`
-    /// (strictly below 1, so sub-cap-stage mappings stay sampleable),
-    /// spreading splits across the
-    /// network's depth. Playouts from any live state provably reach a
-    /// live terminal, so every rollout produces a scorable mapping and
-    /// the evaluation batch actually fills.
-    #[default]
-    BudgetAware,
-}
-
 /// Computational budget and exploration constants for the tree search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchBudget {
@@ -53,10 +26,6 @@ pub struct SearchBudget {
     /// deterministically derived seed; results merge into one
     /// [`crate::SearchResult`].
     pub parallelism: usize,
-    /// Playout policy for simulation rollouts (environments that support
-    /// policy selection, like the scheduling environment, read this knob;
-    /// others ignore it). Defaults to [`RolloutPolicy::BudgetAware`].
-    pub rollout_policy: RolloutPolicy,
 }
 
 impl Default for SearchBudget {
@@ -69,7 +38,6 @@ impl Default for SearchBudget {
             exploration: std::f64::consts::SQRT_2,
             batch_size: 16,
             parallelism: 1,
-            rollout_policy: RolloutPolicy::default(),
         }
     }
 }
@@ -96,15 +64,6 @@ impl SearchBudget {
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
-        self
-    }
-
-    /// The same budget with a different simulation rollout policy
-    /// (the A/B knob between the historical sticky playouts and the
-    /// stage-budget-aware default).
-    #[must_use]
-    pub fn with_rollout_policy(mut self, policy: RolloutPolicy) -> Self {
-        self.rollout_policy = policy;
         self
     }
 
@@ -149,20 +108,5 @@ mod tests {
             .with_parallelism(0);
         assert_eq!(b.batch_size, 1);
         assert_eq!(b.parallelism, 1);
-    }
-
-    #[test]
-    fn rollout_policy_defaults_to_budget_aware() {
-        assert_eq!(
-            SearchBudget::default().rollout_policy,
-            RolloutPolicy::BudgetAware
-        );
-        let b = SearchBudget::default().with_rollout_policy(RolloutPolicy::Sticky);
-        assert_eq!(b.rollout_policy, RolloutPolicy::Sticky);
-        // The scalar baseline keeps whatever policy it is given.
-        assert_eq!(
-            SearchBudget::scalar(100).rollout_policy,
-            RolloutPolicy::BudgetAware
-        );
     }
 }

@@ -1,6 +1,5 @@
 //! The environment abstraction the tree search explores.
 
-use crate::budget::RolloutPolicy;
 use rand::{Rng, RngCore};
 
 /// Terminal status of a state.
@@ -95,23 +94,15 @@ pub trait Environment {
 
     /// Draws the next action during a *simulation rollout*.
     ///
-    /// `policy` comes straight from `SearchBudget::rollout_policy` — the
-    /// budget is the single source of truth, so A/B-ing playout policies
-    /// is one builder call with no second knob to keep in sync.
-    ///
-    /// Defaults to uniform random, ignoring the policy. Environments with
-    /// sparse winning regions (like stage-capped scheduling, where
-    /// uniformly random device choices alternate pipeline stages into the
-    /// losing rule almost surely) override this with heavier playout
-    /// policies; tree *expansion* still enumerates every action, so
-    /// optimality pressure is unaffected.
-    fn rollout_action(
-        &self,
-        state: &Self::State,
-        rng: &mut dyn RngCore,
-        policy: RolloutPolicy,
-    ) -> usize {
-        let _ = (state, policy);
+    /// Defaults to uniform random. Environments with sparse winning
+    /// regions (like stage-capped scheduling, where uniformly random
+    /// device choices alternate pipeline stages into the losing rule
+    /// almost surely) override this with heavier playout policies (the
+    /// scheduling environment's stage-budget-aware rule); tree
+    /// *expansion* still enumerates every action, so optimality pressure
+    /// is unaffected.
+    fn rollout_action(&self, state: &Self::State, rng: &mut dyn RngCore) -> usize {
+        let _ = state;
         rng.gen_range(0..self.num_actions())
     }
 

@@ -21,11 +21,16 @@
 //!   depth 100). [`SearchResult::evaluations`] counts the queries that
 //!   actually reached the evaluator (memo hits, within-batch duplicates
 //!   and dead states are free).
-//! * **Rollouts** — simulation playouts follow [`RolloutPolicy`]
-//!   (`SearchBudget::rollout_policy`): the default stage-budget-aware
-//!   policy provably reaches a live terminal from any live state, so the
-//!   batched pipeline's evaluation batches actually fill; the historical
-//!   90%-sticky policy remains available for A/B runs.
+//! * **Rollouts** — simulation playouts use the stage-budget-aware
+//!   policy, which provably reaches a live terminal from any live state,
+//!   so the batched pipeline's evaluation batches actually fill. (The
+//!   historical 90%-sticky A/B baseline was removed once nothing
+//!   benchmarked against it.)
+//! * **Warm starts** — [`Mcts::search_from`] roots the tree at an
+//!   explicit state; [`SchedState::from_partial_mapping`] builds that
+//!   root from a previous decision's surviving device paths, so online
+//!   rescheduling after a single-job workload delta explores only the
+//!   new DNN's decisions instead of searching cold.
 //!
 //! The search ([`Mcts`]) is generic over an [`Environment`], and the
 //! scheduling environment ([`SchedulingEnv`]) is generic over any
@@ -56,7 +61,7 @@ mod env;
 mod sched_env;
 mod tree;
 
-pub use budget::{RolloutPolicy, SearchBudget};
+pub use budget::SearchBudget;
 pub use env::{Environment, Status};
 pub use sched_env::{SchedState, SchedulingEnv};
 pub use tree::{Mcts, SearchResult};

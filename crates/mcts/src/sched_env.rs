@@ -1,6 +1,5 @@
 //! The multi-DNN scheduling environment (§IV-C).
 
-use crate::budget::RolloutPolicy;
 use crate::env::Environment;
 use omniboost_hw::{Device, HwError, Mapping, ThroughputModel, Workload};
 use rand::Rng;
@@ -25,6 +24,70 @@ pub struct SchedState {
 }
 
 impl SchedState {
+    /// Builds a **partially decided** state whose first `decided_dnns`
+    /// DNNs take their per-layer device paths from `previous` — the
+    /// warm-start seed of online rescheduling: when a workload changes by
+    /// one job, the surviving DNNs keep the mapping the last decision
+    /// found, and [`crate::Mcts::search_from`] only explores the
+    /// still-open decisions (the new DNN's layers) instead of searching
+    /// cold.
+    ///
+    /// `previous` must carry one row per decided DNN (extra rows are
+    /// ignored), each matching that DNN's layer count in the
+    /// environment's workload. Undecided DNNs default to the GPU exactly
+    /// like [`Environment::initial`]. If a carried path violates the
+    /// environment's stage cap (possible when the previous decision ran
+    /// under a looser cap), the returned state is dead — callers check
+    /// [`SchedState::is_dead`] and fall back to a cold search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::MappingShape`] when `previous` has fewer than
+    /// `decided_dnns` rows or a row's layer count mismatches.
+    pub fn from_partial_mapping<M: ThroughputModel>(
+        env: &SchedulingEnv<'_, M>,
+        previous: &Mapping,
+        decided_dnns: usize,
+    ) -> Result<SchedState, HwError> {
+        let workload = env.workload;
+        let decided = decided_dnns.min(workload.len());
+        let expected: Vec<usize> = workload.layer_counts()[..decided].to_vec();
+        let found: Vec<usize> = previous
+            .assignments()
+            .iter()
+            .take(decided)
+            .map(Vec::len)
+            .collect();
+        if expected != found {
+            return Err(HwError::MappingShape { expected, found });
+        }
+        let mut state = env.initial();
+        for (di, row) in previous.assignments().iter().take(decided).enumerate() {
+            let off = env.offsets[di];
+            state.devices[off..off + row.len()].copy_from_slice(row);
+        }
+        state.decision = if decided == workload.len() {
+            env.decisions.len()
+        } else {
+            env.offsets[decided]
+        };
+        // The incremental stage counter tracks the DNN currently being
+        // edited; at a DNN boundary the next decision is a whole-DNN
+        // placement which resets it, so the last decided DNN's count is
+        // the exact value (and the one the losing rule must audit).
+        state.stages = 0;
+        for di in 0..decided {
+            let stages = env.prefix_stages(&state, di, workload.dnn(di).num_layers() - 1);
+            if stages > env.stage_cap {
+                state.dead = true;
+            }
+            if di + 1 == decided {
+                state.stages = stages;
+            }
+        }
+        Ok(state)
+    }
+
     /// Whether the state hit the losing rule.
     pub fn is_dead(&self) -> bool {
         self.dead
@@ -334,74 +397,50 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
         (out, queries)
     }
 
-    /// Simulation playout policy, selected by
-    /// `SearchBudget::rollout_policy` (the search threads it through).
-    ///
-    /// **Budget-aware** (default): whole-DNN placements draw uniformly
-    /// (they always reset to 1 stage). When re-placing layer `l`, compute
-    /// the remaining stage budget `b = stage_cap - stages(prefix)` in
-    /// O(1) from the state's tracked counter. `b == 0` forces the
-    /// previous layer's device — the only moves that could kill the
-    /// playout are never taken, so **every playout from a live state
-    /// reaches a live terminal**. While `b > 0`, switch devices with
-    /// probability `b / (remaining_layers + b)` (uniform over the other
-    /// devices), spreading splits across the network's remaining depth.
-    /// The denominator keeps the probability strictly below 1 at every
-    /// depth: the playout may *leave budget unspent*, so mappings with
-    /// fewer than `stage_cap` stages (a whole DNN on one device, say)
-    /// stay sampleable — a `b / remaining` rule would force
+    /// Stage-budget-aware simulation playouts: whole-DNN placements draw
+    /// uniformly (they always reset to 1 stage). When re-placing layer
+    /// `l`, compute the remaining stage budget `b = stage_cap -
+    /// stages(prefix)` in O(1) from the state's tracked counter. `b == 0`
+    /// forces the previous layer's device — the only moves that could
+    /// kill the playout are never taken, so **every playout from a live
+    /// state reaches a live terminal**. While `b > 0`, switch devices
+    /// with probability `b / (remaining_layers + b)` (uniform over the
+    /// other devices), spreading splits across the network's remaining
+    /// depth. The denominator keeps the probability strictly below 1 at
+    /// every depth: the playout may *leave budget unspent*, so mappings
+    /// with fewer than `stage_cap` stages (a whole DNN on one device,
+    /// say) stay sampleable — a `b / remaining` rule would force
     /// exactly-`stage_cap`-stage terminals and bias the search away from
     /// low-stage optima.
-    ///
-    /// **Sticky** (the historical A/B baseline): repeat the previous
-    /// layer's device with 90% probability, else draw uniformly — alive
-    /// *often*, but on deep networks most playouts still die on the
-    /// stage cap (~13% live-terminal yield on the heavy 4-DNN mix).
-    fn rollout_action(
-        &self,
-        state: &SchedState,
-        rng: &mut dyn rand::RngCore,
-        policy: RolloutPolicy,
-    ) -> usize {
-        match policy {
-            RolloutPolicy::Sticky => {
-                const STICKINESS: f64 = 0.90;
-                if let Decision::Layer(di, l) = self.decisions[state.decision] {
-                    if rng.gen_bool(STICKINESS) {
-                        return state.devices[self.offsets[di] + l - 1].index();
-                    }
+    fn rollout_action(&self, state: &SchedState, rng: &mut dyn rand::RngCore) -> usize {
+        match self.decisions[state.decision] {
+            Decision::WholeDnn(_) => rng.gen_range(0..Device::COUNT),
+            Decision::Layer(di, l) => {
+                let prev = state.devices[self.offsets[di] + l - 1];
+                // Live state ⇒ stages ≤ cap, so this never underflows.
+                let budget = self.stage_cap - state.stages;
+                if budget == 0 {
+                    return prev.index();
                 }
-                rng.gen_range(0..Device::COUNT)
-            }
-            RolloutPolicy::BudgetAware => match self.decisions[state.decision] {
-                Decision::WholeDnn(_) => rng.gen_range(0..Device::COUNT),
-                Decision::Layer(di, l) => {
-                    let prev = state.devices[self.offsets[di] + l - 1];
-                    // Live state ⇒ stages ≤ cap, so this never underflows.
-                    let budget = self.stage_cap - state.stages;
-                    if budget == 0 {
-                        return prev.index();
-                    }
-                    let remaining = self.workload.dnn(di).num_layers() - l;
-                    // Strictly below 1 (see doc): keeping the previous
-                    // device must stay possible at every depth so
-                    // sub-cap-stage mappings remain in the playout
-                    // distribution.
-                    let p_switch = budget as f64 / (remaining + budget) as f64;
-                    if rng.gen_bool(p_switch) {
-                        // Uniform over the devices other than `prev`, so
-                        // a "switch" draw always spends budget.
-                        let k = rng.gen_range(0..Device::COUNT - 1);
-                        if k >= prev.index() {
-                            k + 1
-                        } else {
-                            k
-                        }
+                let remaining = self.workload.dnn(di).num_layers() - l;
+                // Strictly below 1 (see doc): keeping the previous
+                // device must stay possible at every depth so
+                // sub-cap-stage mappings remain in the playout
+                // distribution.
+                let p_switch = budget as f64 / (remaining + budget) as f64;
+                if rng.gen_bool(p_switch) {
+                    // Uniform over the devices other than `prev`, so a
+                    // "switch" draw always spends budget.
+                    let k = rng.gen_range(0..Device::COUNT - 1);
+                    if k >= prev.index() {
+                        k + 1
                     } else {
-                        prev.index()
+                        k
                     }
+                } else {
+                    prev.index()
                 }
-            },
+            }
         }
     }
 }
@@ -535,7 +574,7 @@ mod tests {
         rng: &mut rand::rngs::StdRng,
     ) -> SchedState {
         while !env.is_terminal(&s) {
-            let a = env.rollout_action(&s, rng, RolloutPolicy::BudgetAware);
+            let a = env.rollout_action(&s, rng);
             s = env.apply(&s, a);
         }
         s
@@ -591,7 +630,7 @@ mod tests {
         // Every rollout draw must now repeat the previous layer's device.
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         for _ in 0..50 {
-            let a = env.rollout_action(&s, &mut rng, RolloutPolicy::BudgetAware);
+            let a = env.rollout_action(&s, &mut rng);
             assert_eq!(a, Device::LittleCpu.index(), "forced move violated");
         }
     }
@@ -619,22 +658,10 @@ mod tests {
     }
 
     #[test]
-    fn sticky_policy_remains_available_for_ab_runs() {
-        let (w, ev) = setup();
-        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
-        let result = Mcts::new(
-            SearchBudget::with_iterations(100).with_rollout_policy(RolloutPolicy::Sticky),
-        )
-        .search(&env, 3);
-        assert!(result.best_reward > 0.0);
-        assert!(!result.best_state.is_dead());
-    }
-
-    #[test]
-    fn budget_aware_yield_dominates_sticky_on_heavy_mix() {
-        // The tentpole claim: on the heavy 4-DNN mix with cap 3, sticky
-        // playouts mostly die while budget-aware playouts essentially all
-        // reach live terminals.
+    fn budget_aware_yield_fills_the_batch_on_heavy_mix() {
+        // On the heavy 4-DNN mix with cap 3, budget-aware playouts
+        // essentially all reach live terminals (the PR 2 tentpole claim;
+        // the sticky A/B baseline they beat 7× is gone now).
         let board = Board::hikey970();
         let w = Workload::from_ids([
             ModelId::Vgg19,
@@ -644,26 +671,71 @@ mod tests {
         ]);
         let ev = AnalyticModel::new(board);
         let budget = SearchBudget::with_iterations(500).with_batch_size(16);
-
-        let sticky_env = SchedulingEnv::new(&w, &ev, 3).unwrap();
-        let sticky =
-            Mcts::new(budget.with_rollout_policy(RolloutPolicy::Sticky)).search(&sticky_env, 42);
-
-        let aware_env = SchedulingEnv::new(&w, &ev, 3).unwrap();
-        let aware = Mcts::new(budget).search(&aware_env, 42);
-
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let aware = Mcts::new(budget).search(&env, 42);
         assert!(
             aware.live_terminal_rollouts >= 450,
             "budget-aware yield {}/500 below the 450 bar",
             aware.live_terminal_rollouts
         );
-        assert!(
-            aware.live_terminal_rollouts > sticky.live_terminal_rollouts * 2,
-            "aware {} vs sticky {}",
-            aware.live_terminal_rollouts,
-            sticky.live_terminal_rollouts
-        );
         assert!(aware.best_reward > 0.0);
+    }
+
+    #[test]
+    fn partial_mapping_state_freezes_carried_paths() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        // Previous decision: AlexNet split GPU -> BigCpu after layer 5.
+        let mut prev = Mapping::all_on(&w, Device::Gpu);
+        for l in 6..11 {
+            prev.assign(0, l, Device::BigCpu);
+        }
+        let s = SchedState::from_partial_mapping(&env, &prev, 1).unwrap();
+        assert!(!s.is_dead());
+        assert_eq!(s.decisions_taken(), 11, "DNN 0 fully decided");
+        assert!(!env.is_terminal(&s));
+        // Search from the partial root: DNN 0's carried path survives in
+        // every mapping the warm search can return.
+        let result = Mcts::new(SearchBudget::with_iterations(80)).search_from(&env, s, 7);
+        assert!(result.best_reward > 0.0);
+        let mapping = env.mapping_of(&result.best_state);
+        assert_eq!(mapping.assignments()[0], prev.assignments()[0]);
+        mapping.validate(&w).unwrap();
+        assert!(mapping.max_stages() <= 3);
+    }
+
+    #[test]
+    fn fully_decided_partial_state_is_terminal() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let prev = Mapping::all_on(&w, Device::BigCpu);
+        let s = SchedState::from_partial_mapping(&env, &prev, w.len()).unwrap();
+        assert!(env.is_terminal(&s));
+        assert!(!s.is_dead());
+        assert_eq!(env.mapping_of(&s), prev);
+        assert!(env.reward(&s) > 0.0);
+    }
+
+    #[test]
+    fn partial_mapping_rejects_shape_mismatch_and_flags_cap_violations() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        // Wrong layer count for DNN 0.
+        let bad = Mapping::new(vec![vec![Device::Gpu; 3]]);
+        assert!(matches!(
+            SchedState::from_partial_mapping(&env, &bad, 1),
+            Err(HwError::MappingShape { .. })
+        ));
+        // A carried path with 4 stages under cap 3 must come back dead,
+        // never silently searchable.
+        let mut overcap = Mapping::all_on(&w, Device::Gpu);
+        overcap.assign(0, 2, Device::BigCpu);
+        overcap.assign(0, 5, Device::LittleCpu);
+        overcap.assign(0, 8, Device::BigCpu);
+        assert_eq!(overcap.stage_count(0), 7);
+        let s = SchedState::from_partial_mapping(&env, &overcap, 1).unwrap();
+        assert!(s.is_dead());
+        assert!(env.is_terminal(&s));
     }
 
     /// Counts every mapping that reaches the evaluator.
@@ -703,23 +775,15 @@ mod tests {
             inner: AnalyticModel::new(board),
             queries: AtomicUsize::new(0),
         };
-        for (batch, policy) in [
-            (1usize, RolloutPolicy::BudgetAware),
-            (16, RolloutPolicy::BudgetAware),
-            (16, RolloutPolicy::Sticky),
-        ] {
+        for batch in [1usize, 16] {
             let env = SchedulingEnv::new(&w, &counting, 3).unwrap();
             let before = counting.queries.load(Ordering::Relaxed);
-            let result = Mcts::new(
-                SearchBudget::with_iterations(200)
-                    .with_batch_size(batch)
-                    .with_rollout_policy(policy),
-            )
-            .search(&env, 9);
+            let result = Mcts::new(SearchBudget::with_iterations(200).with_batch_size(batch))
+                .search(&env, 9);
             let actual = counting.queries.load(Ordering::Relaxed) - before;
             assert_eq!(
                 result.evaluations, actual,
-                "batch {batch} {policy:?}: reported {} vs actual {actual}",
+                "batch {batch}: reported {} vs actual {actual}",
                 result.evaluations
             );
             // Cross-check against the env's own counters.

@@ -94,10 +94,44 @@ impl Mcts {
     /// Panics if the initial state is terminal and the environment
     /// rewards it as unreachable, or if `num_actions() == 0`.
     pub fn search<E: Environment>(&self, env: &E, seed: u64) -> SearchResult<E::State> {
+        self.search_from(env, env.initial(), seed)
+    }
+
+    /// Runs the search from an explicit **root state** instead of
+    /// [`Environment::initial`] — the warm-start entry point of the
+    /// online rescheduling path: a partially decided state (for
+    /// scheduling, the previous mapping's surviving device paths) shrinks
+    /// the effective search space to the still-open decisions, so far
+    /// fewer iterations reach the same solution quality.
+    ///
+    /// Semantics are identical to [`Mcts::search`] with the tree rooted
+    /// at `root_state`; a terminal root returns immediately (its reward
+    /// is the best and only result, costing one evaluator query).
+    pub fn search_from<E: Environment>(
+        &self,
+        env: &E,
+        root_state: E::State,
+        seed: u64,
+    ) -> SearchResult<E::State> {
         assert!(env.num_actions() > 0, "environment must have actions");
+        if env.is_terminal(&root_state) {
+            let (reward, evaluations) = if env.is_losing(&root_state) {
+                (0.0, 0)
+            } else {
+                (env.reward(&root_state), 1)
+            };
+            return SearchResult {
+                best_state: root_state,
+                best_reward: reward,
+                iterations: 0,
+                evaluations,
+                terminal_rollouts: 1,
+                live_terminal_rollouts: usize::from(reward > 0.0),
+                rounds: 0,
+            };
+        }
         let batch_size = self.budget.batch_size.max(1);
         let mut rng = StdRng::seed_from_u64(seed);
-        let root_state = env.initial();
         let mut nodes: Vec<Node<E::State>> = vec![Node {
             terminal: env.is_terminal(&root_state),
             state: root_state.clone(),
@@ -211,7 +245,7 @@ impl Mcts {
                     if depth >= self.budget.max_depth {
                         break;
                     }
-                    let action = env.rollout_action(&rollout, &mut rng, self.budget.rollout_policy);
+                    let action = env.rollout_action(&rollout, &mut rng);
                     rollout = env.apply(&rollout, action);
                     depth += 1;
                 }
@@ -537,6 +571,47 @@ mod tests {
         // Fewer iterations than trees: still runs and respects the total.
         let r = Mcts::new(SearchBudget::with_iterations(3).with_parallelism(8)).run(&env, 1);
         assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn search_from_partial_root_freezes_the_prefix() {
+        let env = CountOnes { depth: 8 };
+        // Root with 4 decisions already taken (two zeros, two ones).
+        let mut root = env.initial();
+        for a in [0, 1, 0, 1] {
+            root = env.apply(&root, a);
+        }
+        let result =
+            Mcts::new(SearchBudget::with_iterations(200)).search_from(&env, root.clone(), 3);
+        // The prefix is frozen: the best state must extend it, and the
+        // suffix optimum (all ones) is found: (2 + 4) / 8.
+        assert_eq!(&result.best_state[..4], &[0, 1, 0, 1]);
+        assert_eq!(result.best_reward, 6.0 / 8.0);
+    }
+
+    #[test]
+    fn search_from_terminal_root_returns_it_for_one_query() {
+        let env = CountOnes { depth: 3 };
+        let mut root = env.initial();
+        for a in [1, 1, 1] {
+            root = env.apply(&root, a);
+        }
+        let r = Mcts::new(SearchBudget::with_iterations(50)).search_from(&env, root.clone(), 1);
+        assert_eq!(r.best_state, root);
+        assert_eq!(r.best_reward, 1.0);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.evaluations, 1);
+    }
+
+    #[test]
+    fn search_from_initial_matches_plain_search() {
+        let env = CountOnes { depth: 7 };
+        let mcts = Mcts::new(SearchBudget::with_iterations(120).with_batch_size(8));
+        let a = mcts.search(&env, 9);
+        let b = mcts.search_from(&env, env.initial(), 9);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_reward, b.best_reward);
+        assert_eq!(a.evaluations, b.evaluations);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests over the tree search and scheduling environment.
 
-use omniboost_hw::{AnalyticModel, Board, Device, Workload};
-use omniboost_mcts::{Environment, Mcts, RolloutPolicy, SchedulingEnv, SearchBudget};
+use omniboost_hw::{AnalyticModel, Board, Device, Mapping, Workload};
+use omniboost_mcts::{Environment, Mcts, SchedState, SchedulingEnv, SearchBudget};
 use omniboost_models::ModelId;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -117,7 +117,7 @@ proptest! {
         prop_assert!(!env.is_terminal(&state) || !state.is_dead());
         // Policy rollout to the end.
         while !env.is_terminal(&state) {
-            let action = env.rollout_action(&state, &mut rng, RolloutPolicy::BudgetAware);
+            let action = env.rollout_action(&state, &mut rng);
             state = env.apply(&state, action);
         }
         prop_assert!(!state.is_dead(), "budget-aware playout died");
@@ -148,6 +148,39 @@ proptest! {
         // Small mixes fit the depth cap, so full yield is guaranteed.
         prop_assert_eq!(a.live_terminal_rollouts, a.iterations);
         prop_assert_eq!(a.terminal_rollouts, a.iterations);
+    }
+
+    /// Warm-started search seeded from any valid previous mapping's
+    /// carried device paths never returns a losing mapping: a live
+    /// completion always exists (carry the prefix, put the new DNN
+    /// anywhere whole), so the search must return one — and it must
+    /// preserve the carried prefix exactly.
+    #[test]
+    fn warm_started_search_never_returns_losing_mappings(
+        mix in arb_mix(),
+        new_model in proptest::sample::select(ModelId::ALL.to_vec()),
+        seed in 0u64..300,
+    ) {
+        let board = Board::hikey970();
+        let evaluator = AnalyticModel::new(board);
+        let mut ids = mix;
+        ids.push(new_model); // the arriving job, appended last
+        let workload = Workload::from_ids(ids);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let previous = Mapping::random(&workload, 3, &mut rng);
+        let env = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+        let carried = workload.len() - 1;
+        let root = SchedState::from_partial_mapping(&env, &previous, carried).unwrap();
+        prop_assert!(!root.is_dead(), "valid previous mapping cannot seed a dead root");
+        let result = Mcts::new(SearchBudget::with_iterations(40)).search_from(&env, root, seed);
+        prop_assert!(result.best_reward > 0.0, "warm search returned no live mapping");
+        prop_assert!(!result.best_state.is_dead());
+        let mapping = env.mapping_of(&result.best_state);
+        mapping.validate(&workload).unwrap();
+        prop_assert!(mapping.max_stages() <= 3);
+        for di in 0..carried {
+            prop_assert_eq!(&mapping.assignments()[di], &previous.assignments()[di]);
+        }
     }
 
     /// `batch_size == 1` under the budget-aware policy reproduces the

@@ -39,7 +39,9 @@ pub use builder::DnnModelBuilder;
 pub use graph::{DnnModel, ModelError};
 pub use kernel::{Kernel, KernelClass};
 pub use layer::{Layer, LayerKind};
-pub use scenarios::Scenario;
+pub use scenarios::{
+    ArrivalProcess, ArrivalTrace, JobEvent, JobSpec, Scenario, TraceConfig, TraceEvent,
+};
 pub use shapes::TensorShape;
 pub use stats::{summary_table, ModelStats};
 pub use zoo::ModelId;

@@ -1,12 +1,22 @@
-//! Named multi-DNN application scenarios.
+//! Named multi-DNN application scenarios and **online arrival traces**.
 //!
 //! The paper's introduction motivates multi-DNN workloads with concrete
 //! application classes — "digital assistants, object detection, and
 //! virtual/augmented reality services" — each of which runs several
 //! networks concurrently. These presets give examples and downstream
 //! users realistic named mixes instead of raw model lists.
+//!
+//! The paper's evaluation schedules a *fixed* mix once; production
+//! serving faces DNN jobs that arrive and depart over time. The trace
+//! machinery here ([`ArrivalTrace`], [`ArrivalProcess`], [`TraceConfig`])
+//! turns three classic traffic shapes — Poisson, bursty on/off, and a
+//! diurnal ramp — into seeded, reproducible event sequences the serving
+//! runtime (`omniboost-serve`) replays, so scenario diversity is a
+//! first-class input rather than hand-written test fixtures.
 
 use crate::zoo::ModelId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// A named concurrent-DNN application bundle.
@@ -81,6 +91,277 @@ impl fmt::Display for Scenario {
     }
 }
 
+/// One DNN job of an online trace: a model to serve until departure,
+/// tagged with the tenant that submitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Trace-unique identifier (arrival order, starting at 1).
+    pub id: u64,
+    /// The network this job runs.
+    pub model: ModelId,
+    /// Submitting tenant (multi-tenant fleets key fairness stats on it).
+    pub tenant: u32,
+}
+
+/// A workload-changing event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// A new DNN job enters the system.
+    Arrive(JobSpec),
+    /// The job with this id leaves (model finished / tenant cancelled).
+    Depart {
+        /// Id from the matching [`JobEvent::Arrive`].
+        job_id: u64,
+    },
+}
+
+/// A timestamped [`JobEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Milliseconds since trace start.
+    pub at_ms: u64,
+    /// What happens.
+    pub event: JobEvent,
+}
+
+/// The arrival process shaping a trace's traffic over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate — the steady-traffic
+    /// baseline.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+    },
+    /// On/off bursts: arrivals at `on_rate_per_s` during each ON window,
+    /// silence during each OFF window — flash-crowd traffic.
+    Bursty {
+        /// Arrival rate inside ON windows.
+        on_rate_per_s: f64,
+        /// ON window length.
+        on_ms: u64,
+        /// OFF window length.
+        off_ms: u64,
+    },
+    /// A smooth day-cycle ramp: the rate follows
+    /// `peak · (1 − cos(2πt/period))/2`, rising from silence to the peak
+    /// and back once per period.
+    DiurnalRamp {
+        /// Rate at the top of the ramp.
+        peak_rate_per_s: f64,
+        /// Full cycle length.
+        period_ms: u64,
+    },
+}
+
+impl fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalProcess::Poisson { .. } => f.write_str("poisson"),
+            ArrivalProcess::Bursty { .. } => f.write_str("bursty"),
+            ArrivalProcess::DiurnalRamp { .. } => f.write_str("diurnal"),
+        }
+    }
+}
+
+/// Shared trace parameters (everything but the arrival process shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Trace length in milliseconds; no event is stamped past it.
+    pub horizon_ms: u64,
+    /// Mean job lifetime (exponentially distributed). Jobs whose
+    /// departure falls past the horizon simply never depart within the
+    /// trace — long-running services are part of the workload.
+    pub mean_lifetime_ms: f64,
+    /// Model pool arrivals draw from, uniformly.
+    pub models: Vec<ModelId>,
+    /// Number of tenants jobs are attributed to (uniformly).
+    pub tenants: u32,
+}
+
+impl Default for TraceConfig {
+    /// One minute of traffic, 15 s mean lifetimes, a light-to-heavy model
+    /// blend spanning the zoo, 4 tenants.
+    fn default() -> Self {
+        Self {
+            horizon_ms: 60_000,
+            mean_lifetime_ms: 15_000.0,
+            models: vec![
+                ModelId::MobileNet,
+                ModelId::SqueezeNet,
+                ModelId::AlexNet,
+                ModelId::ResNet34,
+                ModelId::ResNet50,
+                ModelId::Vgg16,
+                ModelId::InceptionV3,
+            ],
+            tenants: 4,
+        }
+    }
+}
+
+/// A seeded, reproducible sequence of arrival/departure events, sorted
+/// by timestamp (departures before arrivals at equal stamps, so capacity
+/// freed by a departure is available to a same-instant arrival).
+///
+/// ```
+/// use omniboost_models::scenarios::{ArrivalProcess, ArrivalTrace, TraceConfig};
+///
+/// let trace = ArrivalTrace::generate(
+///     ArrivalProcess::Poisson { rate_per_s: 0.5 },
+///     &TraceConfig::default(),
+///     42,
+/// );
+/// assert_eq!(trace, ArrivalTrace::generate(
+///     ArrivalProcess::Poisson { rate_per_s: 0.5 },
+///     &TraceConfig::default(),
+///     42,
+/// ), "same seed, same trace");
+/// assert!(trace.arrivals() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl ArrivalTrace {
+    /// Generates a trace: arrival stamps from the process (inhomogeneous
+    /// shapes via thinning against their peak rate), one model/tenant/
+    /// lifetime draw per arrival, departures merged in stamp order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's model pool is empty, a rate is
+    /// non-positive/non-finite, or a bursty window has zero length.
+    pub fn generate(process: ArrivalProcess, config: &TraceConfig, seed: u64) -> Self {
+        assert!(!config.models.is_empty(), "trace needs a model pool");
+        let peak = match process {
+            ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
+            ArrivalProcess::Bursty {
+                on_rate_per_s,
+                on_ms,
+                off_ms,
+            } => {
+                assert!(on_ms > 0 && off_ms > 0, "bursty windows must be non-zero");
+                on_rate_per_s
+            }
+            ArrivalProcess::DiurnalRamp {
+                peak_rate_per_s,
+                period_ms,
+            } => {
+                assert!(period_ms > 0, "diurnal period must be non-zero");
+                peak_rate_per_s
+            }
+        };
+        assert!(peak > 0.0 && peak.is_finite(), "rate must be positive");
+        let rate_of = |t_ms: f64| -> f64 {
+            match process {
+                ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
+                ArrivalProcess::Bursty {
+                    on_rate_per_s,
+                    on_ms,
+                    off_ms,
+                } => {
+                    let phase = (t_ms as u64) % (on_ms + off_ms);
+                    if phase < on_ms {
+                        on_rate_per_s
+                    } else {
+                        0.0
+                    }
+                }
+                ArrivalProcess::DiurnalRamp {
+                    peak_rate_per_s,
+                    period_ms,
+                } => {
+                    let phase = t_ms / period_ms as f64 * std::f64::consts::TAU;
+                    peak_rate_per_s * (1.0 - phase.cos()) / 2.0
+                }
+            }
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Inverse-CDF draw; 1-U keeps the argument strictly positive.
+        fn exp(rng: &mut StdRng, mean: f64) -> f64 {
+            -mean * (1.0 - rng.gen_range(0.0f64..1.0)).ln()
+        }
+        let mut events: Vec<(u64, u8, u64, TraceEvent)> = Vec::new();
+        let mut t_ms = 0.0f64;
+        let mut next_id = 1u64;
+        loop {
+            // Candidate stamps at the peak rate; thinning keeps each with
+            // probability rate(t)/peak, yielding the inhomogeneous
+            // process exactly.
+            t_ms += exp(&mut rng, 1000.0 / peak);
+            if t_ms >= config.horizon_ms as f64 {
+                break;
+            }
+            let keep = rng.gen_range(0.0f64..1.0) < rate_of(t_ms) / peak;
+            // Every candidate draws its job attributes even when thinned
+            // away, so traces of nested shapes stay aligned per seed.
+            let model = config.models[rng.gen_range(0..config.models.len())];
+            let tenant = rng.gen_range(0..config.tenants.max(1));
+            let lifetime = exp(&mut rng, config.mean_lifetime_ms);
+            if !keep {
+                continue;
+            }
+            let at_ms = t_ms as u64;
+            let id = next_id;
+            next_id += 1;
+            events.push((
+                at_ms,
+                1,
+                id,
+                TraceEvent {
+                    at_ms,
+                    event: JobEvent::Arrive(JobSpec { id, model, tenant }),
+                },
+            ));
+            let depart_ms = t_ms + lifetime.max(1.0);
+            if depart_ms < config.horizon_ms as f64 {
+                let at_ms = depart_ms as u64;
+                events.push((
+                    at_ms,
+                    0,
+                    id,
+                    TraceEvent {
+                        at_ms,
+                        event: JobEvent::Depart { job_id: id },
+                    },
+                ));
+            }
+        }
+        // Stamp order; departures (rank 0) before arrivals at equal
+        // stamps; job id breaks remaining ties deterministically.
+        events.sort_by_key(|(at, rank, id, _)| (*at, *rank, *id));
+        Self {
+            events: events.into_iter().map(|(_, _, _, e)| e).collect(),
+        }
+    }
+
+    /// The events, in replay order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of arrival events.
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, JobEvent::Arrive(_)))
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +395,138 @@ mod tests {
             let n = s.to_string();
             assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
         }
+    }
+
+    fn processes() -> [ArrivalProcess; 3] {
+        [
+            ArrivalProcess::Poisson { rate_per_s: 1.0 },
+            ArrivalProcess::Bursty {
+                on_rate_per_s: 2.0,
+                on_ms: 5_000,
+                off_ms: 10_000,
+            },
+            ArrivalProcess::DiurnalRamp {
+                peak_rate_per_s: 2.0,
+                period_ms: 60_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed_and_differ_across_seeds() {
+        let cfg = TraceConfig::default();
+        for p in processes() {
+            let a = ArrivalTrace::generate(p, &cfg, 7);
+            let b = ArrivalTrace::generate(p, &cfg, 7);
+            assert_eq!(a, b, "{p}: same seed must replay bit-for-bit");
+            let c = ArrivalTrace::generate(p, &cfg, 8);
+            assert_ne!(a, c, "{p}: different seed, different trace");
+            assert!(a.arrivals() > 5, "{p}: {} arrivals", a.arrivals());
+        }
+    }
+
+    #[test]
+    fn traces_are_sorted_and_internally_consistent() {
+        let cfg = TraceConfig::default();
+        for p in processes() {
+            let trace = ArrivalTrace::generate(p, &cfg, 13);
+            let mut live: Vec<u64> = Vec::new();
+            let mut seen: Vec<u64> = Vec::new();
+            let mut last = 0u64;
+            for e in trace.events() {
+                assert!(e.at_ms >= last, "{p}: out of order");
+                assert!(e.at_ms < cfg.horizon_ms);
+                last = e.at_ms;
+                match e.event {
+                    JobEvent::Arrive(job) => {
+                        assert!(!seen.contains(&job.id), "{p}: duplicate id");
+                        assert!(cfg.models.contains(&job.model));
+                        assert!(job.tenant < cfg.tenants);
+                        seen.push(job.id);
+                        live.push(job.id);
+                    }
+                    JobEvent::Depart { job_id } => {
+                        let pos = live
+                            .iter()
+                            .position(|id| *id == job_id)
+                            .unwrap_or_else(|| panic!("{p}: depart before arrive"));
+                        live.remove(pos);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_arrival_count_tracks_the_rate() {
+        let cfg = TraceConfig {
+            horizon_ms: 200_000,
+            ..TraceConfig::default()
+        };
+        let trace = ArrivalTrace::generate(ArrivalProcess::Poisson { rate_per_s: 1.0 }, &cfg, 21);
+        // 200 expected; a ±35% band is ~5 sigma.
+        assert!(
+            (130..=270).contains(&trace.arrivals()),
+            "got {}",
+            trace.arrivals()
+        );
+    }
+
+    #[test]
+    fn bursty_off_windows_are_silent() {
+        let cfg = TraceConfig {
+            horizon_ms: 100_000,
+            ..TraceConfig::default()
+        };
+        let (on_ms, off_ms) = (4_000u64, 6_000u64);
+        let trace = ArrivalTrace::generate(
+            ArrivalProcess::Bursty {
+                on_rate_per_s: 3.0,
+                on_ms,
+                off_ms,
+            },
+            &cfg,
+            3,
+        );
+        for e in trace.events() {
+            if let JobEvent::Arrive(_) = e.event {
+                assert!(
+                    e.at_ms % (on_ms + off_ms) < on_ms,
+                    "arrival at {} falls in an OFF window",
+                    e.at_ms
+                );
+            }
+        }
+        assert!(trace.arrivals() > 10);
+    }
+
+    #[test]
+    fn diurnal_ramp_concentrates_arrivals_mid_period() {
+        let period = 100_000u64;
+        let cfg = TraceConfig {
+            horizon_ms: period,
+            ..TraceConfig::default()
+        };
+        let trace = ArrivalTrace::generate(
+            ArrivalProcess::DiurnalRamp {
+                peak_rate_per_s: 3.0,
+                period_ms: period,
+            },
+            &cfg,
+            5,
+        );
+        let mid = trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e.event, JobEvent::Arrive(_))
+                    && (period / 4..3 * period / 4).contains(&e.at_ms)
+            })
+            .count();
+        let edges = trace.arrivals() - mid;
+        assert!(
+            mid > 2 * edges,
+            "ramp should peak mid-period: {mid} mid vs {edges} edge arrivals"
+        );
     }
 }

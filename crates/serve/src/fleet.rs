@@ -1,0 +1,230 @@
+//! The fleet layer: N boards, a placement policy, per-board runtimes.
+
+use crate::scheduler::OnlineScheduler;
+use omniboost::Runtime;
+use omniboost_hw::{Board, Mapping, ThroughputModel, ThroughputReport, Workload};
+use omniboost_models::{zoo, DnnModel, JobSpec};
+
+/// How arriving jobs are assigned to boards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Cycle through boards in index order, skipping boards that cannot
+    /// admit the job — the no-information baseline.
+    RoundRobin,
+    /// Pick the admissible board with the most estimated throughput
+    /// headroom: the lowest [`Board::load_score`] once the job is added
+    /// (aggregate model FLOPs normalized by the board's peak compute, so
+    /// heterogeneous boards compare fairly). Ties break on the lowest
+    /// index, keeping placement deterministic.
+    LeastLoaded,
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementPolicy::RoundRobin => f.write_str("round-robin"),
+            PlacementPolicy::LeastLoaded => f.write_str("least-loaded"),
+        }
+    }
+}
+
+/// One board of the fleet: its runtime (simulator + decision memo), its
+/// online scheduler, the jobs currently resident, and the last
+/// deployment (jobs + mapping + measured report) for warm starts and
+/// migration accounting.
+pub(crate) struct BoardSlot<M> {
+    pub index: usize,
+    pub board: Board,
+    pub runtime: Runtime,
+    pub scheduler: OnlineScheduler<M>,
+    /// Jobs currently assigned (arrival order preserved; departures
+    /// remove in place, so surviving jobs keep their relative order —
+    /// the invariant warm hints rely on).
+    pub jobs: Vec<JobSpec>,
+    /// Built models, parallel to `jobs`.
+    pub models: Vec<DnnModel>,
+    /// Jobs of the last deployment, pairing `mapping`'s rows.
+    pub deployed_jobs: Vec<JobSpec>,
+    /// Mapping currently deployed (None while the board is idle).
+    pub mapping: Option<Mapping>,
+    /// Measured throughput of the current deployment.
+    pub report: Option<ThroughputReport>,
+    /// Whether jobs changed since the last deployment.
+    pub dirty: bool,
+    /// Running totals over resident jobs, maintained on every add and
+    /// remove so placement can probe admission and load without
+    /// materializing hypothetical workloads (or cloning models).
+    resident_flops: u64,
+    resident_weight_bytes: u64,
+}
+
+impl<M> BoardSlot<M> {
+    /// The board's current workload.
+    pub fn workload(&self) -> Workload {
+        Workload::new(self.models.clone())
+    }
+
+    /// Total inferences/s the board currently serves (sum over resident
+    /// jobs; 0 while idle).
+    pub fn throughput(&self) -> f64 {
+        self.report.as_ref().map_or(0.0, |r| r.per_dnn.iter().sum())
+    }
+
+    /// Removes the job with `job_id`, keeping both vectors aligned.
+    /// Returns whether it was resident.
+    pub fn remove_job(&mut self, job_id: u64) -> bool {
+        match self.jobs.iter().position(|j| j.id == job_id) {
+            Some(i) => {
+                self.jobs.remove(i);
+                let model = self.models.remove(i);
+                self.resident_flops -= model.total_flops();
+                self.resident_weight_bytes -= model.total_weight_bytes();
+                self.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A fleet of boards sharing a placement policy.
+pub struct Fleet<M> {
+    pub(crate) slots: Vec<BoardSlot<M>>,
+    policy: PlacementPolicy,
+    rr_cursor: usize,
+}
+
+impl<M: ThroughputModel + Sync> Fleet<M> {
+    /// Builds the fleet: one runtime and one scheduler per board.
+    pub(crate) fn new(
+        boards: Vec<Board>,
+        policy: PlacementPolicy,
+        use_memo: bool,
+        mut make_scheduler: impl FnMut(&Board) -> OnlineScheduler<M>,
+    ) -> Self {
+        let slots = boards
+            .into_iter()
+            .enumerate()
+            .map(|(index, board)| {
+                let runtime = if use_memo {
+                    Runtime::new(board.clone()).with_memo()
+                } else {
+                    Runtime::new(board.clone())
+                };
+                BoardSlot {
+                    index,
+                    scheduler: make_scheduler(&board),
+                    board,
+                    runtime,
+                    jobs: Vec::new(),
+                    models: Vec::new(),
+                    deployed_jobs: Vec::new(),
+                    mapping: None,
+                    report: None,
+                    dirty: false,
+                    resident_flops: 0,
+                    resident_weight_bytes: 0,
+                }
+            })
+            .collect();
+        Self {
+            slots,
+            policy,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of boards.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the fleet has no boards.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Jobs resident per board.
+    pub fn board_jobs(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.jobs.len()).collect()
+    }
+
+    /// Aggregate fleet throughput (sum of per-job inf/s across boards).
+    pub fn aggregate_throughput(&self) -> f64 {
+        self.slots.iter().map(BoardSlot::throughput).sum()
+    }
+
+    /// Picks a board for `job` under the placement policy and assigns
+    /// it, or returns `None` when no board can admit the job (the caller
+    /// queues it). **Admission is a hard gate for every policy**: a
+    /// board whose limits (concurrent-DNN cap, memory budget) the job
+    /// would break is never chosen.
+    pub(crate) fn place(&mut self, job: JobSpec) -> Option<usize> {
+        let model = zoo::build(job.model);
+        let (job_flops, job_weight) = (model.total_flops(), model.total_weight_bytes());
+        // Admission and load probing work off the slots' running totals
+        // — no hypothetical workload (and no model clone) per candidate.
+        let admissible = |slot: &BoardSlot<M>| -> bool {
+            slot.board
+                .admit_totals(slot.jobs.len() + 1, slot.resident_weight_bytes + job_weight)
+                .is_ok()
+        };
+        let chosen = match self.policy {
+            PlacementPolicy::RoundRobin => {
+                let n = self.slots.len();
+                (0..n)
+                    .map(|k| (self.rr_cursor + k) % n)
+                    .find(|&i| admissible(&self.slots[i]))
+            }
+            PlacementPolicy::LeastLoaded => self
+                .slots
+                .iter()
+                .filter(|s| admissible(s))
+                .map(|s| {
+                    (
+                        s.index,
+                        s.board.load_score_flops(s.resident_flops + job_flops),
+                    )
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i),
+        };
+        let index = chosen?;
+        if self.policy == PlacementPolicy::RoundRobin {
+            self.rr_cursor = (index + 1) % self.slots.len();
+        }
+        let slot = &mut self.slots[index];
+        slot.jobs.push(job);
+        slot.resident_flops += job_flops;
+        slot.resident_weight_bytes += job_weight;
+        slot.models.push(model);
+        slot.dirty = true;
+        Some(index)
+    }
+
+    /// Finds the board hosting `job_id`.
+    pub(crate) fn board_of(&self, job_id: u64) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.jobs.iter().any(|j| j.id == job_id))
+    }
+
+    /// Returns every board to its empty pre-trace state: resident jobs,
+    /// deployments and placement cursor cleared. Evaluation caches,
+    /// decision memos and scheduler counters deliberately survive —
+    /// replaying another trace on the same fleet is a warm reboot, not a
+    /// new process.
+    pub(crate) fn reset_jobs(&mut self) {
+        for slot in &mut self.slots {
+            slot.jobs.clear();
+            slot.models.clear();
+            slot.deployed_jobs.clear();
+            slot.mapping = None;
+            slot.report = None;
+            slot.dirty = false;
+            slot.resident_flops = 0;
+            slot.resident_weight_bytes = 0;
+        }
+        self.rr_cursor = 0;
+    }
+}

@@ -1,0 +1,56 @@
+//! # omniboost-serve
+//!
+//! The online serving subsystem: everything the one-shot evaluation of
+//! the paper leaves out of a production multi-DNN manager.
+//!
+//! The paper (and `omniboost::Runtime`) schedules a *fixed* mix once and
+//! measures it. A deployed system faces **changing traffic**: DNN jobs
+//! arrive and depart over time, across more than one board. This crate
+//! layers an event-driven scheduling runtime on top of `omniboost`:
+//!
+//! * **Arrival traces** — seeded, reproducible event sequences from
+//!   Poisson / bursty / diurnal-ramp generators
+//!   ([`omniboost_models::scenarios`]), replayed by a deterministic
+//!   discrete-time driver ([`ServingSim`]).
+//! * **Warm-started rescheduling** ([`ReschedulePolicy::WarmStart`]) —
+//!   unchanged mixes answer from the runtime's decision memo; a
+//!   single-job delta seeds the MCTS root from the previous mapping's
+//!   surviving device paths (`SchedState::from_partial_mapping`) so the
+//!   search explores only the open decisions under a fraction of the
+//!   cold budget; *migration cost* (layers whose device changed) is
+//!   tracked next to throughput, exposing the latency/stability
+//!   frontier.
+//! * **A fleet** ([`PlacementPolicy`]) — N boards behind a placement
+//!   policy (least-loaded by estimated throughput headroom, or
+//!   round-robin), per-board schedulers rescheduling concurrently
+//!   (rayon across boards; on a 1-core host this degrades gracefully to
+//!   a sequential loop), plus a FIFO queue for jobs no board can admit.
+//! * **Serving metrics** ([`ServingReport`]) — per-event decision
+//!   latency by kind, queue depth, migration churn, per-board
+//!   utilization and time-weighted aggregate throughput.
+//! * **Cache persistence** — the cross-decision evaluation cache
+//!   survives process restarts (`BoardScopedCache` snapshots keyed on
+//!   the board fingerprint), wired into the daemon's startup/shutdown
+//!   via [`ServingConfig::cache_path`].
+//!
+//! See `examples/serving_sim.rs` for a runnable walkthrough and
+//! `crates/bench/benches/serving.rs` for the cold-vs-warm measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fleet;
+mod scheduler;
+mod sim;
+
+pub use fleet::{Fleet, PlacementPolicy};
+pub use scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy, WarmHint};
+pub use sim::{
+    BoardDecision, LatencyStats, ServingConfig, ServingReport, ServingSim, ServingSummary,
+    TickRecord,
+};
+
+// Re-export the trace machinery (and the budget type OnlineConfig is
+// built from) so serving users need one import path.
+pub use omniboost_mcts::SearchBudget;
+pub use omniboost_models::{ArrivalProcess, ArrivalTrace, JobEvent, JobSpec, TraceConfig};

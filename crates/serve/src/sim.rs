@@ -1,0 +1,601 @@
+//! The event-driven serving runtime: replay an [`ArrivalTrace`] against
+//! a fleet, rescheduling per event and recording serving metrics.
+
+use crate::fleet::{BoardSlot, Fleet, PlacementPolicy};
+use crate::scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy, WarmHint};
+use omniboost::PreviousDeployment;
+use omniboost_estimator::BoardScopedCache;
+use omniboost_hw::{Board, EvalCacheStats, Fnv1a, Mapping, ThroughputModel};
+use omniboost_models::{ArrivalTrace, JobEvent, JobSpec};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::hash::Hasher;
+use std::path::PathBuf;
+
+/// Full serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Rescheduling policy (the cold/warm A/B axis).
+    pub policy: ReschedulePolicy,
+    /// Job placement policy across boards.
+    pub placement: PlacementPolicy,
+    /// Per-board online scheduler knobs.
+    pub online: OnlineConfig,
+    /// Whether per-board runtimes memoize decisions per workload mix
+    /// (the "unchanged mix answers instantly" serving behaviour).
+    pub use_memo: bool,
+    /// Persisted evaluation-cache snapshot: loaded into every board's
+    /// scheduler at startup (boards whose fingerprint mismatches start
+    /// cold), merged and rewritten at shutdown.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl ServingConfig {
+    /// The production configuration: warm starts, decision memo,
+    /// least-loaded placement.
+    pub fn warm() -> Self {
+        Self {
+            policy: ReschedulePolicy::WarmStart,
+            placement: PlacementPolicy::LeastLoaded,
+            online: OnlineConfig::default(),
+            use_memo: true,
+            cache_path: None,
+        }
+    }
+
+    /// The baseline: every event pays a full cold search, no memo.
+    pub fn cold() -> Self {
+        Self {
+            policy: ReschedulePolicy::ColdRestart,
+            use_memo: false,
+            ..Self::warm()
+        }
+    }
+}
+
+/// One board's rescheduling outcome within a tick.
+#[derive(Debug, Clone)]
+pub struct BoardDecision {
+    /// Board index.
+    pub board: usize,
+    /// How the decision was produced.
+    pub kind: DecisionKind,
+    /// Wall-clock decision latency in milliseconds (memo hits report
+    /// the near-zero lookup time — that is the point).
+    pub decision_ms: f64,
+    /// Whether this reschedule was triggered by a single-job delta
+    /// (exactly one arrival or one departure since the last deployment)
+    /// — the event class the warm-vs-cold comparison is defined on.
+    pub single_job_delta: bool,
+    /// Layers whose device changed vs the previous deployment.
+    pub migrated_layers: usize,
+    /// Evaluator queries that actually ran (0 for memo hits).
+    pub evaluations: usize,
+    /// Jobs resident after the decision.
+    pub jobs: usize,
+    /// Board throughput after the decision (sum of per-job inf/s).
+    pub throughput: f64,
+}
+
+/// Everything that happened at one trace timestamp.
+#[derive(Debug, Clone)]
+pub struct TickRecord {
+    /// Timestamp (ms since trace start).
+    pub at_ms: u64,
+    /// Trace events processed at this stamp.
+    pub events: Vec<JobEvent>,
+    /// `(job id, board)` placements this tick (fresh arrivals and jobs
+    /// drained from the queue).
+    pub placements: Vec<(u64, usize)>,
+    /// Job ids that had to queue (no board could admit them).
+    pub queued: Vec<u64>,
+    /// Per-board rescheduling outcomes.
+    pub decisions: Vec<BoardDecision>,
+    /// Waiting jobs after the tick.
+    pub queue_depth: usize,
+    /// Jobs resident per board after the tick.
+    pub board_jobs: Vec<usize>,
+    /// Fleet throughput after the tick (sum of per-job inf/s).
+    pub aggregate_tps: f64,
+}
+
+/// Order statistics over a set of decision latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Median milliseconds (0 when empty).
+    pub median_ms: f64,
+    /// Mean milliseconds (0 when empty).
+    pub mean_ms: f64,
+    /// Maximum milliseconds (0 when empty).
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self {
+            count: samples.len(),
+            median_ms: samples[samples.len() / 2],
+            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+            max_ms: *samples.last().unwrap(),
+        }
+    }
+}
+
+/// Aggregates over a whole serving run.
+#[derive(Debug, Clone)]
+pub struct ServingSummary {
+    /// Trace events replayed.
+    pub events: usize,
+    /// Arrivals / departures among them.
+    pub arrivals: usize,
+    /// Departure events.
+    pub departures: usize,
+    /// Successful placements (including drained queue entries).
+    pub placements: usize,
+    /// Deepest the queue ever got.
+    pub peak_queue_depth: usize,
+    /// Jobs still waiting when the trace ended.
+    pub left_in_queue: usize,
+    /// Rescheduling decisions made (all boards).
+    pub decisions: usize,
+    /// Decision latency of cold decisions.
+    pub cold: LatencyStats,
+    /// Decision latency of warm decisions (arrival + departure kinds).
+    pub warm: LatencyStats,
+    /// Decision latency of memo-answered decisions.
+    pub memo: LatencyStats,
+    /// Decision latency over **single-job-delta events only** — the
+    /// bench's warm-vs-cold comparison axis.
+    pub single_job_delta: LatencyStats,
+    /// Total migration churn (layers moved across all decisions).
+    pub migrated_layers: usize,
+    /// Time-weighted mean fleet throughput over the horizon.
+    pub mean_aggregate_tps: f64,
+    /// Fraction of the horizon each board served at least one job.
+    pub board_utilization: Vec<f64>,
+    /// Merged evaluation-cache counters across boards.
+    pub eval_cache: EvalCacheStats,
+    /// Entries warm-loaded from a persisted cache snapshot at startup.
+    pub cache_preloaded_entries: usize,
+}
+
+/// The record of one serving run: per-tick detail plus the summary.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-timestamp records, in replay order.
+    pub ticks: Vec<TickRecord>,
+    /// Aggregates.
+    pub summary: ServingSummary,
+}
+
+impl ServingReport {
+    /// Deterministic digest of everything **except wall-clock latency**:
+    /// replaying the same seeded trace through the same configuration
+    /// must reproduce this bit-for-bit (mappings, migrations, queue
+    /// dynamics and measured throughputs are all deterministic; only
+    /// decision timing varies run to run).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        let f = |h: &mut Fnv1a, v: f64| h.write(&v.to_bits().to_le_bytes());
+        for tick in &self.ticks {
+            h.write(&tick.at_ms.to_le_bytes());
+            for e in &tick.events {
+                match e {
+                    JobEvent::Arrive(j) => {
+                        h.write(&[1]);
+                        h.write(&j.id.to_le_bytes());
+                        h.write(&(j.model.index() as u64).to_le_bytes());
+                        h.write(&j.tenant.to_le_bytes());
+                    }
+                    JobEvent::Depart { job_id } => {
+                        h.write(&[2]);
+                        h.write(&job_id.to_le_bytes());
+                    }
+                }
+            }
+            for (id, board) in &tick.placements {
+                h.write(&id.to_le_bytes());
+                h.write(&(*board as u64).to_le_bytes());
+            }
+            for id in &tick.queued {
+                h.write(&id.to_le_bytes());
+            }
+            for d in &tick.decisions {
+                h.write(&(d.board as u64).to_le_bytes());
+                h.write(d.kind.label().as_bytes());
+                h.write(&[u8::from(d.single_job_delta)]);
+                h.write(&(d.migrated_layers as u64).to_le_bytes());
+                // `evaluations` is deliberately excluded: a persisted
+                // cache warms it away without changing any decision.
+                h.write(&(d.jobs as u64).to_le_bytes());
+                f(&mut h, d.throughput);
+            }
+            h.write(&(tick.queue_depth as u64).to_le_bytes());
+            for j in &tick.board_jobs {
+                h.write(&(*j as u64).to_le_bytes());
+            }
+            f(&mut h, tick.aggregate_tps);
+        }
+        f(&mut h, self.summary.mean_aggregate_tps);
+        h.write(&(self.summary.migrated_layers as u64).to_le_bytes());
+        h.finish()
+    }
+}
+
+/// The serving runtime: a fleet, a job queue, and the event loop.
+///
+/// ```no_run
+/// use omniboost_hw::{AnalyticModel, Board};
+/// use omniboost_models::{ArrivalProcess, ArrivalTrace, TraceConfig};
+/// use omniboost_serve::{ServingConfig, ServingSim};
+///
+/// let trace = ArrivalTrace::generate(
+///     ArrivalProcess::Poisson { rate_per_s: 0.4 },
+///     &TraceConfig::default(),
+///     7,
+/// );
+/// let boards = vec![Board::hikey970(); 4];
+/// let mut sim = ServingSim::new(boards, ServingConfig::warm(), AnalyticModel::new);
+/// let report = sim.run(&trace, 60_000);
+/// println!(
+///     "warm median {:.1} ms, {:.1} inf/s served",
+///     report.summary.single_job_delta.median_ms,
+///     report.summary.mean_aggregate_tps,
+/// );
+/// ```
+pub struct ServingSim<M> {
+    fleet: Fleet<M>,
+    config: ServingConfig,
+    queue: VecDeque<JobSpec>,
+    cache_preloaded: usize,
+}
+
+impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
+    /// Builds a fleet of `boards` with one evaluator per board (the
+    /// factory receives each board, so board-calibrated evaluators like
+    /// [`omniboost_hw::AnalyticModel`] fit naturally).
+    pub fn new(
+        boards: Vec<Board>,
+        config: ServingConfig,
+        mut make_evaluator: impl FnMut(Board) -> M,
+    ) -> Self {
+        assert!(!boards.is_empty(), "a fleet needs at least one board");
+        let policy = config.policy;
+        let online = config.online;
+        let fleet = Fleet::new(boards, config.placement, config.use_memo, |board| {
+            OnlineScheduler::new(make_evaluator(board.clone()), policy, online)
+        });
+        let mut sim = Self {
+            fleet,
+            config,
+            queue: VecDeque::new(),
+            cache_preloaded: 0,
+        };
+        sim.load_caches();
+        sim
+    }
+
+    /// Startup half of cache persistence: warm every board's scheduler
+    /// from the configured snapshot. Mismatched or unreadable snapshots
+    /// start cold (a daemon must boot regardless); corrupt files are
+    /// reported by [`ServingSummary::cache_preloaded_entries`] staying 0.
+    fn load_caches(&mut self) {
+        let Some(path) = self.config.cache_path.clone() else {
+            return;
+        };
+        if !path.exists() {
+            return;
+        }
+        let capacity = self.config.online.eval_cache_capacity;
+        for slot in &mut self.fleet.slots {
+            // Board-mismatch, corruption, I/O trouble: all boot cold.
+            if let Ok(cache) = BoardScopedCache::load(&path, capacity, &slot.board) {
+                self.cache_preloaded += cache.cache().len();
+                slot.scheduler.preload_cache(cache);
+            }
+        }
+    }
+
+    /// Shutdown half of cache persistence: merge every board's cache
+    /// (recency preserved) and write one snapshot, fingerprinted with
+    /// the first board.
+    fn save_caches(&mut self) {
+        let Some(path) = self.config.cache_path.clone() else {
+            return;
+        };
+        let capacity = self.config.online.eval_cache_capacity;
+        if capacity == 0 {
+            return;
+        }
+        let mut merged = BoardScopedCache::new(capacity);
+        let first = self.fleet.slots[0].board.clone();
+        merged.begin(&first);
+        for slot in &self.fleet.slots {
+            if slot.board.fingerprint() == first.fingerprint() {
+                merged.cache().absorb(slot.scheduler.eval_cache());
+            }
+        }
+        // Persistence failure must not take the daemon down with it.
+        let _ = merged.save(&path);
+    }
+
+    /// Number of boards in the fleet.
+    pub fn num_boards(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Replays `trace` to completion and reports. `horizon_ms` bounds
+    /// the throughput/utilization time integrals (use the trace config's
+    /// horizon).
+    ///
+    /// Each call starts from an empty fleet and queue (a prior run's
+    /// resident jobs must not leak into the next trace — job ids restart
+    /// per trace); evaluation caches, decision memos and scheduler
+    /// counters stay warm across calls, so replaying is a warm reboot.
+    pub fn run(&mut self, trace: &ArrivalTrace, horizon_ms: u64) -> ServingReport {
+        self.fleet.reset_jobs();
+        self.queue.clear();
+        let n = self.fleet.len();
+        let mut ticks: Vec<TickRecord> = Vec::new();
+        let mut last_t = 0u64;
+        let mut tps_integral = 0.0f64;
+        let mut busy_ms = vec![0u64; n];
+        let mut peak_queue = 0usize;
+        let (mut arrivals, mut departures, mut placements) = (0usize, 0usize, 0usize);
+
+        let events = trace.events();
+        let mut i = 0usize;
+        while i < events.len() {
+            let t = events[i].at_ms;
+            // Integrate the interval since the previous tick with the
+            // still-current deployment.
+            let dt = t - last_t;
+            tps_integral += self.fleet.aggregate_throughput() * dt as f64;
+            for (b, slot) in self.fleet.slots.iter().enumerate() {
+                if !slot.jobs.is_empty() {
+                    busy_ms[b] += dt;
+                }
+            }
+            last_t = t;
+
+            let mut tick_events = Vec::new();
+            let mut placed = Vec::new();
+            let mut queued = Vec::new();
+            let mut capacity_freed = false;
+            while i < events.len() && events[i].at_ms == t {
+                let event = events[i].event;
+                tick_events.push(event);
+                match event {
+                    JobEvent::Arrive(job) => {
+                        arrivals += 1;
+                        match self.fleet.place(job) {
+                            Some(board) => {
+                                placements += 1;
+                                placed.push((job.id, board));
+                            }
+                            None => {
+                                self.queue.push_back(job);
+                                queued.push(job.id);
+                            }
+                        }
+                    }
+                    JobEvent::Depart { job_id } => {
+                        departures += 1;
+                        // A job may depart while still queued.
+                        if let Some(pos) = self.queue.iter().position(|j| j.id == job_id) {
+                            self.queue.remove(pos);
+                        } else if let Some(board) = self.fleet.board_of(job_id) {
+                            self.fleet.slots[board].remove_job(job_id);
+                            capacity_freed = true;
+                        }
+                    }
+                }
+                i += 1;
+            }
+
+            // Capacity only ever grows when a resident job departs, so
+            // the queue is drained exactly then (in FIFO order, skipping
+            // jobs that still fit nowhere — no head-of-line blocking
+            // across boards); re-probing every board for every waiting
+            // job on arrival-only ticks would be pure waste.
+            if capacity_freed && !self.queue.is_empty() {
+                let mut still_waiting = VecDeque::new();
+                while let Some(job) = self.queue.pop_front() {
+                    match self.fleet.place(job) {
+                        Some(board) => {
+                            placements += 1;
+                            placed.push((job.id, board));
+                        }
+                        None => still_waiting.push_back(job),
+                    }
+                }
+                self.queue = still_waiting;
+            }
+            peak_queue = peak_queue.max(self.queue.len());
+
+            // Reschedule every board whose job set changed — concurrent
+            // across boards (each board's search is independent; on a
+            // multi-core host rayon fans them out, on one core this
+            // degrades to a sequential loop).
+            let decisions: Vec<BoardDecision> = self
+                .fleet
+                .slots
+                .par_iter_mut()
+                .map(flush_slot)
+                .collect::<Vec<Option<BoardDecision>>>()
+                .into_iter()
+                .flatten()
+                .collect();
+
+            ticks.push(TickRecord {
+                at_ms: t,
+                events: tick_events,
+                placements: placed,
+                queued,
+                decisions,
+                queue_depth: self.queue.len(),
+                board_jobs: self.fleet.board_jobs(),
+                aggregate_tps: self.fleet.aggregate_throughput(),
+            });
+        }
+
+        // Tail: integrate from the last event to the horizon.
+        if horizon_ms > last_t {
+            let dt = horizon_ms - last_t;
+            tps_integral += self.fleet.aggregate_throughput() * dt as f64;
+            for (b, slot) in self.fleet.slots.iter().enumerate() {
+                if !slot.jobs.is_empty() {
+                    busy_ms[b] += dt;
+                }
+            }
+        }
+
+        self.save_caches();
+
+        let all: Vec<&BoardDecision> = ticks.iter().flat_map(|t| t.decisions.iter()).collect();
+        let of_kind = |pred: &dyn Fn(&BoardDecision) -> bool| -> LatencyStats {
+            LatencyStats::from_samples(
+                all.iter()
+                    .filter(|d| pred(d))
+                    .map(|d| d.decision_ms)
+                    .collect(),
+            )
+        };
+        let eval_cache = self
+            .fleet
+            .slots
+            .iter()
+            .map(|s| s.scheduler.eval_cache().stats())
+            .fold(EvalCacheStats::default(), |a, b| EvalCacheStats {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                evictions: a.evictions + b.evictions,
+            });
+        let horizon = horizon_ms.max(last_t).max(1);
+        let summary = ServingSummary {
+            events: trace.len(),
+            arrivals,
+            departures,
+            placements,
+            peak_queue_depth: peak_queue,
+            left_in_queue: self.queue.len(),
+            decisions: all.len(),
+            cold: of_kind(&|d| d.kind == DecisionKind::Cold),
+            warm: of_kind(&|d| {
+                matches!(d.kind, DecisionKind::WarmArrival | DecisionKind::WarmDepart)
+            }),
+            memo: of_kind(&|d| d.kind == DecisionKind::Memo),
+            single_job_delta: of_kind(&|d| d.single_job_delta),
+            migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
+            mean_aggregate_tps: tps_integral / horizon as f64,
+            board_utilization: busy_ms
+                .iter()
+                .map(|ms| *ms as f64 / horizon as f64)
+                .collect(),
+            eval_cache,
+            cache_preloaded_entries: self.cache_preloaded,
+        };
+        ServingReport { ticks, summary }
+    }
+}
+
+/// Reschedules one dirty board: builds the warm hint and migration
+/// pairing from the last deployment, runs the decision through the
+/// board's runtime (memo first), and updates the deployment state.
+fn flush_slot<M: ThroughputModel + Sync>(slot: &mut BoardSlot<M>) -> Option<BoardDecision> {
+    if !slot.dirty {
+        return None;
+    }
+    slot.dirty = false;
+    if slot.jobs.is_empty() {
+        // Idle board: nothing deployed, nothing to decide.
+        slot.deployed_jobs.clear();
+        slot.mapping = None;
+        slot.report = None;
+        return None;
+    }
+    let workload = slot.workload();
+    // Pair each current job with its row in the previous deployment.
+    let pairing: Vec<Option<usize>> = slot
+        .jobs
+        .iter()
+        .map(|job| slot.deployed_jobs.iter().position(|p| p.id == job.id))
+        .collect();
+    let carried = pairing.iter().filter(|p| p.is_some()).count();
+    // Single-job delta: exactly one departure (all current jobs carried,
+    // one previous row dropped) or exactly one arrival (all but the
+    // appended last job carried). Warm starts are defined on exactly
+    // this event class; anything wider falls back to a cold search.
+    let one_departure = carried == slot.jobs.len() && slot.deployed_jobs.len() == carried + 1;
+    let one_arrival = carried + 1 == slot.jobs.len()
+        && pairing.last() == Some(&None)
+        && slot.deployed_jobs.len() == carried;
+    let single_job_delta = slot.mapping.is_some() && (one_departure || one_arrival);
+    // Warm hint: the carried device paths from the previous mapping,
+    // reordered to the new workload's prefix.
+    if let Some(prev) = &slot.mapping {
+        if single_job_delta {
+            let decided = if one_departure {
+                slot.jobs.len()
+            } else {
+                slot.jobs.len() - 1
+            };
+            let rows: Vec<Vec<_>> = pairing[..decided]
+                .iter()
+                .map(|p| prev.assignments()[p.expect("carried row")].clone())
+                .collect();
+            slot.scheduler.set_warm_hint(WarmHint {
+                carried: Mapping::new(rows),
+                decided,
+            });
+        }
+    }
+    let previous = slot.mapping.clone();
+    let context = previous.as_ref().map(|mapping| PreviousDeployment {
+        mapping,
+        pairing: &pairing,
+    });
+    // When the scheduler's periodic cold refresh is due, bypass the
+    // decision memo and overwrite its entry — a memoized mix must not
+    // shield drift from the refresh.
+    let outcome = if slot.scheduler.refresh_due() {
+        slot.runtime
+            .run_refreshed(&mut slot.scheduler, &workload, context)
+    } else {
+        slot.runtime
+            .run_rescheduled(&mut slot.scheduler, &workload, context)
+    }
+    .expect("placement guarantees admission");
+    // A memo hit never reaches the scheduler; drop any armed hint so it
+    // cannot leak into a later, unrelated decision.
+    slot.scheduler.clear_hint();
+    let kind = if outcome.memo_hit {
+        DecisionKind::Memo
+    } else {
+        slot.scheduler.last_kind()
+    };
+    slot.deployed_jobs = slot.jobs.clone();
+    slot.mapping = Some(outcome.mapping);
+    let throughput: f64 = outcome.report.per_dnn.iter().sum();
+    slot.report = Some(outcome.report);
+    Some(BoardDecision {
+        board: slot.index,
+        kind,
+        decision_ms: outcome.decision_time.as_secs_f64() * 1e3,
+        single_job_delta,
+        migrated_layers: outcome.migrated_layers.unwrap_or(0),
+        evaluations: if outcome.memo_hit {
+            0
+        } else {
+            slot.scheduler.last_evaluations()
+        },
+        jobs: slot.jobs.len(),
+        throughput,
+    })
+}

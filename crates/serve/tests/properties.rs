@@ -1,0 +1,285 @@
+//! Property-based tests over the online serving subsystem.
+
+use omniboost_hw::{AnalyticModel, Board};
+use omniboost_mcts::SearchBudget;
+use omniboost_models::{ArrivalProcess, ArrivalTrace, TraceConfig};
+use omniboost_serve::{
+    DecisionKind, OnlineConfig, PlacementPolicy, ReschedulePolicy, ServingConfig, ServingSim,
+};
+use proptest::prelude::*;
+
+const HORIZON_MS: u64 = 30_000;
+
+fn quick_online() -> OnlineConfig {
+    OnlineConfig {
+        cold_budget: SearchBudget::with_iterations(60),
+        warm_budget: SearchBudget::with_iterations(24),
+        ..OnlineConfig::default()
+    }
+}
+
+fn trace_config() -> TraceConfig {
+    TraceConfig {
+        horizon_ms: HORIZON_MS,
+        mean_lifetime_ms: 8_000.0,
+        ..TraceConfig::default()
+    }
+}
+
+fn arb_process() -> impl Strategy<Value = ArrivalProcess> {
+    proptest::sample::select(vec![
+        ArrivalProcess::Poisson { rate_per_s: 0.8 },
+        ArrivalProcess::Bursty {
+            on_rate_per_s: 1.6,
+            on_ms: 5_000,
+            off_ms: 7_000,
+        },
+        ArrivalProcess::DiurnalRamp {
+            peak_rate_per_s: 1.6,
+            period_ms: HORIZON_MS,
+        },
+    ])
+}
+
+fn run_once(
+    process: ArrivalProcess,
+    seed: u64,
+    policy: ReschedulePolicy,
+    placement: PlacementPolicy,
+    boards: usize,
+) -> omniboost_serve::ServingReport {
+    let trace = ArrivalTrace::generate(process, &trace_config(), seed);
+    let config = ServingConfig {
+        policy,
+        placement,
+        online: quick_online(),
+        use_memo: policy == ReschedulePolicy::WarmStart,
+        cache_path: None,
+    };
+    let mut sim = ServingSim::new(vec![Board::hikey970(); boards], config, AnalyticModel::new);
+    sim.run(&trace, HORIZON_MS)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// (i) Replaying the same seeded trace is bit-for-bit deterministic:
+    /// two fresh runtimes produce identical digests (mappings, queue
+    /// dynamics, migrations and measured throughputs all included; only
+    /// wall-clock latency is excluded by construction).
+    #[test]
+    fn same_seeded_trace_replays_bit_for_bit(
+        process in arb_process(),
+        seed in 0u64..500,
+        warm in proptest::sample::select(vec![true, false]),
+    ) {
+        let policy = if warm { ReschedulePolicy::WarmStart } else { ReschedulePolicy::ColdRestart };
+        let a = run_once(process, seed, policy, PlacementPolicy::LeastLoaded, 2);
+        let b = run_once(process, seed, policy, PlacementPolicy::LeastLoaded, 2);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.ticks.len(), b.ticks.len());
+        prop_assert_eq!(a.summary.migrated_layers, b.summary.migrated_layers);
+        prop_assert_eq!(a.summary.mean_aggregate_tps, b.summary.mean_aggregate_tps);
+        // A different seed produces different traffic.
+        let c = run_once(process, seed + 1000, policy, PlacementPolicy::LeastLoaded, 2);
+        prop_assert_ne!(a.digest(), c.digest());
+    }
+
+    /// (ii) Warm-started rescheduling never deploys a losing mapping
+    /// when a live one exists — and a live one always exists for every
+    /// admitted workload, so every decision of a warm run must deliver
+    /// positive measured throughput on a non-empty board.
+    #[test]
+    fn warm_decisions_always_deploy_live_mappings(
+        process in arb_process(),
+        seed in 0u64..500,
+    ) {
+        let report = run_once(process, seed, ReschedulePolicy::WarmStart,
+                              PlacementPolicy::LeastLoaded, 2);
+        let mut warm_seen = 0usize;
+        for tick in &report.ticks {
+            for d in &tick.decisions {
+                prop_assert!(d.jobs > 0, "idle boards produce no decisions");
+                prop_assert!(
+                    d.throughput > 0.0,
+                    "decision {:?} at {}ms deployed a dead mapping",
+                    d.kind, tick.at_ms
+                );
+                if matches!(d.kind, DecisionKind::WarmArrival | DecisionKind::WarmDepart) {
+                    warm_seen += 1;
+                    prop_assert!(d.single_job_delta,
+                        "warm decisions only fire on single-job deltas");
+                }
+            }
+        }
+        // Single-job deltas dominate these traces: warm starts must
+        // actually engage, not silently fall back to cold everywhere.
+        if report.summary.decisions > 4 {
+            prop_assert!(warm_seen > 0, "no warm decision in {} decisions",
+                report.summary.decisions);
+        }
+    }
+
+    /// (iii) Fleet placement never assigns a job to a board whose limits
+    /// the resulting workload would violate: resident job counts stay
+    /// within the board's concurrent-DNN cap at every tick, and a job
+    /// only waits in the queue while every board is genuinely full.
+    #[test]
+    fn placement_respects_board_admission(
+        process in arb_process(),
+        seed in 0u64..500,
+        round_robin in proptest::sample::select(vec![true, false]),
+    ) {
+        let placement = if round_robin {
+            PlacementPolicy::RoundRobin
+        } else {
+            PlacementPolicy::LeastLoaded
+        };
+        // One board + hot traffic forces the queue path.
+        let report = run_once(process, seed, ReschedulePolicy::WarmStart, placement, 1);
+        let cap = Board::hikey970().max_concurrent_dnns;
+        for tick in &report.ticks {
+            for jobs in &tick.board_jobs {
+                prop_assert!(*jobs <= cap, "board over its concurrent-DNN cap");
+            }
+            if tick.queue_depth > 0 {
+                // Admission is count-bound for these zoo models (weights
+                // fit the memory budget), so a waiting job means every
+                // board is at the cap.
+                prop_assert!(
+                    tick.board_jobs.iter().all(|j| *j == cap),
+                    "job queued while a board had headroom: {:?}",
+                    tick.board_jobs
+                );
+            }
+        }
+    }
+}
+
+/// Warm serving beats cold serving where it is designed to: lower median
+/// decision latency on single-job-delta events at no aggregate
+/// throughput loss (smoke-scale version of the serving bench's
+/// acceptance bar; one deterministic spot check, not a proptest).
+#[test]
+fn warm_beats_cold_on_single_job_deltas_spot_check() {
+    let process = ArrivalProcess::Poisson { rate_per_s: 0.7 };
+    let cold = run_once(
+        process,
+        11,
+        ReschedulePolicy::ColdRestart,
+        PlacementPolicy::LeastLoaded,
+        2,
+    );
+    let warm = run_once(
+        process,
+        11,
+        ReschedulePolicy::WarmStart,
+        PlacementPolicy::LeastLoaded,
+        2,
+    );
+    assert!(cold.summary.single_job_delta.count > 0);
+    assert!(warm.summary.single_job_delta.count > 0);
+    assert!(
+        warm.summary.single_job_delta.median_ms < cold.summary.single_job_delta.median_ms,
+        "warm {:?} vs cold {:?}",
+        warm.summary.single_job_delta,
+        cold.summary.single_job_delta
+    );
+    assert!(
+        warm.summary.mean_aggregate_tps >= cold.summary.mean_aggregate_tps * 0.95,
+        "warm {:.2} inf/s lost too much vs cold {:.2} inf/s",
+        warm.summary.mean_aggregate_tps,
+        cold.summary.mean_aggregate_tps
+    );
+}
+
+/// Rerunning a sim starts from an empty fleet: a prior trace's resident
+/// jobs and queue must not leak into the next replay (job ids restart
+/// per trace, so stale residents could even swallow the new trace's
+/// departures). Caches/memos staying warm may change decision *kinds*,
+/// but placements, queue dynamics and job counts must match a fresh
+/// runtime exactly.
+#[test]
+fn rerunning_a_sim_replays_from_an_empty_fleet() {
+    let process = ArrivalProcess::Bursty {
+        on_rate_per_s: 1.6,
+        on_ms: 5_000,
+        off_ms: 7_000,
+    };
+    let trace_a = ArrivalTrace::generate(process, &trace_config(), 1);
+    let trace_b = ArrivalTrace::generate(process, &trace_config(), 2);
+    let config = ServingConfig {
+        online: quick_online(),
+        ..ServingConfig::warm()
+    };
+    let mut reused = ServingSim::new(vec![Board::hikey970()], config.clone(), AnalyticModel::new);
+    reused.run(&trace_a, HORIZON_MS);
+    let second = reused.run(&trace_b, HORIZON_MS);
+
+    let mut fresh = ServingSim::new(vec![Board::hikey970()], config, AnalyticModel::new);
+    let expected = fresh.run(&trace_b, HORIZON_MS);
+    assert_eq!(second.ticks.len(), expected.ticks.len());
+    for (got, want) in second.ticks.iter().zip(&expected.ticks) {
+        assert_eq!(got.placements, want.placements);
+        assert_eq!(got.queued, want.queued);
+        assert_eq!(got.queue_depth, want.queue_depth);
+        assert_eq!(got.board_jobs, want.board_jobs);
+    }
+    assert_eq!(second.summary.arrivals, expected.summary.arrivals);
+    assert_eq!(second.summary.departures, expected.summary.departures);
+    assert_eq!(second.summary.placements, expected.summary.placements);
+}
+
+/// Cache persistence end to end: a second daemon boot warm-loads the
+/// snapshot the first run saved, and mismatching hardware starts cold.
+#[test]
+fn serving_daemon_persists_eval_cache_across_processes() {
+    let process = ArrivalProcess::Poisson { rate_per_s: 0.6 };
+    let trace = ArrivalTrace::generate(process, &trace_config(), 3);
+    let dir = std::env::temp_dir().join("omniboost-serve-cache-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serving-cache.bin");
+    std::fs::remove_file(&path).ok();
+
+    let config = |cache_path| ServingConfig {
+        online: quick_online(),
+        cache_path,
+        ..ServingConfig::warm()
+    };
+    // First boot: cold cache, snapshot written at shutdown.
+    let mut first = ServingSim::new(
+        vec![Board::hikey970(); 2],
+        config(Some(path.clone())),
+        AnalyticModel::new,
+    );
+    let r1 = first.run(&trace, HORIZON_MS);
+    assert_eq!(r1.summary.cache_preloaded_entries, 0);
+    assert!(path.exists(), "shutdown must write the snapshot");
+
+    // Second boot: the snapshot warms every board's cache.
+    let mut second = ServingSim::new(
+        vec![Board::hikey970(); 2],
+        config(Some(path.clone())),
+        AnalyticModel::new,
+    );
+    let r2 = second.run(&trace, HORIZON_MS);
+    assert!(
+        r2.summary.cache_preloaded_entries > 0,
+        "second boot must preload the persisted cache"
+    );
+    // The replay itself is identical — persistence must not change
+    // decisions, only warm them.
+    assert_eq!(r1.digest(), r2.digest());
+
+    // Different hardware: the snapshot is rejected, the daemon boots cold.
+    let mut other_board = Board::hikey970();
+    other_board.max_concurrent_dnns += 1;
+    let mut third = ServingSim::new(
+        vec![other_board],
+        config(Some(path.clone())),
+        AnalyticModel::new,
+    );
+    let r3 = third.run(&trace, HORIZON_MS);
+    assert_eq!(r3.summary.cache_preloaded_entries, 0);
+    std::fs::remove_file(&path).ok();
+}

@@ -36,7 +36,9 @@ where
 
 /// The user-facing iterator traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::iter::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParIterMut, ParMap, ParMapMut,
+    };
 }
 
 /// Parallel iterator machinery (slice → map → ordered collect).
@@ -122,6 +124,103 @@ pub mod iter {
             out.into()
         }
     }
+
+    /// Mutable borrowing conversion (`.par_iter_mut()`), mirroring
+    /// rayon's `IntoParallelRefMutIterator` for the slice/Vec cases this
+    /// workspace uses (per-board fleet scheduling mutates each board's
+    /// scheduler state concurrently).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item yielded by mutable reference.
+        type Item: 'data + Send;
+
+        /// A parallel iterator over `&mut self`.
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    /// Parallel iterator over mutable slice elements.
+    pub struct ParIterMut<'data, T> {
+        items: &'data mut [T],
+    }
+
+    impl<'data, T: Send> ParIterMut<'data, T> {
+        /// Maps each item through `f` (applied on worker threads).
+        pub fn map<R, F>(self, f: F) -> ParMapMut<'data, T, F>
+        where
+            F: Fn(&'data mut T) -> R + Sync,
+            R: Send,
+        {
+            ParMapMut {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item across worker threads.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data mut T) + Sync,
+        {
+            self.map(f).collect::<Vec<()>>();
+        }
+    }
+
+    /// A mapped mutable parallel iterator, ready to collect in input
+    /// order.
+    pub struct ParMapMut<'data, T, F> {
+        items: &'data mut [T],
+        f: F,
+    }
+
+    impl<'data, T, R, F> ParMapMut<'data, T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&'data mut T) -> R + Sync,
+    {
+        /// Evaluates the map across worker threads, preserving order.
+        pub fn collect<C: From<Vec<R>>>(self) -> C {
+            let n = self.items.len();
+            let threads = current_num_threads().min(n.max(1));
+            if threads <= 1 || n <= 1 {
+                return self
+                    .items
+                    .iter_mut()
+                    .map(&self.f)
+                    .collect::<Vec<R>>()
+                    .into();
+            }
+            let chunk = n.div_ceil(threads);
+            let f = &self.f;
+            let mut out: Vec<R> = Vec::with_capacity(n);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks_mut(chunk)
+                    .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("rayon worker panicked"));
+                }
+            });
+            out.into()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +246,22 @@ mod tests {
         let data: Vec<u8> = vec![];
         let out: Vec<u8> = data.par_iter().map(|x| *x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_and_preserves_order() {
+        let mut data: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = data
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x * 10
+            })
+            .collect();
+        assert_eq!(data, (1..=100).collect::<Vec<_>>());
+        assert_eq!(out, (1..=100).map(|x| x * 10).collect::<Vec<_>>());
+        let mut empty: Vec<u64> = vec![];
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        assert!(empty.is_empty());
     }
 }

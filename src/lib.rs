@@ -13,4 +13,5 @@ pub use omniboost_estimator;
 pub use omniboost_hw;
 pub use omniboost_mcts;
 pub use omniboost_models;
+pub use omniboost_serve;
 pub use omniboost_tensor;
