@@ -14,13 +14,15 @@ perf-smoke:
 	SMOKE=1 cargo bench --bench decision_latency
 	SMOKE=1 cargo bench --bench estimator_training
 	SMOKE=1 cargo bench --bench serving
+	SMOKE=1 cargo bench --bench fleet
 
 # Full perf snapshots: rewrites BENCH_decision_latency.json,
-# BENCH_estimator_training.json and BENCH_serving.json with this host's
-# numbers (the estimator_training direct-backward baseline takes a few
-# minutes).
+# BENCH_estimator_training.json, BENCH_serving.json and BENCH_fleet.json
+# with this host's numbers (the estimator_training direct-backward
+# baseline takes a few minutes).
 .PHONY: perf-snapshots
 perf-snapshots:
 	cargo bench --bench decision_latency
 	cargo bench --bench estimator_training
 	cargo bench --bench serving
+	cargo bench --bench fleet

@@ -96,6 +96,17 @@ pub struct Runtime {
     memo_misses: AtomicU64,
 }
 
+/// How one decision interacts with the runtime's decision memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemoMode {
+    /// Normal serving: answer from the memo, populate it on a miss.
+    ReadWrite,
+    /// Periodic drift repair: decide fresh, overwrite the entry.
+    BypassAndOverwrite,
+    /// Proposal scoring: decide fresh, leave the memo alone entirely.
+    Untouched,
+}
+
 /// Memo key: scheduler identity plus workload composition. Each DNN
 /// contributes its name, layer count and resident weight bytes — name
 /// alone is not enough because [`omniboost_models::DnnModelBuilder`]
@@ -207,7 +218,7 @@ impl Runtime {
         workload: &Workload,
         previous: Option<PreviousDeployment<'_>>,
     ) -> Result<RunOutcome, HwError> {
-        self.run_inner(scheduler, workload, previous, false)
+        self.run_inner(scheduler, workload, previous, MemoMode::ReadWrite)
     }
 
     /// [`Runtime::run_rescheduled`] with the decision memo **bypassed
@@ -227,7 +238,31 @@ impl Runtime {
         workload: &Workload,
         previous: Option<PreviousDeployment<'_>>,
     ) -> Result<RunOutcome, HwError> {
-        self.run_inner(scheduler, workload, previous, true)
+        self.run_inner(scheduler, workload, previous, MemoMode::BypassAndOverwrite)
+    }
+
+    /// [`Runtime::run_rescheduled`] for **proposal scoring**: the
+    /// decision memo is neither read nor written. Fleet-level
+    /// rebalancing uses this to price a hypothetical job move — the
+    /// donor board minus the job, the receiver board plus it — under
+    /// warm-started rescheduling before deciding whether the move
+    /// happens at all. A memoized mapping must not answer (it could
+    /// predate the drift the move is meant to repair), and a **rejected**
+    /// proposal must leave no trace: the memo only ever holds decisions
+    /// that were actually deployed, so an accepted proposal is installed
+    /// by the caller via the slot state it already holds, and the next
+    /// real event on either board re-decides (warm) from there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and measurement [`HwError`]s.
+    pub fn run_speculative(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        workload: &Workload,
+        previous: Option<PreviousDeployment<'_>>,
+    ) -> Result<RunOutcome, HwError> {
+        self.run_inner(scheduler, workload, previous, MemoMode::Untouched)
     }
 
     fn run_inner(
@@ -235,16 +270,15 @@ impl Runtime {
         scheduler: &mut dyn Scheduler,
         workload: &Workload,
         previous: Option<PreviousDeployment<'_>>,
-        bypass_memo: bool,
+        memo_mode: MemoMode,
     ) -> Result<RunOutcome, HwError> {
-        let key = self
-            .memo_enabled
+        let key = (self.memo_enabled && memo_mode != MemoMode::Untouched)
             .then(|| Self::memo_key(scheduler, workload));
         let start = Instant::now();
-        let memoized = if bypass_memo {
-            None
-        } else {
+        let memoized = if memo_mode == MemoMode::ReadWrite {
             key.as_ref().and_then(|k| self.memo.lock().get(k).cloned())
+        } else {
+            None
         };
         let memo_hit = memoized.is_some();
         let mapping = match memoized {
@@ -404,6 +438,30 @@ mod tests {
         let after = rt.run(&mut sched, &w).unwrap();
         assert!(after.memo_hit);
         assert_eq!(after.mapping, refreshed.mapping);
+    }
+
+    #[test]
+    fn run_speculative_leaves_the_memo_untouched() {
+        let rt = Runtime::new(Board::hikey970()).with_memo();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let mut sched = RandomSplit::new(5);
+        let deployed = rt.run(&mut sched, &w).unwrap();
+
+        // Speculation must not read the memo (RandomSplit would answer
+        // differently on a real call, so a memo hit is detectable)...
+        let spec = rt.run_speculative(&mut sched, &w, None).unwrap();
+        assert!(!spec.memo_hit, "speculation read the memo");
+        assert_ne!(spec.mapping, deployed.mapping, "fresh decision");
+        // ...and must not write it either: the deployed decision stays.
+        let after = rt.run(&mut sched, &w).unwrap();
+        assert!(after.memo_hit);
+        assert_eq!(after.mapping, deployed.mapping);
+
+        // A speculative query for a mix never deployed leaves no entry.
+        let w2 = Workload::from_ids([ModelId::SqueezeNet]);
+        rt.run_speculative(&mut sched, &w2, None).unwrap();
+        let first_real = rt.run(&mut sched, &w2).unwrap();
+        assert!(!first_real.memo_hit, "speculation populated the memo");
     }
 
     #[test]

@@ -27,6 +27,10 @@ use std::path::Path;
 
 const MAGIC: u32 = 0x0B00_CACE;
 const VERSION: u16 = 1;
+/// Archive container magic ([`CacheArchive`]): distinct from the
+/// single-segment magic so either format is recognized unambiguously.
+const ARCHIVE_MAGIC: u32 = 0x0B00_CAFE;
+const ARCHIVE_VERSION: u16 = 1;
 
 /// An [`EvalCache`] bound to (at most) one board at a time, with the
 /// per-decision bookkeeping every caching scheduler needs.
@@ -257,6 +261,151 @@ impl BoardScopedCache {
         let raw = fs::read(path)?;
         Self::from_bytes(Bytes::from(raw), capacity, board)
     }
+
+    /// Fingerprint of the board the cached reports belong to (`None`
+    /// before the first decision).
+    pub fn board_fingerprint(&self) -> Option<u64> {
+        self.board_fingerprint
+    }
+}
+
+/// A multi-profile cache snapshot: one serialized [`BoardScopedCache`]
+/// segment **per board fingerprint**, so a heterogeneous fleet persists
+/// and reloads each hardware profile's reports independently.
+///
+/// The single-segment [`BoardScopedCache::save`] format rejects any
+/// board whose fingerprint differs from the one the snapshot was
+/// collected on — correct for one board, but in a mixed fleet it meant
+/// every profile except the first booted cold. The archive keys
+/// segments by fingerprint: at startup each board pulls **its own**
+/// segment (and only a genuinely unknown profile starts cold), at
+/// shutdown each profile's merged cache overwrites its segment while
+/// segments of profiles absent from the current fleet are preserved.
+#[derive(Debug, Default, Clone)]
+pub struct CacheArchive {
+    /// `(board fingerprint, single-segment blob)`, unique fingerprints.
+    segments: Vec<(u64, Vec<u8>)>,
+}
+
+impl CacheArchive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of profile segments held.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the archive holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Inserts (or replaces) the segment for `cache`'s board profile.
+    /// A cache that never saw a decision has no fingerprint and is
+    /// skipped — there is nothing worth persisting.
+    pub fn upsert(&mut self, cache: &BoardScopedCache) {
+        let Some(fp) = cache.board_fingerprint else {
+            return;
+        };
+        let blob = cache.to_bytes().to_vec();
+        match self.segments.iter_mut().find(|(f, _)| *f == fp) {
+            Some(slot) => slot.1 = blob,
+            None => self.segments.push((fp, blob)),
+        }
+    }
+
+    /// Decodes the segment matching `board`'s fingerprint into a cache
+    /// of `capacity` entries; `None` when the archive holds no segment
+    /// for this profile **or** the stored segment is corrupt (a daemon
+    /// must boot cold rather than refuse to boot).
+    pub fn segment(&self, capacity: usize, board: &Board) -> Option<BoardScopedCache> {
+        let fp = board.fingerprint();
+        let blob = self.segments.iter().find(|(f, _)| *f == fp)?.1.clone();
+        BoardScopedCache::from_bytes(Bytes::from(blob), capacity, board).ok()
+    }
+
+    /// Serializes the archive: segments sorted by fingerprint so equal
+    /// contents produce equal bytes regardless of insertion order.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut segments = self.segments.clone();
+        segments.sort_by_key(|(fp, _)| *fp);
+        let mut buf =
+            BytesMut::with_capacity(16 + segments.iter().map(|(_, b)| b.len() + 16).sum::<usize>());
+        buf.put_u32_le(ARCHIVE_MAGIC);
+        buf.put_u16_le(ARCHIVE_VERSION);
+        buf.put_u64_le(segments.len() as u64);
+        for (fp, blob) in &segments {
+            buf.put_u64_le(*fp);
+            buf.put_u64_le(blob.len() as u64);
+            buf.put_slice(blob.as_slice());
+        }
+        buf.freeze()
+    }
+
+    /// Parses an archive written by [`CacheArchive::to_bytes`]. Segment
+    /// *containers* are validated here (bounds, duplicates); segment
+    /// *contents* are validated lazily by [`CacheArchive::segment`]
+    /// against the requesting board.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Corrupt`] / [`LoadError::Version`] on malformed
+    /// blobs.
+    pub fn from_bytes(mut blob: Bytes) -> Result<Self, LoadError> {
+        let buf = &mut blob;
+        if buf.remaining() < 4 + 2 + 8 {
+            return Err(LoadError::Corrupt("archive header"));
+        }
+        if buf.get_u32_le() != ARCHIVE_MAGIC {
+            return Err(LoadError::Corrupt("archive magic"));
+        }
+        let version = buf.get_u16_le();
+        if version != ARCHIVE_VERSION {
+            return Err(LoadError::Version(version));
+        }
+        let count = buf.get_u64_le() as usize;
+        let mut segments: Vec<(u64, Vec<u8>)> = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            if buf.remaining() < 16 {
+                return Err(LoadError::Corrupt("archive segment header"));
+            }
+            let fp = buf.get_u64_le();
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(LoadError::Corrupt("archive segment body"));
+            }
+            if segments.iter().any(|(f, _)| *f == fp) {
+                return Err(LoadError::Corrupt("archive duplicate segment"));
+            }
+            segments.push((fp, buf.copy_to_bytes(len).to_vec()));
+        }
+        if buf.remaining() > 0 {
+            return Err(LoadError::Corrupt("archive trailing bytes"));
+        }
+        Ok(Self { segments })
+    }
+
+    /// Persists the archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Loads an archive previously written by [`CacheArchive::save`].
+    ///
+    /// # Errors
+    ///
+    /// I/O, corruption and version [`LoadError`]s.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, LoadError> {
+        let raw = fs::read(path)?;
+        Self::from_bytes(Bytes::from(raw))
+    }
 }
 
 /// One decision's view of a [`BoardScopedCache`]: wraps evaluators and
@@ -432,6 +581,103 @@ mod tests {
             BoardScopedCache::from_bytes(Bytes::from(long), 16, &board),
             Err(LoadError::Corrupt("cache trailing bytes"))
         ));
+    }
+
+    /// Builds a warmed cache for `board` holding the GPU-only report.
+    fn warmed(board: &Board) -> BoardScopedCache {
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        let mut cache = BoardScopedCache::new(64);
+        let scope = cache.begin(board);
+        scope
+            .wrap(AnalyticModel::new(board.clone()))
+            .evaluate(&w, &m)
+            .unwrap();
+        cache
+    }
+
+    #[test]
+    fn archive_keys_segments_per_board_profile() {
+        let full = Board::hikey970();
+        let lite = Board::hikey970_lite();
+        let mut archive = CacheArchive::new();
+        archive.upsert(&warmed(&full));
+        archive.upsert(&warmed(&lite));
+        assert_eq!(archive.len(), 2);
+
+        // Each profile pulls its own segment — the heterogeneous-fleet
+        // fix: the lite board no longer boots cold just because the
+        // snapshot "belongs" to the full board.
+        let w = Workload::from_ids([ModelId::AlexNet]);
+        let m = Mapping::all_on(&w, Device::Gpu);
+        for board in [&full, &lite] {
+            let seg = archive.segment(64, board).expect("segment for profile");
+            assert_eq!(seg.board_fingerprint(), Some(board.fingerprint()));
+            assert_eq!(
+                seg.cache().get(w.fingerprint(), &m).unwrap(),
+                AnalyticModel::new(board.clone()).evaluate(&w, &m).unwrap(),
+                "segment must hold the profile's own report, not the other's"
+            );
+        }
+        // An unknown profile has no segment: boots cold, no error.
+        let mut other = Board::hikey970();
+        other.bus.latency_ms *= 3.0;
+        assert!(archive.segment(64, &other).is_none());
+    }
+
+    #[test]
+    fn archive_roundtrips_and_upsert_replaces() {
+        let full = Board::hikey970();
+        let lite = Board::hikey970_lite();
+        let mut archive = CacheArchive::new();
+        archive.upsert(&warmed(&full));
+        archive.upsert(&warmed(&lite));
+        let restored = CacheArchive::from_bytes(archive.to_bytes()).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.to_bytes().to_vec(), archive.to_bytes().to_vec());
+
+        // Upserting the same profile replaces its segment, not appends.
+        let mut again = restored.clone();
+        again.upsert(&warmed(&full));
+        assert_eq!(again.len(), 2);
+
+        // A fresh, never-used cache has no fingerprint: nothing to save.
+        let mut empty = CacheArchive::new();
+        empty.upsert(&BoardScopedCache::new(16));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn archive_rejects_corruption_without_panicking() {
+        let mut archive = CacheArchive::new();
+        archive.upsert(&warmed(&Board::hikey970()));
+        let blob = archive.to_bytes().to_vec();
+        for cut in 0..blob.len() {
+            assert!(
+                CacheArchive::from_bytes(Bytes::from(blob[..cut].to_vec())).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            CacheArchive::from_bytes(Bytes::from(bad)),
+            Err(LoadError::Corrupt("archive magic"))
+        ));
+        let mut long = blob.clone();
+        long.push(7);
+        assert!(matches!(
+            CacheArchive::from_bytes(Bytes::from(long)),
+            Err(LoadError::Corrupt("archive trailing bytes"))
+        ));
+        // A segment whose *contents* are corrupted decodes to None (the
+        // board boots cold) rather than failing the whole archive. The
+        // inner blob starts after the archive header (14 bytes) and the
+        // segment header (16 bytes); flip its magic.
+        let mut seg_bad = blob;
+        seg_bad[14 + 16] ^= 0xFF;
+        let parsed = CacheArchive::from_bytes(Bytes::from(seg_bad)).unwrap();
+        assert!(parsed.segment(64, &Board::hikey970()).is_none());
     }
 
     #[test]

@@ -156,6 +156,38 @@ impl Board {
         }
     }
 
+    /// A **degraded** HiKey970 profile for heterogeneous fleets: the
+    /// same SoC with the GPU thermally capped to ~40% of its peak, the
+    /// big-core cluster halved (two of four A73s parked), a slower
+    /// interconnect and a tighter concurrency ceiling — the kind of
+    /// binned/throttled board a real deployment mixes with full ones.
+    ///
+    /// Placement scoring stays honest across the mix because
+    /// [`Board::load_score_flops`] normalizes by each board's own
+    /// [`Board::total_peak_gflops`]: a job that is "one of three" on a
+    /// lite board costs more headroom than on a full board, so
+    /// least-loaded placement compares true throughput headroom rather
+    /// than job counts.
+    pub fn hikey970_lite() -> Self {
+        let mut board = Self::hikey970();
+        {
+            let gpu = &mut board.devices[Device::Gpu.index()];
+            gpu.name = "Mali-G72 MP12 (capped)".into();
+            gpu.peak_gflops = 96.0;
+            gpu.mem_bandwidth_gbs = 8.0;
+        }
+        {
+            let big = &mut board.devices[Device::BigCpu.index()];
+            big.name = "Cortex-A73 x2 @ 2.36 GHz".into();
+            big.peak_gflops = 19.0;
+            big.saturation_knee = 1;
+        }
+        board.bus.bandwidth_gbs = 4.0;
+        board.memory_budget_bytes = 3 * 1024 * 1024 * 1024;
+        board.max_concurrent_dnns = 4;
+        board
+    }
+
     /// Spec of one computing component.
     pub fn device(&self, d: Device) -> &DeviceSpec {
         &self.devices[d.index()]
@@ -340,6 +372,20 @@ mod tests {
         let mut c = Board::hikey970();
         c.bus.latency_ms += 0.01;
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn lite_profile_is_strictly_weaker_and_fingerprints_apart() {
+        let full = Board::hikey970();
+        let lite = Board::hikey970_lite();
+        assert!(lite.total_peak_gflops() < full.total_peak_gflops());
+        assert!(lite.max_concurrent_dnns < full.max_concurrent_dnns);
+        assert_ne!(full.fingerprint(), lite.fingerprint());
+        assert_eq!(lite.fingerprint(), Board::hikey970_lite().fingerprint());
+        // The same workload consumes more of the lite board's headroom,
+        // which is what makes least-loaded placement profile-aware.
+        let w = Workload::from_ids([ModelId::ResNet34]);
+        assert!(lite.load_score(&w) > full.load_score(&w));
     }
 
     #[test]

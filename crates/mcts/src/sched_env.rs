@@ -21,6 +21,14 @@ pub struct SchedState {
     stages: usize,
     /// Whether a losing condition (stage-cap violation) was hit.
     dead: bool,
+    /// Per-DNN freeze flags: `apply` skips every decision belonging to a
+    /// frozen DNN, so its carried device path survives the search
+    /// verbatim. Empty means nothing is frozen (the common cold-search
+    /// case pays nothing for the feature). Unlike the decision pointer —
+    /// which can only express *prefix* freezing — this supports any
+    /// subset, e.g. releasing one mid-workload carried DNN back into the
+    /// warm search space while its neighbours stay pinned.
+    frozen: Vec<bool>,
 }
 
 impl SchedState {
@@ -49,42 +57,81 @@ impl SchedState {
         previous: &Mapping,
         decided_dnns: usize,
     ) -> Result<SchedState, HwError> {
+        let decided = decided_dnns.min(env.workload.len());
+        let mut frozen = vec![false; env.workload.len()];
+        for f in frozen.iter_mut().take(decided) {
+            *f = true;
+        }
+        Self::from_frozen_subset(env, previous, &frozen)
+    }
+
+    /// Generalization of [`SchedState::from_partial_mapping`] to an
+    /// **arbitrary subset** of frozen DNNs: every DNN `di` with
+    /// `frozen[di]` takes its per-layer device path from `previous`'s row
+    /// `di` and is skipped by the search entirely; every other DNN stays
+    /// open (defaulting to the GPU like [`Environment::initial`]), even
+    /// when it sits *between* frozen ones.
+    ///
+    /// This is what lets warm-started rescheduling release the
+    /// worst-placed carried DNN back into the search space alongside an
+    /// arriving job: freeze all carried paths except the released one,
+    /// and the warm search re-decides exactly two DNNs while the rest of
+    /// the deployment is pinned. A prefix freeze is the special case
+    /// `frozen = [true; k] ++ [false; n-k]`.
+    ///
+    /// `frozen` may be shorter than the workload (missing entries are
+    /// open); `previous` needs a shape-matching row at every frozen
+    /// index (rows of open DNNs are ignored). If a frozen path violates
+    /// the environment's stage cap the state comes back dead — callers
+    /// check [`SchedState::is_dead`] and fall back to a cold search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::MappingShape`] when a frozen index has no row
+    /// in `previous` or its layer count mismatches the workload.
+    pub fn from_frozen_subset<M: ThroughputModel>(
+        env: &SchedulingEnv<'_, M>,
+        previous: &Mapping,
+        frozen: &[bool],
+    ) -> Result<SchedState, HwError> {
         let workload = env.workload;
-        let decided = decided_dnns.min(workload.len());
-        let expected: Vec<usize> = workload.layer_counts()[..decided].to_vec();
-        let found: Vec<usize> = previous
-            .assignments()
-            .iter()
-            .take(decided)
-            .map(Vec::len)
+        let n = workload.len();
+        let frozen: Vec<bool> = (0..n)
+            .map(|di| frozen.get(di).copied().unwrap_or(false))
+            .collect();
+        let counts = workload.layer_counts();
+        let expected: Vec<usize> = (0..n)
+            .filter(|di| frozen[*di])
+            .map(|di| counts[di])
+            .collect();
+        let found: Vec<usize> = (0..n)
+            .filter(|di| frozen[*di])
+            .map(|di| previous.assignments().get(di).map_or(0, Vec::len))
             .collect();
         if expected != found {
             return Err(HwError::MappingShape { expected, found });
         }
         let mut state = env.initial();
-        for (di, row) in previous.assignments().iter().take(decided).enumerate() {
+        state.frozen = frozen;
+        // The incremental stage counter tracks the DNN currently being
+        // edited; the first open decision is always a whole-DNN
+        // placement (which resets it), so auditing the frozen rows
+        // against the cap — remembering the last one's count for the
+        // all-frozen (terminal) case — keeps the counter exact.
+        for di in 0..n {
+            if !state.frozen[di] {
+                continue;
+            }
+            let row = &previous.assignments()[di];
             let off = env.offsets[di];
             state.devices[off..off + row.len()].copy_from_slice(row);
-        }
-        state.decision = if decided == workload.len() {
-            env.decisions.len()
-        } else {
-            env.offsets[decided]
-        };
-        // The incremental stage counter tracks the DNN currently being
-        // edited; at a DNN boundary the next decision is a whole-DNN
-        // placement which resets it, so the last decided DNN's count is
-        // the exact value (and the one the losing rule must audit).
-        state.stages = 0;
-        for di in 0..decided {
-            let stages = env.prefix_stages(&state, di, workload.dnn(di).num_layers() - 1);
+            let stages = env.prefix_stages(&state, di, row.len() - 1);
             if stages > env.stage_cap {
                 state.dead = true;
             }
-            if di + 1 == decided {
-                state.stages = stages;
-            }
+            state.stages = stages;
         }
+        env.skip_frozen(&mut state);
         Ok(state)
     }
 
@@ -243,6 +290,28 @@ impl<'a, M: ThroughputModel> SchedulingEnv<'a, M> {
         let devs = &state.devices[off..=off + last];
         1 + devs.windows(2).filter(|w| w[0] != w[1]).count()
     }
+
+    /// The DNN a decision index belongs to.
+    fn decision_dnn(&self, idx: usize) -> usize {
+        match self.decisions[idx] {
+            Decision::WholeDnn(di) | Decision::Layer(di, _) => di,
+        }
+    }
+
+    /// Advances the decision pointer past every decision belonging to a
+    /// frozen DNN. Frozen DNNs start at a whole-DNN decision and own a
+    /// contiguous decision run, so after skipping, the pointer sits on
+    /// an open DNN's whole-DNN decision (or past the end).
+    fn skip_frozen(&self, state: &mut SchedState) {
+        if state.frozen.is_empty() {
+            return;
+        }
+        while state.decision < self.decisions.len()
+            && state.frozen[self.decision_dnn(state.decision)]
+        {
+            state.decision += 1;
+        }
+    }
 }
 
 impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
@@ -254,6 +323,7 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
             decision: 0,
             stages: 0,
             dead: false,
+            frozen: Vec::new(),
         }
     }
 
@@ -296,6 +366,7 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
             }
         }
         next.decision += 1;
+        self.skip_frozen(&mut next);
         next
     }
 
@@ -702,6 +773,74 @@ mod tests {
         assert_eq!(mapping.assignments()[0], prev.assignments()[0]);
         mapping.validate(&w).unwrap();
         assert!(mapping.max_stages() <= 3);
+    }
+
+    #[test]
+    fn frozen_subset_pins_a_mid_workload_dnn() {
+        // Freeze DNN 0 and DNN 2 of a 3-DNN mix; only DNN 1 (between
+        // them) stays open — the shape prefix freezing cannot express.
+        let board = Board::hikey970();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::SqueezeNet, ModelId::MobileNet]);
+        let ev = AnalyticModel::new(board);
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let mut prev = Mapping::all_on(&w, Device::Gpu);
+        for l in 6..11 {
+            prev.assign(0, l, Device::BigCpu);
+        }
+        for l in 0..w.dnn(2).num_layers() {
+            prev.assign(2, l, Device::LittleCpu);
+        }
+        let s = SchedState::from_frozen_subset(&env, &prev, &[true, false, true]).unwrap();
+        assert!(!s.is_dead());
+        // The pointer sits on DNN 1's whole-DNN decision: DNN 0's 11
+        // decisions are skipped, DNN 1's 22 are open.
+        assert_eq!(s.decisions_taken(), 11);
+        let result = Mcts::new(SearchBudget::with_iterations(60)).search_from(&env, s, 3);
+        assert!(result.best_reward > 0.0);
+        let mapping = env.mapping_of(&result.best_state);
+        mapping.validate(&w).unwrap();
+        assert!(mapping.max_stages() <= 3);
+        assert_eq!(mapping.assignments()[0], prev.assignments()[0]);
+        assert_eq!(mapping.assignments()[2], prev.assignments()[2]);
+    }
+
+    #[test]
+    fn frozen_subset_validates_rows_and_audits_caps() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        // Frozen index 1 needs a matching row; a 1-row mapping fails.
+        let short = Mapping::new(vec![vec![Device::Gpu; 11]]);
+        assert!(matches!(
+            SchedState::from_frozen_subset(&env, &short, &[false, true]),
+            Err(HwError::MappingShape { .. })
+        ));
+        // An over-cap frozen row comes back dead even when it is not the
+        // prefix.
+        let mut overcap = Mapping::all_on(&w, Device::Gpu);
+        overcap.assign(1, 2, Device::BigCpu);
+        overcap.assign(1, 5, Device::LittleCpu);
+        overcap.assign(1, 8, Device::BigCpu);
+        assert!(overcap.stage_count(1) > 3);
+        let s = SchedState::from_frozen_subset(&env, &overcap, &[false, true]).unwrap();
+        assert!(s.is_dead());
+        // A short `frozen` slice leaves the remaining DNNs open.
+        let ok = SchedState::from_frozen_subset(&env, &overcap, &[]).unwrap();
+        assert!(!ok.is_dead());
+        assert_eq!(ok.decisions_taken(), 0);
+    }
+
+    #[test]
+    fn frozen_subset_all_frozen_is_terminal_and_matches_prefix_path() {
+        let (w, ev) = setup();
+        let env = SchedulingEnv::new(&w, &ev, 3).unwrap();
+        let prev = Mapping::all_on(&w, Device::BigCpu);
+        let subset = SchedState::from_frozen_subset(&env, &prev, &[true, true]).unwrap();
+        assert!(env.is_terminal(&subset));
+        assert_eq!(env.mapping_of(&subset), prev);
+        // The prefix constructor is the special case of the subset one.
+        let prefix = SchedState::from_partial_mapping(&env, &prev, 2).unwrap();
+        assert_eq!(env.mapping_of(&prefix), env.mapping_of(&subset));
+        assert_eq!(prefix.decisions_taken(), subset.decisions_taken());
     }
 
     #[test]

@@ -183,6 +183,39 @@ proptest! {
         }
     }
 
+    /// Warm liveness over **arbitrary freeze shapes**: freeze any subset
+    /// of the DNNs (not just a prefix) to a valid previous mapping's
+    /// device paths and the search must still return a live mapping that
+    /// preserves every frozen row exactly — a live completion always
+    /// exists (place every open DNN whole on one device).
+    #[test]
+    fn subset_frozen_search_never_returns_losing_mappings(
+        mix in proptest::sample::subsequence(ModelId::ALL.to_vec(), 2..=4),
+        mask_bits in 0usize..15,
+        seed in 0u64..300,
+    ) {
+        let board = Board::hikey970();
+        let evaluator = AnalyticModel::new(board);
+        let workload = Workload::from_ids(mix);
+        let frozen: Vec<bool> = (0..workload.len()).map(|di| mask_bits >> di & 1 == 1).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let previous = Mapping::random(&workload, 3, &mut rng);
+        let env = SchedulingEnv::new(&workload, &evaluator, 3).unwrap();
+        let root = SchedState::from_frozen_subset(&env, &previous, &frozen).unwrap();
+        prop_assert!(!root.is_dead(), "valid previous mapping cannot seed a dead root");
+        let result = Mcts::new(SearchBudget::with_iterations(40)).search_from(&env, root, seed);
+        prop_assert!(result.best_reward > 0.0, "frozen-subset search returned no live mapping");
+        prop_assert!(!result.best_state.is_dead());
+        let mapping = env.mapping_of(&result.best_state);
+        mapping.validate(&workload).unwrap();
+        prop_assert!(mapping.max_stages() <= 3);
+        for (di, frozen) in frozen.iter().enumerate() {
+            if *frozen {
+                prop_assert_eq!(&mapping.assignments()[di], &previous.assignments()[di]);
+            }
+        }
+    }
+
     /// `batch_size == 1` under the budget-aware policy reproduces the
     /// scalar one-query-per-iteration loop draw-for-draw.
     #[test]

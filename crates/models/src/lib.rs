@@ -40,7 +40,8 @@ pub use graph::{DnnModel, ModelError};
 pub use kernel::{Kernel, KernelClass};
 pub use layer::{Layer, LayerKind};
 pub use scenarios::{
-    ArrivalProcess, ArrivalTrace, JobEvent, JobSpec, Scenario, TraceConfig, TraceEvent,
+    ArrivalProcess, ArrivalTrace, FleetEvent, FleetScript, FleetScriptConfig, FleetTraceEvent,
+    JobEvent, JobSpec, Scenario, TraceConfig, TraceEvent,
 };
 pub use shapes::TensorShape;
 pub use stats::{summary_table, ModelStats};

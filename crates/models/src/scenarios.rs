@@ -124,6 +124,192 @@ pub struct TraceEvent {
     pub event: JobEvent,
 }
 
+/// A fleet-lifecycle event — the board-level counterpart of
+/// [`JobEvent`]. Board indices refer to the orchestrator's slot order:
+/// the initial fleet occupies `0..n` and every join appends the next
+/// index, so an index names the same physical board for the whole trace
+/// (failed boards keep their index; it is never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// The board dies abruptly: its resident jobs must be evacuated
+    /// (re-placed or queued) — never silently lost.
+    BoardFail {
+        /// Slot index of the failing board.
+        board: usize,
+    },
+    /// The board is taken out of rotation gracefully (maintenance):
+    /// same evacuation path as a failure, but semantically planned.
+    BoardDrain {
+        /// Slot index of the draining board.
+        board: usize,
+    },
+    /// A new board joins the fleet and becomes a placement and
+    /// rebalance target.
+    BoardJoin {
+        /// Index into the fleet spec's join-profile pool (the models
+        /// crate cannot see hardware types; the orchestrator resolves
+        /// the index to a board profile).
+        profile: usize,
+    },
+}
+
+/// A timestamped [`FleetEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTraceEvent {
+    /// Milliseconds since trace start.
+    pub at_ms: u64,
+    /// What happens to the fleet.
+    pub event: FleetEvent,
+}
+
+/// Parameters of a seeded [`FleetScript`] generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScriptConfig {
+    /// Script length in milliseconds; no event is stamped past it.
+    pub horizon_ms: u64,
+    /// Boards alive at t = 0 (slot indices `0..initial_boards`).
+    pub initial_boards: usize,
+    /// Number of board profiles joins draw from (uniformly).
+    pub join_profiles: usize,
+    /// Mean time between board failures (exponential; 0 disables).
+    pub mean_fail_interval_ms: f64,
+    /// Mean time between graceful drains (exponential; 0 disables).
+    pub mean_drain_interval_ms: f64,
+    /// Mean time between board joins (exponential; 0 disables).
+    pub mean_join_interval_ms: f64,
+}
+
+impl Default for FleetScriptConfig {
+    /// A 4-board fleet over one minute with one failure and one join
+    /// expected per trace, drains off.
+    fn default() -> Self {
+        Self {
+            horizon_ms: 60_000,
+            initial_boards: 4,
+            join_profiles: 1,
+            mean_fail_interval_ms: 60_000.0,
+            mean_drain_interval_ms: 0.0,
+            mean_join_interval_ms: 60_000.0,
+        }
+    }
+}
+
+/// A seeded, reproducible sequence of board-lifecycle events, sorted by
+/// timestamp — the fleet-level half of an orchestrated trace. The
+/// orchestrator interleaves it with an [`ArrivalTrace`] at replay time
+/// (fleet events apply before job events at equal stamps, so a board
+/// failing at `t` never receives the arrival stamped `t`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScript {
+    events: Vec<FleetTraceEvent>,
+}
+
+impl FleetScript {
+    /// Wraps an explicit event list (benches hand-build deterministic
+    /// failure scenarios), sorting it by stamp. Event order at equal
+    /// stamps is preserved.
+    pub fn new(mut events: Vec<FleetTraceEvent>) -> Self {
+        events.sort_by_key(|e| e.at_ms);
+        Self { events }
+    }
+
+    /// An empty script (a static fleet).
+    pub fn none() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// Generates a script: each event class fires at exponential
+    /// intervals around its configured mean, targets are drawn uniformly
+    /// over the boards alive at that instant, and the generator tracks
+    /// the alive set so a script can never fail a dead board — or the
+    /// **last** board (a fleet must keep serving; a fail/drain drawn
+    /// while one board remains is dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial_boards` is 0 or a non-zero mean interval is
+    /// negative or non-finite.
+    pub fn generate(config: &FleetScriptConfig, seed: u64) -> Self {
+        assert!(config.initial_boards > 0, "a fleet starts with a board");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exp = |rng: &mut StdRng, mean: f64| -> f64 {
+            assert!(mean >= 0.0 && mean.is_finite(), "bad mean interval");
+            -mean * (1.0 - rng.gen_range(0.0f64..1.0)).ln()
+        };
+        let horizon = config.horizon_ms as f64;
+        // Next candidate stamp per class (disabled classes park at the
+        // horizon and never fire).
+        let draw = |rng: &mut StdRng, from: f64, mean: f64| -> f64 {
+            if mean == 0.0 {
+                horizon
+            } else {
+                from + exp(rng, mean)
+            }
+        };
+        let mut next_fail = draw(&mut rng, 0.0, config.mean_fail_interval_ms);
+        let mut next_drain = draw(&mut rng, 0.0, config.mean_drain_interval_ms);
+        let mut next_join = draw(&mut rng, 0.0, config.mean_join_interval_ms);
+        let mut alive: Vec<usize> = (0..config.initial_boards).collect();
+        let mut next_index = config.initial_boards;
+        let mut events = Vec::new();
+        loop {
+            let t = next_fail.min(next_drain).min(next_join);
+            if t >= horizon {
+                break;
+            }
+            let at_ms = t as u64;
+            if t == next_join {
+                let profile = rng.gen_range(0..config.join_profiles.max(1));
+                events.push(FleetTraceEvent {
+                    at_ms,
+                    event: FleetEvent::BoardJoin { profile },
+                });
+                alive.push(next_index);
+                next_index += 1;
+                next_join = draw(&mut rng, t, config.mean_join_interval_ms);
+            } else {
+                let is_fail = t == next_fail;
+                // The target draw happens even when the event is dropped
+                // (last board standing), so scripts of different classes
+                // stay aligned per seed.
+                let pick = rng.gen_range(0..alive.len().max(1));
+                if alive.len() > 1 {
+                    let board = alive.remove(pick);
+                    events.push(FleetTraceEvent {
+                        at_ms,
+                        event: if is_fail {
+                            FleetEvent::BoardFail { board }
+                        } else {
+                            FleetEvent::BoardDrain { board }
+                        },
+                    });
+                }
+                if is_fail {
+                    next_fail = draw(&mut rng, t, config.mean_fail_interval_ms);
+                } else {
+                    next_drain = draw(&mut rng, t, config.mean_drain_interval_ms);
+                }
+            }
+        }
+        Self::new(events)
+    }
+
+    /// The events, in replay order.
+    pub fn events(&self) -> &[FleetTraceEvent] {
+        &self.events
+    }
+
+    /// Total event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the script has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// The arrival process shaping a trace's traffic over time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
@@ -175,8 +361,15 @@ pub struct TraceConfig {
     pub mean_lifetime_ms: f64,
     /// Model pool arrivals draw from, uniformly.
     pub models: Vec<ModelId>,
-    /// Number of tenants jobs are attributed to (uniformly).
+    /// Number of tenants jobs are attributed to (uniformly, unless
+    /// [`TraceConfig::tenant_weights`] skews the draw).
     pub tenants: u32,
+    /// Relative arrival weights per tenant (one entry per tenant);
+    /// empty means uniform. Skewed-tenant fairness scenarios use e.g.
+    /// `[7.0, 1.0, 1.0, 1.0]` to hand tenant 0 seventy percent of the
+    /// traffic. Leaving this empty keeps the per-seed RNG stream (and
+    /// therefore every existing trace) bit-for-bit unchanged.
+    pub tenant_weights: Vec<f64>,
 }
 
 impl Default for TraceConfig {
@@ -196,6 +389,7 @@ impl Default for TraceConfig {
                 ModelId::InceptionV3,
             ],
             tenants: 4,
+            tenant_weights: Vec::new(),
         }
     }
 }
@@ -235,6 +429,21 @@ impl ArrivalTrace {
     /// non-positive/non-finite, or a bursty window has zero length.
     pub fn generate(process: ArrivalProcess, config: &TraceConfig, seed: u64) -> Self {
         assert!(!config.models.is_empty(), "trace needs a model pool");
+        if !config.tenant_weights.is_empty() {
+            assert_eq!(
+                config.tenant_weights.len(),
+                config.tenants as usize,
+                "tenant_weights needs one entry per tenant"
+            );
+            assert!(
+                config
+                    .tenant_weights
+                    .iter()
+                    .all(|w| *w >= 0.0 && w.is_finite())
+                    && config.tenant_weights.iter().sum::<f64>() > 0.0,
+                "tenant_weights must be non-negative, finite and not all zero"
+            );
+        }
         let peak = match process {
             ArrivalProcess::Poisson { rate_per_s } => rate_per_s,
             ArrivalProcess::Bursty {
@@ -299,7 +508,23 @@ impl ArrivalTrace {
             // Every candidate draws its job attributes even when thinned
             // away, so traces of nested shapes stay aligned per seed.
             let model = config.models[rng.gen_range(0..config.models.len())];
-            let tenant = rng.gen_range(0..config.tenants.max(1));
+            let tenant = if config.tenant_weights.is_empty() {
+                rng.gen_range(0..config.tenants.max(1))
+            } else {
+                // Weighted draw: one uniform over the total mass, walked
+                // through the cumulative weights.
+                let total: f64 = config.tenant_weights.iter().sum();
+                let mut u = rng.gen_range(0.0f64..total);
+                let mut chosen = config.tenants - 1;
+                for (t, w) in config.tenant_weights.iter().enumerate() {
+                    if u < *w {
+                        chosen = t as u32;
+                        break;
+                    }
+                    u -= w;
+                }
+                chosen
+            };
             let lifetime = exp(&mut rng, config.mean_lifetime_ms);
             if !keep {
                 continue;
@@ -335,6 +560,28 @@ impl ArrivalTrace {
         events.sort_by_key(|(at, rank, id, _)| (*at, *rank, *id));
         Self {
             events: events.into_iter().map(|(_, _, _, e)| e).collect(),
+        }
+    }
+
+    /// Wraps an explicit event list (benches and tests hand-build
+    /// deterministic scenarios — e.g. a mass skewed departure — that no
+    /// stochastic generator can pin down), sorted with the same rule as
+    /// [`ArrivalTrace::generate`]: stamp order, departures before
+    /// arrivals at equal stamps, job id breaking remaining ties.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        let mut keyed: Vec<(u64, u8, u64, TraceEvent)> = events
+            .into_iter()
+            .map(|e| {
+                let (rank, id) = match e.event {
+                    JobEvent::Depart { job_id } => (0u8, job_id),
+                    JobEvent::Arrive(job) => (1, job.id),
+                };
+                (e.at_ms, rank, id, e)
+            })
+            .collect();
+        keyed.sort_by_key(|(at, rank, id, _)| (*at, *rank, *id));
+        Self {
+            events: keyed.into_iter().map(|(_, _, _, e)| e).collect(),
         }
     }
 
@@ -455,6 +702,124 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fleet_scripts_are_deterministic_and_never_kill_the_last_board() {
+        let cfg = FleetScriptConfig {
+            horizon_ms: 600_000,
+            initial_boards: 2,
+            join_profiles: 2,
+            mean_fail_interval_ms: 40_000.0,
+            mean_drain_interval_ms: 90_000.0,
+            mean_join_interval_ms: 70_000.0,
+        };
+        let a = FleetScript::generate(&cfg, 9);
+        assert_eq!(a, FleetScript::generate(&cfg, 9), "same seed, same script");
+        assert_ne!(a, FleetScript::generate(&cfg, 10));
+        assert!(!a.is_empty(), "a 10-minute script should produce events");
+        // Replay the alive set: every fail/drain targets an alive board,
+        // at least one board always survives, joins append fresh indices.
+        let mut alive: Vec<usize> = (0..cfg.initial_boards).collect();
+        let mut next_index = cfg.initial_boards;
+        let mut last = 0u64;
+        let (mut fails, mut joins) = (0usize, 0usize);
+        for e in a.events() {
+            assert!(e.at_ms >= last && e.at_ms < cfg.horizon_ms);
+            last = e.at_ms;
+            match e.event {
+                FleetEvent::BoardFail { board } | FleetEvent::BoardDrain { board } => {
+                    let pos = alive
+                        .iter()
+                        .position(|b| *b == board)
+                        .expect("alive target");
+                    alive.remove(pos);
+                    assert!(!alive.is_empty(), "last board was killed");
+                    if matches!(e.event, FleetEvent::BoardFail { .. }) {
+                        fails += 1;
+                    }
+                }
+                FleetEvent::BoardJoin { profile } => {
+                    assert!(profile < cfg.join_profiles);
+                    alive.push(next_index);
+                    next_index += 1;
+                    joins += 1;
+                }
+            }
+        }
+        assert!(fails > 0, "mean 40s over 10 min should fail some board");
+        assert!(joins > 0);
+    }
+
+    #[test]
+    fn fleet_script_disabled_classes_never_fire() {
+        let cfg = FleetScriptConfig {
+            mean_fail_interval_ms: 0.0,
+            mean_drain_interval_ms: 0.0,
+            mean_join_interval_ms: 0.0,
+            ..FleetScriptConfig::default()
+        };
+        assert!(FleetScript::generate(&cfg, 3).is_empty());
+        assert!(FleetScript::none().is_empty());
+    }
+
+    #[test]
+    fn fleet_script_new_sorts_by_stamp() {
+        let s = FleetScript::new(vec![
+            FleetTraceEvent {
+                at_ms: 500,
+                event: FleetEvent::BoardJoin { profile: 0 },
+            },
+            FleetTraceEvent {
+                at_ms: 100,
+                event: FleetEvent::BoardFail { board: 1 },
+            },
+        ]);
+        assert_eq!(s.events()[0].at_ms, 100);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn tenant_weights_skew_the_tenant_draw_and_empty_weights_change_nothing() {
+        let uniform = TraceConfig {
+            horizon_ms: 120_000,
+            ..TraceConfig::default()
+        };
+        let before =
+            ArrivalTrace::generate(ArrivalProcess::Poisson { rate_per_s: 1.0 }, &uniform, 17);
+        // Empty weights: the exact trace the field's introduction must
+        // not disturb.
+        let unchanged = ArrivalTrace::generate(
+            ArrivalProcess::Poisson { rate_per_s: 1.0 },
+            &TraceConfig {
+                tenant_weights: Vec::new(),
+                ..uniform.clone()
+            },
+            17,
+        );
+        assert_eq!(before, unchanged);
+
+        let skewed_cfg = TraceConfig {
+            tenant_weights: vec![7.0, 1.0, 1.0, 1.0],
+            ..uniform
+        };
+        let skewed =
+            ArrivalTrace::generate(ArrivalProcess::Poisson { rate_per_s: 1.0 }, &skewed_cfg, 17);
+        let mut counts = [0usize; 4];
+        for e in skewed.events() {
+            if let JobEvent::Arrive(job) = e.event {
+                counts[job.tenant as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert!(total > 50);
+        // Tenant 0 should take roughly 70%; a loose 50% bar is ~4 sigma.
+        assert!(
+            counts[0] * 2 > total,
+            "tenant 0 got {} of {total} arrivals",
+            counts[0]
+        );
+        assert!(counts[1..].iter().all(|c| *c < counts[0]));
     }
 
     #[test]

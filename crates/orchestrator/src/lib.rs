@@ -1,0 +1,60 @@
+//! # omniboost-orchestrator
+//!
+//! The fleet-orchestration control plane above `omniboost-serve`: where
+//! the serving runtime schedules jobs **within** a fixed fleet, this
+//! crate owns the fleet itself.
+//!
+//! * **Heterogeneous fleets** ([`FleetSpec`], [`BoardProfile`]) — mix
+//!   full and degraded board profiles (e.g. [`omniboost_hw::Board::hikey970`]
+//!   next to [`omniboost_hw::Board::hikey970_lite`]); placement compares
+//!   true throughput headroom because load scores normalize by each
+//!   board's own peak compute, and evaluation caches persist **per
+//!   profile** (`CacheArchive` segments keyed on the board fingerprint).
+//! * **Lifecycle events** ([`omniboost_models::FleetEvent`]) — seeded
+//!   scripts of board failures, graceful drains and joins interleave
+//!   with the arrival trace. On fail/drain every resident job is
+//!   **evacuated** through the admission-gated placement path (re-placed
+//!   now or FIFO-queued — never silently lost; the conservation
+//!   invariant is proptested), and evacuation latency is a first-class
+//!   metric. Joined boards immediately serve placements, queue drains
+//!   and rebalancing.
+//! * **Migration-costed rebalancing** ([`RebalanceConfig`]) — a
+//!   periodic step proposes moving the newest job from the most-loaded
+//!   board to the least-loaded one, prices both sides with warm-started
+//!   speculative rescheduling ([`omniboost::Runtime::run_speculative`] —
+//!   the decision memo is never polluted by rejected proposals), and
+//!   commits only when the fleet-level throughput gain exceeds a
+//!   configurable multiple of the migrated-layer count. Imbalance
+//!   thresholds and a post-move cooldown keep the fleet from thrashing.
+//! * **Tenant fairness** — per-tenant throughput/queue-wait aggregation
+//!   ([`omniboost_serve::TenantSummary`]) plus the
+//!   [`omniboost_serve::PlacementPolicy::FairShare`] policy, which
+//!   reserves the emptiest board for tenants below their fair share of
+//!   attained throughput.
+//!
+//! See `examples/fleet_orchestration.rs` for a walkthrough and
+//! `crates/bench/benches/fleet.rs` for the measured acceptance bars
+//! (rebalance recovery, zero-loss failure handling, fairness ratio).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rebalance;
+mod sim;
+mod spec;
+
+pub use rebalance::{RebalanceConfig, RebalanceMove, RebalanceTick, Rebalancer};
+pub use sim::{
+    FleetEventRecord, OrchestratorConfig, OrchestratorReport, OrchestratorSim, OrchestratorSummary,
+    OrchestratorTick,
+};
+pub use spec::{BoardProfile, FleetSpec};
+
+// One import path for orchestrated-serving users.
+pub use omniboost_models::{
+    ArrivalProcess, ArrivalTrace, FleetEvent, FleetScript, FleetScriptConfig, FleetTraceEvent,
+    TraceConfig,
+};
+pub use omniboost_serve::{
+    tenant_tps_ratio, OnlineConfig, PlacementPolicy, ReschedulePolicy, TenantSummary,
+};

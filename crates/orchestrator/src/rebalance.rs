@@ -1,0 +1,360 @@
+//! Migration-costed, hysteresis-guarded job rebalancing between boards.
+//!
+//! Jobs admitted to a board used to stay pinned there for life; under
+//! skewed departures one board idles while another queues. The
+//! rebalancer periodically proposes moving the newest job from the
+//! most-loaded board to the least-loaded one and **prices the move
+//! before committing**: both sides are re-scheduled speculatively
+//! ([`omniboost::Runtime::run_speculative`] — warm-started, memo
+//! untouched), and the move happens only when the fleet-level
+//! throughput gain pays for the layers that would migrate. Three
+//! hysteresis guards keep the fleet from thrashing: a minimum load
+//! imbalance before anything is proposed, a per-layer gain floor, and a
+//! cooldown after every accepted move.
+
+use omniboost::PreviousDeployment;
+use omniboost_hw::{Mapping, ThroughputModel, ThroughputReport};
+use omniboost_serve::{BoardSlot, Fleet, WarmHint};
+
+/// Knobs of the periodic rebalance step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// Simulated time between rebalance evaluations.
+    pub period_ms: u64,
+    /// Minimum *relative* load imbalance before a move is proposed: the
+    /// receiver's load score must sit below `(1 - min_imbalance)` of
+    /// the donor's. 0 proposes on any difference; 0.25 (default) wants
+    /// a quarter of the donor's load to be missing on the receiver.
+    pub min_imbalance: f64,
+    /// Fleet-level throughput gain (inferences/s) every migrated layer
+    /// must buy — the configurable multiple of the
+    /// [`Mapping::migrated_layers`] cost. The moved job's own layers
+    /// count too (its weights cross boards).
+    pub min_gain_per_layer: f64,
+    /// Rebalance periods skipped after an accepted move.
+    pub cooldown_periods: u32,
+    /// Accepted moves allowed per rebalance tick.
+    pub max_moves_per_tick: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            period_ms: 2_000,
+            min_imbalance: 0.25,
+            min_gain_per_layer: 0.05,
+            cooldown_periods: 1,
+            max_moves_per_tick: 1,
+        }
+    }
+}
+
+/// One accepted rebalance move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceMove {
+    /// Simulated time of the move.
+    pub at_ms: u64,
+    /// Donor slot index.
+    pub from: usize,
+    /// Receiver slot index.
+    pub to: usize,
+    /// The moved job.
+    pub job_id: u64,
+    /// The moved job's tenant.
+    pub tenant: u32,
+    /// Fleet-level throughput gain the speculative scoring priced in.
+    pub gain_tps: f64,
+    /// Layers whose device changed, **including** every layer of the
+    /// moved job (its weights re-upload on the receiver).
+    pub migrated_layers: usize,
+}
+
+/// What one rebalance tick did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RebalanceTick {
+    /// Moves accepted and committed.
+    pub moves: Vec<RebalanceMove>,
+    /// Proposals scored but rejected by the migration-cost gate.
+    pub rejected: usize,
+    /// Whether the tick was skipped by the cooldown guard.
+    pub cooled_down: bool,
+}
+
+/// The rebalancer's cross-tick state (cooldown counter).
+#[derive(Debug, Default)]
+pub struct Rebalancer {
+    cooldown: u32,
+    /// Set when the last proposal was scored and the gate turned it
+    /// down (vs. finding nothing to propose at all).
+    last_proposal_rejected: bool,
+}
+
+/// A speculative single-board verdict: the mapping/report the board
+/// would run, plus migration and accounting.
+struct SideScore {
+    mapping: Option<Mapping>,
+    report: Option<ThroughputReport>,
+    tps: f64,
+    migrated_layers: usize,
+}
+
+impl Rebalancer {
+    /// A fresh rebalancer (no cooldown pending).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one rebalance tick over the fleet. All dirty boards must be
+    /// flushed first — proposals are priced against current deployments.
+    pub fn tick<M: ThroughputModel + Sync>(
+        &mut self,
+        fleet: &mut Fleet<M>,
+        config: &RebalanceConfig,
+        at_ms: u64,
+    ) -> RebalanceTick {
+        let mut out = RebalanceTick::default();
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            out.cooled_down = true;
+            return out;
+        }
+        for _ in 0..config.max_moves_per_tick {
+            match self.try_one_move(fleet, config, at_ms) {
+                Some(mv) => out.moves.push(mv),
+                None => {
+                    out.rejected += usize::from(self.last_proposal_rejected);
+                    break;
+                }
+            }
+        }
+        if !out.moves.is_empty() {
+            self.cooldown = config.cooldown_periods;
+        }
+        out
+    }
+
+    fn try_one_move<M: ThroughputModel + Sync>(
+        &mut self,
+        fleet: &mut Fleet<M>,
+        config: &RebalanceConfig,
+        at_ms: u64,
+    ) -> Option<RebalanceMove> {
+        self.last_proposal_rejected = false;
+        // Donor: the most-loaded active board with jobs; receiver: the
+        // least-loaded active board. Ties break on the lowest index.
+        let donor = fleet
+            .slots()
+            .iter()
+            .filter(|s| s.active && !s.jobs.is_empty())
+            .map(|s| (s.index, s.load_score()))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))?;
+        let receiver = fleet
+            .slots()
+            .iter()
+            .filter(|s| s.active && s.index != donor.0)
+            .map(|s| (s.index, s.load_score()))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))?;
+        // Hysteresis guard 1: meaningful imbalance only.
+        if receiver.1 > donor.1 * (1.0 - config.min_imbalance) {
+            return None;
+        }
+        let (from, to) = (donor.0, receiver.0);
+        // Candidate: the newest job on the donor the receiver admits.
+        let job_id = {
+            let (donor_slot, recv_slot) = two_slots(fleet, from, to);
+            donor_slot
+                .jobs
+                .iter()
+                .zip(&donor_slot.models)
+                .rev()
+                .find(|(_, model)| recv_slot.admits(model))
+                .map(|(job, _)| job.id)?
+        };
+        let (gain, migrated, donor_score, recv_score) = {
+            let (donor_slot, recv_slot) = two_slots(fleet, from, to);
+            let before = donor_slot.throughput() + recv_slot.throughput();
+            let moved_layers = {
+                let i = donor_slot
+                    .jobs
+                    .iter()
+                    .position(|j| j.id == job_id)
+                    .expect("candidate resident");
+                donor_slot.models[i].num_layers()
+            };
+            let donor_score = speculate_without(donor_slot, job_id)?;
+            let recv_score = speculate_with(recv_slot, donor_slot, job_id)?;
+            let gain = donor_score.tps + recv_score.tps - before;
+            let migrated = donor_score.migrated_layers + recv_score.migrated_layers + moved_layers;
+            (gain, migrated, donor_score, recv_score)
+        };
+        // Hysteresis guard 2: the gain must pay for the churn.
+        if gain <= config.min_gain_per_layer * migrated as f64 {
+            self.last_proposal_rejected = true;
+            return None;
+        }
+        // Commit: move the job and install the speculatively scored
+        // deployments (they ARE what each board will run — re-searching
+        // in the flush path would both double the work and risk a
+        // different answer than the one the gate priced).
+        let tenant;
+        {
+            let (donor_slot, recv_slot) = two_slots(fleet, from, to);
+            let (job, model) = donor_slot.take_job(job_id).expect("candidate resident");
+            tenant = job.tenant;
+            recv_slot.push_job(job, model);
+            match (donor_score.mapping, donor_score.report) {
+                (Some(mapping), Some(report)) => donor_slot.install_deployment(mapping, report),
+                _ => {
+                    donor_slot.evacuate();
+                }
+            }
+            recv_slot.install_deployment(
+                recv_score.mapping.expect("receiver gained a job"),
+                recv_score.report.expect("receiver gained a job"),
+            );
+        }
+        Some(RebalanceMove {
+            at_ms,
+            from,
+            to,
+            job_id,
+            tenant,
+            gain_tps: gain,
+            migrated_layers: migrated,
+        })
+    }
+}
+
+/// Simultaneous mutable access to two distinct slots.
+fn two_slots<M: ThroughputModel + Sync>(
+    fleet: &mut Fleet<M>,
+    a: usize,
+    b: usize,
+) -> (&mut BoardSlot<M>, &mut BoardSlot<M>) {
+    assert_ne!(a, b, "donor and receiver must differ");
+    let slots = fleet.slots_mut();
+    if a < b {
+        let (lo, hi) = slots.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = slots.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Prices the donor side: the board without `job_id`, warm-started from
+/// the surviving rows of its current deployment.
+fn speculate_without<M: ThroughputModel + Sync>(
+    slot: &mut BoardSlot<M>,
+    job_id: u64,
+) -> Option<SideScore> {
+    let removed = slot.jobs.iter().position(|j| j.id == job_id)?;
+    if slot.jobs.len() == 1 {
+        // The donor goes idle: nothing to search, nothing deployed.
+        return Some(SideScore {
+            mapping: None,
+            report: None,
+            tps: 0.0,
+            migrated_layers: 0,
+        });
+    }
+    let models: Vec<_> = slot
+        .models
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != removed)
+        .map(|(_, m)| m.clone())
+        .collect();
+    let workload = omniboost_hw::Workload::new(models);
+    let mapping = slot.mapping.as_ref()?;
+    // Remaining job i pairs with its previous row; all rows carried.
+    let pairing: Vec<Option<usize>> = (0..slot.jobs.len())
+        .filter(|i| *i != removed)
+        .map(|i| {
+            slot.deployed_jobs
+                .iter()
+                .position(|p| p.id == slot.jobs[i].id)
+        })
+        .collect();
+    let rows: Vec<Vec<_>> = pairing
+        .iter()
+        .map(|p| Some(mapping.assignments()[(*p)?].clone()))
+        .collect::<Option<Vec<_>>>()?;
+    let carried = Mapping::new(rows);
+    slot.scheduler.set_warm_hint(WarmHint {
+        carried,
+        decided: workload.len(),
+        release: None,
+    });
+    slot.scheduler.speculate_next();
+    let previous = slot.mapping.clone()?;
+    let outcome = slot
+        .runtime
+        .run_speculative(
+            &mut slot.scheduler,
+            &workload,
+            Some(PreviousDeployment {
+                mapping: &previous,
+                pairing: &pairing,
+            }),
+        )
+        .ok()?;
+    slot.scheduler.clear_hint();
+    Some(SideScore {
+        tps: outcome.report.per_dnn.iter().sum(),
+        migrated_layers: outcome.migrated_layers.unwrap_or(0),
+        mapping: Some(outcome.mapping),
+        report: Some(outcome.report),
+    })
+}
+
+/// Prices the receiver side: the board plus the donor's `job_id`
+/// appended, warm-started from the receiver's current deployment.
+fn speculate_with<M: ThroughputModel + Sync>(
+    slot: &mut BoardSlot<M>,
+    donor: &BoardSlot<M>,
+    job_id: u64,
+) -> Option<SideScore> {
+    let moved = donor.jobs.iter().position(|j| j.id == job_id)?;
+    let mut models: Vec<_> = slot.models.to_vec();
+    models.push(donor.models[moved].clone());
+    let workload = omniboost_hw::Workload::new(models);
+    let mut pairing: Vec<Option<usize>> = (0..slot.jobs.len())
+        .map(|i| {
+            slot.deployed_jobs
+                .iter()
+                .position(|p| p.id == slot.jobs[i].id)
+        })
+        .collect();
+    pairing.push(None); // the arriving job has nothing to migrate here
+    if let Some(mapping) = &slot.mapping {
+        let rows: Option<Vec<Vec<_>>> = pairing[..slot.jobs.len()]
+            .iter()
+            .map(|p| Some(mapping.assignments()[(*p)?].clone()))
+            .collect();
+        if let Some(rows) = rows {
+            slot.scheduler.set_warm_hint(WarmHint {
+                carried: Mapping::new(rows),
+                decided: slot.jobs.len(),
+                release: None,
+            });
+        }
+    }
+    let previous = slot.mapping.clone();
+    let context = previous.as_ref().map(|mapping| PreviousDeployment {
+        mapping,
+        pairing: &pairing,
+    });
+    slot.scheduler.speculate_next();
+    let outcome = slot
+        .runtime
+        .run_speculative(&mut slot.scheduler, &workload, context)
+        .ok()?;
+    slot.scheduler.clear_hint();
+    Some(SideScore {
+        tps: outcome.report.per_dnn.iter().sum(),
+        migrated_layers: outcome.migrated_layers.unwrap_or(0),
+        mapping: Some(outcome.mapping),
+        report: Some(outcome.report),
+    })
+}

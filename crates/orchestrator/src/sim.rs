@@ -1,0 +1,703 @@
+//! The orchestration event loop: one merged timeline of job events,
+//! fleet-lifecycle events and periodic rebalance ticks, replayed
+//! against a (possibly heterogeneous, possibly shrinking and growing)
+//! fleet.
+
+use crate::rebalance::{RebalanceConfig, RebalanceMove, Rebalancer};
+use crate::spec::FleetSpec;
+use omniboost_estimator::CacheArchive;
+use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
+use omniboost_models::{ArrivalTrace, FleetEvent, FleetScript, JobEvent, JobSpec};
+use omniboost_serve::{
+    BoardDecision, Fleet, LatencyStats, OnlineConfig, OnlineScheduler, PlacementPolicy,
+    ReschedulePolicy, TenantAccumulator, TenantSummary,
+};
+use std::collections::VecDeque;
+use std::hash::Hasher;
+use std::path::PathBuf;
+
+/// Full orchestrator configuration.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Rescheduling policy of every board's scheduler.
+    pub policy: ReschedulePolicy,
+    /// Job placement policy across boards.
+    pub placement: PlacementPolicy,
+    /// Per-board online scheduler knobs.
+    pub online: OnlineConfig,
+    /// Whether per-board runtimes memoize decisions per workload mix.
+    pub use_memo: bool,
+    /// Persisted evaluation-cache archive: each board warm-loads its
+    /// hardware profile's segment at startup; every profile's merged
+    /// cache is written back at shutdown.
+    pub cache_path: Option<PathBuf>,
+    /// Periodic migration-costed rebalancing (`None` disables — the
+    /// PR-4 behaviour where jobs stay pinned to their admission board).
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+impl OrchestratorConfig {
+    /// The production configuration: warm starts, decision memo,
+    /// fair-share placement, rebalancing on.
+    pub fn warm() -> Self {
+        Self {
+            policy: ReschedulePolicy::WarmStart,
+            placement: PlacementPolicy::FairShare,
+            online: OnlineConfig::default(),
+            use_memo: true,
+            cache_path: None,
+            rebalance: Some(RebalanceConfig::default()),
+        }
+    }
+
+    /// [`OrchestratorConfig::warm`] with rebalancing disabled — the
+    /// jobs-stay-pinned baseline every rebalance benchmark compares
+    /// against.
+    pub fn warm_pinned() -> Self {
+        Self {
+            rebalance: None,
+            ..Self::warm()
+        }
+    }
+}
+
+/// What one fleet-lifecycle event did to the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEventRecord {
+    /// The event as scripted.
+    pub event: FleetEvent,
+    /// Slot index affected (the failed/drained board, or the joined
+    /// board's fresh index). `None` when the event was a no-op (dead
+    /// target, empty join pool).
+    pub slot: Option<usize>,
+    /// Jobs evacuated off the board (fail/drain only), arrival order.
+    pub evacuated: Vec<u64>,
+    /// How many evacuees found a new board in the same tick.
+    pub relocated: usize,
+    /// How many evacuees had to queue.
+    pub queued: usize,
+}
+
+/// Everything that happened at one orchestrated timestamp.
+#[derive(Debug, Clone)]
+pub struct OrchestratorTick {
+    /// Timestamp (ms since trace start).
+    pub at_ms: u64,
+    /// Fleet-lifecycle events applied this tick (before job events).
+    pub fleet_events: Vec<FleetEventRecord>,
+    /// Trace job events processed this tick.
+    pub events: Vec<JobEvent>,
+    /// `(job id, board)` placements this tick (fresh arrivals, queue
+    /// drains and evacuation re-placements).
+    pub placements: Vec<(u64, usize)>,
+    /// Job ids that had to queue.
+    pub queued: Vec<u64>,
+    /// Per-board rescheduling outcomes.
+    pub decisions: Vec<BoardDecision>,
+    /// Rebalance moves accepted this tick.
+    pub rebalances: Vec<RebalanceMove>,
+    /// Waiting jobs after the tick.
+    pub queue_depth: usize,
+    /// Jobs resident per slot after the tick (deactivated slots stay in
+    /// the vector at 0 — indices are stable).
+    pub board_jobs: Vec<usize>,
+    /// Boards in rotation after the tick.
+    pub active_boards: usize,
+    /// Fleet throughput after the tick (sum of per-job inf/s).
+    pub aggregate_tps: f64,
+}
+
+/// Aggregates over a whole orchestrated run.
+#[derive(Debug, Clone)]
+pub struct OrchestratorSummary {
+    /// Trace job events replayed.
+    pub events: usize,
+    /// Arrivals among them.
+    pub arrivals: usize,
+    /// Departures among them.
+    pub departures: usize,
+    /// Successful placements (arrivals, queue drains and evacuation
+    /// re-placements all count).
+    pub placements: usize,
+    /// Board failures applied.
+    pub board_failures: usize,
+    /// Board drains applied.
+    pub board_drains: usize,
+    /// Boards joined.
+    pub board_joins: usize,
+    /// Jobs evacuated off failing/draining boards.
+    pub evacuated_jobs: usize,
+    /// Evacuees re-placed within their failure tick.
+    pub evacuees_relocated_same_tick: usize,
+    /// Evacuees that had to queue.
+    pub evacuees_queued: usize,
+    /// **Evacuation latency** in simulated milliseconds: time from the
+    /// board failure/drain to the evacuee landing on a new board
+    /// (same-tick relocations contribute 0 ms). Evacuees still queued
+    /// at the horizon are not samples; see
+    /// [`OrchestratorSummary::evacuees_still_queued`].
+    pub evacuation_wait: LatencyStats,
+    /// Evacuees still waiting when the trace ended.
+    pub evacuees_still_queued: usize,
+    /// Jobs neither resident, nor queued, nor departed at the end —
+    /// the conservation invariant demands **zero**, and the orchestrator
+    /// proptests pin it there.
+    pub lost_jobs: usize,
+    /// Rebalance ticks evaluated.
+    pub rebalance_ticks: usize,
+    /// Moves accepted by the migration-cost gate.
+    pub rebalance_moves: usize,
+    /// Proposals scored and rejected by the gate.
+    pub rebalance_rejected: usize,
+    /// Total fleet-level throughput gain the accepted moves priced in.
+    pub rebalance_gain_tps: f64,
+    /// Layers migrated by accepted moves (including moved jobs' own).
+    pub rebalance_migrated_layers: usize,
+    /// Rescheduling decisions made (all boards, flush path).
+    pub decisions: usize,
+    /// Wall-clock decision latency over all flush decisions.
+    pub decision: LatencyStats,
+    /// Migration churn of the flush path (layers moved).
+    pub migrated_layers: usize,
+    /// Deepest the queue ever got.
+    pub peak_queue_depth: usize,
+    /// Jobs still waiting when the trace ended.
+    pub left_in_queue: usize,
+    /// Time-weighted mean fleet throughput over the horizon.
+    pub mean_aggregate_tps: f64,
+    /// Fraction of the horizon each slot served at least one job.
+    pub board_utilization: Vec<f64>,
+    /// Per-tenant aggregates, sorted by tenant id.
+    pub tenants: Vec<TenantSummary>,
+    /// Merged evaluation-cache counters across boards.
+    pub eval_cache: EvalCacheStats,
+    /// Entries warm-loaded from the cache archive at startup.
+    pub cache_preloaded_entries: usize,
+}
+
+/// The record of one orchestrated run: per-tick detail plus aggregates.
+#[derive(Debug, Clone)]
+pub struct OrchestratorReport {
+    /// Per-timestamp records, in replay order.
+    pub ticks: Vec<OrchestratorTick>,
+    /// Aggregates.
+    pub summary: OrchestratorSummary,
+}
+
+impl OrchestratorReport {
+    /// Deterministic digest of everything **except wall-clock decision
+    /// latency**: replaying the same seeded trace + script through the
+    /// same configuration must reproduce this bit-for-bit.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        let f = |h: &mut Fnv1a, v: f64| h.write(&v.to_bits().to_le_bytes());
+        for tick in &self.ticks {
+            h.write(&tick.at_ms.to_le_bytes());
+            for fe in &tick.fleet_events {
+                let (tag, v) = match fe.event {
+                    FleetEvent::BoardFail { board } => (1u8, board),
+                    FleetEvent::BoardDrain { board } => (2, board),
+                    FleetEvent::BoardJoin { profile } => (3, profile),
+                };
+                h.write(&[tag]);
+                h.write(&(v as u64).to_le_bytes());
+                h.write(&(fe.slot.map_or(u64::MAX, |s| s as u64)).to_le_bytes());
+                for id in &fe.evacuated {
+                    h.write(&id.to_le_bytes());
+                }
+                h.write(&(fe.relocated as u64).to_le_bytes());
+                h.write(&(fe.queued as u64).to_le_bytes());
+            }
+            for e in &tick.events {
+                match e {
+                    JobEvent::Arrive(j) => {
+                        h.write(&[1]);
+                        h.write(&j.id.to_le_bytes());
+                        h.write(&(j.model.index() as u64).to_le_bytes());
+                        h.write(&j.tenant.to_le_bytes());
+                    }
+                    JobEvent::Depart { job_id } => {
+                        h.write(&[2]);
+                        h.write(&job_id.to_le_bytes());
+                    }
+                }
+            }
+            for (id, board) in &tick.placements {
+                h.write(&id.to_le_bytes());
+                h.write(&(*board as u64).to_le_bytes());
+            }
+            for id in &tick.queued {
+                h.write(&id.to_le_bytes());
+            }
+            for d in &tick.decisions {
+                h.write(&(d.board as u64).to_le_bytes());
+                h.write(d.kind.label().as_bytes());
+                h.write(&(d.migrated_layers as u64).to_le_bytes());
+                h.write(&(d.jobs as u64).to_le_bytes());
+                f(&mut h, d.throughput);
+            }
+            for mv in &tick.rebalances {
+                h.write(&(mv.from as u64).to_le_bytes());
+                h.write(&(mv.to as u64).to_le_bytes());
+                h.write(&mv.job_id.to_le_bytes());
+                h.write(&(mv.migrated_layers as u64).to_le_bytes());
+                f(&mut h, mv.gain_tps);
+            }
+            h.write(&(tick.queue_depth as u64).to_le_bytes());
+            for j in &tick.board_jobs {
+                h.write(&(*j as u64).to_le_bytes());
+            }
+            h.write(&(tick.active_boards as u64).to_le_bytes());
+            f(&mut h, tick.aggregate_tps);
+        }
+        f(&mut h, self.summary.mean_aggregate_tps);
+        h.write(&(self.summary.lost_jobs as u64).to_le_bytes());
+        h.write(&(self.summary.rebalance_moves as u64).to_le_bytes());
+        h.finish()
+    }
+}
+
+/// The orchestration control plane: a fleet built from a [`FleetSpec`],
+/// a FIFO queue, and the merged event loop over job events, fleet
+/// events and rebalance ticks.
+///
+/// Each [`OrchestratorSim::run`] rebuilds the fleet from the spec —
+/// lifecycle events mutate fleet structure, so replays always start
+/// from the scripted initial fleet (evaluation caches still persist
+/// across *processes* via [`OrchestratorConfig::cache_path`]).
+pub struct OrchestratorSim<M, F> {
+    spec: FleetSpec,
+    config: OrchestratorConfig,
+    make_evaluator: F,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M, F> OrchestratorSim<M, F>
+where
+    M: ThroughputModel + Send + Sync,
+    F: FnMut(Board) -> M,
+{
+    /// Builds the control plane for a fleet spec. The factory receives
+    /// each board (so board-calibrated evaluators fit naturally) and is
+    /// re-invoked for every joined board.
+    pub fn new(spec: FleetSpec, config: OrchestratorConfig, make_evaluator: F) -> Self {
+        assert!(
+            !spec.initial.is_empty(),
+            "an orchestrated fleet needs at least one initial board"
+        );
+        Self {
+            spec,
+            config,
+            make_evaluator,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn build_scheduler(&mut self, board: &Board) -> OnlineScheduler<M> {
+        OnlineScheduler::new(
+            (self.make_evaluator)(board.clone()),
+            self.config.policy,
+            self.config.online,
+        )
+    }
+
+    /// Replays `trace` interleaved with `script` to completion.
+    /// `horizon_ms` bounds the throughput/utilization time integrals.
+    pub fn run(
+        &mut self,
+        trace: &ArrivalTrace,
+        script: &FleetScript,
+        horizon_ms: u64,
+    ) -> OrchestratorReport {
+        let mut fleet: Fleet<M> = {
+            let boards: Vec<Board> = self.spec.initial.iter().map(|p| p.board.clone()).collect();
+            let config = &self.config;
+            let policy = config.placement;
+            let use_memo = config.use_memo;
+            // Work around the borrow of `self` inside the closure.
+            let mut schedulers: Vec<OnlineScheduler<M>> = Vec::new();
+            for board in &boards {
+                schedulers.push(self.build_scheduler(board));
+            }
+            let mut iter = schedulers.into_iter();
+            Fleet::new(boards, policy, use_memo, |_| {
+                iter.next().expect("one scheduler per board")
+            })
+        };
+        let mut cache_preloaded = 0usize;
+        if let Some(path) = self.config.cache_path.clone() {
+            if path.exists() {
+                if let Ok(archive) = CacheArchive::load(&path) {
+                    cache_preloaded =
+                        fleet.preload_caches(&archive, self.config.online.eval_cache_capacity);
+                }
+            }
+        }
+
+        let mut queue: VecDeque<(JobSpec, u64)> = VecDeque::new();
+        // Evacuees waiting in the queue: job id → the failure stamp
+        // their evacuation latency counts from.
+        let mut evac_pending: Vec<(u64, u64)> = Vec::new();
+        let mut evac_waits: Vec<f64> = Vec::new();
+        let (mut evacuated_jobs, mut evac_relocated, mut evac_queued) = (0usize, 0usize, 0usize);
+        let mut live: Vec<u64> = Vec::new();
+        let mut tenant_acc = TenantAccumulator::new();
+        let mut rebalancer = Rebalancer::new();
+        let rebalance = self.config.rebalance.clone();
+        let mut next_rebalance = rebalance.as_ref().map(|r| r.period_ms.max(1));
+        let (mut reb_ticks, mut reb_rejected) = (0usize, 0usize);
+
+        let mut ticks: Vec<OrchestratorTick> = Vec::new();
+        let mut last_t = 0u64;
+        let mut tps_integral = 0.0f64;
+        let mut busy_ms: Vec<u64> = vec![0; fleet.len()];
+        let mut peak_queue = 0usize;
+        let (mut arrivals, mut departures, mut placements) = (0usize, 0usize, 0usize);
+        let (mut failures, mut drains, mut joins) = (0usize, 0usize, 0usize);
+
+        let job_events = trace.events();
+        let fleet_events = script.events();
+        let (mut ji, mut fi) = (0usize, 0usize);
+        loop {
+            // The next stamp across the three merged streams.
+            let mut t = u64::MAX;
+            if ji < job_events.len() {
+                t = t.min(job_events[ji].at_ms);
+            }
+            if fi < fleet_events.len() {
+                t = t.min(fleet_events[fi].at_ms);
+            }
+            if let Some(r) = next_rebalance {
+                if r < horizon_ms {
+                    t = t.min(r);
+                }
+            }
+            if t == u64::MAX {
+                break;
+            }
+
+            // Integrate the interval since the previous tick with the
+            // still-current deployments.
+            let dt = t - last_t;
+            tps_integral += fleet.aggregate_throughput() * dt as f64;
+            tenant_acc.integrate(fleet.slots(), dt);
+            busy_ms.resize(fleet.len(), 0);
+            for (b, slot) in fleet.slots().iter().enumerate() {
+                if !slot.jobs.is_empty() {
+                    busy_ms[b] += dt;
+                }
+            }
+            last_t = t;
+
+            let mut tick_fleet_events = Vec::new();
+            let mut tick_events = Vec::new();
+            let mut placed = Vec::new();
+            let mut queued_ids = Vec::new();
+            let mut capacity_freed = false;
+
+            // 1. Fleet-lifecycle events (before job events: a board
+            //    failing at `t` never receives the arrival stamped `t`).
+            while fi < fleet_events.len() && fleet_events[fi].at_ms == t {
+                let event = fleet_events[fi].event;
+                fi += 1;
+                let record = match event {
+                    FleetEvent::BoardFail { board } | FleetEvent::BoardDrain { board } => {
+                        let alive = board < fleet.len() && fleet.slots()[board].active;
+                        if !alive {
+                            FleetEventRecord {
+                                event,
+                                slot: None,
+                                evacuated: Vec::new(),
+                                relocated: 0,
+                                queued: 0,
+                            }
+                        } else {
+                            if matches!(event, FleetEvent::BoardFail { .. }) {
+                                failures += 1;
+                            } else {
+                                drains += 1;
+                            }
+                            // Evacuate: every resident job re-enters the
+                            // admission-gated placement path, in arrival
+                            // order; what no longer fits anywhere queues
+                            // FIFO. Nothing is ever dropped.
+                            let evacuees = fleet.deactivate(board);
+                            evacuated_jobs += evacuees.len();
+                            let ids: Vec<u64> = evacuees.iter().map(|j| j.id).collect();
+                            let (mut relocated, mut to_queue) = (0usize, 0usize);
+                            for job in evacuees {
+                                match fleet.place(job) {
+                                    Some(slot) => {
+                                        relocated += 1;
+                                        placements += 1;
+                                        placed.push((job.id, slot));
+                                        tenant_acc.placement(&job, 0);
+                                        evac_waits.push(0.0);
+                                    }
+                                    None => {
+                                        to_queue += 1;
+                                        queue.push_back((job, t));
+                                        queued_ids.push(job.id);
+                                        evac_pending.push((job.id, t));
+                                    }
+                                }
+                            }
+                            evac_relocated += relocated;
+                            evac_queued += to_queue;
+                            FleetEventRecord {
+                                event,
+                                slot: Some(board),
+                                evacuated: ids,
+                                relocated,
+                                queued: to_queue,
+                            }
+                        }
+                    }
+                    FleetEvent::BoardJoin { profile } => {
+                        // Profile indices wrap around the spec's pool: a
+                        // script generated against a larger pool must
+                        // still add a board, or every later scripted
+                        // board index would silently target the wrong
+                        // slot (the generator tracks joins in its alive
+                        // set). Only an empty pool makes joins no-ops.
+                        match self
+                            .spec
+                            .join_profiles
+                            .get(profile % self.spec.join_profiles.len().max(1))
+                            .cloned()
+                        {
+                            Some(p) => {
+                                joins += 1;
+                                let scheduler = self.build_scheduler(&p.board);
+                                let index = fleet.add_board(p.board, scheduler);
+                                busy_ms.resize(fleet.len(), 0);
+                                // Fresh capacity: waiting jobs may fit.
+                                capacity_freed = true;
+                                FleetEventRecord {
+                                    event,
+                                    slot: Some(index),
+                                    evacuated: Vec::new(),
+                                    relocated: 0,
+                                    queued: 0,
+                                }
+                            }
+                            None => FleetEventRecord {
+                                event,
+                                slot: None,
+                                evacuated: Vec::new(),
+                                relocated: 0,
+                                queued: 0,
+                            },
+                        }
+                    }
+                };
+                tick_fleet_events.push(record);
+            }
+
+            // 2. Job events (the trace orders departures before arrivals
+            //    at equal stamps).
+            while ji < job_events.len() && job_events[ji].at_ms == t {
+                let event = job_events[ji].event;
+                ji += 1;
+                tick_events.push(event);
+                match event {
+                    JobEvent::Arrive(job) => {
+                        arrivals += 1;
+                        live.push(job.id);
+                        tenant_acc.arrival(&job);
+                        match fleet.place(job) {
+                            Some(board) => {
+                                placements += 1;
+                                placed.push((job.id, board));
+                                tenant_acc.placement(&job, 0);
+                            }
+                            None => {
+                                queue.push_back((job, t));
+                                queued_ids.push(job.id);
+                            }
+                        }
+                    }
+                    JobEvent::Depart { job_id } => {
+                        departures += 1;
+                        live.retain(|id| *id != job_id);
+                        if let Some(pos) = queue.iter().position(|(j, _)| j.id == job_id) {
+                            queue.remove(pos);
+                            evac_pending.retain(|(id, _)| *id != job_id);
+                        } else if let Some(board) = fleet.board_of(job_id) {
+                            fleet.slots_mut()[board].remove_job(job_id);
+                            capacity_freed = true;
+                        }
+                    }
+                }
+            }
+
+            // 3. Queue drain whenever capacity grew (departure or join).
+            if capacity_freed && !queue.is_empty() {
+                drain_queue(
+                    &mut fleet,
+                    &mut queue,
+                    t,
+                    &mut placements,
+                    &mut placed,
+                    &mut tenant_acc,
+                    &mut evac_pending,
+                    &mut evac_waits,
+                );
+            }
+            peak_queue = peak_queue.max(queue.len());
+
+            // 4. Reschedule dirty boards.
+            let mut decisions = fleet.flush_dirty();
+
+            // 5. Periodic rebalance — priced against the fresh
+            //    deployments, after the tick's events settled.
+            let mut tick_moves: Vec<RebalanceMove> = Vec::new();
+            if next_rebalance == Some(t) {
+                let config = rebalance.as_ref().expect("rebalance scheduled");
+                reb_ticks += 1;
+                let outcome = rebalancer.tick(&mut fleet, config, t);
+                reb_rejected += outcome.rejected;
+                let accepted = !outcome.moves.is_empty();
+                tick_moves = outcome.moves;
+                next_rebalance = Some(t + config.period_ms.max(1));
+                // A move can free admission headroom on the donor; let
+                // waiting jobs use it now rather than next departure.
+                if accepted && !queue.is_empty() {
+                    drain_queue(
+                        &mut fleet,
+                        &mut queue,
+                        t,
+                        &mut placements,
+                        &mut placed,
+                        &mut tenant_acc,
+                        &mut evac_pending,
+                        &mut evac_waits,
+                    );
+                    decisions.extend(fleet.flush_dirty());
+                    peak_queue = peak_queue.max(queue.len());
+                }
+            }
+
+            ticks.push(OrchestratorTick {
+                at_ms: t,
+                fleet_events: tick_fleet_events,
+                events: tick_events,
+                placements: placed,
+                queued: queued_ids,
+                decisions,
+                rebalances: tick_moves,
+                queue_depth: queue.len(),
+                board_jobs: fleet.board_jobs(),
+                active_boards: fleet.active_boards(),
+                aggregate_tps: fleet.aggregate_throughput(),
+            });
+        }
+
+        // Tail: integrate from the last event to the horizon.
+        if horizon_ms > last_t {
+            let dt = horizon_ms - last_t;
+            tps_integral += fleet.aggregate_throughput() * dt as f64;
+            tenant_acc.integrate(fleet.slots(), dt);
+            busy_ms.resize(fleet.len(), 0);
+            for (b, slot) in fleet.slots().iter().enumerate() {
+                if !slot.jobs.is_empty() {
+                    busy_ms[b] += dt;
+                }
+            }
+        }
+
+        if let Some(path) = self.config.cache_path.clone() {
+            let capacity = self.config.online.eval_cache_capacity;
+            if capacity > 0 {
+                let mut archive = CacheArchive::load(&path).unwrap_or_default();
+                fleet.archive_caches(&mut archive, capacity);
+                let _ = archive.save(&path);
+            }
+        }
+
+        // Conservation audit: every live (arrived, undeparted) job must
+        // be resident or queued. `lost_jobs` is the shortfall — zero by
+        // construction, proptested to stay zero.
+        let resident: usize = fleet.slots().iter().map(|s| s.jobs.len()).sum();
+        let lost_jobs = live.len().saturating_sub(resident + queue.len());
+
+        let all: Vec<&BoardDecision> = ticks.iter().flat_map(|t| t.decisions.iter()).collect();
+        let moves: Vec<&RebalanceMove> = ticks.iter().flat_map(|t| t.rebalances.iter()).collect();
+        let eval_cache = fleet
+            .slots()
+            .iter()
+            .map(|s| s.scheduler.eval_cache().stats())
+            .fold(EvalCacheStats::default(), |a, b| EvalCacheStats {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                evictions: a.evictions + b.evictions,
+            });
+        let horizon = horizon_ms.max(last_t).max(1);
+        let still_queued: Vec<JobSpec> = queue.iter().map(|(j, _)| *j).collect();
+        let summary = OrchestratorSummary {
+            events: trace.len(),
+            arrivals,
+            departures,
+            placements,
+            board_failures: failures,
+            board_drains: drains,
+            board_joins: joins,
+            evacuated_jobs,
+            evacuees_relocated_same_tick: evac_relocated,
+            evacuees_queued: evac_queued,
+            evacuation_wait: LatencyStats::from_samples(evac_waits),
+            evacuees_still_queued: evac_pending.len(),
+            lost_jobs,
+            rebalance_ticks: reb_ticks,
+            rebalance_moves: moves.len(),
+            rebalance_rejected: reb_rejected,
+            rebalance_gain_tps: moves.iter().map(|m| m.gain_tps).sum(),
+            rebalance_migrated_layers: moves.iter().map(|m| m.migrated_layers).sum(),
+            decisions: all.len(),
+            decision: LatencyStats::from_samples(all.iter().map(|d| d.decision_ms).collect()),
+            migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
+            peak_queue_depth: peak_queue,
+            left_in_queue: queue.len(),
+            mean_aggregate_tps: tps_integral / horizon as f64,
+            board_utilization: busy_ms
+                .iter()
+                .map(|ms| *ms as f64 / horizon as f64)
+                .collect(),
+            tenants: tenant_acc.finish(horizon, &still_queued),
+            eval_cache,
+            cache_preloaded_entries: cache_preloaded,
+        };
+        OrchestratorReport { ticks, summary }
+    }
+}
+
+/// FIFO queue drain: place what fits now (skipping jobs that still fit
+/// nowhere), recording tenant queue waits and evacuation latencies.
+#[allow(clippy::too_many_arguments)]
+fn drain_queue<M: ThroughputModel + Send + Sync>(
+    fleet: &mut Fleet<M>,
+    queue: &mut VecDeque<(JobSpec, u64)>,
+    t: u64,
+    placements: &mut usize,
+    placed: &mut Vec<(u64, usize)>,
+    tenant_acc: &mut TenantAccumulator,
+    evac_pending: &mut Vec<(u64, u64)>,
+    evac_waits: &mut Vec<f64>,
+) {
+    let mut still_waiting = VecDeque::new();
+    while let Some((job, since)) = queue.pop_front() {
+        match fleet.place(job) {
+            Some(board) => {
+                *placements += 1;
+                placed.push((job.id, board));
+                tenant_acc.placement(&job, t - since);
+                if let Some(pos) = evac_pending.iter().position(|(id, _)| *id == job.id) {
+                    let (_, failed_at) = evac_pending.remove(pos);
+                    evac_waits.push((t - failed_at) as f64);
+                }
+            }
+            None => still_waiting.push_back((job, since)),
+        }
+    }
+    *queue = still_waiting;
+}

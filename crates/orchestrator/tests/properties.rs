@@ -1,0 +1,285 @@
+//! Property-based tests over the fleet-orchestration control plane.
+
+use omniboost_hw::AnalyticModel;
+use omniboost_models::{
+    ArrivalProcess, ArrivalTrace, FleetEvent, FleetScript, FleetScriptConfig, FleetTraceEvent,
+    JobEvent, TraceConfig,
+};
+use omniboost_orchestrator::{
+    BoardProfile, FleetSpec, OrchestratorConfig, OrchestratorReport, OrchestratorSim,
+    RebalanceConfig,
+};
+use omniboost_serve::{OnlineConfig, SearchBudget};
+use proptest::prelude::*;
+
+const HORIZON_MS: u64 = 30_000;
+
+fn quick_online() -> OnlineConfig {
+    OnlineConfig {
+        cold_budget: SearchBudget::with_iterations(50),
+        warm_budget: SearchBudget::with_iterations(20),
+        ..OnlineConfig::default()
+    }
+}
+
+fn trace_config() -> TraceConfig {
+    TraceConfig {
+        horizon_ms: HORIZON_MS,
+        mean_lifetime_ms: 9_000.0,
+        ..TraceConfig::default()
+    }
+}
+
+fn arb_process() -> impl Strategy<Value = ArrivalProcess> {
+    proptest::sample::select(vec![
+        ArrivalProcess::Poisson { rate_per_s: 0.9 },
+        ArrivalProcess::Bursty {
+            on_rate_per_s: 1.8,
+            on_ms: 5_000,
+            off_ms: 6_000,
+        },
+    ])
+}
+
+fn spec() -> FleetSpec {
+    FleetSpec::heterogeneous(vec![
+        BoardProfile::hikey970(),
+        BoardProfile::hikey970(),
+        BoardProfile::hikey970_lite(),
+    ])
+}
+
+fn script(seed: u64) -> FleetScript {
+    FleetScript::generate(
+        &FleetScriptConfig {
+            horizon_ms: HORIZON_MS,
+            initial_boards: 3,
+            join_profiles: 2,
+            mean_fail_interval_ms: 12_000.0,
+            mean_drain_interval_ms: 20_000.0,
+            mean_join_interval_ms: 15_000.0,
+        },
+        seed,
+    )
+}
+
+fn run(process: ArrivalProcess, seed: u64, config: OrchestratorConfig) -> OrchestratorReport {
+    let trace = ArrivalTrace::generate(process, &trace_config(), seed);
+    let script = script(seed ^ 0xF1EE7);
+    let mut sim = OrchestratorSim::new(spec(), config, AnalyticModel::new);
+    sim.run(&trace, &script, HORIZON_MS)
+}
+
+fn config(rebalance: bool) -> OrchestratorConfig {
+    OrchestratorConfig {
+        online: quick_online(),
+        rebalance: rebalance.then_some(RebalanceConfig {
+            period_ms: 3_000,
+            min_imbalance: 0.1,
+            min_gain_per_layer: 0.02,
+            cooldown_periods: 1,
+            max_moves_per_tick: 1,
+        }),
+        ..OrchestratorConfig::warm()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// (i) **Job conservation through failures, drains, joins and
+    /// rebalancing**: at every tick the resident + queued job count
+    /// equals the arrived-minus-departed count (nothing lost, nothing
+    /// duplicated), per-event evacuation accounting balances, and the
+    /// end-of-run `lost_jobs` audit is zero.
+    #[test]
+    fn evacuation_conserves_jobs(
+        process in arb_process(),
+        seed in 0u64..400,
+        rebalance in proptest::sample::select(vec![true, false]),
+    ) {
+        let report = run(process, seed, config(rebalance));
+        prop_assert_eq!(report.summary.lost_jobs, 0);
+        let s = &report.summary;
+        prop_assert_eq!(
+            s.evacuated_jobs,
+            s.evacuees_relocated_same_tick + s.evacuees_queued,
+            "per-event evacuation accounting must balance"
+        );
+        let mut live = 0i64;
+        for tick in &report.ticks {
+            for fe in &tick.fleet_events {
+                prop_assert_eq!(
+                    fe.evacuated.len(),
+                    fe.relocated + fe.queued,
+                    "evacuees must be re-placed or queued"
+                );
+            }
+            for e in &tick.events {
+                match e {
+                    JobEvent::Arrive(_) => live += 1,
+                    JobEvent::Depart { .. } => live -= 1,
+                }
+            }
+            let resident: usize = tick.board_jobs.iter().sum();
+            prop_assert_eq!(
+                (resident + tick.queue_depth) as i64,
+                live,
+                "at {} ms: {} resident + {} queued != {} live",
+                tick.at_ms, resident, tick.queue_depth, live
+            );
+        }
+    }
+
+    /// (ii) **Rebalancing never violates admission**: every board stays
+    /// within its own profile's concurrent-DNN cap at every tick (the
+    /// heterogeneous fleet has different caps per slot), failed boards
+    /// hold zero jobs, and every accepted move priced a positive gain.
+    #[test]
+    fn rebalancing_respects_admission_and_prices_gains(
+        process in arb_process(),
+        seed in 0u64..400,
+    ) {
+        let report = run(process, seed, config(true));
+        // Slot caps: the three initial profiles, then joins in event
+        // order resolved against the spec's join pool.
+        let spec = spec();
+        let mut caps: Vec<usize> = spec
+            .initial
+            .iter()
+            .map(|p| p.board.max_concurrent_dnns)
+            .collect();
+        let mut dead: Vec<usize> = Vec::new();
+        for tick in &report.ticks {
+            for fe in &tick.fleet_events {
+                match fe.event {
+                    FleetEvent::BoardJoin { profile } => {
+                        if let Some(slot) = fe.slot {
+                            prop_assert_eq!(slot, caps.len(), "joins append");
+                            let p = &spec.join_profiles[profile % spec.join_profiles.len()];
+                            caps.push(p.board.max_concurrent_dnns);
+                        }
+                    }
+                    FleetEvent::BoardFail { .. } | FleetEvent::BoardDrain { .. } => {
+                        if let Some(slot) = fe.slot {
+                            dead.push(slot);
+                        }
+                    }
+                }
+            }
+            for (slot, jobs) in tick.board_jobs.iter().enumerate() {
+                prop_assert!(
+                    *jobs <= caps[slot],
+                    "slot {slot} over its cap at {} ms: {jobs} > {}",
+                    tick.at_ms, caps[slot]
+                );
+                if dead.contains(&slot) {
+                    prop_assert_eq!(*jobs, 0usize, "dead board holding jobs");
+                }
+            }
+            for mv in &tick.rebalances {
+                prop_assert!(mv.gain_tps > 0.0, "move accepted without gain");
+                prop_assert!(!dead.contains(&mv.to), "move onto a dead board");
+                prop_assert!(mv.from != mv.to);
+            }
+        }
+    }
+
+    /// (iii) **Orchestrated traces are bit-for-bit deterministic per
+    /// seed**: two fresh control planes produce identical digests, and
+    /// a different seed produces different traffic.
+    #[test]
+    fn orchestrated_replay_is_deterministic_per_seed(
+        process in arb_process(),
+        seed in 0u64..400,
+        rebalance in proptest::sample::select(vec![true, false]),
+    ) {
+        let a = run(process, seed, config(rebalance));
+        let b = run(process, seed, config(rebalance));
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.ticks.len(), b.ticks.len());
+        prop_assert_eq!(a.summary.mean_aggregate_tps, b.summary.mean_aggregate_tps);
+        prop_assert_eq!(a.summary.rebalance_moves, b.summary.rebalance_moves);
+        let c = run(process, seed + 1000, config(rebalance));
+        prop_assert_ne!(a.digest(), c.digest());
+    }
+}
+
+/// A deterministic board failure mid-trace: the evacuation path must
+/// fire, recover every job, and report evacuation latency.
+#[test]
+fn board_failure_evacuates_and_reports_latency() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Poisson { rate_per_s: 0.8 },
+        &TraceConfig {
+            mean_lifetime_ms: 20_000.0,
+            ..trace_config()
+        },
+        11,
+    );
+    let script = FleetScript::new(vec![FleetTraceEvent {
+        at_ms: HORIZON_MS / 2,
+        event: FleetEvent::BoardFail { board: 0 },
+    }]);
+    let mut sim = OrchestratorSim::new(
+        FleetSpec::homogeneous(2, BoardProfile::hikey970()),
+        config(false),
+        AnalyticModel::new,
+    );
+    let report = sim.run(&trace, &script, HORIZON_MS);
+    assert_eq!(report.summary.board_failures, 1);
+    assert!(report.summary.evacuated_jobs > 0, "board 0 should be busy");
+    assert_eq!(report.summary.lost_jobs, 0);
+    assert_eq!(
+        report.summary.evacuation_wait.count + report.summary.evacuees_still_queued,
+        report.summary.evacuated_jobs,
+        "every evacuee has either a latency sample or is still waiting"
+    );
+    // The failed board never serves again.
+    let fail_tick = report
+        .ticks
+        .iter()
+        .position(|t| !t.fleet_events.is_empty())
+        .unwrap();
+    for tick in &report.ticks[fail_tick..] {
+        assert_eq!(tick.board_jobs[0], 0);
+        assert!(tick.active_boards == 1);
+    }
+}
+
+/// A joined board becomes a placement target: with one saturated board
+/// and a queue, a join must drain waiting jobs onto the new board.
+#[test]
+fn board_join_drains_the_queue() {
+    // Saturate a single board: heavy steady arrivals, long lifetimes.
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Poisson { rate_per_s: 1.2 },
+        &TraceConfig {
+            mean_lifetime_ms: 60_000.0,
+            ..trace_config()
+        },
+        3,
+    );
+    let script = FleetScript::new(vec![FleetTraceEvent {
+        at_ms: 20_000,
+        event: FleetEvent::BoardJoin { profile: 0 },
+    }]);
+    let mut sim = OrchestratorSim::new(
+        FleetSpec::homogeneous(1, BoardProfile::hikey970()),
+        config(false),
+        AnalyticModel::new,
+    );
+    let report = sim.run(&trace, &script, HORIZON_MS);
+    assert_eq!(report.summary.board_joins, 1);
+    let join_tick = report
+        .ticks
+        .iter()
+        .find(|t| !t.fleet_events.is_empty())
+        .expect("join tick recorded");
+    assert!(
+        !join_tick.placements.is_empty(),
+        "the join should immediately drain queued jobs"
+    );
+    assert_eq!(join_tick.board_jobs.len(), 2);
+    assert!(join_tick.board_jobs[1] > 0, "new board took jobs");
+}

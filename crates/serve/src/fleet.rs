@@ -1,9 +1,20 @@
 //! The fleet layer: N boards, a placement policy, per-board runtimes.
+//!
+//! PR 5 opened this up as the substrate of the orchestration control
+//! plane (`omniboost-orchestrator`): slots carry an **active** flag
+//! (failed/drained boards deactivate in place so indices stay stable),
+//! boards can join a running fleet, resident jobs can be evacuated or
+//! moved between boards, and the per-slot reschedule step
+//! ([`BoardSlot::flush`]) is a public method shared by the serving sim
+//! and the orchestrator.
 
-use crate::scheduler::OnlineScheduler;
-use omniboost::Runtime;
+use crate::scheduler::{DecisionKind, OnlineScheduler, WarmHint};
+use crate::sim::BoardDecision;
+use omniboost::{PreviousDeployment, Runtime};
+use omniboost_estimator::CacheArchive;
 use omniboost_hw::{Board, Mapping, ThroughputModel, ThroughputReport, Workload};
 use omniboost_models::{zoo, DnnModel, JobSpec};
+use rayon::prelude::*;
 
 /// How arriving jobs are assigned to boards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,13 +28,30 @@ pub enum PlacementPolicy {
     /// heterogeneous boards compare fairly). Ties break on the lowest
     /// index, keeping placement deterministic.
     LeastLoaded,
+    /// [`PlacementPolicy::LeastLoaded`] with a tenant-fairness reserve:
+    /// the emptiest admissible board is **reserved for tenants running
+    /// below their fair share** of attained throughput. A tenant already
+    /// above its fair share (total attained inferences/s divided by the
+    /// number of tenants with resident jobs, plus a small tolerance
+    /// band) places on the least-loaded board *excluding* the reserved
+    /// one, so minority tenants keep finding premium headroom while the
+    /// majority's placement quality degrades only marginally. Tenants
+    /// at/below fair share — including tenants with nothing resident —
+    /// place exactly like least-loaded.
+    FairShare,
 }
+
+/// Attained-throughput tolerance above the exact fair share before a
+/// tenant counts as over-served (keeps the reserve from flapping on
+/// measurement noise around the boundary).
+const FAIR_SHARE_TOLERANCE: f64 = 1.05;
 
 impl std::fmt::Display for PlacementPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlacementPolicy::RoundRobin => f.write_str("round-robin"),
             PlacementPolicy::LeastLoaded => f.write_str("least-loaded"),
+            PlacementPolicy::FairShare => f.write_str("fair-share"),
         }
     }
 }
@@ -32,11 +60,19 @@ impl std::fmt::Display for PlacementPolicy {
 /// online scheduler, the jobs currently resident, and the last
 /// deployment (jobs + mapping + measured report) for warm starts and
 /// migration accounting.
-pub(crate) struct BoardSlot<M> {
+pub struct BoardSlot<M> {
+    /// Stable slot index (never reused, even after a board fails).
     pub index: usize,
+    /// The hardware profile this slot runs.
     pub board: Board,
+    /// Decide → deploy → measure driver (owns the decision memo).
     pub runtime: Runtime,
+    /// The slot's online scheduler.
     pub scheduler: OnlineScheduler<M>,
+    /// Whether the board is in rotation. Failed/drained boards flip to
+    /// `false` and stop receiving placements; the slot (index, caches)
+    /// stays so a later join never aliases a dead board's identity.
+    pub active: bool,
     /// Jobs currently assigned (arrival order preserved; departures
     /// remove in place, so surviving jobs keep their relative order —
     /// the invariant warm hints rely on).
@@ -70,71 +106,275 @@ impl<M> BoardSlot<M> {
         self.report.as_ref().map_or(0.0, |r| r.per_dnn.iter().sum())
     }
 
+    /// Aggregate FLOPs of one inference of every resident job.
+    pub fn resident_flops(&self) -> u64 {
+        self.resident_flops
+    }
+
+    /// The slot's load score: seconds of its own peak compute one
+    /// inference of every resident job costs (the placement metric).
+    pub fn load_score(&self) -> f64 {
+        self.board.load_score_flops(self.resident_flops)
+    }
+
+    /// Whether the board admits its residents plus one extra `model`.
+    pub fn admits(&self, model: &DnnModel) -> bool {
+        self.board
+            .admit_totals(
+                self.jobs.len() + 1,
+                self.resident_weight_bytes + model.total_weight_bytes(),
+            )
+            .is_ok()
+    }
+
+    /// Appends a job (the caller picked this slot; admission is checked
+    /// by every placement/rebalance path before calling).
+    pub fn push_job(&mut self, job: JobSpec, model: DnnModel) {
+        self.resident_flops += model.total_flops();
+        self.resident_weight_bytes += model.total_weight_bytes();
+        self.jobs.push(job);
+        self.models.push(model);
+        self.dirty = true;
+    }
+
     /// Removes the job with `job_id`, keeping both vectors aligned.
     /// Returns whether it was resident.
     pub fn remove_job(&mut self, job_id: u64) -> bool {
-        match self.jobs.iter().position(|j| j.id == job_id) {
-            Some(i) => {
-                self.jobs.remove(i);
-                let model = self.models.remove(i);
-                self.resident_flops -= model.total_flops();
-                self.resident_weight_bytes -= model.total_weight_bytes();
-                self.dirty = true;
-                true
-            }
-            None => false,
+        self.take_job(job_id).is_some()
+    }
+
+    /// Removes and returns the job with `job_id` and its built model —
+    /// the donor half of a between-board move.
+    pub fn take_job(&mut self, job_id: u64) -> Option<(JobSpec, DnnModel)> {
+        let i = self.jobs.iter().position(|j| j.id == job_id)?;
+        let job = self.jobs.remove(i);
+        let model = self.models.remove(i);
+        self.resident_flops -= model.total_flops();
+        self.resident_weight_bytes -= model.total_weight_bytes();
+        self.dirty = true;
+        Some((job, model))
+    }
+
+    /// Clears every resident job and the deployment, returning the jobs
+    /// in arrival order — the evacuation half of a board failure or
+    /// drain. The caller re-places them (or queues what no longer fits);
+    /// conservation is on the caller, and proptested at the orchestrator
+    /// level.
+    pub fn evacuate(&mut self) -> Vec<JobSpec> {
+        let jobs = std::mem::take(&mut self.jobs);
+        self.models.clear();
+        self.deployed_jobs.clear();
+        self.mapping = None;
+        self.report = None;
+        self.dirty = false;
+        self.resident_flops = 0;
+        self.resident_weight_bytes = 0;
+        jobs
+    }
+
+    /// Installs a deployment decided *outside* the flush path — the
+    /// commit half of an accepted rebalance move, whose mapping and
+    /// measured report came from the speculative scoring pass
+    /// ([`omniboost::Runtime::run_speculative`]). Clears the dirty flag:
+    /// the installed deployment covers the current job set.
+    pub fn install_deployment(&mut self, mapping: Mapping, report: ThroughputReport) {
+        self.deployed_jobs = self.jobs.clone();
+        self.mapping = Some(mapping);
+        self.report = Some(report);
+        self.dirty = false;
+    }
+}
+
+impl<M: ThroughputModel + Sync> BoardSlot<M> {
+    /// Reschedules the slot if its job set changed since the last
+    /// deployment: builds the warm hint and migration pairing from the
+    /// previous deployment, runs the decision through the runtime (memo
+    /// first), and updates the deployment state. `None` when the slot
+    /// was clean (or is now idle).
+    pub fn flush(&mut self) -> Option<BoardDecision> {
+        if !self.dirty {
+            return None;
         }
+        self.dirty = false;
+        if self.jobs.is_empty() {
+            // Idle board: nothing deployed, nothing to decide.
+            self.deployed_jobs.clear();
+            self.mapping = None;
+            self.report = None;
+            return None;
+        }
+        let workload = self.workload();
+        // Pair each current job with its row in the previous deployment.
+        let pairing: Vec<Option<usize>> = self
+            .jobs
+            .iter()
+            .map(|job| self.deployed_jobs.iter().position(|p| p.id == job.id))
+            .collect();
+        let carried = pairing.iter().filter(|p| p.is_some()).count();
+        // Single-job delta: exactly one departure (all current jobs
+        // carried, one previous row dropped) or exactly one arrival (all
+        // but the appended last job carried). Warm starts are defined on
+        // exactly this event class; anything wider falls back to a cold
+        // search.
+        let one_departure = carried == self.jobs.len() && self.deployed_jobs.len() == carried + 1;
+        let one_arrival = carried + 1 == self.jobs.len()
+            && pairing.last() == Some(&None)
+            && self.deployed_jobs.len() == carried;
+        let single_job_delta = self.mapping.is_some() && (one_departure || one_arrival);
+        // Warm hint: the carried device paths from the previous mapping,
+        // reordered to the new workload's prefix.
+        if let Some(prev) = &self.mapping {
+            if single_job_delta {
+                let decided = if one_departure {
+                    self.jobs.len()
+                } else {
+                    self.jobs.len() - 1
+                };
+                let rows: Vec<Vec<_>> = pairing[..decided]
+                    .iter()
+                    .map(|p| prev.assignments()[p.expect("carried row")].clone())
+                    .collect();
+                // On arrivals, flag the worst-placed carried job — the
+                // one attaining the smallest share of its compute demand
+                // under the last measured deployment — for release into
+                // the warm search space next to the arriving DNN.
+                // (With fewer than two carried jobs the release root
+                // degenerates into the global challenger already raced.)
+                // "Worst-placed" = the lowest attained compute rate
+                // (measured inf/s × the model's per-inference FLOPs)
+                // under the current deployment. This is deliberately
+                // *absolute*, which skews toward small models — they
+                // convert board capacity into FLOPs less efficiently
+                // even when perfectly placed — but it benchmarked ahead
+                // of the self-normalized alternative (current tps over
+                // the job's own peak on this board), which lost the
+                // serving bench's ≥99%-of-cold throughput bar on one
+                // cell; see the ROADMAP follow-up.
+                let release = if one_arrival && decided >= 2 {
+                    self.report.as_ref().and_then(|report| {
+                        (0..decided)
+                            .map(|i| {
+                                let prev_row = pairing[i].expect("carried row");
+                                let attained =
+                                    report.per_dnn[prev_row] * self.models[i].total_flops() as f64;
+                                (i, attained)
+                            })
+                            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                            .map(|(i, _)| i)
+                    })
+                } else {
+                    None
+                };
+                self.scheduler.set_warm_hint(WarmHint {
+                    carried: Mapping::new(rows),
+                    decided,
+                    release,
+                });
+            }
+        }
+        let previous = self.mapping.clone();
+        let context = previous.as_ref().map(|mapping| PreviousDeployment {
+            mapping,
+            pairing: &pairing,
+        });
+        // When the scheduler's periodic cold refresh is due, bypass the
+        // decision memo and overwrite its entry — a memoized mix must
+        // not shield drift from the refresh.
+        let outcome = if self.scheduler.refresh_due() {
+            self.runtime
+                .run_refreshed(&mut self.scheduler, &workload, context)
+        } else {
+            self.runtime
+                .run_rescheduled(&mut self.scheduler, &workload, context)
+        }
+        .expect("placement guarantees admission");
+        // A memo hit never reaches the scheduler; drop any armed hint so
+        // it cannot leak into a later, unrelated decision.
+        self.scheduler.clear_hint();
+        let kind = if outcome.memo_hit {
+            DecisionKind::Memo
+        } else {
+            self.scheduler.last_kind()
+        };
+        self.deployed_jobs = self.jobs.clone();
+        self.mapping = Some(outcome.mapping);
+        let throughput: f64 = outcome.report.per_dnn.iter().sum();
+        self.report = Some(outcome.report);
+        Some(BoardDecision {
+            board: self.index,
+            kind,
+            decision_ms: outcome.decision_time.as_secs_f64() * 1e3,
+            single_job_delta,
+            migrated_layers: outcome.migrated_layers.unwrap_or(0),
+            evaluations: if outcome.memo_hit {
+                0
+            } else {
+                self.scheduler.last_evaluations()
+            },
+            jobs: self.jobs.len(),
+            throughput,
+        })
     }
 }
 
 /// A fleet of boards sharing a placement policy.
 pub struct Fleet<M> {
-    pub(crate) slots: Vec<BoardSlot<M>>,
+    slots: Vec<BoardSlot<M>>,
     policy: PlacementPolicy,
+    use_memo: bool,
     rr_cursor: usize,
 }
 
 impl<M: ThroughputModel + Sync> Fleet<M> {
     /// Builds the fleet: one runtime and one scheduler per board.
-    pub(crate) fn new(
+    pub fn new(
         boards: Vec<Board>,
         policy: PlacementPolicy,
         use_memo: bool,
         mut make_scheduler: impl FnMut(&Board) -> OnlineScheduler<M>,
     ) -> Self {
-        let slots = boards
-            .into_iter()
-            .enumerate()
-            .map(|(index, board)| {
-                let runtime = if use_memo {
-                    Runtime::new(board.clone()).with_memo()
-                } else {
-                    Runtime::new(board.clone())
-                };
-                BoardSlot {
-                    index,
-                    scheduler: make_scheduler(&board),
-                    board,
-                    runtime,
-                    jobs: Vec::new(),
-                    models: Vec::new(),
-                    deployed_jobs: Vec::new(),
-                    mapping: None,
-                    report: None,
-                    dirty: false,
-                    resident_flops: 0,
-                    resident_weight_bytes: 0,
-                }
-            })
-            .collect();
-        Self {
-            slots,
+        let mut fleet = Self {
+            slots: Vec::new(),
             policy,
+            use_memo,
             rr_cursor: 0,
+        };
+        for board in boards {
+            let scheduler = make_scheduler(&board);
+            fleet.add_board(board, scheduler);
         }
+        fleet
     }
 
-    /// Number of boards.
+    /// Appends a freshly joined board as a new active slot and returns
+    /// its (stable) index.
+    pub fn add_board(&mut self, board: Board, scheduler: OnlineScheduler<M>) -> usize {
+        let index = self.slots.len();
+        let runtime = if self.use_memo {
+            Runtime::new(board.clone()).with_memo()
+        } else {
+            Runtime::new(board.clone())
+        };
+        self.slots.push(BoardSlot {
+            index,
+            scheduler,
+            board,
+            runtime,
+            active: true,
+            jobs: Vec::new(),
+            models: Vec::new(),
+            deployed_jobs: Vec::new(),
+            mapping: None,
+            report: None,
+            dirty: false,
+            resident_flops: 0,
+            resident_weight_bytes: 0,
+        });
+        index
+    }
+
+    /// Number of slots (including deactivated ones — indices are
+    /// stable).
     pub fn len(&self) -> usize {
         self.slots.len()
     }
@@ -142,6 +382,23 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
     /// Whether the fleet has no boards.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
+    }
+
+    /// Number of boards currently in rotation.
+    pub fn active_boards(&self) -> usize {
+        self.slots.iter().filter(|s| s.active).count()
+    }
+
+    /// The slots, in stable index order.
+    pub fn slots(&self) -> &[BoardSlot<M>] {
+        &self.slots
+    }
+
+    /// Mutable slot access — the orchestrator's rebalance/evacuation
+    /// surgery. Invariants (job/model alignment, resident totals) are
+    /// maintained by [`BoardSlot`]'s methods; mutate through those.
+    pub fn slots_mut(&mut self) -> &mut [BoardSlot<M>] {
+        &mut self.slots
     }
 
     /// Jobs resident per board.
@@ -154,21 +411,81 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
         self.slots.iter().map(BoardSlot::throughput).sum()
     }
 
+    /// Deactivates a slot (board failed or drained) and returns its
+    /// evacuated jobs in arrival order. The caller re-places them.
+    pub fn deactivate(&mut self, index: usize) -> Vec<JobSpec> {
+        let slot = &mut self.slots[index];
+        slot.active = false;
+        slot.evacuate()
+    }
+
+    /// Attained inferences/s per tenant under the current deployments,
+    /// plus the number of tenants with at least one resident job — the
+    /// inputs of the fair-share placement rule.
+    fn tenant_attained(&self) -> (Vec<(u32, f64)>, usize) {
+        let mut attained: Vec<(u32, f64)> = Vec::new();
+        let mut add = |tenant: u32, tps: f64| match attained.iter_mut().find(|(t, _)| *t == tenant)
+        {
+            Some(slot) => slot.1 += tps,
+            None => attained.push((tenant, tps)),
+        };
+        for slot in &self.slots {
+            if let Some(report) = &slot.report {
+                for (job, tps) in slot.deployed_jobs.iter().zip(&report.per_dnn) {
+                    add(job.tenant, *tps);
+                }
+            }
+        }
+        let mut resident: Vec<u32> = self
+            .slots
+            .iter()
+            .flat_map(|s| s.jobs.iter().map(|j| j.tenant))
+            .collect();
+        resident.sort_unstable();
+        resident.dedup();
+        (attained, resident.len())
+    }
+
+    /// Whether `tenant` currently attains more than its fair share of
+    /// the fleet's throughput (see [`PlacementPolicy::FairShare`]).
+    fn over_fair_share(&self, tenant: u32) -> bool {
+        let (attained, active_tenants) = self.tenant_attained();
+        if active_tenants < 2 {
+            return false;
+        }
+        let total: f64 = attained.iter().map(|(_, tps)| tps).sum();
+        let fair = total / active_tenants as f64;
+        let mine = attained
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map_or(0.0, |(_, tps)| *tps);
+        mine > fair * FAIR_SHARE_TOLERANCE
+    }
+
     /// Picks a board for `job` under the placement policy and assigns
-    /// it, or returns `None` when no board can admit the job (the caller
-    /// queues it). **Admission is a hard gate for every policy**: a
-    /// board whose limits (concurrent-DNN cap, memory budget) the job
-    /// would break is never chosen.
-    pub(crate) fn place(&mut self, job: JobSpec) -> Option<usize> {
+    /// it, or returns `None` when no active board can admit the job (the
+    /// caller queues it). **Admission is a hard gate for every policy**:
+    /// a board whose limits (concurrent-DNN cap, memory budget) the job
+    /// would break is never chosen, and neither is a deactivated board.
+    pub fn place(&mut self, job: JobSpec) -> Option<usize> {
         let model = zoo::build(job.model);
         let (job_flops, job_weight) = (model.total_flops(), model.total_weight_bytes());
         // Admission and load probing work off the slots' running totals
         // — no hypothetical workload (and no model clone) per candidate.
         let admissible = |slot: &BoardSlot<M>| -> bool {
-            slot.board
-                .admit_totals(slot.jobs.len() + 1, slot.resident_weight_bytes + job_weight)
-                .is_ok()
+            slot.active
+                && slot
+                    .board
+                    .admit_totals(slot.jobs.len() + 1, slot.resident_weight_bytes + job_weight)
+                    .is_ok()
         };
+        let loaded = |slot: &BoardSlot<M>| -> (usize, f64) {
+            (
+                slot.index,
+                slot.board.load_score_flops(slot.resident_flops + job_flops),
+            )
+        };
+        let by_load = |a: &(usize, f64), b: &(usize, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
         let chosen = match self.policy {
             PlacementPolicy::RoundRobin => {
                 let n = self.slots.len();
@@ -180,50 +497,104 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
                 .slots
                 .iter()
                 .filter(|s| admissible(s))
-                .map(|s| {
-                    (
-                        s.index,
-                        s.board.load_score_flops(s.resident_flops + job_flops),
-                    )
-                })
-                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .map(loaded)
+                .min_by(by_load)
                 .map(|(i, _)| i),
+            PlacementPolicy::FairShare => {
+                let mut candidates: Vec<(usize, f64)> = self
+                    .slots
+                    .iter()
+                    .filter(|s| admissible(s))
+                    .map(loaded)
+                    .collect();
+                candidates.sort_by(by_load);
+                // Reserve the emptiest admissible board for tenants at
+                // or below fair share; an over-served tenant takes the
+                // next-best board when one exists.
+                let skip_reserved = candidates.len() >= 2 && self.over_fair_share(job.tenant);
+                candidates.get(usize::from(skip_reserved)).map(|(i, _)| *i)
+            }
         };
         let index = chosen?;
         if self.policy == PlacementPolicy::RoundRobin {
             self.rr_cursor = (index + 1) % self.slots.len();
         }
-        let slot = &mut self.slots[index];
-        slot.jobs.push(job);
-        slot.resident_flops += job_flops;
-        slot.resident_weight_bytes += job_weight;
-        slot.models.push(model);
-        slot.dirty = true;
+        self.slots[index].push_job(job, model);
         Some(index)
     }
 
     /// Finds the board hosting `job_id`.
-    pub(crate) fn board_of(&self, job_id: u64) -> Option<usize> {
+    pub fn board_of(&self, job_id: u64) -> Option<usize> {
         self.slots
             .iter()
             .position(|s| s.jobs.iter().any(|j| j.id == job_id))
     }
 
+    /// Reschedules every dirty board — concurrently across boards (each
+    /// board's search is independent; on a multi-core host rayon fans
+    /// them out, on one core this degrades to a sequential loop) — and
+    /// returns the decisions in slot order.
+    pub fn flush_dirty(&mut self) -> Vec<BoardDecision>
+    where
+        M: Send,
+    {
+        self.slots
+            .par_iter_mut()
+            .map(BoardSlot::flush)
+            .collect::<Vec<Option<BoardDecision>>>()
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Warm-loads every slot whose hardware profile has a segment in
+    /// `archive`; returns the number of preloaded cache entries.
+    pub fn preload_caches(&mut self, archive: &CacheArchive, capacity: usize) -> usize {
+        let mut preloaded = 0usize;
+        for slot in &mut self.slots {
+            if let Some(cache) = archive.segment(capacity, &slot.board) {
+                preloaded += cache.cache().len();
+                slot.scheduler.preload_cache(cache);
+            }
+        }
+        preloaded
+    }
+
+    /// Merges every slot's evaluation cache into `archive`, one segment
+    /// per hardware profile (recency preserved within a profile;
+    /// segments of profiles absent from this fleet are left alone).
+    pub fn archive_caches(&self, archive: &mut CacheArchive, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        let mut fingerprints: Vec<u64> = self.slots.iter().map(|s| s.board.fingerprint()).collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        for fp in fingerprints {
+            let mut merged = omniboost_estimator::BoardScopedCache::new(capacity);
+            let mut seen = false;
+            for slot in &self.slots {
+                if slot.board.fingerprint() != fp {
+                    continue;
+                }
+                if !seen {
+                    merged.begin(&slot.board);
+                    seen = true;
+                }
+                merged.cache().absorb(slot.scheduler.eval_cache());
+            }
+            archive.upsert(&merged);
+        }
+    }
+
     /// Returns every board to its empty pre-trace state: resident jobs,
     /// deployments and placement cursor cleared. Evaluation caches,
-    /// decision memos and scheduler counters deliberately survive —
-    /// replaying another trace on the same fleet is a warm reboot, not a
-    /// new process.
-    pub(crate) fn reset_jobs(&mut self) {
+    /// decision memos, scheduler counters and the active flags
+    /// deliberately survive — replaying another trace on the same fleet
+    /// is a warm reboot, not a new process.
+    pub fn reset_jobs(&mut self) {
         for slot in &mut self.slots {
-            slot.jobs.clear();
-            slot.models.clear();
-            slot.deployed_jobs.clear();
-            slot.mapping = None;
-            slot.report = None;
-            slot.dirty = false;
-            slot.resident_flops = 0;
-            slot.resident_weight_bytes = 0;
+            slot.evacuate();
         }
         self.rr_cursor = 0;
     }

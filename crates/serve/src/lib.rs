@@ -42,13 +42,15 @@
 mod fleet;
 mod scheduler;
 mod sim;
+mod tenants;
 
-pub use fleet::{Fleet, PlacementPolicy};
+pub use fleet::{BoardSlot, Fleet, PlacementPolicy};
 pub use scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy, WarmHint};
 pub use sim::{
     BoardDecision, LatencyStats, ServingConfig, ServingReport, ServingSim, ServingSummary,
     TickRecord,
 };
+pub use tenants::{tenant_tps_ratio, TenantAccumulator, TenantSummary};
 
 // Re-export the trace machinery (and the budget type OnlineConfig is
 // built from) so serving users need one import path.

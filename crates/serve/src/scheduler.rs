@@ -68,6 +68,16 @@ pub struct WarmHint {
     pub carried: Mapping,
     /// How many leading DNNs of the new workload the rows cover.
     pub decided: usize,
+    /// Index (into the carried prefix) of a DNN to **release** back into
+    /// the warm search space alongside the arriving one. The serving
+    /// runtime points this at the worst-placed carried job — the one
+    /// with the lowest attained compute rate (measured inf/s × model
+    /// FLOPs) under the current deployment — so a warm arrival can
+    /// repair the single most starved path without paying for a cold
+    /// search
+    /// ([`omniboost_mcts::SchedState::from_frozen_subset`] keeps every
+    /// other carried path pinned). `None` keeps the pure prefix freeze.
+    pub release: Option<usize>,
 }
 
 /// Search budgets and knobs of the online scheduler.
@@ -128,6 +138,9 @@ pub struct OnlineScheduler<M> {
     last_evaluations: usize,
     /// Decisions taken so far (drives the periodic cold refresh).
     decisions: u64,
+    /// Armed by [`OnlineScheduler::speculate_next`]: the next decision
+    /// is a rebalance-proposal scoring pass, not a deployment.
+    speculative: bool,
 }
 
 impl<M: ThroughputModel + Sync> OnlineScheduler<M> {
@@ -142,6 +155,7 @@ impl<M: ThroughputModel + Sync> OnlineScheduler<M> {
             last_kind: DecisionKind::Cold,
             last_evaluations: 0,
             decisions: 0,
+            speculative: false,
         }
     }
 
@@ -182,6 +196,16 @@ impl<M: ThroughputModel + Sync> OnlineScheduler<M> {
     /// Drops any armed warm-start context.
     pub fn clear_hint(&mut self) {
         self.hint = None;
+    }
+
+    /// Marks the **next** `decide` call as speculative (a rebalance
+    /// proposal being priced, not a deployment): it neither advances the
+    /// decision counter nor takes the periodic cold-refresh path, so
+    /// proposal scoring can never consume — or pay the full cold budget
+    /// of — a refresh that belongs to real deployments. Consumed by the
+    /// next decision.
+    pub fn speculate_next(&mut self) {
+        self.speculative = true;
     }
 
     /// Whether the **next** decision this scheduler runs will take the
@@ -293,15 +317,43 @@ fn try_warm<E: ThroughputModel>(
             // focused search wins on sample efficiency, the challenger
             // keeps accumulated prefix drift from compounding (its
             // queries mostly hit the cross-decision cache, so it is far
-            // cheaper than its iteration count suggests).
+            // cheaper than its iteration count suggests). When the
+            // runtime flagged a worst-placed carried DNN for release,
+            // the challenger's budget is **split** with a third racer
+            // that freezes every carried path *except* the released one
+            // and re-decides it together with the arrival
+            // ([`SchedState::from_frozen_subset`]) — the finer drift
+            // repair prefix freezing cannot express, at no extra total
+            // search cost (the warm path must stay cheaper than cold).
+            let release_root = hint.release.filter(|r| *r < hint.decided).and_then(|r| {
+                let mut frozen = vec![true; hint.decided];
+                frozen[r] = false;
+                SchedState::from_frozen_subset(env, &hint.carried, &frozen)
+                    .ok()
+                    .filter(|root| !root.is_dead())
+            });
+            let side_budget = if release_root.is_some() {
+                let mut half = config.warm_budget;
+                half.iterations = (half.iterations / 2).max(1);
+                Mcts::new(half)
+            } else {
+                Mcts::new(config.warm_budget)
+            };
             let warm = mcts.search_from(env, root, config.seed);
-            let challenger = mcts.search(env, config.seed);
-            let evaluations = warm.evaluations + challenger.evaluations;
-            let best = if challenger.best_reward > warm.best_reward {
+            let challenger = side_budget.search(env, config.seed);
+            let mut evaluations = warm.evaluations + challenger.evaluations;
+            let mut best = if challenger.best_reward > warm.best_reward {
                 challenger
             } else {
                 warm
             };
+            if let Some(root) = release_root {
+                let release = side_budget.search_from(env, root, config.seed);
+                evaluations += release.evaluations;
+                if release.best_reward > best.best_reward {
+                    best = release;
+                }
+            }
             (
                 DecisionKind::WarmArrival,
                 env.mapping_of(&best.best_state),
@@ -342,10 +394,16 @@ impl<M: ThroughputModel + Sync> Scheduler for OnlineScheduler<M> {
         let env = SchedulingEnv::new(workload, &cached, self.config.stage_cap)?;
 
         let config = self.config;
-        self.decisions += 1;
+        // Speculative (rebalance-scoring) decisions stand outside the
+        // refresh cadence: they don't count and never pay a refresh.
+        let speculative = std::mem::take(&mut self.speculative);
+        if !speculative {
+            self.decisions += 1;
+        }
         // Periodic drift repair: every Nth decision takes the cold path
         // even when warm-eligible (but keeps the carried floor below).
-        let refresh = config.refresh_period > 0
+        let refresh = !speculative
+            && config.refresh_period > 0
             && self.decisions.is_multiple_of(config.refresh_period as u64);
         let warm = match (&self.policy, &hint, refresh) {
             (ReschedulePolicy::WarmStart, Some(hint), false) => {
@@ -421,6 +479,7 @@ mod tests {
         sched.set_warm_hint(WarmHint {
             carried: m1,
             decided: 1,
+            release: None,
         });
         let m2 = sched.decide(&board, &w2).unwrap();
         assert_eq!(sched.last_kind(), DecisionKind::Cold);
@@ -439,6 +498,7 @@ mod tests {
         sched.set_warm_hint(WarmHint {
             carried: m1.clone(),
             decided: 2,
+            release: None,
         });
         let m2 = sched.decide(&board, &w2).unwrap();
         assert_eq!(sched.last_kind(), DecisionKind::WarmArrival);
@@ -461,6 +521,7 @@ mod tests {
         sched.set_warm_hint(WarmHint {
             carried,
             decided: 1,
+            release: None,
         });
         let m1 = sched.decide(&board, &w1).unwrap();
         assert_eq!(sched.last_kind(), DecisionKind::WarmDepart);
@@ -477,6 +538,7 @@ mod tests {
         sched.set_warm_hint(WarmHint {
             carried: Mapping::new(vec![vec![Device::Gpu; 3]]),
             decided: 1,
+            release: None,
         });
         let m = sched.decide(&board, &w).unwrap();
         assert_eq!(sched.last_kind(), DecisionKind::Cold);
@@ -500,6 +562,7 @@ mod tests {
         sched.set_warm_hint(WarmHint {
             carried: overcap,
             decided: 1,
+            release: None,
         });
         let m = sched.decide(&board, &w).unwrap();
         assert_eq!(sched.last_kind(), DecisionKind::Cold);
@@ -517,6 +580,7 @@ mod tests {
         sched.set_warm_hint(WarmHint {
             carried: m1,
             decided: 1,
+            release: None,
         });
         sched.decide(&board, &w2).unwrap();
         assert_eq!(sched.last_kind(), DecisionKind::WarmArrival);

@@ -1,13 +1,12 @@
 //! The event-driven serving runtime: replay an [`ArrivalTrace`] against
 //! a fleet, rescheduling per event and recording serving metrics.
 
-use crate::fleet::{BoardSlot, Fleet, PlacementPolicy};
-use crate::scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy, WarmHint};
-use omniboost::PreviousDeployment;
-use omniboost_estimator::BoardScopedCache;
-use omniboost_hw::{Board, EvalCacheStats, Fnv1a, Mapping, ThroughputModel};
+use crate::fleet::{Fleet, PlacementPolicy};
+use crate::scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy};
+use crate::tenants::{TenantAccumulator, TenantSummary};
+use omniboost_estimator::CacheArchive;
+use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
 use omniboost_models::{ArrivalTrace, JobEvent, JobSpec};
-use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::hash::Hasher;
 use std::path::PathBuf;
@@ -113,7 +112,8 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    fn from_samples(mut samples: Vec<f64>) -> Self {
+    /// Order statistics over raw samples (milliseconds).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
@@ -163,6 +163,10 @@ pub struct ServingSummary {
     pub eval_cache: EvalCacheStats,
     /// Entries warm-loaded from a persisted cache snapshot at startup.
     pub cache_preloaded_entries: usize,
+    /// Per-tenant throughput / placement / queue-wait aggregates,
+    /// sorted by tenant id — the measurement side of multi-tenant
+    /// fairness (see [`crate::tenant_tps_ratio`]).
+    pub tenants: Vec<TenantSummary>,
 }
 
 /// The record of one serving run: per-tick detail plus the summary.
@@ -252,7 +256,9 @@ impl ServingReport {
 pub struct ServingSim<M> {
     fleet: Fleet<M>,
     config: ServingConfig,
-    queue: VecDeque<JobSpec>,
+    /// Waiting jobs with the stamp they entered the queue (feeds the
+    /// per-tenant queue-wait stats).
+    queue: VecDeque<(JobSpec, u64)>,
     cache_preloaded: usize,
 }
 
@@ -282,9 +288,14 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
     }
 
     /// Startup half of cache persistence: warm every board's scheduler
-    /// from the configured snapshot. Mismatched or unreadable snapshots
-    /// start cold (a daemon must boot regardless); corrupt files are
-    /// reported by [`ServingSummary::cache_preloaded_entries`] staying 0.
+    /// from its profile's segment of the configured [`CacheArchive`]
+    /// snapshot. Profiles without a segment, mismatched or unreadable
+    /// snapshots start cold (a daemon must boot regardless); corrupt
+    /// files are reported by
+    /// [`ServingSummary::cache_preloaded_entries`] staying 0. (The
+    /// archive replaced the pre-PR-5 single-segment format; an old
+    /// snapshot reads as unreadable — one cold boot — and the next
+    /// shutdown rewrites it as an archive.)
     fn load_caches(&mut self) {
         let Some(path) = self.config.cache_path.clone() else {
             return;
@@ -292,19 +303,18 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
         if !path.exists() {
             return;
         }
+        let Ok(archive) = CacheArchive::load(&path) else {
+            return;
+        };
         let capacity = self.config.online.eval_cache_capacity;
-        for slot in &mut self.fleet.slots {
-            // Board-mismatch, corruption, I/O trouble: all boot cold.
-            if let Ok(cache) = BoardScopedCache::load(&path, capacity, &slot.board) {
-                self.cache_preloaded += cache.cache().len();
-                slot.scheduler.preload_cache(cache);
-            }
-        }
+        self.cache_preloaded += self.fleet.preload_caches(&archive, capacity);
     }
 
-    /// Shutdown half of cache persistence: merge every board's cache
-    /// (recency preserved) and write one snapshot, fingerprinted with
-    /// the first board.
+    /// Shutdown half of cache persistence: merge the boards' caches
+    /// **per hardware profile** (recency preserved within a profile)
+    /// and rewrite the archive — segments of profiles this fleet does
+    /// not run survive untouched, so heterogeneous deployments never
+    /// clobber each other's warm state.
     fn save_caches(&mut self) {
         let Some(path) = self.config.cache_path.clone() else {
             return;
@@ -313,16 +323,12 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
         if capacity == 0 {
             return;
         }
-        let mut merged = BoardScopedCache::new(capacity);
-        let first = self.fleet.slots[0].board.clone();
-        merged.begin(&first);
-        for slot in &self.fleet.slots {
-            if slot.board.fingerprint() == first.fingerprint() {
-                merged.cache().absorb(slot.scheduler.eval_cache());
-            }
-        }
+        // Start from the persisted archive when readable so foreign
+        // profiles' segments carry forward.
+        let mut archive = CacheArchive::load(&path).unwrap_or_default();
+        self.fleet.archive_caches(&mut archive, capacity);
         // Persistence failure must not take the daemon down with it.
-        let _ = merged.save(&path);
+        let _ = archive.save(&path);
     }
 
     /// Number of boards in the fleet.
@@ -349,6 +355,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
         let mut peak_queue = 0usize;
         let (mut arrivals, mut departures, mut placements) = (0usize, 0usize, 0usize);
 
+        let mut tenant_acc = TenantAccumulator::new();
         let events = trace.events();
         let mut i = 0usize;
         while i < events.len() {
@@ -357,7 +364,8 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             // still-current deployment.
             let dt = t - last_t;
             tps_integral += self.fleet.aggregate_throughput() * dt as f64;
-            for (b, slot) in self.fleet.slots.iter().enumerate() {
+            tenant_acc.integrate(self.fleet.slots(), dt);
+            for (b, slot) in self.fleet.slots().iter().enumerate() {
                 if !slot.jobs.is_empty() {
                     busy_ms[b] += dt;
                 }
@@ -374,13 +382,15 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
                 match event {
                     JobEvent::Arrive(job) => {
                         arrivals += 1;
+                        tenant_acc.arrival(&job);
                         match self.fleet.place(job) {
                             Some(board) => {
                                 placements += 1;
                                 placed.push((job.id, board));
+                                tenant_acc.placement(&job, 0);
                             }
                             None => {
-                                self.queue.push_back(job);
+                                self.queue.push_back((job, t));
                                 queued.push(job.id);
                             }
                         }
@@ -388,10 +398,10 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
                     JobEvent::Depart { job_id } => {
                         departures += 1;
                         // A job may depart while still queued.
-                        if let Some(pos) = self.queue.iter().position(|j| j.id == job_id) {
+                        if let Some(pos) = self.queue.iter().position(|(j, _)| j.id == job_id) {
                             self.queue.remove(pos);
                         } else if let Some(board) = self.fleet.board_of(job_id) {
-                            self.fleet.slots[board].remove_job(job_id);
+                            self.fleet.slots_mut()[board].remove_job(job_id);
                             capacity_freed = true;
                         }
                     }
@@ -406,32 +416,23 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             // job on arrival-only ticks would be pure waste.
             if capacity_freed && !self.queue.is_empty() {
                 let mut still_waiting = VecDeque::new();
-                while let Some(job) = self.queue.pop_front() {
+                while let Some((job, since)) = self.queue.pop_front() {
                     match self.fleet.place(job) {
                         Some(board) => {
                             placements += 1;
                             placed.push((job.id, board));
+                            tenant_acc.placement(&job, t - since);
                         }
-                        None => still_waiting.push_back(job),
+                        None => still_waiting.push_back((job, since)),
                     }
                 }
                 self.queue = still_waiting;
             }
             peak_queue = peak_queue.max(self.queue.len());
 
-            // Reschedule every board whose job set changed — concurrent
-            // across boards (each board's search is independent; on a
-            // multi-core host rayon fans them out, on one core this
-            // degrades to a sequential loop).
-            let decisions: Vec<BoardDecision> = self
-                .fleet
-                .slots
-                .par_iter_mut()
-                .map(flush_slot)
-                .collect::<Vec<Option<BoardDecision>>>()
-                .into_iter()
-                .flatten()
-                .collect();
+            // Reschedule every board whose job set changed (concurrent
+            // across boards).
+            let decisions = self.fleet.flush_dirty();
 
             ticks.push(TickRecord {
                 at_ms: t,
@@ -449,7 +450,8 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
         if horizon_ms > last_t {
             let dt = horizon_ms - last_t;
             tps_integral += self.fleet.aggregate_throughput() * dt as f64;
-            for (b, slot) in self.fleet.slots.iter().enumerate() {
+            tenant_acc.integrate(self.fleet.slots(), dt);
+            for (b, slot) in self.fleet.slots().iter().enumerate() {
                 if !slot.jobs.is_empty() {
                     busy_ms[b] += dt;
                 }
@@ -469,7 +471,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
         };
         let eval_cache = self
             .fleet
-            .slots
+            .slots()
             .iter()
             .map(|s| s.scheduler.eval_cache().stats())
             .fold(EvalCacheStats::default(), |a, b| EvalCacheStats {
@@ -478,6 +480,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
                 evictions: a.evictions + b.evictions,
             });
         let horizon = horizon_ms.max(last_t).max(1);
+        let still_queued: Vec<JobSpec> = self.queue.iter().map(|(j, _)| *j).collect();
         let summary = ServingSummary {
             events: trace.len(),
             arrivals,
@@ -500,102 +503,8 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
                 .collect(),
             eval_cache,
             cache_preloaded_entries: self.cache_preloaded,
+            tenants: tenant_acc.finish(horizon, &still_queued),
         };
         ServingReport { ticks, summary }
     }
-}
-
-/// Reschedules one dirty board: builds the warm hint and migration
-/// pairing from the last deployment, runs the decision through the
-/// board's runtime (memo first), and updates the deployment state.
-fn flush_slot<M: ThroughputModel + Sync>(slot: &mut BoardSlot<M>) -> Option<BoardDecision> {
-    if !slot.dirty {
-        return None;
-    }
-    slot.dirty = false;
-    if slot.jobs.is_empty() {
-        // Idle board: nothing deployed, nothing to decide.
-        slot.deployed_jobs.clear();
-        slot.mapping = None;
-        slot.report = None;
-        return None;
-    }
-    let workload = slot.workload();
-    // Pair each current job with its row in the previous deployment.
-    let pairing: Vec<Option<usize>> = slot
-        .jobs
-        .iter()
-        .map(|job| slot.deployed_jobs.iter().position(|p| p.id == job.id))
-        .collect();
-    let carried = pairing.iter().filter(|p| p.is_some()).count();
-    // Single-job delta: exactly one departure (all current jobs carried,
-    // one previous row dropped) or exactly one arrival (all but the
-    // appended last job carried). Warm starts are defined on exactly
-    // this event class; anything wider falls back to a cold search.
-    let one_departure = carried == slot.jobs.len() && slot.deployed_jobs.len() == carried + 1;
-    let one_arrival = carried + 1 == slot.jobs.len()
-        && pairing.last() == Some(&None)
-        && slot.deployed_jobs.len() == carried;
-    let single_job_delta = slot.mapping.is_some() && (one_departure || one_arrival);
-    // Warm hint: the carried device paths from the previous mapping,
-    // reordered to the new workload's prefix.
-    if let Some(prev) = &slot.mapping {
-        if single_job_delta {
-            let decided = if one_departure {
-                slot.jobs.len()
-            } else {
-                slot.jobs.len() - 1
-            };
-            let rows: Vec<Vec<_>> = pairing[..decided]
-                .iter()
-                .map(|p| prev.assignments()[p.expect("carried row")].clone())
-                .collect();
-            slot.scheduler.set_warm_hint(WarmHint {
-                carried: Mapping::new(rows),
-                decided,
-            });
-        }
-    }
-    let previous = slot.mapping.clone();
-    let context = previous.as_ref().map(|mapping| PreviousDeployment {
-        mapping,
-        pairing: &pairing,
-    });
-    // When the scheduler's periodic cold refresh is due, bypass the
-    // decision memo and overwrite its entry — a memoized mix must not
-    // shield drift from the refresh.
-    let outcome = if slot.scheduler.refresh_due() {
-        slot.runtime
-            .run_refreshed(&mut slot.scheduler, &workload, context)
-    } else {
-        slot.runtime
-            .run_rescheduled(&mut slot.scheduler, &workload, context)
-    }
-    .expect("placement guarantees admission");
-    // A memo hit never reaches the scheduler; drop any armed hint so it
-    // cannot leak into a later, unrelated decision.
-    slot.scheduler.clear_hint();
-    let kind = if outcome.memo_hit {
-        DecisionKind::Memo
-    } else {
-        slot.scheduler.last_kind()
-    };
-    slot.deployed_jobs = slot.jobs.clone();
-    slot.mapping = Some(outcome.mapping);
-    let throughput: f64 = outcome.report.per_dnn.iter().sum();
-    slot.report = Some(outcome.report);
-    Some(BoardDecision {
-        board: slot.index,
-        kind,
-        decision_ms: outcome.decision_time.as_secs_f64() * 1e3,
-        single_job_delta,
-        migrated_layers: outcome.migrated_layers.unwrap_or(0),
-        evaluations: if outcome.memo_hit {
-            0
-        } else {
-            slot.scheduler.last_evaluations()
-        },
-        jobs: slot.jobs.len(),
-        throughput,
-    })
 }

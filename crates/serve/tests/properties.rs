@@ -128,13 +128,12 @@ proptest! {
     fn placement_respects_board_admission(
         process in arb_process(),
         seed in 0u64..500,
-        round_robin in proptest::sample::select(vec![true, false]),
+        placement in proptest::sample::select(vec![
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::FairShare,
+        ]),
     ) {
-        let placement = if round_robin {
-            PlacementPolicy::RoundRobin
-        } else {
-            PlacementPolicy::LeastLoaded
-        };
         // One board + hot traffic forces the queue path.
         let report = run_once(process, seed, ReschedulePolicy::WarmStart, placement, 1);
         let cap = Board::hikey970().max_concurrent_dnns;
@@ -153,6 +152,60 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// Per-tenant aggregation is internally consistent: every arrival and
+/// placement is attributed to exactly one tenant, rows come back sorted,
+/// and on a skewed-tenant trace the majority tenant dominates arrivals
+/// under both the least-loaded and fair-share policies.
+#[test]
+fn tenant_summaries_account_for_every_job() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Poisson { rate_per_s: 1.0 },
+        &TraceConfig {
+            tenant_weights: vec![7.0, 1.0, 1.0, 1.0],
+            ..trace_config()
+        },
+        19,
+    );
+    for placement in [PlacementPolicy::LeastLoaded, PlacementPolicy::FairShare] {
+        let config = ServingConfig {
+            online: quick_online(),
+            placement,
+            ..ServingConfig::warm()
+        };
+        let mut sim = ServingSim::new(vec![Board::hikey970(); 3], config, AnalyticModel::new);
+        let report = sim.run(&trace, HORIZON_MS);
+        let s = &report.summary;
+        assert!(!s.tenants.is_empty());
+        assert!(s.tenants.windows(2).all(|w| w[0].tenant < w[1].tenant));
+        assert_eq!(
+            s.tenants.iter().map(|t| t.arrivals).sum::<usize>(),
+            s.arrivals,
+            "{placement}: every arrival has a tenant"
+        );
+        assert_eq!(
+            s.tenants.iter().map(|t| t.placements).sum::<usize>(),
+            s.placements,
+            "{placement}: every placement has a tenant"
+        );
+        assert_eq!(
+            s.tenants.iter().map(|t| t.left_in_queue).sum::<usize>(),
+            s.left_in_queue
+        );
+        let majority = &s.tenants[0];
+        assert_eq!(majority.tenant, 0);
+        assert!(
+            s.tenants[1..]
+                .iter()
+                .all(|t| t.arrivals < majority.arrivals),
+            "{placement}: tenant 0 submits ~70% of jobs"
+        );
+        // Attained per-tenant throughput is non-negative and sums to
+        // roughly the fleet mean (both integrate the same deployments).
+        let sum: f64 = s.tenants.iter().map(|t| t.mean_tps).sum();
+        assert!((sum - s.mean_aggregate_tps).abs() < 1e-6 * s.mean_aggregate_tps.max(1.0));
     }
 }
 

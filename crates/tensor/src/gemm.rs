@@ -35,6 +35,11 @@ const LANES: usize = 16;
 /// 2 KiB per row, so a whole `k × TW` B-tile stays cache-resident while
 /// every C row crosses it.
 const TW: usize = 512;
+/// Cache budget (bytes) for one [`gemm_nt`] reduction chunk: the `m` A
+/// rows plus `n` B rows restricted to the chunk must fit comfortably in
+/// L2 alongside the (tiny) C block, so conservatively half of a small
+/// 512 KiB L2.
+const NT_CHUNK_BYTES: usize = 256 * 1024;
 
 /// Reusable packing buffers for [`gemm_nn`]. Hold one per module and the
 /// kernels never allocate after the first call at a given size.
@@ -149,12 +154,21 @@ fn microkernel(mr: usize, nr: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc:
 /// dot-product shape (`dW = G·colsᵀ`), where `m`/`n` are small and `k` is
 /// the huge batched-spatial axis.
 ///
+/// The reduction axis is walked in **cache-resident chunks**: a chunk
+/// width is chosen so the `m + n` active row slices fit in
+/// [`NT_CHUNK_BYTES`], and all `m/2 × n/2` output tiles consume one
+/// chunk before the next is touched. Without the chunking every i-pair
+/// streamed the entire `n×k` B matrix from DRAM (`m/2` full passes over
+/// an axis that can run to millions of floats); with it, each A/B
+/// element is read from DRAM exactly once and re-read from cache
+/// thereafter.
+///
 /// Each dot product uses [`LANES`] parallel partial sums reduced
-/// pairwise, then the scalar tail: deterministic for a given `k`, and
-/// identical for every row, but not the strict sequential order (the
-/// gradient consumers tolerate far looser than the ~1e-7 relative
-/// difference blocking introduces — blocked sums are, if anything, more
-/// accurate).
+/// pairwise per chunk, with chunk subtotals accumulated into `C` in
+/// ascending-k order: deterministic for a given `k`, and identical for
+/// every row, but not the strict sequential order (the gradient
+/// consumers tolerate far looser than the ~1e-7 relative difference
+/// blocking introduces — blocked sums are, if anything, more accurate).
 ///
 /// # Panics
 ///
@@ -163,34 +177,48 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert!(a.len() >= m * k, "A too short");
     assert!(b.len() >= n * k, "B too short");
     assert!(c.len() >= m * n, "C too short");
-    // 2×2 output tile: four dot products share the two streamed A rows
-    // and two streamed B rows, halving memory traffic on the huge axis.
-    let mut i = 0usize;
-    while i < m {
-        let two_i = i + 1 < m;
-        let (a0, a1) = (
-            &a[i * k..i * k + k],
-            &a[if two_i { i + 1 } else { i } * k..][..k],
-        );
-        let mut j = 0usize;
-        while j < n {
-            let two_j = j + 1 < n;
-            let b0 = &b[j * k..j * k + k];
-            let b1 = &b[if two_j { j + 1 } else { j } * k..][..k];
-            let (d00, d01, d10, d11) = dot2x2(a0, a1, b0, b1);
-            c[i * n + j] += d00;
-            if two_j {
-                c[i * n + j + 1] += d01;
-            }
-            if two_i {
-                c[(i + 1) * n + j] += d10;
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Chunk width: whole LANES multiples, at least one vector block, at
+    // most the full axis (small k degenerates to the unchunked loop).
+    let budget = NT_CHUNK_BYTES / (core::mem::size_of::<f32>() * (m + n));
+    let kc = (budget / LANES * LANES)
+        .max(LANES)
+        .min(k.next_multiple_of(LANES));
+    let mut k0 = 0usize;
+    while k0 < k {
+        let kw = kc.min(k - k0);
+        // 2×2 output tile: four dot products share the two resident A
+        // row slices and two resident B row slices.
+        let mut i = 0usize;
+        while i < m {
+            let two_i = i + 1 < m;
+            let (a0, a1) = (
+                &a[i * k + k0..i * k + k0 + kw],
+                &a[if two_i { i + 1 } else { i } * k + k0..][..kw],
+            );
+            let mut j = 0usize;
+            while j < n {
+                let two_j = j + 1 < n;
+                let b0 = &b[j * k + k0..j * k + k0 + kw];
+                let b1 = &b[if two_j { j + 1 } else { j } * k + k0..][..kw];
+                let (d00, d01, d10, d11) = dot2x2(a0, a1, b0, b1);
+                c[i * n + j] += d00;
                 if two_j {
-                    c[(i + 1) * n + j + 1] += d11;
+                    c[i * n + j + 1] += d01;
                 }
+                if two_i {
+                    c[(i + 1) * n + j] += d10;
+                    if two_j {
+                        c[(i + 1) * n + j + 1] += d11;
+                    }
+                }
+                j += 2;
             }
-            j += 2;
+            i += 2;
         }
-        i += 2;
+        k0 += kw;
     }
 }
 
@@ -388,6 +416,32 @@ mod tests {
             for (x, y) in c.iter().zip(&reference) {
                 assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{x} vs {y}");
             }
+        }
+    }
+
+    /// A reduction axis long enough to straddle several cache-resident
+    /// chunks still matches the f64 reference: chunk subtotals accumulate
+    /// in ascending-k order, so splitting the axis must stay within the
+    /// blocked-summation tolerance.
+    #[test]
+    fn nt_chunked_reduction_matches_naive() {
+        // m + n = 4 → chunk width ≈ NT_CHUNK_BYTES/16 = 16384 floats;
+        // k = 50_000 spans four chunks including a ragged tail.
+        let (m, k, n) = (2usize, 50_000usize, 2usize);
+        let a = randv(m * k, 12);
+        let b = randv(n * k, 13);
+        let mut c = vec![0.0f32; m * n];
+        let reference: Vec<f32> = (0..m * n)
+            .map(|ij| {
+                let (i, j) = (ij / n, ij % n);
+                (0..k)
+                    .map(|p| f64::from(a[i * k + p]) * f64::from(b[j * k + p]))
+                    .sum::<f64>() as f32
+            })
+            .collect();
+        gemm_nt(m, k, n, &a, &b, &mut c);
+        for (x, y) in c.iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-2 * (1.0 + y.abs()), "{x} vs {y}");
         }
     }
 
