@@ -15,14 +15,22 @@ perf-smoke:
 	SMOKE=1 cargo bench --bench estimator_training
 	SMOKE=1 cargo bench --bench serving
 	SMOKE=1 cargo bench --bench fleet
+	SMOKE=1 cargo bench --bench fleet_scale
 
 # Full perf snapshots: rewrites BENCH_decision_latency.json,
-# BENCH_estimator_training.json, BENCH_serving.json and BENCH_fleet.json
-# with this host's numbers (the estimator_training direct-backward
-# baseline takes a few minutes).
+# BENCH_estimator_training.json, BENCH_serving.json, BENCH_fleet.json
+# and BENCH_fleet_scale.json with this host's numbers (the
+# estimator_training direct-backward baseline takes a few minutes).
 .PHONY: perf-snapshots
 perf-snapshots:
 	cargo bench --bench decision_latency
 	cargo bench --bench estimator_training
 	cargo bench --bench serving
 	cargo bench --bench fleet
+	cargo bench --bench fleet_scale
+
+# Full fleet-scale run only: rewrites BENCH_fleet_scale.json ({16, 64,
+# 256}-board cells, ~2000-job traces each).
+.PHONY: perf-scale
+perf-scale:
+	cargo bench --bench fleet_scale

@@ -148,6 +148,7 @@ fn main() {
                         count,
                         median_ms: mean(&with.iter().map(|s| s.median_ms).collect::<Vec<_>>()),
                         mean_ms: mean(&with.iter().map(|s| s.mean_ms).collect::<Vec<_>>()),
+                        p99_ms: mean(&with.iter().map(|s| s.p99_ms).collect::<Vec<_>>()),
                         max_ms: with.iter().map(|s| s.max_ms).fold(0.0, f64::max),
                     }
                 }

@@ -120,6 +120,16 @@ pub struct EvalCacheStats {
 }
 
 impl EvalCacheStats {
+    /// Sums two counter sets — folding per-board caches into one fleet
+    /// view (`stats.fold(EvalCacheStats::default(), EvalCacheStats::merge)`).
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+
     /// Fraction of lookups answered from the cache (0 when unused).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -152,6 +152,21 @@ pub fn build_all() -> Vec<DnnModel> {
     ModelId::ALL.iter().map(|id| build(*id)).collect()
 }
 
+/// Per-inference FLOPs of a zoo network, from a table built once per
+/// process — hot paths that only need a job's weight class (evacuation
+/// ordering, load projection over thousands of jobs) must not rebuild
+/// the full layer graph per query.
+pub fn total_flops(id: ModelId) -> u64 {
+    static TABLE: std::sync::OnceLock<[u64; ModelId::ALL.len()]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u64; ModelId::ALL.len()];
+        for id in ModelId::ALL {
+            table[id.index()] = build(id).total_flops();
+        }
+        table
+    })[id.index()]
+}
+
 /// The maximum layer count across the zoo — the width `L` of the
 /// distributed embeddings tensor before zero-padding.
 pub fn max_layers() -> usize {
@@ -189,6 +204,13 @@ mod tests {
     #[test]
     fn max_layers_is_resnet101() {
         assert_eq!(max_layers(), 37);
+    }
+
+    #[test]
+    fn flops_table_matches_built_models() {
+        for id in ModelId::ALL {
+            assert_eq!(total_flops(id), build(id).total_flops(), "{id}");
+        }
     }
 
     #[test]

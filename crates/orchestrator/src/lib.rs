@@ -39,14 +39,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cells;
 mod rebalance;
 mod sim;
 mod spec;
 
+pub use cells::{CellConfig, ShardedRebalancer};
 pub use rebalance::{RebalanceConfig, RebalanceMove, RebalanceTick, Rebalancer};
 pub use sim::{
-    FleetEventRecord, OrchestratorConfig, OrchestratorReport, OrchestratorSim, OrchestratorSummary,
-    OrchestratorTick,
+    EvacOrder, FleetEventRecord, OrchestratorConfig, OrchestratorReport, OrchestratorSim,
+    OrchestratorSummary, OrchestratorTick, QueueOrder,
 };
 pub use spec::{BoardProfile, FleetSpec};
 

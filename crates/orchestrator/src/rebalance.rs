@@ -2,18 +2,27 @@
 //!
 //! Jobs admitted to a board used to stay pinned there for life; under
 //! skewed departures one board idles while another queues. The
-//! rebalancer periodically proposes moving the newest job from the
-//! most-loaded board to the least-loaded one and **prices the move
-//! before committing**: both sides are re-scheduled speculatively
+//! rebalancer periodically drains the **top-k most-loaded boards**: it
+//! plans a *set* of moves (the newest admissible job of each hot donor,
+//! routed to whichever of the k least-loaded receivers it loads the
+//! least) and **prices the set as a unit before committing**: every
+//! affected side is re-scheduled speculatively
 //! ([`omniboost::Runtime::run_speculative`] — warm-started, memo
-//! untouched), and the move happens only when the fleet-level
-//! throughput gain pays for the layers that would migrate. Three
-//! hysteresis guards keep the fleet from thrashing: a minimum load
-//! imbalance before anything is proposed, a per-layer gain floor, and a
-//! cooldown after every accepted move.
+//! untouched), and the set commits only when the fleet-level throughput
+//! gain pays for the layers that would migrate. A rejected set falls
+//! back to pricing just its first move, so a bad bundle never blocks an
+//! individually good move. Three hysteresis guards keep the fleet from
+//! thrashing: a minimum load imbalance before anything is proposed, a
+//! per-layer gain floor, and a cooldown after every accepted set.
+//!
+//! Donor/receiver selection reads [`Fleet::most_loaded`] /
+//! [`Fleet::least_loaded`] off the load index (O(k log n)); the sharded
+//! driver (`crate::cells`) instead calls [`Rebalancer::tick_cell`] on a
+//! bounded slice, where a linear sort is cheaper than index surgery.
 
 use omniboost::PreviousDeployment;
 use omniboost_hw::{Mapping, ThroughputModel, ThroughputReport};
+use omniboost_models::DnnModel;
 use omniboost_serve::{BoardSlot, Fleet, WarmHint};
 
 /// Knobs of the periodic rebalance step.
@@ -22,19 +31,23 @@ pub struct RebalanceConfig {
     /// Simulated time between rebalance evaluations.
     pub period_ms: u64,
     /// Minimum *relative* load imbalance before a move is proposed: the
-    /// receiver's load score must sit below `(1 - min_imbalance)` of
-    /// the donor's. 0 proposes on any difference; 0.25 (default) wants
-    /// a quarter of the donor's load to be missing on the receiver.
+    /// emptiest receiver's load score must sit below
+    /// `(1 - min_imbalance)` of the hottest donor's. 0 proposes on any
+    /// difference; 0.25 (default) wants a quarter of the donor's load
+    /// to be missing on the receiver.
     pub min_imbalance: f64,
     /// Fleet-level throughput gain (inferences/s) every migrated layer
     /// must buy — the configurable multiple of the
-    /// [`Mapping::migrated_layers`] cost. The moved job's own layers
-    /// count too (its weights cross boards).
+    /// [`Mapping::migrated_layers`] cost. The moved jobs' own layers
+    /// count too (their weights cross boards).
     pub min_gain_per_layer: f64,
-    /// Rebalance periods skipped after an accepted move.
+    /// Rebalance periods skipped after an accepted move set.
     pub cooldown_periods: u32,
-    /// Accepted moves allowed per rebalance tick.
+    /// Moves planned per rebalance tick (at most one per donor).
     pub max_moves_per_tick: usize,
+    /// How many of the most-loaded boards are drained (and how many of
+    /// the least-loaded are offered as receivers) per tick.
+    pub top_k_boards: usize,
 }
 
 impl Default for RebalanceConfig {
@@ -44,7 +57,8 @@ impl Default for RebalanceConfig {
             min_imbalance: 0.25,
             min_gain_per_layer: 0.05,
             cooldown_periods: 1,
-            max_moves_per_tick: 1,
+            max_moves_per_tick: 4,
+            top_k_boards: 4,
         }
     }
 }
@@ -62,10 +76,13 @@ pub struct RebalanceMove {
     pub job_id: u64,
     /// The moved job's tenant.
     pub tenant: u32,
-    /// Fleet-level throughput gain the speculative scoring priced in.
+    /// This move's share of the set-level throughput gain the
+    /// speculative scoring priced in (the set is accepted or rejected
+    /// as a unit, so the gain is apportioned evenly across its moves).
     pub gain_tps: f64,
-    /// Layers whose device changed, **including** every layer of the
-    /// moved job (its weights re-upload on the receiver).
+    /// This move's share of the set's migrated layers, **including**
+    /// every layer of the moved jobs (their weights re-upload on the
+    /// receivers). Shares sum exactly to the set total.
     pub migrated_layers: usize,
 }
 
@@ -80,13 +97,11 @@ pub struct RebalanceTick {
     pub cooled_down: bool,
 }
 
-/// The rebalancer's cross-tick state (cooldown counter).
+/// The rebalancer's cross-tick state (cooldown counter). The sharded
+/// driver holds one per cell.
 #[derive(Debug, Default)]
 pub struct Rebalancer {
     cooldown: u32,
-    /// Set when the last proposal was scored and the gate turned it
-    /// down (vs. finding nothing to propose at all).
-    last_proposal_rejected: bool,
 }
 
 /// A speculative single-board verdict: the mapping/report the board
@@ -98,34 +113,58 @@ struct SideScore {
     migrated_layers: usize,
 }
 
+/// One planned (not yet priced) move: positions are into the slice
+/// being balanced, the model is cloned at plan time so pricing and
+/// commit never re-borrow the donor.
+struct PlannedMove {
+    donor_pos: usize,
+    recv_pos: usize,
+    job_id: u64,
+    tenant: u32,
+    moved_layers: usize,
+    model: DnnModel,
+}
+
+/// A priced move set: the fleet-level gain, the total migration bill,
+/// and the speculative deployments to install on commit.
+struct PricedPlan {
+    gain: f64,
+    migrated: usize,
+    donor_scores: Vec<(usize, SideScore)>,
+    recv_scores: Vec<(usize, SideScore)>,
+}
+
 impl Rebalancer {
     /// A fresh rebalancer (no cooldown pending).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Runs one rebalance tick over the fleet. All dirty boards must be
-    /// flushed first — proposals are priced against current deployments.
+    /// Runs one rebalance tick over the whole fleet, reading donors and
+    /// receivers off the load index. All dirty boards must be flushed
+    /// first — proposals are priced against current deployments.
     pub fn tick<M: ThroughputModel + Sync>(
         &mut self,
         fleet: &mut Fleet<M>,
         config: &RebalanceConfig,
         at_ms: u64,
     ) -> RebalanceTick {
-        let mut out = RebalanceTick::default();
         if self.cooldown > 0 {
             self.cooldown -= 1;
-            out.cooled_down = true;
-            return out;
+            return RebalanceTick {
+                cooled_down: true,
+                ..Default::default()
+            };
         }
-        for _ in 0..config.max_moves_per_tick {
-            match self.try_one_move(fleet, config, at_ms) {
-                Some(mv) => out.moves.push(mv),
-                None => {
-                    out.rejected += usize::from(self.last_proposal_rejected);
-                    break;
-                }
-            }
+        let donors = fleet.most_loaded(config.top_k_boards);
+        let donor_ids: Vec<usize> = donors.iter().map(|d| d.0).collect();
+        let receivers = fleet.least_loaded(config.top_k_boards, &donor_ids);
+        // The fleet's slice is indexed by slot index, so positions and
+        // indices coincide here.
+        let out = balance_slice(fleet.slots_mut(), &donors, &receivers, config, at_ms);
+        for mv in &out.moves {
+            fleet.reindex(mv.from);
+            fleet.reindex(mv.to);
         }
         if !out.moves.is_empty() {
             self.cooldown = config.cooldown_periods;
@@ -133,106 +172,272 @@ impl Rebalancer {
         out
     }
 
-    fn try_one_move<M: ThroughputModel + Sync>(
+    /// Runs one rebalance tick over a bounded cell of the fleet (the
+    /// sharded driver's per-cell step). Donors and receivers come from
+    /// a linear sort of the cell — cells are small, so sorting beats
+    /// maintaining per-cell indices. The caller must
+    /// [`Fleet::reindex`] every move's `from`/`to` slot afterwards.
+    pub fn tick_cell<M: ThroughputModel + Sync>(
         &mut self,
-        fleet: &mut Fleet<M>,
+        cell: &mut [BoardSlot<M>],
         config: &RebalanceConfig,
         at_ms: u64,
-    ) -> Option<RebalanceMove> {
-        self.last_proposal_rejected = false;
-        // Donor: the most-loaded active board with jobs; receiver: the
-        // least-loaded active board. Ties break on the lowest index.
-        let donor = fleet
-            .slots()
-            .iter()
-            .filter(|s| s.active && !s.jobs.is_empty())
-            .map(|s| (s.index, s.load_score()))
-            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))?;
-        let receiver = fleet
-            .slots()
-            .iter()
-            .filter(|s| s.active && s.index != donor.0)
-            .map(|s| (s.index, s.load_score()))
-            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))?;
-        // Hysteresis guard 1: meaningful imbalance only.
-        if receiver.1 > donor.1 * (1.0 - config.min_imbalance) {
-            return None;
-        }
-        let (from, to) = (donor.0, receiver.0);
-        // Candidate: the newest job on the donor the receiver admits.
-        let job_id = {
-            let (donor_slot, recv_slot) = two_slots(fleet, from, to);
-            donor_slot
-                .jobs
-                .iter()
-                .zip(&donor_slot.models)
-                .rev()
-                .find(|(_, model)| recv_slot.admits(model))
-                .map(|(job, _)| job.id)?
-        };
-        let (gain, migrated, donor_score, recv_score) = {
-            let (donor_slot, recv_slot) = two_slots(fleet, from, to);
-            let before = donor_slot.throughput() + recv_slot.throughput();
-            let moved_layers = {
-                let i = donor_slot
-                    .jobs
-                    .iter()
-                    .position(|j| j.id == job_id)
-                    .expect("candidate resident");
-                donor_slot.models[i].num_layers()
+    ) -> RebalanceTick {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return RebalanceTick {
+                cooled_down: true,
+                ..Default::default()
             };
-            let donor_score = speculate_without(donor_slot, job_id)?;
-            let recv_score = speculate_with(recv_slot, donor_slot, job_id)?;
-            let gain = donor_score.tps + recv_score.tps - before;
-            let migrated = donor_score.migrated_layers + recv_score.migrated_layers + moved_layers;
-            (gain, migrated, donor_score, recv_score)
-        };
-        // Hysteresis guard 2: the gain must pay for the churn.
-        if gain <= config.min_gain_per_layer * migrated as f64 {
-            self.last_proposal_rejected = true;
-            return None;
         }
-        // Commit: move the job and install the speculatively scored
-        // deployments (they ARE what each board will run — re-searching
-        // in the flush path would both double the work and risk a
-        // different answer than the one the gate priced).
-        let tenant;
-        {
-            let (donor_slot, recv_slot) = two_slots(fleet, from, to);
-            let (job, model) = donor_slot.take_job(job_id).expect("candidate resident");
-            tenant = job.tenant;
-            recv_slot.push_job(job, model);
-            match (donor_score.mapping, donor_score.report) {
-                (Some(mapping), Some(report)) => donor_slot.install_deployment(mapping, report),
-                _ => {
-                    donor_slot.evacuate();
-                }
-            }
-            recv_slot.install_deployment(
-                recv_score.mapping.expect("receiver gained a job"),
-                recv_score.report.expect("receiver gained a job"),
-            );
+        let mut donors: Vec<(usize, f64)> = cell
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active && !s.jobs.is_empty())
+            .map(|(p, s)| (p, s.load_score()))
+            .collect();
+        donors.sort_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then(cell[a.0].index.cmp(&cell[b.0].index))
+        });
+        donors.truncate(config.top_k_boards);
+        let mut receivers: Vec<(usize, f64)> = cell
+            .iter()
+            .enumerate()
+            .filter(|(p, s)| s.active && !donors.iter().any(|d| d.0 == *p))
+            .map(|(p, s)| (p, s.load_score()))
+            .collect();
+        receivers.sort_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                .then(cell[a.0].index.cmp(&cell[b.0].index))
+        });
+        receivers.truncate(config.top_k_boards);
+        let out = balance_slice(cell, &donors, &receivers, config, at_ms);
+        if !out.moves.is_empty() {
+            self.cooldown = config.cooldown_periods;
         }
-        Some(RebalanceMove {
-            at_ms,
-            from,
-            to,
-            job_id,
-            tenant,
-            gain_tps: gain,
-            migrated_layers: migrated,
-        })
+        out
     }
 }
 
-/// Simultaneous mutable access to two distinct slots.
-fn two_slots<M: ThroughputModel + Sync>(
-    fleet: &mut Fleet<M>,
+/// Plans, prices and (when the gate passes) commits one move set over
+/// `slots`. `donors` are `(position, load score)` hottest-first,
+/// `receivers` coldest-first, positions into `slots`; the emitted
+/// [`RebalanceMove`] rows carry the slots' stable global indices.
+pub(crate) fn balance_slice<M: ThroughputModel + Sync>(
+    slots: &mut [BoardSlot<M>],
+    donors: &[(usize, f64)],
+    receivers: &[(usize, f64)],
+    config: &RebalanceConfig,
+    at_ms: u64,
+) -> RebalanceTick {
+    let mut out = RebalanceTick::default();
+    let (Some(hottest), Some(coldest)) = (donors.first(), receivers.first()) else {
+        return out;
+    };
+    // Hysteresis guard 1: meaningful imbalance only.
+    if coldest.1 > hottest.1 * (1.0 - config.min_imbalance) {
+        return out;
+    }
+    // Plan: for each hot donor (at most one job each), the newest job
+    // some receiver admits, routed to the receiver it loads the least —
+    // tracked against *projected* receiver state so the set stays
+    // admissible as a whole. A move may not load its receiver past the
+    // donor's post-move score (that would just invert the imbalance).
+    let mut plan: Vec<PlannedMove> = Vec::new();
+    struct RecvState {
+        pos: usize,
+        jobs: usize,
+        weight: u64,
+        flops: u64,
+    }
+    let mut recv_state: Vec<RecvState> = receivers
+        .iter()
+        .map(|&(pos, _)| {
+            let slot = &slots[pos];
+            RecvState {
+                pos,
+                jobs: slot.jobs.len(),
+                weight: slot.resident_weight_bytes(),
+                flops: slot.resident_flops(),
+            }
+        })
+        .collect();
+    for &(donor_pos, _) in donors {
+        if plan.len() >= config.max_moves_per_tick {
+            break;
+        }
+        let donor = &slots[donor_pos];
+        'candidates: for (job, model) in donor.jobs.iter().zip(&donor.models).rev() {
+            let (mflops, mweight) = (model.total_flops(), model.total_weight_bytes());
+            let donor_after = donor
+                .board
+                .load_score_flops(donor.resident_flops() - mflops);
+            let mut best: Option<(usize, f64, usize)> = None;
+            for (si, rs) in recv_state.iter().enumerate() {
+                let recv = &slots[rs.pos];
+                if recv
+                    .board
+                    .admit_totals(rs.jobs + 1, rs.weight + mweight)
+                    .is_err()
+                {
+                    continue;
+                }
+                let post = recv.board.load_score_flops(rs.flops + mflops);
+                if post > donor_after {
+                    continue;
+                }
+                let better = best.as_ref().is_none_or(|&(_, bpost, bindex)| {
+                    post.total_cmp(&bpost).then(recv.index.cmp(&bindex)).is_lt()
+                });
+                if better {
+                    best = Some((si, post, recv.index));
+                }
+            }
+            if let Some((si, _, _)) = best {
+                let rs = &mut recv_state[si];
+                rs.jobs += 1;
+                rs.weight += mweight;
+                rs.flops += mflops;
+                plan.push(PlannedMove {
+                    donor_pos,
+                    recv_pos: rs.pos,
+                    job_id: job.id,
+                    tenant: job.tenant,
+                    moved_layers: model.num_layers(),
+                    model: model.clone(),
+                });
+                break 'candidates;
+            }
+        }
+    }
+    if plan.is_empty() {
+        return out;
+    }
+    // Hysteresis guard 2: the set's gain must pay for its churn. A
+    // rejected set retries as just its first move before giving up —
+    // bundling must never suppress a move that pays on its own.
+    let mut priced = match price_plan(slots, &plan) {
+        Some(p) => p,
+        None => return out,
+    };
+    if priced.gain <= config.min_gain_per_layer * priced.migrated as f64 {
+        out.rejected += 1;
+        if plan.len() <= 1 {
+            return out;
+        }
+        plan.truncate(1);
+        priced = match price_plan(slots, &plan) {
+            Some(p) => p,
+            None => return out,
+        };
+        if priced.gain <= config.min_gain_per_layer * priced.migrated as f64 {
+            out.rejected += 1;
+            return out;
+        }
+    }
+    // Commit: move the jobs, then install the speculatively scored
+    // deployments (they ARE what each board will run — re-searching in
+    // the flush path would both double the work and risk a different
+    // answer than the one the gate priced).
+    for mv in &plan {
+        let (donor, recv) = slot_pair(slots, mv.donor_pos, mv.recv_pos);
+        let (job, model) = donor.take_job(mv.job_id).expect("candidate resident");
+        recv.push_job(job, model);
+    }
+    for (pos, score) in priced.donor_scores {
+        match (score.mapping, score.report) {
+            (Some(mapping), Some(report)) => slots[pos].install_deployment(mapping, report),
+            _ => {
+                slots[pos].evacuate();
+            }
+        }
+    }
+    for (pos, score) in priced.recv_scores {
+        slots[pos].install_deployment(
+            score.mapping.expect("receiver gained jobs"),
+            score.report.expect("receiver gained jobs"),
+        );
+    }
+    let n = plan.len();
+    let per_gain = priced.gain / n as f64;
+    let (base, extra) = (priced.migrated / n, priced.migrated % n);
+    out.moves = plan
+        .iter()
+        .enumerate()
+        .map(|(i, mv)| RebalanceMove {
+            at_ms,
+            from: slots[mv.donor_pos].index,
+            to: slots[mv.recv_pos].index,
+            job_id: mv.job_id,
+            tenant: mv.tenant,
+            gain_tps: per_gain,
+            migrated_layers: base + usize::from(i < extra),
+        })
+        .collect();
+    out
+}
+
+/// Prices a move set: speculatively reschedules every affected donor
+/// (minus its moved job) and receiver (plus its gained jobs), summing
+/// throughput deltas and migration bills across the whole set.
+fn price_plan<M: ThroughputModel + Sync>(
+    slots: &mut [BoardSlot<M>],
+    plan: &[PlannedMove],
+) -> Option<PricedPlan> {
+    let mut donor_positions: Vec<usize> = plan.iter().map(|m| m.donor_pos).collect();
+    donor_positions.sort_unstable();
+    donor_positions.dedup();
+    let mut recv_positions: Vec<usize> = plan.iter().map(|m| m.recv_pos).collect();
+    recv_positions.sort_unstable();
+    recv_positions.dedup();
+    let before: f64 = donor_positions
+        .iter()
+        .chain(&recv_positions)
+        .map(|&p| slots[p].throughput())
+        .sum();
+    let mut migrated: usize = plan.iter().map(|m| m.moved_layers).sum();
+    let mut after = 0.0;
+    let mut donor_scores = Vec::with_capacity(donor_positions.len());
+    for &pos in &donor_positions {
+        // Planning takes at most one job per donor.
+        let job_id = plan
+            .iter()
+            .find(|m| m.donor_pos == pos)
+            .expect("position from plan")
+            .job_id;
+        let score = speculate_without(&mut slots[pos], job_id)?;
+        after += score.tps;
+        migrated += score.migrated_layers;
+        donor_scores.push((pos, score));
+    }
+    let mut recv_scores = Vec::with_capacity(recv_positions.len());
+    for &pos in &recv_positions {
+        let added: Vec<DnnModel> = plan
+            .iter()
+            .filter(|m| m.recv_pos == pos)
+            .map(|m| m.model.clone())
+            .collect();
+        let score = speculate_with_many(&mut slots[pos], &added)?;
+        after += score.tps;
+        migrated += score.migrated_layers;
+        recv_scores.push((pos, score));
+    }
+    Some(PricedPlan {
+        gain: after - before,
+        migrated,
+        donor_scores,
+        recv_scores,
+    })
+}
+
+/// Simultaneous mutable access to two distinct positions of a slice.
+fn slot_pair<M>(
+    slots: &mut [BoardSlot<M>],
     a: usize,
     b: usize,
 ) -> (&mut BoardSlot<M>, &mut BoardSlot<M>) {
     assert_ne!(a, b, "donor and receiver must differ");
-    let slots = fleet.slots_mut();
     if a < b {
         let (lo, hi) = slots.split_at_mut(b);
         (&mut lo[a], &mut hi[0])
@@ -308,16 +513,14 @@ fn speculate_without<M: ThroughputModel + Sync>(
     })
 }
 
-/// Prices the receiver side: the board plus the donor's `job_id`
-/// appended, warm-started from the receiver's current deployment.
-fn speculate_with<M: ThroughputModel + Sync>(
+/// Prices the receiver side: the board plus `added` models appended (in
+/// plan order), warm-started from the receiver's current deployment.
+fn speculate_with_many<M: ThroughputModel + Sync>(
     slot: &mut BoardSlot<M>,
-    donor: &BoardSlot<M>,
-    job_id: u64,
+    added: &[DnnModel],
 ) -> Option<SideScore> {
-    let moved = donor.jobs.iter().position(|j| j.id == job_id)?;
     let mut models: Vec<_> = slot.models.to_vec();
-    models.push(donor.models[moved].clone());
+    models.extend(added.iter().cloned());
     let workload = omniboost_hw::Workload::new(models);
     let mut pairing: Vec<Option<usize>> = (0..slot.jobs.len())
         .map(|i| {
@@ -326,7 +529,8 @@ fn speculate_with<M: ThroughputModel + Sync>(
                 .position(|p| p.id == slot.jobs[i].id)
         })
         .collect();
-    pairing.push(None); // the arriving job has nothing to migrate here
+    // The arriving jobs have nothing to migrate here.
+    pairing.extend(std::iter::repeat_n(None, added.len()));
     if let Some(mapping) = &slot.mapping {
         let rows: Option<Vec<Vec<_>>> = pairing[..slot.jobs.len()]
             .iter()

@@ -3,11 +3,12 @@
 //! against a (possibly heterogeneous, possibly shrinking and growing)
 //! fleet.
 
+use crate::cells::{CellConfig, ShardedRebalancer};
 use crate::rebalance::{RebalanceConfig, RebalanceMove, Rebalancer};
 use crate::spec::FleetSpec;
 use omniboost_estimator::CacheArchive;
 use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
-use omniboost_models::{ArrivalTrace, FleetEvent, FleetScript, JobEvent, JobSpec};
+use omniboost_models::{zoo, ArrivalTrace, FleetEvent, FleetScript, JobEvent, JobSpec};
 use omniboost_serve::{
     BoardDecision, Fleet, LatencyStats, OnlineConfig, OnlineScheduler, PlacementPolicy,
     ReschedulePolicy, TenantAccumulator, TenantSummary,
@@ -15,6 +16,34 @@ use omniboost_serve::{
 use std::collections::VecDeque;
 use std::hash::Hasher;
 use std::path::PathBuf;
+
+/// In what order the waiting queue is offered freed capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueOrder {
+    /// Strict arrival order — the historical behaviour and the default.
+    #[default]
+    Fifo,
+    /// Most-deficient tenant first: waiting jobs are attempted in
+    /// ascending order of their tenant's attained tps·ms integral
+    /// (ties back off to arrival order), so a starved tenant's job
+    /// claims freed capacity before a well-served tenant's older one.
+    /// Jobs that still fit nowhere keep their arrival order in the
+    /// residual queue.
+    TenantDeficit,
+}
+
+/// In what order a failed/drained board's residents are re-placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvacOrder {
+    /// Arrival order — the historical behaviour.
+    Arrival,
+    /// Heaviest model first (by per-inference FLOPs, ties on the lower
+    /// job id): big jobs get first pick of scarce headroom, since a
+    /// light job fits almost anywhere but a VGG-19 may only fit on the
+    /// emptiest board. The default.
+    #[default]
+    HeaviestFirst,
+}
 
 /// Full orchestrator configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +63,15 @@ pub struct OrchestratorConfig {
     /// Periodic migration-costed rebalancing (`None` disables — the
     /// PR-4 behaviour where jobs stay pinned to their admission board).
     pub rebalance: Option<RebalanceConfig>,
+    /// Sharded-cell rebalancing (`None` runs the single whole-fleet
+    /// rebalancer; ignored when `rebalance` is `None`). At hundreds of
+    /// boards cells bound each rebalance decision to a constant-size
+    /// slice and parallelize across cells.
+    pub cells: Option<CellConfig>,
+    /// Queue-drain ordering when capacity frees up.
+    pub queue_order: QueueOrder,
+    /// Evacuation re-placement ordering on board failure/drain.
+    pub evac_order: EvacOrder,
 }
 
 impl OrchestratorConfig {
@@ -47,6 +85,9 @@ impl OrchestratorConfig {
             use_memo: true,
             cache_path: None,
             rebalance: Some(RebalanceConfig::default()),
+            cells: None,
+            queue_order: QueueOrder::Fifo,
+            evac_order: EvacOrder::HeaviestFirst,
         }
     }
 
@@ -157,6 +198,12 @@ pub struct OrchestratorSummary {
     pub decisions: usize,
     /// Wall-clock decision latency over all flush decisions.
     pub decision: LatencyStats,
+    /// Wall-clock latency of every placement *decision* (arrivals,
+    /// queue drains, evacuation re-placements — including attempts that
+    /// ended in the queue). Wall-clock, so excluded from
+    /// [`OrchestratorReport::digest`]; the fleet-scale bench's p99 bar
+    /// reads this.
+    pub placement: LatencyStats,
     /// Migration churn of the flush path (layers moved).
     pub migrated_layers: usize,
     /// Deepest the queue ever got.
@@ -342,10 +389,16 @@ where
         let (mut evacuated_jobs, mut evac_relocated, mut evac_queued) = (0usize, 0usize, 0usize);
         let mut live: Vec<u64> = Vec::new();
         let mut tenant_acc = TenantAccumulator::new();
-        let mut rebalancer = Rebalancer::new();
         let rebalance = self.config.rebalance.clone();
+        let cells_config = self.config.cells.clone();
+        let mut driver = match &cells_config {
+            Some(_) => RebalanceDriver::Sharded(ShardedRebalancer::new()),
+            None => RebalanceDriver::Single(Rebalancer::new()),
+        };
         let mut next_rebalance = rebalance.as_ref().map(|r| r.period_ms.max(1));
         let (mut reb_ticks, mut reb_rejected) = (0usize, 0usize);
+        let queue_order = self.config.queue_order;
+        let mut place_ms: Vec<f64> = Vec::new();
 
         let mut ticks: Vec<OrchestratorTick> = Vec::new();
         let mut last_t = 0u64;
@@ -421,12 +474,19 @@ where
                             // admission-gated placement path, in arrival
                             // order; what no longer fits anywhere queues
                             // FIFO. Nothing is ever dropped.
-                            let evacuees = fleet.deactivate(board);
+                            let mut evacuees = fleet.deactivate(board);
+                            if self.config.evac_order == EvacOrder::HeaviestFirst {
+                                evacuees.sort_by(|a, b| {
+                                    zoo::total_flops(b.model)
+                                        .cmp(&zoo::total_flops(a.model))
+                                        .then(a.id.cmp(&b.id))
+                                });
+                            }
                             evacuated_jobs += evacuees.len();
                             let ids: Vec<u64> = evacuees.iter().map(|j| j.id).collect();
                             let (mut relocated, mut to_queue) = (0usize, 0usize);
                             for job in evacuees {
-                                match fleet.place(job) {
+                                match timed_place(&mut fleet, job, &mut place_ms) {
                                     Some(slot) => {
                                         relocated += 1;
                                         placements += 1;
@@ -505,7 +565,7 @@ where
                         arrivals += 1;
                         live.push(job.id);
                         tenant_acc.arrival(&job);
-                        match fleet.place(job) {
+                        match timed_place(&mut fleet, job, &mut place_ms) {
                             Some(board) => {
                                 placements += 1;
                                 placed.push((job.id, board));
@@ -524,7 +584,7 @@ where
                             queue.remove(pos);
                             evac_pending.retain(|(id, _)| *id != job_id);
                         } else if let Some(board) = fleet.board_of(job_id) {
-                            fleet.slots_mut()[board].remove_job(job_id);
+                            fleet.remove_job(board, job_id);
                             capacity_freed = true;
                         }
                     }
@@ -537,11 +597,13 @@ where
                     &mut fleet,
                     &mut queue,
                     t,
+                    queue_order,
                     &mut placements,
                     &mut placed,
                     &mut tenant_acc,
                     &mut evac_pending,
                     &mut evac_waits,
+                    &mut place_ms,
                 );
             }
             peak_queue = peak_queue.max(queue.len());
@@ -555,7 +617,13 @@ where
             if next_rebalance == Some(t) {
                 let config = rebalance.as_ref().expect("rebalance scheduled");
                 reb_ticks += 1;
-                let outcome = rebalancer.tick(&mut fleet, config, t);
+                let outcome = match &mut driver {
+                    RebalanceDriver::Single(r) => r.tick(&mut fleet, config, t),
+                    RebalanceDriver::Sharded(s) => {
+                        let cells = cells_config.as_ref().expect("sharded driver has cells");
+                        s.tick(&mut fleet, config, cells, t)
+                    }
+                };
                 reb_rejected += outcome.rejected;
                 let accepted = !outcome.moves.is_empty();
                 tick_moves = outcome.moves;
@@ -567,11 +635,13 @@ where
                         &mut fleet,
                         &mut queue,
                         t,
+                        queue_order,
                         &mut placements,
                         &mut placed,
                         &mut tenant_acc,
                         &mut evac_pending,
                         &mut evac_waits,
+                        &mut place_ms,
                     );
                     decisions.extend(fleet.flush_dirty());
                     peak_queue = peak_queue.max(queue.len());
@@ -627,11 +697,7 @@ where
             .slots()
             .iter()
             .map(|s| s.scheduler.eval_cache().stats())
-            .fold(EvalCacheStats::default(), |a, b| EvalCacheStats {
-                hits: a.hits + b.hits,
-                misses: a.misses + b.misses,
-                evictions: a.evictions + b.evictions,
-            });
+            .fold(EvalCacheStats::default(), EvalCacheStats::merge);
         let horizon = horizon_ms.max(last_t).max(1);
         let still_queued: Vec<JobSpec> = queue.iter().map(|(j, _)| *j).collect();
         let summary = OrchestratorSummary {
@@ -655,6 +721,7 @@ where
             rebalance_migrated_layers: moves.iter().map(|m| m.migrated_layers).sum(),
             decisions: all.len(),
             decision: LatencyStats::from_samples(all.iter().map(|d| d.decision_ms).collect()),
+            placement: LatencyStats::from_samples(place_ms),
             migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
             peak_queue_depth: peak_queue,
             left_in_queue: queue.len(),
@@ -671,32 +738,70 @@ where
     }
 }
 
-/// FIFO queue drain: place what fits now (skipping jobs that still fit
+/// Which rebalancing driver a run uses: the single whole-fleet
+/// rebalancer (reads the load index for donors/receivers) or the
+/// sharded-cell driver.
+enum RebalanceDriver {
+    Single(Rebalancer),
+    Sharded(ShardedRebalancer),
+}
+
+/// One placement decision with its wall-clock latency sampled (queued
+/// outcomes are samples too — the decision ran either way).
+fn timed_place<M: ThroughputModel + Send + Sync>(
+    fleet: &mut Fleet<M>,
+    job: JobSpec,
+    place_ms: &mut Vec<f64>,
+) -> Option<usize> {
+    let start = std::time::Instant::now();
+    let board = fleet.place(job);
+    place_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    board
+}
+
+/// Queue drain: place what fits now (skipping jobs that still fit
 /// nowhere), recording tenant queue waits and evacuation latencies.
+/// [`QueueOrder`] picks the *attempt* order; jobs left waiting keep
+/// their arrival order either way.
 #[allow(clippy::too_many_arguments)]
 fn drain_queue<M: ThroughputModel + Send + Sync>(
     fleet: &mut Fleet<M>,
     queue: &mut VecDeque<(JobSpec, u64)>,
     t: u64,
+    queue_order: QueueOrder,
     placements: &mut usize,
     placed: &mut Vec<(u64, usize)>,
     tenant_acc: &mut TenantAccumulator,
     evac_pending: &mut Vec<(u64, u64)>,
     evac_waits: &mut Vec<f64>,
+    place_ms: &mut Vec<f64>,
 ) {
-    let mut still_waiting = VecDeque::new();
-    while let Some((job, since)) = queue.pop_front() {
-        match fleet.place(job) {
-            Some(board) => {
-                *placements += 1;
-                placed.push((job.id, board));
-                tenant_acc.placement(&job, t - since);
-                if let Some(pos) = evac_pending.iter().position(|(id, _)| *id == job.id) {
-                    let (_, failed_at) = evac_pending.remove(pos);
-                    evac_waits.push((t - failed_at) as f64);
-                }
+    let mut order: Vec<usize> = (0..queue.len()).collect();
+    if queue_order == QueueOrder::TenantDeficit {
+        order.sort_by(|&a, &b| {
+            let da = tenant_acc.attained_integral(queue[a].0.tenant);
+            let db = tenant_acc.attained_integral(queue[b].0.tenant);
+            da.total_cmp(&db).then(a.cmp(&b))
+        });
+    }
+    let mut placed_at = vec![false; queue.len()];
+    for &pos in &order {
+        let (job, since) = queue[pos];
+        if let Some(board) = timed_place(fleet, job, place_ms) {
+            placed_at[pos] = true;
+            *placements += 1;
+            placed.push((job.id, board));
+            tenant_acc.placement(&job, t - since);
+            if let Some(p) = evac_pending.iter().position(|(id, _)| *id == job.id) {
+                let (_, failed_at) = evac_pending.remove(p);
+                evac_waits.push((t - failed_at) as f64);
             }
-            None => still_waiting.push_back((job, since)),
+        }
+    }
+    let mut still_waiting = VecDeque::new();
+    for (pos, entry) in queue.drain(..).enumerate() {
+        if !placed_at[pos] {
+            still_waiting.push_back(entry);
         }
     }
     *queue = still_waiting;

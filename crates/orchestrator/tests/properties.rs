@@ -1,15 +1,15 @@
 //! Property-based tests over the fleet-orchestration control plane.
 
-use omniboost_hw::AnalyticModel;
+use omniboost_hw::{AnalyticModel, Board};
 use omniboost_models::{
     ArrivalProcess, ArrivalTrace, FleetEvent, FleetScript, FleetScriptConfig, FleetTraceEvent,
-    JobEvent, TraceConfig,
+    JobEvent, JobSpec, ModelId, TraceConfig, TraceEvent,
 };
 use omniboost_orchestrator::{
-    BoardProfile, FleetSpec, OrchestratorConfig, OrchestratorReport, OrchestratorSim,
-    RebalanceConfig,
+    BoardProfile, CellConfig, EvacOrder, FleetSpec, OrchestratorConfig, OrchestratorReport,
+    OrchestratorSim, QueueOrder, RebalanceConfig,
 };
-use omniboost_serve::{OnlineConfig, SearchBudget};
+use omniboost_serve::{OnlineConfig, PlacementPolicy, SearchBudget};
 use proptest::prelude::*;
 
 const HORIZON_MS: u64 = 30_000;
@@ -79,8 +79,33 @@ fn config(rebalance: bool) -> OrchestratorConfig {
             min_gain_per_layer: 0.02,
             cooldown_periods: 1,
             max_moves_per_tick: 1,
+            top_k_boards: 2,
         }),
         ..OrchestratorConfig::warm()
+    }
+}
+
+/// The rebalancing modes the proptests sweep: `0` pins jobs (no
+/// rebalancer), `1` runs the single whole-fleet rebalancer, `2` runs
+/// batched multi-move rebalancing through sharded cells (cell size 2,
+/// so the 3-board fleet plus joins actually spans several cells and the
+/// cross-cell balancer engages).
+fn config_mode(mode: u8) -> OrchestratorConfig {
+    match mode {
+        0 => config(false),
+        1 => config(true),
+        _ => OrchestratorConfig {
+            rebalance: Some(RebalanceConfig {
+                max_moves_per_tick: 3,
+                top_k_boards: 3,
+                ..config(true).rebalance.unwrap()
+            }),
+            cells: Some(CellConfig {
+                cell_size: 2,
+                ..CellConfig::default()
+            }),
+            ..config(false)
+        },
     }
 }
 
@@ -88,17 +113,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// (i) **Job conservation through failures, drains, joins and
-    /// rebalancing**: at every tick the resident + queued job count
-    /// equals the arrived-minus-departed count (nothing lost, nothing
-    /// duplicated), per-event evacuation accounting balances, and the
-    /// end-of-run `lost_jobs` audit is zero.
+    /// rebalancing** (pinned, single rebalancer and sharded cells): at
+    /// every tick the resident + queued job count equals the
+    /// arrived-minus-departed count (nothing lost, nothing duplicated),
+    /// per-event evacuation accounting balances, and the end-of-run
+    /// `lost_jobs` audit is zero.
     #[test]
     fn evacuation_conserves_jobs(
         process in arb_process(),
         seed in 0u64..400,
-        rebalance in proptest::sample::select(vec![true, false]),
+        mode in 0u8..3,
     ) {
-        let report = run(process, seed, config(rebalance));
+        let report = run(process, seed, config_mode(mode));
         prop_assert_eq!(report.summary.lost_jobs, 0);
         let s = &report.summary;
         prop_assert_eq!(
@@ -139,8 +165,9 @@ proptest! {
     fn rebalancing_respects_admission_and_prices_gains(
         process in arb_process(),
         seed in 0u64..400,
+        mode in 1u8..3,
     ) {
-        let report = run(process, seed, config(true));
+        let report = run(process, seed, config_mode(mode));
         // Slot caps: the three initial profiles, then joins in event
         // order resolved against the spec's join pool.
         let spec = spec();
@@ -186,21 +213,22 @@ proptest! {
     }
 
     /// (iii) **Orchestrated traces are bit-for-bit deterministic per
-    /// seed**: two fresh control planes produce identical digests, and
-    /// a different seed produces different traffic.
+    /// seed**, including the sharded-cell mode whose per-cell passes run
+    /// on the rayon pool: two fresh control planes produce identical
+    /// digests, and a different seed produces different traffic.
     #[test]
     fn orchestrated_replay_is_deterministic_per_seed(
         process in arb_process(),
         seed in 0u64..400,
-        rebalance in proptest::sample::select(vec![true, false]),
+        mode in 0u8..3,
     ) {
-        let a = run(process, seed, config(rebalance));
-        let b = run(process, seed, config(rebalance));
+        let a = run(process, seed, config_mode(mode));
+        let b = run(process, seed, config_mode(mode));
         prop_assert_eq!(a.digest(), b.digest());
         prop_assert_eq!(a.ticks.len(), b.ticks.len());
         prop_assert_eq!(a.summary.mean_aggregate_tps, b.summary.mean_aggregate_tps);
         prop_assert_eq!(a.summary.rebalance_moves, b.summary.rebalance_moves);
-        let c = run(process, seed + 1000, config(rebalance));
+        let c = run(process, seed + 1000, config_mode(mode));
         prop_assert_ne!(a.digest(), c.digest());
     }
 }
@@ -282,4 +310,189 @@ fn board_join_drains_the_queue() {
     );
     assert_eq!(join_tick.board_jobs.len(), 2);
     assert!(join_tick.board_jobs[1] > 0, "new board took jobs");
+}
+
+/// `QueueOrder::TenantDeficit` drains the starved tenant first: with a
+/// single board fully held by tenant 0 and one queued job per tenant,
+/// the slot a departure frees goes to tenant 0's earlier-queued job
+/// under FIFO but to tenant 1's (zero attained throughput so far)
+/// under the deficit order.
+#[test]
+fn tenant_deficit_queue_order_serves_starved_tenant_first() {
+    let cap = Board::hikey970().max_concurrent_dnns as u64;
+    let mut events = Vec::new();
+    for id in 1..=cap {
+        events.push(TraceEvent {
+            at_ms: 1_000 * id,
+            event: JobEvent::Arrive(JobSpec {
+                id,
+                model: ModelId::MobileNet,
+                tenant: 0,
+            }),
+        });
+    }
+    for (id, tenant) in [(cap + 1, 0u32), (cap + 2, 1u32)] {
+        events.push(TraceEvent {
+            at_ms: 1_000 * id,
+            event: JobEvent::Arrive(JobSpec {
+                id,
+                model: ModelId::MobileNet,
+                tenant,
+            }),
+        });
+    }
+    events.push(TraceEvent {
+        at_ms: 10_000,
+        event: JobEvent::Depart { job_id: 1 },
+    });
+    let trace = ArrivalTrace::from_events(events);
+    let run = |order: QueueOrder| {
+        let config = OrchestratorConfig {
+            placement: PlacementPolicy::LeastLoaded,
+            queue_order: order,
+            ..config(false)
+        };
+        let mut sim = OrchestratorSim::new(
+            FleetSpec::homogeneous(1, BoardProfile::hikey970()),
+            config,
+            AnalyticModel::new,
+        );
+        sim.run(&trace, &FleetScript::new(Vec::new()), 12_000)
+    };
+    let drained_job = |report: &OrchestratorReport| {
+        let tick = report
+            .ticks
+            .iter()
+            .find(|t| t.at_ms == 10_000)
+            .expect("departure tick recorded");
+        assert_eq!(tick.placements.len(), 1, "exactly one slot freed");
+        tick.placements[0].0
+    };
+    assert_eq!(drained_job(&run(QueueOrder::Fifo)), cap + 1);
+    assert_eq!(drained_job(&run(QueueOrder::TenantDeficit)), cap + 2);
+}
+
+/// Evacuation ordering on board failure: with one VGG-19 among
+/// MobileNets on the failing board, `HeaviestFirst` re-places the
+/// VGG-19 before anything else while `Arrival` re-places the oldest
+/// job first.
+#[test]
+fn evacuation_relocates_heaviest_models_first() {
+    // Round-robin over two boards: odd ids land on board 0 (ids 1, 3, 5
+    // with id 3 the VGG-19), even ids on board 1.
+    let events = (1..=6u64)
+        .map(|id| TraceEvent {
+            at_ms: 1_000 * id,
+            event: JobEvent::Arrive(JobSpec {
+                id,
+                model: if id == 3 {
+                    ModelId::Vgg19
+                } else {
+                    ModelId::MobileNet
+                },
+                tenant: 0,
+            }),
+        })
+        .collect();
+    let trace = ArrivalTrace::from_events(events);
+    let script = FleetScript::new(vec![FleetTraceEvent {
+        at_ms: 10_000,
+        event: FleetEvent::BoardFail { board: 0 },
+    }]);
+    let run = |order: EvacOrder| {
+        let config = OrchestratorConfig {
+            placement: PlacementPolicy::RoundRobin,
+            evac_order: order,
+            ..config(false)
+        };
+        let mut sim = OrchestratorSim::new(
+            FleetSpec::homogeneous(2, BoardProfile::hikey970()),
+            config,
+            AnalyticModel::new,
+        );
+        sim.run(&trace, &script, 15_000)
+    };
+    let first_relocation = |report: &OrchestratorReport| {
+        let tick = report
+            .ticks
+            .iter()
+            .find(|t| !t.fleet_events.is_empty())
+            .expect("failure tick recorded");
+        let fe = &tick.fleet_events[0];
+        let mut evacuated = fe.evacuated.clone();
+        evacuated.sort_unstable();
+        assert_eq!(evacuated, vec![1, 3, 5], "board 0 held the odd ids");
+        assert_eq!(report.summary.lost_jobs, 0);
+        tick.placements
+            .first()
+            .expect("board 1 has headroom for at least one evacuee")
+            .0
+    };
+    assert_eq!(first_relocation(&run(EvacOrder::HeaviestFirst)), 3);
+    assert_eq!(first_relocation(&run(EvacOrder::Arrival)), 1);
+}
+
+/// Batched rebalancing commits several moves in one priced set: two
+/// saturated boards, two freshly joined empty boards, one rebalance
+/// tick — both donors must shed a job in the same tick, each move
+/// carrying a positive apportioned gain.
+#[test]
+fn batched_rebalance_commits_multiple_moves_in_one_tick() {
+    let events = (1..=8u64)
+        .map(|id| TraceEvent {
+            at_ms: 500 * id,
+            event: JobEvent::Arrive(JobSpec {
+                id,
+                model: ModelId::MobileNet,
+                tenant: 0,
+            }),
+        })
+        .collect();
+    let trace = ArrivalTrace::from_events(events);
+    let script = FleetScript::new(vec![
+        FleetTraceEvent {
+            at_ms: 10_000,
+            event: FleetEvent::BoardJoin { profile: 0 },
+        },
+        FleetTraceEvent {
+            at_ms: 10_000,
+            event: FleetEvent::BoardJoin { profile: 0 },
+        },
+    ]);
+    let config = OrchestratorConfig {
+        placement: PlacementPolicy::RoundRobin,
+        rebalance: Some(RebalanceConfig {
+            period_ms: 12_000,
+            min_imbalance: 0.05,
+            min_gain_per_layer: 0.001,
+            cooldown_periods: 1,
+            max_moves_per_tick: 4,
+            top_k_boards: 4,
+        }),
+        ..config(false)
+    };
+    let mut sim = OrchestratorSim::new(
+        FleetSpec::homogeneous(2, BoardProfile::hikey970()),
+        config,
+        AnalyticModel::new,
+    );
+    let report = sim.run(&trace, &script, 20_000);
+    let batched = report
+        .ticks
+        .iter()
+        .find(|t| t.rebalances.len() >= 2)
+        .expect("one tick commits a multi-move set");
+    let donors: Vec<usize> = batched.rebalances.iter().map(|m| m.from).collect();
+    assert!(
+        donors.contains(&0) && donors.contains(&1),
+        "both loaded boards donate in the same tick: {donors:?}"
+    );
+    for mv in &batched.rebalances {
+        assert!(
+            mv.gain_tps > 0.0,
+            "apportioned per-move gain stays positive"
+        );
+        assert!(mv.to >= 2, "moves target the joined boards");
+    }
+    assert_eq!(report.summary.lost_jobs, 0);
 }

@@ -107,6 +107,8 @@ pub struct LatencyStats {
     pub median_ms: f64,
     /// Mean milliseconds (0 when empty).
     pub mean_ms: f64,
+    /// 99th-percentile milliseconds (nearest-rank; 0 when empty).
+    pub p99_ms: f64,
     /// Maximum milliseconds (0 when empty).
     pub max_ms: f64,
 }
@@ -118,10 +120,12 @@ impl LatencyStats {
             return Self::default();
         }
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99_rank = ((samples.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
         Self {
             count: samples.len(),
             median_ms: samples[samples.len() / 2],
             mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+            p99_ms: samples[p99_rank],
             max_ms: *samples.last().unwrap(),
         }
     }
@@ -401,7 +405,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
                         if let Some(pos) = self.queue.iter().position(|(j, _)| j.id == job_id) {
                             self.queue.remove(pos);
                         } else if let Some(board) = self.fleet.board_of(job_id) {
-                            self.fleet.slots_mut()[board].remove_job(job_id);
+                            self.fleet.remove_job(board, job_id);
                             capacity_freed = true;
                         }
                     }
@@ -474,11 +478,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             .slots()
             .iter()
             .map(|s| s.scheduler.eval_cache().stats())
-            .fold(EvalCacheStats::default(), |a, b| EvalCacheStats {
-                hits: a.hits + b.hits,
-                misses: a.misses + b.misses,
-                evictions: a.evictions + b.evictions,
-            });
+            .fold(EvalCacheStats::default(), EvalCacheStats::merge);
         let horizon = horizon_ms.max(last_t).max(1);
         let still_queued: Vec<JobSpec> = self.queue.iter().map(|(j, _)| *j).collect();
         let summary = ServingSummary {

@@ -2,9 +2,10 @@
 
 use omniboost_hw::{AnalyticModel, Board};
 use omniboost_mcts::SearchBudget;
-use omniboost_models::{ArrivalProcess, ArrivalTrace, TraceConfig};
+use omniboost_models::{ArrivalProcess, ArrivalTrace, JobSpec, ModelId, TraceConfig};
 use omniboost_serve::{
-    DecisionKind, OnlineConfig, PlacementPolicy, ReschedulePolicy, ServingConfig, ServingSim,
+    DecisionKind, Fleet, OnlineConfig, OnlineScheduler, PlacementPolicy, ReschedulePolicy,
+    ServingConfig, ServingSim,
 };
 use proptest::prelude::*;
 
@@ -335,4 +336,159 @@ fn serving_daemon_persists_eval_cache_across_processes() {
     let r3 = third.run(&trace, HORIZON_MS);
     assert_eq!(r3.summary.cache_preloaded_entries, 0);
     std::fs::remove_file(&path).ok();
+}
+
+/// One random step against the placement load index: the op mix covers
+/// every path that mutates it — placements, departures, board failures,
+/// board joins and the rebalancer's external take/push surgery followed
+/// by [`Fleet::reindex`]. Decoded from parallel draw vectors (`kind`
+/// picks the op, `a`/`b` its operands).
+#[derive(Debug, Clone)]
+enum IndexOp {
+    Place { model: u8, tenant: u32 },
+    Depart { sel: u8 },
+    Fail { sel: u8 },
+    Join { lite: bool },
+    MoveJob { donor: u8, recv: u8 },
+}
+
+fn decode_index_op(kind: u8, a: u8, b: u8) -> IndexOp {
+    match kind {
+        // Placements dominate so the fleet actually fills up.
+        0..=3 => IndexOp::Place {
+            model: a,
+            tenant: u32::from(b) % 3,
+        },
+        4..=5 => IndexOp::Depart { sel: a },
+        6 => IndexOp::Fail { sel: a },
+        7 => IndexOp::Join { lite: a & 1 == 1 },
+        _ => IndexOp::MoveJob { donor: a, recv: b },
+    }
+}
+
+fn index_scheduler(board: &Board) -> OnlineScheduler<AnalyticModel> {
+    OnlineScheduler::new(
+        AnalyticModel::new(board.clone()),
+        ReschedulePolicy::WarmStart,
+        quick_online(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (iv) The load index agrees with a linear rescan after arbitrary
+    /// arrive/depart/fail/join/rebalance sequences: after every op the
+    /// full [`Fleet::index_check`] audit passes (index entries, open
+    /// sets, active counter and job→board map all re-derived linearly),
+    /// and the indexed donor/receiver selections match a linear sort of
+    /// the live slots. Placement agreement is checked inside
+    /// [`Fleet::place`] itself by a debug assertion, which this test
+    /// exercises on every `Place` op.
+    #[test]
+    fn load_index_agrees_with_linear_rescan(
+        kinds in proptest::collection::vec(0u8..10, 48),
+        operands_a in proptest::collection::vec(0u8..=255, 48),
+        operands_b in proptest::collection::vec(0u8..=255, 48),
+        placement in proptest::sample::select(vec![
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::FairShare,
+        ]),
+    ) {
+        let boards = vec![Board::hikey970(), Board::hikey970(), Board::hikey970_lite()];
+        let mut fleet = Fleet::new(boards, placement, false, index_scheduler);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 1u64;
+        for i in 0..kinds.len() {
+            let op = decode_index_op(kinds[i], operands_a[i], operands_b[i]);
+            match op {
+                IndexOp::Place { model, tenant } => {
+                    let spec = JobSpec {
+                        id: next_id,
+                        model: ModelId::ALL[model as usize % ModelId::ALL.len()],
+                        tenant,
+                    };
+                    next_id += 1;
+                    if fleet.place(spec).is_some() {
+                        live.push(spec.id);
+                    }
+                }
+                IndexOp::Depart { sel } => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(sel as usize % live.len());
+                        let board = fleet.board_of(id).expect("live job is resident");
+                        prop_assert!(fleet.remove_job(board, id));
+                    }
+                }
+                IndexOp::Fail { sel } => {
+                    let evacuated = fleet.deactivate(sel as usize % fleet.len());
+                    live.retain(|id| !evacuated.iter().any(|j| j.id == *id));
+                }
+                IndexOp::Join { lite } => {
+                    let board = if lite {
+                        Board::hikey970_lite()
+                    } else {
+                        Board::hikey970()
+                    };
+                    let scheduler = index_scheduler(&board);
+                    fleet.add_board(board, scheduler);
+                }
+                IndexOp::MoveJob { donor, recv } => {
+                    let n = fleet.len();
+                    let donor = (0..n)
+                        .map(|o| (donor as usize + o) % n)
+                        .find(|&d| !fleet.slots()[d].jobs.is_empty());
+                    let Some(d) = donor else { continue };
+                    let recv = (0..n)
+                        .map(|o| (recv as usize + o) % n)
+                        .find(|&r| r != d && fleet.slots()[r].active);
+                    let Some(r) = recv else { continue };
+                    let job_id = fleet.slots()[d].jobs.last().expect("donor has jobs").id;
+                    let (job, model) = fleet.slots_mut()[d]
+                        .take_job(job_id)
+                        .expect("newest job present");
+                    if fleet.slots()[r].admits(&model) {
+                        fleet.slots_mut()[r].push_job(job, model);
+                    } else {
+                        fleet.slots_mut()[d].push_job(job, model);
+                    }
+                    fleet.reindex(d);
+                    fleet.reindex(r);
+                }
+            }
+            let audit = fleet.index_check();
+            prop_assert!(audit.is_ok(), "index diverged after {op:?}: {audit:?}");
+            // Donor/receiver selection off the index vs a linear sort.
+            // `least_loaded` ties are index-exact; `most_loaded` ties on
+            // equal scores may pick different (equally loaded) slots per
+            // profile group, so donors compare on the score sequence.
+            let mut linear_recv: Vec<(usize, f64)> = fleet
+                .slots()
+                .iter()
+                .filter(|s| s.active)
+                .map(|s| (s.index, s.load_score()))
+                .collect();
+            linear_recv.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            linear_recv.truncate(3);
+            prop_assert_eq!(fleet.least_loaded(3, &[]), linear_recv);
+            let mut linear_donors: Vec<(usize, f64)> = fleet
+                .slots()
+                .iter()
+                .filter(|s| s.active && !s.jobs.is_empty())
+                .map(|s| (s.index, s.load_score()))
+                .collect();
+            linear_donors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            linear_donors.truncate(3);
+            let indexed_donors = fleet.most_loaded(3);
+            prop_assert_eq!(
+                indexed_donors.iter().map(|(_, s)| s.to_bits()).collect::<Vec<_>>(),
+                linear_donors.iter().map(|(_, s)| s.to_bits()).collect::<Vec<_>>()
+            );
+            for (i, score) in &indexed_donors {
+                prop_assert!(!fleet.slots()[*i].jobs.is_empty());
+                prop_assert_eq!(score.to_bits(), fleet.slots()[*i].load_score().to_bits());
+            }
+        }
+    }
 }
