@@ -16,11 +16,13 @@ perf-smoke:
 	SMOKE=1 cargo bench --bench serving
 	SMOKE=1 cargo bench --bench fleet
 	SMOKE=1 cargo bench --bench fleet_scale
+	SMOKE=1 cargo bench --bench admission
 
 # Full perf snapshots: rewrites BENCH_decision_latency.json,
-# BENCH_estimator_training.json, BENCH_serving.json, BENCH_fleet.json
-# and BENCH_fleet_scale.json with this host's numbers (the
-# estimator_training direct-backward baseline takes a few minutes).
+# BENCH_estimator_training.json, BENCH_serving.json, BENCH_fleet.json,
+# BENCH_fleet_scale.json and BENCH_admission.json with this host's
+# numbers (the estimator_training direct-backward baseline takes a few
+# minutes).
 .PHONY: perf-snapshots
 perf-snapshots:
 	cargo bench --bench decision_latency
@@ -28,9 +30,16 @@ perf-snapshots:
 	cargo bench --bench serving
 	cargo bench --bench fleet
 	cargo bench --bench fleet_scale
+	cargo bench --bench admission
 
 # Full fleet-scale run only: rewrites BENCH_fleet_scale.json ({16, 64,
 # 256}-board cells, ~2000-job traces each).
 .PHONY: perf-scale
 perf-scale:
 	cargo bench --bench fleet_scale
+
+# Full admission-control run only: rewrites BENCH_admission.json
+# (fifo-vs-mempool arms at 2x and 5x overload, 3 trace seeds each).
+.PHONY: perf-admission
+perf-admission:
+	cargo bench --bench admission

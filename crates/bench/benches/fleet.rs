@@ -94,11 +94,7 @@ fn skewed_departure_trace(scale: &BenchScale) -> ArrivalTrace {
     for id in 1..=16u64 {
         events.push(TraceEvent {
             at_ms: id * 100,
-            event: JobEvent::Arrive(JobSpec {
-                id,
-                model: ModelId::ResNet34,
-                tenant: (id % 4) as u32,
-            }),
+            event: JobEvent::Arrive(JobSpec::new(id, ModelId::ResNet34, (id % 4) as u32)),
         });
     }
     let skew_at = scale.horizon_ms / 3;

@@ -13,8 +13,8 @@
 use omniboost_hw::{AnalyticModel, Board};
 use omniboost_models::{ArrivalProcess, ArrivalTrace, TraceConfig};
 use omniboost_serve::{
-    LatencyStats, OnlineConfig, PlacementPolicy, ReschedulePolicy, SearchBudget, ServingConfig,
-    ServingReport, ServingSim,
+    AdmissionPolicy, LatencyStats, OnlineConfig, PlacementPolicy, ReschedulePolicy, SearchBudget,
+    ServingConfig, ServingReport, ServingSim,
 };
 
 struct BenchScale {
@@ -99,6 +99,7 @@ fn run(
         online,
         use_memo: policy == ReschedulePolicy::WarmStart,
         cache_path: None,
+        admission: AdmissionPolicy::default(),
     };
     let mut sim = ServingSim::new(vec![Board::hikey970(); boards], config, AnalyticModel::new);
     sim.run(&trace, scale.horizon_ms)

@@ -20,8 +20,72 @@
 
 use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic};
 use omniboost::{ComparisonRow, OmniBoost, Runtime};
-use omniboost_hw::{Device, HwError, Mapping, Workload};
-use omniboost_models::ModelId;
+use omniboost_hw::{Device, Fnv1a, HwError, Mapping, Workload};
+use omniboost_models::{ModelId, TraceConfig};
+use omniboost_serve::AdmissionPolicy;
+use std::hash::Hasher;
+
+/// Drive-As-Code provenance: a stable FNV-1a digest over a canonical
+/// `key=value` rendering of the declarative configs that drove a bench
+/// run, stamped into the JSON snapshots so a reader can tell whether
+/// two artefacts were produced by the same drive — without diffing
+/// prose. Keys are hashed in the order given (call sites list them
+/// alphabetically per config block); floats render via `{:?}` so the
+/// digest is exact, not rounded.
+pub fn config_digest(pairs: &[(&str, String)]) -> u64 {
+    let mut h = Fnv1a::default();
+    for (k, v) in pairs {
+        h.write(k.as_bytes());
+        h.write(b"=");
+        h.write(v.as_bytes());
+        h.write(b"\n");
+    }
+    h.finish()
+}
+
+/// [`TraceConfig`] rendered for [`config_digest`] — every field that
+/// shapes the generated trace, including the SLO-class knobs.
+pub fn trace_config_pairs(cfg: &TraceConfig) -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "trace.guaranteed_min_tps",
+            format!("{:?}", cfg.guaranteed_min_tps),
+        ),
+        (
+            "trace.guaranteed_share",
+            format!("{:?}", cfg.guaranteed_share),
+        ),
+        ("trace.horizon_ms", cfg.horizon_ms.to_string()),
+        (
+            "trace.mean_lifetime_ms",
+            format!("{:?}", cfg.mean_lifetime_ms),
+        ),
+        ("trace.models", format!("{:?}", cfg.models)),
+        ("trace.tenant_weights", format!("{:?}", cfg.tenant_weights)),
+        ("trace.tenants", cfg.tenants.to_string()),
+    ]
+}
+
+/// [`AdmissionPolicy`] rendered for [`config_digest`].
+pub fn admission_policy_pairs(policy: &AdmissionPolicy) -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "admission.max_backoff_ms",
+            policy.max_backoff_ms.to_string(),
+        ),
+        ("admission.order", format!("{:?}", policy.order)),
+        (
+            "admission.retry_backoff_ms",
+            format!("{:?}", policy.retry_backoff_ms),
+        ),
+        (
+            "admission.tenant_queue_quota",
+            format!("{:?}", policy.tenant_queue_quota),
+        ),
+        ("admission.ttl_ms", format!("{:?}", policy.ttl_ms)),
+        ("admission.validate", policy.validate.to_string()),
+    ]
+}
 
 /// The five evaluation mixes per concurrency level, mirroring §V-A's
 /// "multiple random mixes" with the one property the paper describes
@@ -185,5 +249,37 @@ mod tests {
         let (q, rest) = parse_quick(&["--quick".into(), "3".into()]);
         assert!(q);
         assert_eq!(rest, vec!["3".to_string()]);
+    }
+
+    #[test]
+    fn config_digest_is_order_and_value_sensitive() {
+        let a = config_digest(&[("x", "1".into()), ("y", "2".into())]);
+        assert_eq!(a, config_digest(&[("x", "1".into()), ("y", "2".into())]));
+        assert_ne!(a, config_digest(&[("y", "2".into()), ("x", "1".into())]));
+        assert_ne!(a, config_digest(&[("x", "1".into()), ("y", "3".into())]));
+    }
+
+    #[test]
+    fn policy_and_trace_pairs_cover_every_admission_knob() {
+        let policy = omniboost_serve::AdmissionPolicy::default();
+        let keys: Vec<&str> = admission_policy_pairs(&policy)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "admission.max_backoff_ms",
+                "admission.order",
+                "admission.retry_backoff_ms",
+                "admission.tenant_queue_quota",
+                "admission.ttl_ms",
+                "admission.validate"
+            ]
+        );
+        let trace = omniboost_models::TraceConfig::default();
+        assert!(trace_config_pairs(&trace)
+            .iter()
+            .any(|(k, _)| *k == "trace.guaranteed_min_tps"));
     }
 }

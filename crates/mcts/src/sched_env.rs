@@ -177,6 +177,13 @@ pub struct SchedulingEnv<'a, M: ThroughputModel> {
     reference: f64,
     /// Bonus added to every winning reward so completion dominates death.
     win_bonus: f64,
+    /// Per-DNN throughput floors in inferences/s (empty = no floors —
+    /// the historical reward, bit-for-bit). A mapping that leaves DNN
+    /// `i` below `floors[i]` is penalized in proportion to the
+    /// normalized shortfall, so the search prefers mappings honoring
+    /// every floor over marginally higher aggregates that starve a
+    /// guaranteed job. See [`SchedulingEnv::with_floors`].
+    floors: Vec<f64>,
     /// Reward memo for the batched pipeline: completed assignments the
     /// search revisits (UCT re-selects good terminals many times, and
     /// rollout policies recreate the same completions) are answered
@@ -232,11 +239,57 @@ impl<'a, M: ThroughputModel> SchedulingEnv<'a, M> {
             offsets,
             reference,
             win_bonus: 0.1,
+            floors: Vec::new(),
             reward_memo: Mutex::new(HashMap::new()),
             memo_hits: AtomicUsize::new(0),
             batch_dedup_hits: AtomicUsize::new(0),
             memo_misses: AtomicUsize::new(0),
         })
+    }
+
+    /// Attaches per-DNN throughput floors (inferences/s, one entry per
+    /// workload DNN; `0.0` = best-effort, no floor). With any positive
+    /// floor, rewards divide by `1 + 4 × Σ normalized shortfall`, so
+    /// the search trades a little aggregate throughput to keep
+    /// guaranteed DNNs above their floors — and a mapping meeting every
+    /// floor scores exactly the historical reward. An all-zero vector
+    /// is dropped, keeping the reward (and the search it drives)
+    /// bit-for-bit the floorless one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floors.len()` differs from the workload's DNN count.
+    #[must_use]
+    pub fn with_floors(mut self, floors: Vec<f64>) -> Self {
+        assert_eq!(
+            floors.len(),
+            self.workload.len(),
+            "one floor per workload DNN"
+        );
+        self.floors = if floors.iter().any(|f| *f > 0.0) {
+            floors
+        } else {
+            Vec::new()
+        };
+        self
+    }
+
+    /// The reward of a measured report: normalized average throughput
+    /// plus the win bonus, shrunk by the floor-shortfall penalty when
+    /// [`SchedulingEnv::with_floors`] armed any floors.
+    fn score(&self, report: &omniboost_hw::ThroughputReport) -> f64 {
+        let base = self.win_bonus + report.average / self.reference;
+        if self.floors.is_empty() {
+            return base;
+        }
+        let shortfall: f64 = report
+            .per_dnn
+            .iter()
+            .zip(&self.floors)
+            .filter(|(_, floor)| **floor > 0.0)
+            .map(|(tps, floor)| ((floor - tps) / floor).clamp(0.0, 1.0))
+            .sum();
+        base / (1.0 + 4.0 * shortfall)
     }
 
     /// Batched-pipeline reward queries answered from the cross-round
@@ -387,7 +440,7 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
         }
         let mapping = self.mapping_of(state);
         match self.evaluator.evaluate(self.workload, &mapping) {
-            Ok(report) => self.win_bonus + report.average / self.reference,
+            Ok(report) => self.score(&report),
             Err(_) => 0.0,
         }
     }
@@ -457,7 +510,7 @@ impl<M: ThroughputModel> Environment for SchedulingEnv<'_, M> {
         let mut memo = self.reward_memo.lock().unwrap_or_else(|e| e.into_inner());
         for ((indices, _), report) in fresh.iter().zip(reports) {
             let reward = match report {
-                Ok(r) => self.win_bonus + r.average / self.reference,
+                Ok(r) => self.score(&r),
                 Err(_) => 0.0,
             };
             memo.insert(states[indices[0]].devices.clone(), reward);

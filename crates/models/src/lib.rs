@@ -41,7 +41,7 @@ pub use kernel::{Kernel, KernelClass};
 pub use layer::{Layer, LayerKind};
 pub use scenarios::{
     ArrivalProcess, ArrivalTrace, FleetEvent, FleetScript, FleetScriptConfig, FleetTraceEvent,
-    JobEvent, JobSpec, Scenario, TraceConfig, TraceEvent,
+    JobEvent, JobSpec, Scenario, SloClass, TraceConfig, TraceEvent,
 };
 pub use shapes::TensorShape;
 pub use stats::{summary_table, ModelStats};

@@ -91,8 +91,64 @@ impl fmt::Display for Scenario {
     }
 }
 
+/// The service-level class a job is submitted under — the priority
+/// axis of the admission mempool (`omniboost-serve`'s `Mempool`
+/// queue-jumps [`SloClass::Guaranteed`] entries ahead of best-effort
+/// ones on every drain, and placement prefers boards whose projected
+/// load honors the throughput floor).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SloClass {
+    /// The job carries a throughput floor: the scheduler should keep it
+    /// attaining at least `min_tps` inferences/s while resident, and
+    /// admission lets it jump the queue ahead of best-effort work.
+    Guaranteed {
+        /// The floor, in inferences/s. Finite and non-negative by
+        /// contract (trace generators and benches only produce such
+        /// values; the manual `Eq` below relies on it).
+        min_tps: f64,
+    },
+    /// No floor: the job takes whatever capacity the guaranteed class
+    /// leaves. The default — and the only class pre-SLO traces carry,
+    /// so existing seeded traces replay unchanged.
+    #[default]
+    BestEffort,
+}
+
+// `min_tps` is finite by contract (never NaN), so equality is total.
+impl Eq for SloClass {}
+
+impl SloClass {
+    /// The throughput floor, or `None` for best-effort work.
+    pub fn min_tps(&self) -> Option<f64> {
+        match self {
+            SloClass::Guaranteed { min_tps } => Some(*min_tps),
+            SloClass::BestEffort => None,
+        }
+    }
+
+    /// Whether this is the guaranteed class.
+    pub fn is_guaranteed(&self) -> bool {
+        matches!(self, SloClass::Guaranteed { .. })
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloClass::Guaranteed { .. } => "guaranteed",
+            SloClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+impl fmt::Display for SloClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One DNN job of an online trace: a model to serve until departure,
-/// tagged with the tenant that submitted it.
+/// tagged with the tenant that submitted it and the SLO class it was
+/// submitted under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobSpec {
     /// Trace-unique identifier (arrival order, starting at 1).
@@ -101,6 +157,31 @@ pub struct JobSpec {
     pub model: ModelId,
     /// Submitting tenant (multi-tenant fleets key fairness stats on it).
     pub tenant: u32,
+    /// Service-level class ([`SloClass::BestEffort`] unless the trace
+    /// or caller says otherwise).
+    pub slo: SloClass,
+}
+
+impl JobSpec {
+    /// A best-effort job — the common case in tests and hand-built
+    /// traces.
+    pub fn new(id: u64, model: ModelId, tenant: u32) -> Self {
+        Self {
+            id,
+            model,
+            tenant,
+            slo: SloClass::BestEffort,
+        }
+    }
+
+    /// The same job submitted under [`SloClass::Guaranteed`] with the
+    /// given floor.
+    pub fn guaranteed(self, min_tps: f64) -> Self {
+        Self {
+            slo: SloClass::Guaranteed { min_tps },
+            ..self
+        }
+    }
 }
 
 /// A workload-changing event.
@@ -370,6 +451,14 @@ pub struct TraceConfig {
     /// traffic. Leaving this empty keeps the per-seed RNG stream (and
     /// therefore every existing trace) bit-for-bit unchanged.
     pub tenant_weights: Vec<f64>,
+    /// Fraction of arrivals submitted as [`SloClass::Guaranteed`]
+    /// (`0.0..=1.0`). `0.0` — the default — draws nothing from the RNG,
+    /// so pre-SLO traces replay bit-for-bit and every job stays
+    /// best-effort.
+    pub guaranteed_share: f64,
+    /// Throughput floor stamped on guaranteed arrivals (inferences/s).
+    /// Only read when [`TraceConfig::guaranteed_share`] is positive.
+    pub guaranteed_min_tps: f64,
 }
 
 impl Default for TraceConfig {
@@ -390,6 +479,8 @@ impl Default for TraceConfig {
             ],
             tenants: 4,
             tenant_weights: Vec::new(),
+            guaranteed_share: 0.0,
+            guaranteed_min_tps: 0.0,
         }
     }
 }
@@ -442,6 +533,16 @@ impl ArrivalTrace {
                     .all(|w| *w >= 0.0 && w.is_finite())
                     && config.tenant_weights.iter().sum::<f64>() > 0.0,
                 "tenant_weights must be non-negative, finite and not all zero"
+            );
+        }
+        assert!(
+            (0.0..=1.0).contains(&config.guaranteed_share),
+            "guaranteed_share must be within [0, 1]"
+        );
+        if config.guaranteed_share > 0.0 {
+            assert!(
+                config.guaranteed_min_tps > 0.0 && config.guaranteed_min_tps.is_finite(),
+                "guaranteed traces need a positive, finite min_tps floor"
             );
         }
         let peak = match process {
@@ -526,6 +627,18 @@ impl ArrivalTrace {
                 chosen
             };
             let lifetime = exp(&mut rng, config.mean_lifetime_ms);
+            // The SLO draw only happens when the share is positive, so a
+            // zero share keeps the RNG stream (and every pre-SLO trace)
+            // bit-for-bit unchanged — same contract as tenant_weights.
+            let slo = if config.guaranteed_share > 0.0
+                && rng.gen_range(0.0f64..1.0) < config.guaranteed_share
+            {
+                SloClass::Guaranteed {
+                    min_tps: config.guaranteed_min_tps,
+                }
+            } else {
+                SloClass::BestEffort
+            };
             if !keep {
                 continue;
             }
@@ -538,7 +651,12 @@ impl ArrivalTrace {
                 id,
                 TraceEvent {
                     at_ms,
-                    event: JobEvent::Arrive(JobSpec { id, model, tenant }),
+                    event: JobEvent::Arrive(JobSpec {
+                        id,
+                        model,
+                        tenant,
+                        slo,
+                    }),
                 },
             ));
             let depart_ms = t_ms + lifetime.max(1.0);
@@ -820,6 +938,60 @@ mod tests {
             counts[0]
         );
         assert!(counts[1..].iter().all(|c| *c < counts[0]));
+    }
+
+    #[test]
+    fn guaranteed_share_skews_slo_classes_and_zero_share_changes_nothing() {
+        let plain = TraceConfig {
+            horizon_ms: 120_000,
+            ..TraceConfig::default()
+        };
+        let before =
+            ArrivalTrace::generate(ArrivalProcess::Poisson { rate_per_s: 1.0 }, &plain, 23);
+        // share = 0.0 draws nothing from the RNG: pre-SLO traces replay
+        // bit-for-bit.
+        let unchanged = ArrivalTrace::generate(
+            ArrivalProcess::Poisson { rate_per_s: 1.0 },
+            &TraceConfig {
+                guaranteed_share: 0.0,
+                ..plain.clone()
+            },
+            23,
+        );
+        assert_eq!(before, unchanged);
+        for e in before.events() {
+            if let JobEvent::Arrive(job) = e.event {
+                assert_eq!(job.slo, SloClass::BestEffort);
+            }
+        }
+
+        let mixed_cfg = TraceConfig {
+            guaranteed_share: 0.3,
+            guaranteed_min_tps: 4.0,
+            ..plain
+        };
+        let mixed =
+            ArrivalTrace::generate(ArrivalProcess::Poisson { rate_per_s: 1.0 }, &mixed_cfg, 23);
+        let (mut gtd, mut be) = (0usize, 0usize);
+        for e in mixed.events() {
+            if let JobEvent::Arrive(job) = e.event {
+                match job.slo {
+                    SloClass::Guaranteed { min_tps } => {
+                        assert_eq!(min_tps, 4.0);
+                        gtd += 1;
+                    }
+                    SloClass::BestEffort => be += 1,
+                }
+            }
+        }
+        let total = gtd + be;
+        assert!(total > 50);
+        // 30% expected; a 10–60% band is far beyond 4 sigma either way.
+        assert!(
+            gtd * 10 > total && gtd * 10 < total * 6,
+            "{gtd} guaranteed of {total}"
+        );
+        assert!(be > gtd, "best-effort should stay the majority class");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use cells::{CellConfig, ShardedRebalancer};
 pub use rebalance::{RebalanceConfig, RebalanceMove, RebalanceTick, Rebalancer};
 pub use sim::{
     EvacOrder, FleetEventRecord, OrchestratorConfig, OrchestratorReport, OrchestratorSim,
-    OrchestratorSummary, OrchestratorTick, QueueOrder,
+    OrchestratorSummary, OrchestratorTick,
 };
 pub use spec::{BoardProfile, FleetSpec};
 
@@ -58,5 +58,6 @@ pub use omniboost_models::{
     TraceConfig,
 };
 pub use omniboost_serve::{
-    tenant_tps_ratio, OnlineConfig, PlacementPolicy, ReschedulePolicy, TenantSummary,
+    tenant_tps_ratio, AdmissionPolicy, Mempool, OnlineConfig, PlacementPolicy, QueueOrder,
+    RejectReason, ReschedulePolicy, SloClass, SloSummary, TenantSummary,
 };

@@ -10,27 +10,12 @@ use omniboost_estimator::CacheArchive;
 use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
 use omniboost_models::{zoo, ArrivalTrace, FleetEvent, FleetScript, JobEvent, JobSpec};
 use omniboost_serve::{
-    BoardDecision, Fleet, LatencyStats, OnlineConfig, OnlineScheduler, PlacementPolicy,
-    ReschedulePolicy, TenantAccumulator, TenantSummary,
+    AdmissionPolicy, BoardDecision, Fleet, LatencyStats, Mempool, OnlineConfig, OnlineScheduler,
+    PlacementPolicy, ReschedulePolicy, SloAccumulator, SloSummary, SubmitOutcome,
+    TenantAccumulator, TenantSummary,
 };
-use std::collections::VecDeque;
 use std::hash::Hasher;
 use std::path::PathBuf;
-
-/// In what order the waiting queue is offered freed capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum QueueOrder {
-    /// Strict arrival order — the historical behaviour and the default.
-    #[default]
-    Fifo,
-    /// Most-deficient tenant first: waiting jobs are attempted in
-    /// ascending order of their tenant's attained tps·ms integral
-    /// (ties back off to arrival order), so a starved tenant's job
-    /// claims freed capacity before a well-served tenant's older one.
-    /// Jobs that still fit nowhere keep their arrival order in the
-    /// residual queue.
-    TenantDeficit,
-}
 
 /// In what order a failed/drained board's residents are re-placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,8 +53,10 @@ pub struct OrchestratorConfig {
     /// boards cells bound each rebalance decision to a constant-size
     /// slice and parallelize across cells.
     pub cells: Option<CellConfig>,
-    /// Queue-drain ordering when capacity frees up.
-    pub queue_order: QueueOrder,
+    /// Admission-mempool knobs (validation, quotas, TTL, backoff, and
+    /// the queue-drain ordering that used to be the standalone
+    /// `queue_order` field).
+    pub admission: AdmissionPolicy,
     /// Evacuation re-placement ordering on board failure/drain.
     pub evac_order: EvacOrder,
 }
@@ -86,7 +73,7 @@ impl OrchestratorConfig {
             cache_path: None,
             rebalance: Some(RebalanceConfig::default()),
             cells: None,
-            queue_order: QueueOrder::Fifo,
+            admission: AdmissionPolicy::default(),
             evac_order: EvacOrder::HeaviestFirst,
         }
     }
@@ -133,6 +120,11 @@ pub struct OrchestratorTick {
     pub placements: Vec<(u64, usize)>,
     /// Job ids that had to queue.
     pub queued: Vec<u64>,
+    /// Job ids the mempool rejected at submit (validation or tenant
+    /// quota — empty under the default permissive policy).
+    pub rejected: Vec<u64>,
+    /// Queued job ids the mempool TTL-evicted this tick.
+    pub expired: Vec<u64>,
     /// Per-board rescheduling outcomes.
     pub decisions: Vec<BoardDecision>,
     /// Rebalance moves accepted this tick.
@@ -210,6 +202,15 @@ pub struct OrchestratorSummary {
     pub peak_queue_depth: usize,
     /// Jobs still waiting when the trace ended.
     pub left_in_queue: usize,
+    /// Jobs the mempool rejected at submit (validation + tenant quota).
+    /// Rejected jobs are accounted — not lost — so they do not count
+    /// toward [`OrchestratorSummary::lost_jobs`].
+    pub rejected: usize,
+    /// Queued jobs the mempool TTL-evicted before they ever placed.
+    pub expired: usize,
+    /// Per-SLO-class attainment (guaranteed floors, best-effort
+    /// starvation).
+    pub slo: SloSummary,
     /// Time-weighted mean fleet throughput over the horizon.
     pub mean_aggregate_tps: f64,
     /// Fraction of the horizon each slot served at least one job.
@@ -276,6 +277,16 @@ impl OrchestratorReport {
             for id in &tick.queued {
                 h.write(&id.to_le_bytes());
             }
+            // Rejections/expiries hash per id: empty vectors write no
+            // bytes, so pre-mempool digests are preserved verbatim.
+            for id in &tick.rejected {
+                h.write(&[3]);
+                h.write(&id.to_le_bytes());
+            }
+            for id in &tick.expired {
+                h.write(&[4]);
+                h.write(&id.to_le_bytes());
+            }
             for d in &tick.decisions {
                 h.write(&(d.board as u64).to_le_bytes());
                 h.write(d.kind.label().as_bytes());
@@ -305,8 +316,8 @@ impl OrchestratorReport {
 }
 
 /// The orchestration control plane: a fleet built from a [`FleetSpec`],
-/// a FIFO queue, and the merged event loop over job events, fleet
-/// events and rebalance ticks.
+/// the shared admission mempool ([`omniboost_serve::Mempool`]), and the
+/// merged event loop over job events, fleet events and rebalance ticks.
 ///
 /// Each [`OrchestratorSim::run`] rebuilds the fleet from the spec —
 /// lifecycle events mutate fleet structure, so replays always start
@@ -381,14 +392,15 @@ where
             }
         }
 
-        let mut queue: VecDeque<(JobSpec, u64)> = VecDeque::new();
-        // Evacuees waiting in the queue: job id → the failure stamp
+        let mut pool = Mempool::new(self.config.admission);
+        // Evacuees waiting in the pool: job id → the failure stamp
         // their evacuation latency counts from.
         let mut evac_pending: Vec<(u64, u64)> = Vec::new();
         let mut evac_waits: Vec<f64> = Vec::new();
         let (mut evacuated_jobs, mut evac_relocated, mut evac_queued) = (0usize, 0usize, 0usize);
         let mut live: Vec<u64> = Vec::new();
         let mut tenant_acc = TenantAccumulator::new();
+        let mut slo_acc = SloAccumulator::new();
         let rebalance = self.config.rebalance.clone();
         let cells_config = self.config.cells.clone();
         let mut driver = match &cells_config {
@@ -397,8 +409,6 @@ where
         };
         let mut next_rebalance = rebalance.as_ref().map(|r| r.period_ms.max(1));
         let (mut reb_ticks, mut reb_rejected) = (0usize, 0usize);
-        let queue_order = self.config.queue_order;
-        let mut place_ms: Vec<f64> = Vec::new();
 
         let mut ticks: Vec<OrchestratorTick> = Vec::new();
         let mut last_t = 0u64;
@@ -434,6 +444,7 @@ where
             let dt = t - last_t;
             tps_integral += fleet.aggregate_throughput() * dt as f64;
             tenant_acc.integrate(fleet.slots(), dt);
+            slo_acc.integrate(fleet.slots(), dt);
             busy_ms.resize(fleet.len(), 0);
             for (b, slot) in fleet.slots().iter().enumerate() {
                 if !slot.jobs.is_empty() {
@@ -442,10 +453,19 @@ where
             }
             last_t = t;
 
+            // TTL sweep first: an entry that outlived its TTL must not
+            // grab capacity this tick frees. No-op without a TTL.
+            let expired_ids = pool.expire(t);
+            for id in &expired_ids {
+                live.retain(|l| l != id);
+                evac_pending.retain(|(e, _)| e != id);
+            }
+
             let mut tick_fleet_events = Vec::new();
             let mut tick_events = Vec::new();
             let mut placed = Vec::new();
             let mut queued_ids = Vec::new();
+            let mut rejected_ids = Vec::new();
             let mut capacity_freed = false;
 
             // 1. Fleet-lifecycle events (before job events: a board
@@ -486,17 +506,18 @@ where
                             let ids: Vec<u64> = evacuees.iter().map(|j| j.id).collect();
                             let (mut relocated, mut to_queue) = (0usize, 0usize);
                             for job in evacuees {
-                                match timed_place(&mut fleet, job, &mut place_ms) {
-                                    Some(slot) => {
+                                // Evacuees bypass validation and quota:
+                                // an admitted job is never bounced.
+                                match pool.requeue(&mut fleet, job, t) {
+                                    SubmitOutcome::Placed(slot) => {
                                         relocated += 1;
                                         placements += 1;
                                         placed.push((job.id, slot));
                                         tenant_acc.placement(&job, 0);
                                         evac_waits.push(0.0);
                                     }
-                                    None => {
+                                    _ => {
                                         to_queue += 1;
-                                        queue.push_back((job, t));
                                         queued_ids.push(job.id);
                                         evac_pending.push((job.id, t));
                                     }
@@ -563,25 +584,29 @@ where
                 match event {
                     JobEvent::Arrive(job) => {
                         arrivals += 1;
-                        live.push(job.id);
                         tenant_acc.arrival(&job);
-                        match timed_place(&mut fleet, job, &mut place_ms) {
-                            Some(board) => {
+                        slo_acc.arrival(&job);
+                        match pool.submit(&mut fleet, job, t) {
+                            SubmitOutcome::Placed(board) => {
+                                live.push(job.id);
                                 placements += 1;
                                 placed.push((job.id, board));
                                 tenant_acc.placement(&job, 0);
                             }
-                            None => {
-                                queue.push_back((job, t));
+                            SubmitOutcome::Queued => {
+                                live.push(job.id);
                                 queued_ids.push(job.id);
                             }
+                            // Rejected jobs never enter the system, so
+                            // they are excluded from the conservation
+                            // audit's live set (accounted, not lost).
+                            SubmitOutcome::Rejected(_) => rejected_ids.push(job.id),
                         }
                     }
                     JobEvent::Depart { job_id } => {
                         departures += 1;
                         live.retain(|id| *id != job_id);
-                        if let Some(pos) = queue.iter().position(|(j, _)| j.id == job_id) {
-                            queue.remove(pos);
+                        if pool.depart(job_id) {
                             evac_pending.retain(|(id, _)| *id != job_id);
                         } else if let Some(board) = fleet.board_of(job_id) {
                             fleet.remove_job(board, job_id);
@@ -592,21 +617,19 @@ where
             }
 
             // 3. Queue drain whenever capacity grew (departure or join).
-            if capacity_freed && !queue.is_empty() {
-                drain_queue(
-                    &mut fleet,
-                    &mut queue,
+            if capacity_freed && !pool.is_empty() {
+                let drained = pool.drain(&mut fleet, t, &tenant_acc);
+                absorb_drained(
+                    drained,
                     t,
-                    queue_order,
                     &mut placements,
                     &mut placed,
                     &mut tenant_acc,
                     &mut evac_pending,
                     &mut evac_waits,
-                    &mut place_ms,
                 );
             }
-            peak_queue = peak_queue.max(queue.len());
+            peak_queue = peak_queue.max(pool.len());
 
             // 4. Reschedule dirty boards.
             let mut decisions = fleet.flush_dirty();
@@ -630,21 +653,19 @@ where
                 next_rebalance = Some(t + config.period_ms.max(1));
                 // A move can free admission headroom on the donor; let
                 // waiting jobs use it now rather than next departure.
-                if accepted && !queue.is_empty() {
-                    drain_queue(
-                        &mut fleet,
-                        &mut queue,
+                if accepted && !pool.is_empty() {
+                    let drained = pool.drain(&mut fleet, t, &tenant_acc);
+                    absorb_drained(
+                        drained,
                         t,
-                        queue_order,
                         &mut placements,
                         &mut placed,
                         &mut tenant_acc,
                         &mut evac_pending,
                         &mut evac_waits,
-                        &mut place_ms,
                     );
                     decisions.extend(fleet.flush_dirty());
-                    peak_queue = peak_queue.max(queue.len());
+                    peak_queue = peak_queue.max(pool.len());
                 }
             }
 
@@ -654,9 +675,11 @@ where
                 events: tick_events,
                 placements: placed,
                 queued: queued_ids,
+                rejected: rejected_ids,
+                expired: expired_ids,
                 decisions,
                 rebalances: tick_moves,
-                queue_depth: queue.len(),
+                queue_depth: pool.len(),
                 board_jobs: fleet.board_jobs(),
                 active_boards: fleet.active_boards(),
                 aggregate_tps: fleet.aggregate_throughput(),
@@ -668,6 +691,7 @@ where
             let dt = horizon_ms - last_t;
             tps_integral += fleet.aggregate_throughput() * dt as f64;
             tenant_acc.integrate(fleet.slots(), dt);
+            slo_acc.integrate(fleet.slots(), dt);
             busy_ms.resize(fleet.len(), 0);
             for (b, slot) in fleet.slots().iter().enumerate() {
                 if !slot.jobs.is_empty() {
@@ -689,7 +713,7 @@ where
         // be resident or queued. `lost_jobs` is the shortfall — zero by
         // construction, proptested to stay zero.
         let resident: usize = fleet.slots().iter().map(|s| s.jobs.len()).sum();
-        let lost_jobs = live.len().saturating_sub(resident + queue.len());
+        let lost_jobs = live.len().saturating_sub(resident + pool.len());
 
         let all: Vec<&BoardDecision> = ticks.iter().flat_map(|t| t.decisions.iter()).collect();
         let moves: Vec<&RebalanceMove> = ticks.iter().flat_map(|t| t.rebalances.iter()).collect();
@@ -699,7 +723,9 @@ where
             .map(|s| s.scheduler.eval_cache().stats())
             .fold(EvalCacheStats::default(), EvalCacheStats::merge);
         let horizon = horizon_ms.max(last_t).max(1);
-        let still_queued: Vec<JobSpec> = queue.iter().map(|(j, _)| *j).collect();
+        let still_queued: Vec<JobSpec> = pool.queued_jobs();
+        let pool_stats = pool.stats();
+        let place_ms = pool.take_place_samples();
         let summary = OrchestratorSummary {
             events: trace.len(),
             arrivals,
@@ -724,7 +750,10 @@ where
             placement: LatencyStats::from_samples(place_ms),
             migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
             peak_queue_depth: peak_queue,
-            left_in_queue: queue.len(),
+            left_in_queue: pool.len(),
+            rejected: pool_stats.rejected,
+            expired: pool_stats.expired,
+            slo: slo_acc.finish(),
             mean_aggregate_tps: tps_integral / horizon as f64,
             board_utilization: busy_ms
                 .iter()
@@ -746,63 +775,25 @@ enum RebalanceDriver {
     Sharded(ShardedRebalancer),
 }
 
-/// One placement decision with its wall-clock latency sampled (queued
-/// outcomes are samples too — the decision ran either way).
-fn timed_place<M: ThroughputModel + Send + Sync>(
-    fleet: &mut Fleet<M>,
-    job: JobSpec,
-    place_ms: &mut Vec<f64>,
-) -> Option<usize> {
-    let start = std::time::Instant::now();
-    let board = fleet.place(job);
-    place_ms.push(start.elapsed().as_secs_f64() * 1e3);
-    board
-}
-
-/// Queue drain: place what fits now (skipping jobs that still fit
-/// nowhere), recording tenant queue waits and evacuation latencies.
-/// [`QueueOrder`] picks the *attempt* order; jobs left waiting keep
-/// their arrival order either way.
-#[allow(clippy::too_many_arguments)]
-fn drain_queue<M: ThroughputModel + Send + Sync>(
-    fleet: &mut Fleet<M>,
-    queue: &mut VecDeque<(JobSpec, u64)>,
+/// Folds one [`Mempool::drain`]'s placements into the tick's records:
+/// placement counters, tenant queue waits, and evacuation latencies for
+/// drained jobs that were evacuees.
+fn absorb_drained(
+    drained: Vec<omniboost_serve::Drained>,
     t: u64,
-    queue_order: QueueOrder,
     placements: &mut usize,
     placed: &mut Vec<(u64, usize)>,
     tenant_acc: &mut TenantAccumulator,
     evac_pending: &mut Vec<(u64, u64)>,
     evac_waits: &mut Vec<f64>,
-    place_ms: &mut Vec<f64>,
 ) {
-    let mut order: Vec<usize> = (0..queue.len()).collect();
-    if queue_order == QueueOrder::TenantDeficit {
-        order.sort_by(|&a, &b| {
-            let da = tenant_acc.attained_integral(queue[a].0.tenant);
-            let db = tenant_acc.attained_integral(queue[b].0.tenant);
-            da.total_cmp(&db).then(a.cmp(&b))
-        });
-    }
-    let mut placed_at = vec![false; queue.len()];
-    for &pos in &order {
-        let (job, since) = queue[pos];
-        if let Some(board) = timed_place(fleet, job, place_ms) {
-            placed_at[pos] = true;
-            *placements += 1;
-            placed.push((job.id, board));
-            tenant_acc.placement(&job, t - since);
-            if let Some(p) = evac_pending.iter().position(|(id, _)| *id == job.id) {
-                let (_, failed_at) = evac_pending.remove(p);
-                evac_waits.push((t - failed_at) as f64);
-            }
+    for d in drained {
+        *placements += 1;
+        placed.push((d.job.id, d.board));
+        tenant_acc.placement(&d.job, t - d.queued_at);
+        if let Some(p) = evac_pending.iter().position(|(id, _)| *id == d.job.id) {
+            let (_, failed_at) = evac_pending.remove(p);
+            evac_waits.push((t - failed_at) as f64);
         }
     }
-    let mut still_waiting = VecDeque::new();
-    for (pos, entry) in queue.drain(..).enumerate() {
-        if !placed_at[pos] {
-            still_waiting.push_back(entry);
-        }
-    }
-    *queue = still_waiting;
 }

@@ -9,7 +9,7 @@ use omniboost_orchestrator::{
     BoardProfile, CellConfig, EvacOrder, FleetSpec, OrchestratorConfig, OrchestratorReport,
     OrchestratorSim, QueueOrder, RebalanceConfig,
 };
-use omniboost_serve::{OnlineConfig, PlacementPolicy, SearchBudget};
+use omniboost_serve::{AdmissionPolicy, OnlineConfig, PlacementPolicy, SearchBudget};
 use proptest::prelude::*;
 
 const HORIZON_MS: u64 = 30_000;
@@ -324,21 +324,13 @@ fn tenant_deficit_queue_order_serves_starved_tenant_first() {
     for id in 1..=cap {
         events.push(TraceEvent {
             at_ms: 1_000 * id,
-            event: JobEvent::Arrive(JobSpec {
-                id,
-                model: ModelId::MobileNet,
-                tenant: 0,
-            }),
+            event: JobEvent::Arrive(JobSpec::new(id, ModelId::MobileNet, 0)),
         });
     }
     for (id, tenant) in [(cap + 1, 0u32), (cap + 2, 1u32)] {
         events.push(TraceEvent {
             at_ms: 1_000 * id,
-            event: JobEvent::Arrive(JobSpec {
-                id,
-                model: ModelId::MobileNet,
-                tenant,
-            }),
+            event: JobEvent::Arrive(JobSpec::new(id, ModelId::MobileNet, tenant)),
         });
     }
     events.push(TraceEvent {
@@ -349,7 +341,10 @@ fn tenant_deficit_queue_order_serves_starved_tenant_first() {
     let run = |order: QueueOrder| {
         let config = OrchestratorConfig {
             placement: PlacementPolicy::LeastLoaded,
-            queue_order: order,
+            admission: AdmissionPolicy {
+                order,
+                ..AdmissionPolicy::default()
+            },
             ..config(false)
         };
         let mut sim = OrchestratorSim::new(
@@ -383,15 +378,15 @@ fn evacuation_relocates_heaviest_models_first() {
     let events = (1..=6u64)
         .map(|id| TraceEvent {
             at_ms: 1_000 * id,
-            event: JobEvent::Arrive(JobSpec {
+            event: JobEvent::Arrive(JobSpec::new(
                 id,
-                model: if id == 3 {
+                if id == 3 {
                     ModelId::Vgg19
                 } else {
                     ModelId::MobileNet
                 },
-                tenant: 0,
-            }),
+                0,
+            )),
         })
         .collect();
     let trace = ArrivalTrace::from_events(events);
@@ -441,11 +436,7 @@ fn batched_rebalance_commits_multiple_moves_in_one_tick() {
     let events = (1..=8u64)
         .map(|id| TraceEvent {
             at_ms: 500 * id,
-            event: JobEvent::Arrive(JobSpec {
-                id,
-                model: ModelId::MobileNet,
-                tenant: 0,
-            }),
+            event: JobEvent::Arrive(JobSpec::new(id, ModelId::MobileNet, 0)),
         })
         .collect();
     let trace = ArrivalTrace::from_events(events);
@@ -495,4 +486,114 @@ fn batched_rebalance_commits_multiple_moves_in_one_tick() {
         assert!(mv.to >= 2, "moves target the joined boards");
     }
     assert_eq!(report.summary.lost_jobs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission-mempool properties (PR 7).
+// ---------------------------------------------------------------------------
+
+/// Behaviour preservation across the mempool extraction: the default
+/// [`AdmissionPolicy`] must replay exactly the digest the pre-mempool
+/// `OrchestratorSim` (own FIFO `VecDeque`, linear drains) produced for
+/// this seed/config pair, captured at the commit *before* the refactor.
+#[test]
+fn mempool_refactor_preserves_seeded_replay_digest() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Bursty {
+            on_rate_per_s: 1.8,
+            on_ms: 5_000,
+            off_ms: 6_000,
+        },
+        &TraceConfig {
+            horizon_ms: HORIZON_MS,
+            mean_lifetime_ms: 8_000.0,
+            ..TraceConfig::default()
+        },
+        11,
+    );
+    let script = script(11 ^ 0xF1EE7);
+    let config = OrchestratorConfig {
+        online: OnlineConfig {
+            cold_budget: SearchBudget::with_iterations(60),
+            warm_budget: SearchBudget::with_iterations(24),
+            ..OnlineConfig::default()
+        },
+        rebalance: Some(RebalanceConfig {
+            period_ms: 3_000,
+            min_imbalance: 0.1,
+            min_gain_per_layer: 0.02,
+            cooldown_periods: 1,
+            max_moves_per_tick: 1,
+            top_k_boards: 2,
+        }),
+        ..OrchestratorConfig::warm()
+    };
+    let mut sim = OrchestratorSim::new(spec(), config, AnalyticModel::new);
+    let report = sim.run(&trace, &script, HORIZON_MS);
+    assert_eq!(report.digest(), 0x156b_b4cb_2add_ddcf);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// (vi) **Strict admission conserves jobs through fleet churn**:
+    /// with quotas, TTL eviction, retry backoff and the deficit drain
+    /// all engaged on top of failures/drains/joins/rebalancing, every
+    /// arrival still ends in exactly one of {resident, queued,
+    /// departed, rejected, expired} at every tick, and the end-of-run
+    /// `lost_jobs` audit stays zero (rejected/expired jobs are
+    /// first-class accounting, not losses).
+    #[test]
+    fn strict_admission_conserves_jobs_through_fleet_churn(
+        process in arb_process(),
+        seed in 0u64..400,
+        mode in 0u8..3,
+    ) {
+        let config = OrchestratorConfig {
+            admission: AdmissionPolicy {
+                order: QueueOrder::TenantDeficit,
+                tenant_queue_quota: Some(2),
+                ttl_ms: Some(4_000),
+                retry_backoff_ms: Some(100),
+                max_backoff_ms: 2_000,
+                ..AdmissionPolicy::default()
+            },
+            ..config_mode(mode)
+        };
+        let report = run(process, seed, config);
+        prop_assert_eq!(report.summary.lost_jobs, 0);
+        let mut live = std::collections::HashSet::new();
+        let mut rejected = 0usize;
+        let mut expired = 0usize;
+        for tick in &report.ticks {
+            // The TTL sweep runs at tick start, before the tick's events.
+            for id in &tick.expired {
+                prop_assert!(live.remove(id), "expired job {} was not live", id);
+                expired += 1;
+            }
+            for e in &tick.events {
+                match e {
+                    JobEvent::Arrive(job) => {
+                        if !tick.rejected.contains(&job.id) {
+                            prop_assert!(live.insert(job.id));
+                        }
+                    }
+                    JobEvent::Depart { job_id } => {
+                        // Departures of rejected/expired jobs are no-ops.
+                        live.remove(job_id);
+                    }
+                }
+            }
+            rejected += tick.rejected.len();
+            let resident: usize = tick.board_jobs.iter().sum();
+            prop_assert_eq!(
+                resident + tick.queue_depth,
+                live.len(),
+                "at {} ms: {} resident + {} queued != {} live",
+                tick.at_ms, resident, tick.queue_depth, live.len()
+            );
+        }
+        prop_assert_eq!(report.summary.rejected, rejected);
+        prop_assert_eq!(report.summary.expired, expired);
+    }
 }

@@ -211,6 +211,16 @@ impl<M: ThroughputModel + Sync> BoardSlot<M> {
             return None;
         }
         let workload = self.workload();
+        // Arm the jobs' SLO floors so the mapping search will not trade
+        // a guaranteed job's floor away for aggregate throughput. An
+        // all-floorless vector is dropped scheduler-side, keeping
+        // pre-SLO workloads' decisions (and replay digests) bit-for-bit.
+        self.scheduler.set_floors(
+            self.jobs
+                .iter()
+                .map(|job| job.slo.min_tps().unwrap_or(0.0))
+                .collect(),
+        );
         // Pair each current job with its row in the previous deployment.
         let pairing: Vec<Option<usize>> = self
             .jobs
@@ -286,8 +296,13 @@ impl<M: ThroughputModel + Sync> BoardSlot<M> {
         });
         // When the scheduler's periodic cold refresh is due, bypass the
         // decision memo and overwrite its entry — a memoized mix must
-        // not shield drift from the refresh.
-        let outcome = if self.scheduler.refresh_due() {
+        // not shield drift from the refresh. Floored workloads bypass
+        // it too: the memo keys on the model mix alone, so a hit could
+        // replay a mapping decided before any guaranteed job was in the
+        // mix — one that happily starves the job whose floor is now
+        // armed.
+        let has_floors = self.jobs.iter().any(|job| job.slo.is_guaranteed());
+        let outcome = if self.scheduler.refresh_due() || has_floors {
             self.runtime
                 .run_refreshed(&mut self.scheduler, &workload, context)
         } else {
@@ -733,11 +748,47 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
         a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
     }
 
+    /// Whether **some** active board could admit one more job of
+    /// `job_weight` bytes right now — the mempool's per-model-bucket
+    /// drain probe. Walks each profile group's open slots until one
+    /// passes the memory check, so the common case is O(profiles); the
+    /// predicate is exactly "[`Fleet::place`] would succeed" (every
+    /// policy places iff an admissible board exists), which is what
+    /// makes bucket-skipping in the mempool behaviour-preserving.
+    pub fn can_admit(&self, job_weight: u64) -> bool {
+        let admits = self.index.groups.iter().any(|group| {
+            group.open.iter().any(|&(_, i)| {
+                let slot = &self.slots[i];
+                slot.board
+                    .admit_totals(slot.jobs.len() + 1, slot.resident_weight_bytes + job_weight)
+                    .is_ok()
+            })
+        });
+        debug_assert_eq!(
+            admits,
+            self.slots.iter().any(|slot| {
+                slot.active
+                    && slot
+                        .board
+                        .admit_totals(slot.jobs.len() + 1, slot.resident_weight_bytes + job_weight)
+                        .is_ok()
+            }),
+            "indexed admissibility probe diverged from the linear scan"
+        );
+        admits
+    }
+
     /// The linear-scan reference for one placement decision — the
     /// pre-index implementation, kept as the debug-mode oracle the
     /// indexed fast path is asserted against on every placement.
     #[cfg(debug_assertions)]
-    fn place_linear(&self, tenant: u32, job_flops: u64, job_weight: u64) -> Option<usize> {
+    fn place_linear(
+        &self,
+        tenant: u32,
+        job_flops: u64,
+        job_weight: u64,
+        floor: Option<f64>,
+    ) -> Option<usize> {
         let admissible = |slot: &BoardSlot<M>| -> bool {
             slot.active
                 && slot
@@ -752,6 +803,22 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
                 slot.index,
             )
         };
+        // Guaranteed floor: when the globally least-loaded admissible
+        // board's projected load honors the floor, it wins regardless
+        // of policy (mirrors the indexed fast path in `place`).
+        if let Some(min_tps) = floor {
+            if let Some(best) = self
+                .slots
+                .iter()
+                .filter(|s| admissible(s))
+                .map(loaded)
+                .min_by(Self::by_load)
+            {
+                if best.0 <= 1.0 / min_tps {
+                    return Some(best.2);
+                }
+            }
+        }
         match self.policy {
             PlacementPolicy::RoundRobin => {
                 let n = self.slots.len();
@@ -828,46 +895,69 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
     /// Candidate selection reads the load index (O(log n) per
     /// decision); debug builds re-derive the choice with the historical
     /// linear scan and assert both agree.
+    ///
+    /// **Guaranteed-class jobs** ([`omniboost_models::SloClass`])
+    /// additionally get a floor check: when the least-loaded admissible
+    /// board's *projected* load score stays within `1 / min_tps`
+    /// seconds per round — the speculative placement honors the floor —
+    /// that board wins regardless of policy, so a round-robin cursor or
+    /// a fair-share reserve never pushes a guaranteed job onto a board
+    /// that cannot carry it. Best-effort jobs take the historical path
+    /// untouched (pre-SLO traces replay bit-for-bit).
     pub fn place(&mut self, job: JobSpec) -> Option<usize> {
         let model = zoo::build(job.model);
         let (job_flops, job_weight) = (model.total_flops(), model.total_weight_bytes());
+        let floor = job.slo.min_tps();
         // Admission and load probing work off the slots' running totals
         // — no hypothetical workload (and no model clone) per candidate.
-        let chosen = match self.policy {
-            PlacementPolicy::RoundRobin => {
-                // First open slot in cyclic index order from the cursor
-                // that also passes the memory check.
-                let admits = |i: &usize| -> bool {
-                    let slot = &self.slots[*i];
-                    slot.board
-                        .admit_totals(slot.jobs.len() + 1, slot.resident_weight_bytes + job_weight)
-                        .is_ok()
-                };
-                let cursor = self.rr_cursor;
-                self.index
-                    .open_by_index
-                    .range(cursor..)
-                    .chain(self.index.open_by_index.range(..cursor))
-                    .copied()
-                    .find(admits)
-            }
-            PlacementPolicy::LeastLoaded => self
-                .index_candidates(1, job_flops, job_weight)
+        let floor_chosen = floor.and_then(|min_tps| {
+            self.index_candidates(1, job_flops, job_weight)
                 .first()
-                .map(|c| c.2),
-            PlacementPolicy::FairShare => {
-                // Reserve the emptiest admissible board for tenants at
-                // or below fair share; an over-served tenant takes the
-                // next-best board when one exists.
-                let candidates = self.index_candidates(2, job_flops, job_weight);
-                let skip_reserved = candidates.len() >= 2 && self.over_fair_share(job.tenant);
-                candidates.get(usize::from(skip_reserved)).map(|c| c.2)
+                .filter(|c| c.0 <= 1.0 / min_tps)
+                .map(|c| c.2)
+        });
+        let chosen = if floor_chosen.is_some() {
+            floor_chosen
+        } else {
+            match self.policy {
+                PlacementPolicy::RoundRobin => {
+                    // First open slot in cyclic index order from the cursor
+                    // that also passes the memory check.
+                    let admits = |i: &usize| -> bool {
+                        let slot = &self.slots[*i];
+                        slot.board
+                            .admit_totals(
+                                slot.jobs.len() + 1,
+                                slot.resident_weight_bytes + job_weight,
+                            )
+                            .is_ok()
+                    };
+                    let cursor = self.rr_cursor;
+                    self.index
+                        .open_by_index
+                        .range(cursor..)
+                        .chain(self.index.open_by_index.range(..cursor))
+                        .copied()
+                        .find(admits)
+                }
+                PlacementPolicy::LeastLoaded => self
+                    .index_candidates(1, job_flops, job_weight)
+                    .first()
+                    .map(|c| c.2),
+                PlacementPolicy::FairShare => {
+                    // Reserve the emptiest admissible board for tenants at
+                    // or below fair share; an over-served tenant takes the
+                    // next-best board when one exists.
+                    let candidates = self.index_candidates(2, job_flops, job_weight);
+                    let skip_reserved = candidates.len() >= 2 && self.over_fair_share(job.tenant);
+                    candidates.get(usize::from(skip_reserved)).map(|c| c.2)
+                }
             }
         };
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             chosen,
-            self.place_linear(job.tenant, job_flops, job_weight),
+            self.place_linear(job.tenant, job_flops, job_weight, floor),
             "load-index placement diverged from the linear scan ({})",
             self.policy
         );

@@ -24,7 +24,14 @@
 //!   policy (least-loaded by estimated throughput headroom, or
 //!   round-robin), per-board schedulers rescheduling concurrently
 //!   (rayon across boards; on a 1-core host this degrades gracefully to
-//!   a sequential loop), plus a FIFO queue for jobs no board can admit.
+//!   a sequential loop).
+//! * **An admission mempool** ([`Mempool`], [`AdmissionPolicy`]) — the
+//!   one intake path shared with the orchestrator: validates on submit,
+//!   enforces per-tenant in-queue quotas, queue-jumps
+//!   [`SloClass::Guaranteed`] work, retries unplaceable jobs with
+//!   exponential backoff, TTL-evicts stale entries, and drains through
+//!   per-model admissibility buckets instead of walking a FIFO
+//!   linearly.
 //! * **Serving metrics** ([`ServingReport`]) — per-event decision
 //!   latency by kind, queue depth, migration churn, per-board
 //!   utilization and time-weighted aggregate throughput.
@@ -40,19 +47,27 @@
 #![warn(missing_docs)]
 
 mod fleet;
+mod mempool;
 mod scheduler;
 mod sim;
+mod slo;
 mod tenants;
 
 pub use fleet::{BoardSlot, Fleet, PlacementPolicy};
+pub use mempool::{
+    AdmissionPolicy, Drained, Mempool, MempoolStats, QueueOrder, RejectReason, SubmitOutcome,
+};
 pub use scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy, WarmHint};
 pub use sim::{
     BoardDecision, LatencyStats, ServingConfig, ServingReport, ServingSim, ServingSummary,
     TickRecord,
 };
+pub use slo::{SloAccumulator, SloSummary};
 pub use tenants::{tenant_tps_ratio, TenantAccumulator, TenantSummary};
 
 // Re-export the trace machinery (and the budget type OnlineConfig is
 // built from) so serving users need one import path.
 pub use omniboost_mcts::SearchBudget;
-pub use omniboost_models::{ArrivalProcess, ArrivalTrace, JobEvent, JobSpec, TraceConfig};
+pub use omniboost_models::{
+    ArrivalProcess, ArrivalTrace, JobEvent, JobSpec, SloClass, TraceConfig,
+};

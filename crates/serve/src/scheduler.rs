@@ -134,6 +134,9 @@ pub struct OnlineScheduler<M> {
     policy: ReschedulePolicy,
     cache: BoardScopedCache,
     hint: Option<WarmHint>,
+    /// Per-DNN throughput floors for the **next** decision (armed by
+    /// the board slot from its jobs' SLO classes; empty = no floors).
+    floors: Vec<f64>,
     last_kind: DecisionKind,
     last_evaluations: usize,
     /// Decisions taken so far (drives the periodic cold refresh).
@@ -152,6 +155,7 @@ impl<M: ThroughputModel + Sync> OnlineScheduler<M> {
             cache: BoardScopedCache::new(config.eval_cache_capacity),
             config,
             hint: None,
+            floors: Vec::new(),
             last_kind: DecisionKind::Cold,
             last_evaluations: 0,
             decisions: 0,
@@ -193,9 +197,21 @@ impl<M: ThroughputModel + Sync> OnlineScheduler<M> {
         self.hint = Some(hint);
     }
 
-    /// Drops any armed warm-start context.
+    /// Drops any armed warm-start context (and any armed floors — a
+    /// memo-answered decision never reaches `decide`, so both must not
+    /// leak into a later, unrelated one).
     pub fn clear_hint(&mut self) {
         self.hint = None;
+        self.floors.clear();
+    }
+
+    /// Arms per-DNN throughput floors (inferences/s, aligned with the
+    /// next `decide` call's workload order; `0.0` = no floor) for the
+    /// next decision. The floors steer the mapping search away from
+    /// starving guaranteed-class jobs — see
+    /// [`omniboost_mcts::SchedulingEnv::with_floors`].
+    pub fn set_floors(&mut self, floors: Vec<f64>) {
+        self.floors = floors;
     }
 
     /// Marks the **next** `decide` call as speculative (a rebalance
@@ -391,7 +407,13 @@ impl<M: ThroughputModel + Sync> Scheduler for OnlineScheduler<M> {
         let hint = self.hint.take();
         let scope = self.cache.begin(board);
         let cached = scope.wrap(&self.evaluator);
+        let floors = std::mem::take(&mut self.floors);
         let env = SchedulingEnv::new(workload, &cached, self.config.stage_cap)?;
+        let env = if floors.len() == workload.len() {
+            env.with_floors(floors)
+        } else {
+            env
+        };
 
         let config = self.config;
         // Speculative (rebalance-scoring) decisions stand outside the

@@ -2,12 +2,13 @@
 //! a fleet, rescheduling per event and recording serving metrics.
 
 use crate::fleet::{Fleet, PlacementPolicy};
+use crate::mempool::{AdmissionPolicy, Mempool, SubmitOutcome};
 use crate::scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy};
+use crate::slo::{SloAccumulator, SloSummary};
 use crate::tenants::{TenantAccumulator, TenantSummary};
 use omniboost_estimator::CacheArchive;
 use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
 use omniboost_models::{ArrivalTrace, JobEvent, JobSpec};
-use std::collections::VecDeque;
 use std::hash::Hasher;
 use std::path::PathBuf;
 
@@ -27,6 +28,9 @@ pub struct ServingConfig {
     /// scheduler at startup (boards whose fingerprint mismatches start
     /// cold), merged and rewritten at shutdown.
     pub cache_path: Option<PathBuf>,
+    /// Admission-mempool knobs (validation, quotas, TTL, backoff,
+    /// drain order). The default is the historical permissive FIFO.
+    pub admission: AdmissionPolicy,
 }
 
 impl ServingConfig {
@@ -39,6 +43,7 @@ impl ServingConfig {
             online: OnlineConfig::default(),
             use_memo: true,
             cache_path: None,
+            admission: AdmissionPolicy::default(),
         }
     }
 
@@ -88,6 +93,12 @@ pub struct TickRecord {
     pub placements: Vec<(u64, usize)>,
     /// Job ids that had to queue (no board could admit them).
     pub queued: Vec<u64>,
+    /// Job ids the mempool rejected at submit (validation or tenant
+    /// quota — empty under the default permissive policy).
+    pub rejected: Vec<u64>,
+    /// Queued job ids the mempool TTL-evicted this tick (empty when no
+    /// TTL is configured).
+    pub expired: Vec<u64>,
     /// Per-board rescheduling outcomes.
     pub decisions: Vec<BoardDecision>,
     /// Waiting jobs after the tick.
@@ -146,6 +157,13 @@ pub struct ServingSummary {
     pub peak_queue_depth: usize,
     /// Jobs still waiting when the trace ended.
     pub left_in_queue: usize,
+    /// Jobs the mempool rejected at submit (validation + tenant quota).
+    pub rejected: usize,
+    /// Queued jobs the mempool TTL-evicted before they ever placed.
+    pub expired: usize,
+    /// Per-SLO-class attainment (guaranteed floors, best-effort
+    /// starvation).
+    pub slo: SloSummary,
     /// Rescheduling decisions made (all boards).
     pub decisions: usize,
     /// Decision latency of cold decisions.
@@ -214,6 +232,16 @@ impl ServingReport {
             for id in &tick.queued {
                 h.write(&id.to_le_bytes());
             }
+            // Rejections/expiries hash per id: empty vectors write no
+            // bytes, so pre-mempool digests are preserved verbatim.
+            for id in &tick.rejected {
+                h.write(&[3]);
+                h.write(&id.to_le_bytes());
+            }
+            for id in &tick.expired {
+                h.write(&[4]);
+                h.write(&id.to_le_bytes());
+            }
             for d in &tick.decisions {
                 h.write(&(d.board as u64).to_le_bytes());
                 h.write(d.kind.label().as_bytes());
@@ -236,7 +264,8 @@ impl ServingReport {
     }
 }
 
-/// The serving runtime: a fleet, a job queue, and the event loop.
+/// The serving runtime: a fleet, the admission mempool, and the event
+/// loop.
 ///
 /// ```no_run
 /// use omniboost_hw::{AnalyticModel, Board};
@@ -260,9 +289,9 @@ impl ServingReport {
 pub struct ServingSim<M> {
     fleet: Fleet<M>,
     config: ServingConfig,
-    /// Waiting jobs with the stamp they entered the queue (feeds the
-    /// per-tenant queue-wait stats).
-    queue: VecDeque<(JobSpec, u64)>,
+    /// The shared admission mempool (validation, quotas, class-aware
+    /// indexed drains — see [`crate::Mempool`]).
+    pool: Mempool,
     cache_preloaded: usize,
 }
 
@@ -281,10 +310,11 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
         let fleet = Fleet::new(boards, config.placement, config.use_memo, |board| {
             OnlineScheduler::new(make_evaluator(board.clone()), policy, online)
         });
+        let pool = Mempool::new(config.admission);
         let mut sim = Self {
             fleet,
             config,
-            queue: VecDeque::new(),
+            pool,
             cache_preloaded: 0,
         };
         sim.load_caches();
@@ -350,7 +380,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
     /// counters stay warm across calls, so replaying is a warm reboot.
     pub fn run(&mut self, trace: &ArrivalTrace, horizon_ms: u64) -> ServingReport {
         self.fleet.reset_jobs();
-        self.queue.clear();
+        self.pool.reset();
         let n = self.fleet.len();
         let mut ticks: Vec<TickRecord> = Vec::new();
         let mut last_t = 0u64;
@@ -360,6 +390,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
         let (mut arrivals, mut departures, mut placements) = (0usize, 0usize, 0usize);
 
         let mut tenant_acc = TenantAccumulator::new();
+        let mut slo_acc = SloAccumulator::new();
         let events = trace.events();
         let mut i = 0usize;
         while i < events.len() {
@@ -369,6 +400,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             let dt = t - last_t;
             tps_integral += self.fleet.aggregate_throughput() * dt as f64;
             tenant_acc.integrate(self.fleet.slots(), dt);
+            slo_acc.integrate(self.fleet.slots(), dt);
             for (b, slot) in self.fleet.slots().iter().enumerate() {
                 if !slot.jobs.is_empty() {
                     busy_ms[b] += dt;
@@ -376,9 +408,14 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             }
             last_t = t;
 
+            // TTL sweep first: an entry that outlived its TTL must not
+            // grab capacity this tick frees. No-op without a TTL.
+            let expired = self.pool.expire(t);
+
             let mut tick_events = Vec::new();
             let mut placed = Vec::new();
             let mut queued = Vec::new();
+            let mut rejected = Vec::new();
             let mut capacity_freed = false;
             while i < events.len() && events[i].at_ms == t {
                 let event = events[i].event;
@@ -387,23 +424,22 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
                     JobEvent::Arrive(job) => {
                         arrivals += 1;
                         tenant_acc.arrival(&job);
-                        match self.fleet.place(job) {
-                            Some(board) => {
+                        slo_acc.arrival(&job);
+                        match self.pool.submit(&mut self.fleet, job, t) {
+                            SubmitOutcome::Placed(board) => {
                                 placements += 1;
                                 placed.push((job.id, board));
                                 tenant_acc.placement(&job, 0);
                             }
-                            None => {
-                                self.queue.push_back((job, t));
-                                queued.push(job.id);
-                            }
+                            SubmitOutcome::Queued => queued.push(job.id),
+                            SubmitOutcome::Rejected(_) => rejected.push(job.id),
                         }
                     }
                     JobEvent::Depart { job_id } => {
                         departures += 1;
-                        // A job may depart while still queued.
-                        if let Some(pos) = self.queue.iter().position(|(j, _)| j.id == job_id) {
-                            self.queue.remove(pos);
+                        // A job may depart while still queued — an
+                        // O(log n) id-index removal, not a queue walk.
+                        if self.pool.depart(job_id) {
                         } else if let Some(board) = self.fleet.board_of(job_id) {
                             self.fleet.remove_job(board, job_id);
                             capacity_freed = true;
@@ -414,25 +450,19 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             }
 
             // Capacity only ever grows when a resident job departs, so
-            // the queue is drained exactly then (in FIFO order, skipping
-            // jobs that still fit nowhere — no head-of-line blocking
-            // across boards); re-probing every board for every waiting
-            // job on arrival-only ticks would be pure waste.
-            if capacity_freed && !self.queue.is_empty() {
-                let mut still_waiting = VecDeque::new();
-                while let Some((job, since)) = self.queue.pop_front() {
-                    match self.fleet.place(job) {
-                        Some(board) => {
-                            placements += 1;
-                            placed.push((job.id, board));
-                            tenant_acc.placement(&job, t - since);
-                        }
-                        None => still_waiting.push_back((job, since)),
-                    }
+            // the pool is drained exactly then (guaranteed class first,
+            // then the configured order, visiting only entries some
+            // board can actually admit — no head-of-line blocking);
+            // re-probing every board for every waiting job on
+            // arrival-only ticks would be pure waste.
+            if capacity_freed && !self.pool.is_empty() {
+                for d in self.pool.drain(&mut self.fleet, t, &tenant_acc) {
+                    placements += 1;
+                    placed.push((d.job.id, d.board));
+                    tenant_acc.placement(&d.job, t - d.queued_at);
                 }
-                self.queue = still_waiting;
             }
-            peak_queue = peak_queue.max(self.queue.len());
+            peak_queue = peak_queue.max(self.pool.len());
 
             // Reschedule every board whose job set changed (concurrent
             // across boards).
@@ -443,8 +473,10 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
                 events: tick_events,
                 placements: placed,
                 queued,
+                rejected,
+                expired,
                 decisions,
-                queue_depth: self.queue.len(),
+                queue_depth: self.pool.len(),
                 board_jobs: self.fleet.board_jobs(),
                 aggregate_tps: self.fleet.aggregate_throughput(),
             });
@@ -455,6 +487,7 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             let dt = horizon_ms - last_t;
             tps_integral += self.fleet.aggregate_throughput() * dt as f64;
             tenant_acc.integrate(self.fleet.slots(), dt);
+            slo_acc.integrate(self.fleet.slots(), dt);
             for (b, slot) in self.fleet.slots().iter().enumerate() {
                 if !slot.jobs.is_empty() {
                     busy_ms[b] += dt;
@@ -480,14 +513,21 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
             .map(|s| s.scheduler.eval_cache().stats())
             .fold(EvalCacheStats::default(), EvalCacheStats::merge);
         let horizon = horizon_ms.max(last_t).max(1);
-        let still_queued: Vec<JobSpec> = self.queue.iter().map(|(j, _)| *j).collect();
+        let still_queued: Vec<JobSpec> = self.pool.queued_jobs();
+        let pool_stats = self.pool.stats();
+        // Wall-clock placement samples are not surfaced by the serving
+        // summary; drop them so they never accumulate across runs.
+        let _ = self.pool.take_place_samples();
         let summary = ServingSummary {
             events: trace.len(),
             arrivals,
             departures,
             placements,
             peak_queue_depth: peak_queue,
-            left_in_queue: self.queue.len(),
+            left_in_queue: self.pool.len(),
+            rejected: pool_stats.rejected,
+            expired: pool_stats.expired,
+            slo: slo_acc.finish(),
             decisions: all.len(),
             cold: of_kind(&|d| d.kind == DecisionKind::Cold),
             warm: of_kind(&|d| {

@@ -2,10 +2,11 @@
 
 use omniboost_hw::{AnalyticModel, Board};
 use omniboost_mcts::SearchBudget;
-use omniboost_models::{ArrivalProcess, ArrivalTrace, JobSpec, ModelId, TraceConfig};
+use omniboost_models::{ArrivalProcess, ArrivalTrace, JobEvent, JobSpec, ModelId, TraceConfig};
 use omniboost_serve::{
-    DecisionKind, Fleet, OnlineConfig, OnlineScheduler, PlacementPolicy, ReschedulePolicy,
-    ServingConfig, ServingSim,
+    AdmissionPolicy, DecisionKind, Fleet, Mempool, OnlineConfig, OnlineScheduler, PlacementPolicy,
+    QueueOrder, RejectReason, ReschedulePolicy, ServingConfig, ServingSim, SubmitOutcome,
+    TenantAccumulator,
 };
 use proptest::prelude::*;
 
@@ -56,6 +57,7 @@ fn run_once(
         online: quick_online(),
         use_memo: policy == ReschedulePolicy::WarmStart,
         cache_path: None,
+        admission: AdmissionPolicy::default(),
     };
     let mut sim = ServingSim::new(vec![Board::hikey970(); boards], config, AnalyticModel::new);
     sim.run(&trace, HORIZON_MS)
@@ -404,11 +406,11 @@ proptest! {
             let op = decode_index_op(kinds[i], operands_a[i], operands_b[i]);
             match op {
                 IndexOp::Place { model, tenant } => {
-                    let spec = JobSpec {
-                        id: next_id,
-                        model: ModelId::ALL[model as usize % ModelId::ALL.len()],
+                    let spec = JobSpec::new(
+                        next_id,
+                        ModelId::ALL[model as usize % ModelId::ALL.len()],
                         tenant,
-                    };
+                    );
                     next_id += 1;
                     if fleet.place(spec).is_some() {
                         live.push(spec.id);
@@ -488,6 +490,315 @@ proptest! {
             for (i, score) in &indexed_donors {
                 prop_assert!(!fleet.slots()[*i].jobs.is_empty());
                 prop_assert_eq!(score.to_bits(), fleet.slots()[*i].load_score().to_bits());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission-mempool properties (PR 7).
+// ---------------------------------------------------------------------------
+
+/// Behaviour preservation across the mempool extraction: the default
+/// [`AdmissionPolicy`] must replay exactly the digests the pre-mempool
+/// `ServingSim` (own FIFO `VecDeque`, linear drains) produced. The
+/// constants were captured by running the seed/config pairs below at
+/// the commit *before* the refactor.
+#[test]
+fn mempool_refactor_preserves_seeded_replay_digests() {
+    let digest = |seed| {
+        run_once(
+            ArrivalProcess::Poisson { rate_per_s: 0.8 },
+            seed,
+            ReschedulePolicy::WarmStart,
+            PlacementPolicy::LeastLoaded,
+            2,
+        )
+        .digest()
+    };
+    assert_eq!(digest(7), 0x598b_3977_b009_6446);
+    assert_eq!(digest(19), 0x42cc_992c_bb6a_e019);
+}
+
+/// A queued guaranteed-class job claims freed capacity ahead of an
+/// earlier-queued best-effort job: classes rank before arrival order on
+/// every drain.
+#[test]
+fn guaranteed_class_jumps_the_queue_on_drain() {
+    let board = Board::hikey970();
+    let cap = board.max_concurrent_dnns as u64;
+    let mut fleet = Fleet::new(
+        vec![board],
+        PlacementPolicy::LeastLoaded,
+        false,
+        index_scheduler,
+    );
+    let mut pool = Mempool::new(AdmissionPolicy::default());
+    for id in 1..=cap {
+        assert!(matches!(
+            pool.submit(&mut fleet, JobSpec::new(id, ModelId::MobileNet, 0), 0),
+            SubmitOutcome::Placed(_)
+        ));
+    }
+    let best_effort = JobSpec::new(cap + 1, ModelId::MobileNet, 0);
+    let guaranteed = JobSpec::new(cap + 2, ModelId::MobileNet, 1).guaranteed(2.0);
+    assert_eq!(
+        pool.submit(&mut fleet, best_effort, 1),
+        SubmitOutcome::Queued
+    );
+    assert_eq!(
+        pool.submit(&mut fleet, guaranteed, 2),
+        SubmitOutcome::Queued
+    );
+    let victim = fleet.slots()[0].jobs.first().expect("board is full").id;
+    assert!(fleet.remove_job(0, victim));
+    let drained = pool.drain(&mut fleet, 3, &TenantAccumulator::new());
+    assert_eq!(
+        drained.first().map(|d| d.job.id),
+        Some(cap + 2),
+        "the guaranteed job must drain first despite arriving later"
+    );
+}
+
+/// An overload-posture admission policy for the strict-mode proptests:
+/// tight quota and TTL so rejects and expiries actually fire at these
+/// trace intensities.
+fn strict_admission() -> AdmissionPolicy {
+    AdmissionPolicy {
+        order: QueueOrder::TenantDeficit,
+        tenant_queue_quota: Some(2),
+        ttl_ms: Some(4_000),
+        retry_backoff_ms: Some(100),
+        max_backoff_ms: 2_000,
+        ..AdmissionPolicy::default()
+    }
+}
+
+/// A skewed multi-tenant, mixed-SLO-class trace on a single board —
+/// small enough fleet that quotas, TTLs and backoff all engage.
+fn run_strict(process: ArrivalProcess, seed: u64) -> omniboost_serve::ServingReport {
+    let trace_cfg = TraceConfig {
+        tenant_weights: vec![7.0, 1.0, 1.0, 1.0],
+        guaranteed_share: 0.25,
+        guaranteed_min_tps: 2.0,
+        ..trace_config()
+    };
+    let trace = ArrivalTrace::generate(process, &trace_cfg, seed);
+    let config = ServingConfig {
+        online: quick_online(),
+        admission: strict_admission(),
+        ..ServingConfig::warm()
+    };
+    let mut sim = ServingSim::new(vec![Board::hikey970()], config, AnalyticModel::new);
+    sim.run(&trace, HORIZON_MS)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// (v) Strict admission (deficit order, quotas, TTL, backoff, SLO
+    /// classes) is as deterministic as the permissive default: two
+    /// fresh runtimes replay the same seed bit-for-bit.
+    #[test]
+    fn strict_admission_replays_bit_for_bit(
+        process in arb_process(),
+        seed in 0u64..500,
+    ) {
+        let a = run_strict(process, seed);
+        let b = run_strict(process, seed);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.summary.rejected, b.summary.rejected);
+        prop_assert_eq!(a.summary.expired, b.summary.expired);
+    }
+
+    /// (vi) **Admission conservation**: every arrival ends in exactly
+    /// one of {placed, rejected, expired, departed-while-queued, still
+    /// waiting} — re-derived per job id from the tick records and
+    /// balanced against the summary counters.
+    #[test]
+    fn admission_accounting_conserves_every_arrival(
+        process in arb_process(),
+        seed in 0u64..500,
+    ) {
+        let report = run_strict(process, seed);
+        let mut arrived = std::collections::HashSet::new();
+        let mut placed = std::collections::HashSet::new();
+        let mut rejected = std::collections::HashSet::new();
+        let mut expired = std::collections::HashSet::new();
+        let mut departed_queued = 0usize;
+        for tick in &report.ticks {
+            for id in &tick.expired {
+                prop_assert!(expired.insert(*id), "job {} expired twice", id);
+            }
+            for id in &tick.rejected {
+                prop_assert!(rejected.insert(*id), "job {} rejected twice", id);
+            }
+            for (id, _) in &tick.placements {
+                prop_assert!(placed.insert(*id), "job {} placed twice", id);
+            }
+            for e in &tick.events {
+                match e {
+                    JobEvent::Arrive(job) => {
+                        prop_assert!(arrived.insert(job.id));
+                    }
+                    JobEvent::Depart { job_id } => {
+                        if !placed.contains(job_id)
+                            && !rejected.contains(job_id)
+                            && !expired.contains(job_id)
+                        {
+                            departed_queued += 1;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(placed.is_disjoint(&rejected));
+        prop_assert!(placed.is_disjoint(&expired));
+        prop_assert!(rejected.is_disjoint(&expired));
+        let s = &report.summary;
+        prop_assert_eq!(s.rejected, rejected.len());
+        prop_assert_eq!(s.expired, expired.len());
+        prop_assert_eq!(s.placements, placed.len());
+        prop_assert_eq!(
+            arrived.len(),
+            placed.len() + rejected.len() + expired.len() + departed_queued
+                + s.left_in_queue,
+            "conservation: {} arrivals vs {} placed + {} rejected + {} expired \
+             + {} departed-queued + {} waiting",
+            arrived.len(), placed.len(), rejected.len(), expired.len(),
+            departed_queued, s.left_in_queue
+        );
+    }
+}
+
+/// One random op against a [`Mempool`] driven directly (no sim).
+#[derive(Debug, Clone, Copy)]
+enum PoolOp {
+    /// Submit a fresh job of `model` for `tenant` (guaranteed when
+    /// `gtd`).
+    Submit { model: u8, tenant: u8, gtd: bool },
+    /// Depart a random still-queued job.
+    DepartQueued { sel: u8 },
+    /// Free a random resident job's slot (so the next drain can move).
+    Free { sel: u8 },
+    /// Advance simulated time and sweep the TTL.
+    Advance,
+    /// Offer freed capacity to the pool.
+    Drain,
+}
+
+fn decode_pool_op(kind: u8, a: u8, b: u8) -> PoolOp {
+    match kind % 10 {
+        0..=4 => PoolOp::Submit {
+            model: a,
+            tenant: b % 4,
+            gtd: b & 0x80 != 0,
+        },
+        5 => PoolOp::DepartQueued { sel: a },
+        6..=7 => PoolOp::Free { sel: a },
+        8 => PoolOp::Advance,
+        _ => PoolOp::Drain,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (vii) **Mempool indexes and quotas under arbitrary
+    /// interleavings**: after every submit/depart/free/expire/drain the
+    /// full [`Mempool::index_check`] audit passes (id index, model
+    /// buckets, tenant depths and the conservation counters re-derived
+    /// from the entry spine), no tenant ever holds more waiting entries
+    /// than the quota, and every submit outcome is consistent with the
+    /// pool state that produced it.
+    #[test]
+    fn mempool_indexes_and_quotas_hold_under_random_ops(
+        kinds in proptest::collection::vec(0u8..10, 64),
+        operands_a in proptest::collection::vec(0u8..=255, 64),
+        operands_b in proptest::collection::vec(0u8..=255, 64),
+    ) {
+        const QUOTA: usize = 3;
+        let policy = AdmissionPolicy {
+            order: QueueOrder::TenantDeficit,
+            tenant_queue_quota: Some(QUOTA),
+            ttl_ms: Some(6_000),
+            retry_backoff_ms: Some(200),
+            max_backoff_ms: 1_600,
+            ..AdmissionPolicy::default()
+        };
+        let boards = vec![Board::hikey970_lite()];
+        let mut fleet = Fleet::new(boards, PlacementPolicy::LeastLoaded, false, index_scheduler);
+        let mut pool = Mempool::new(policy);
+        let acc = TenantAccumulator::new();
+        let mut now = 0u64;
+        let mut next_id = 1u64;
+        let mut queued: Vec<u64> = Vec::new();
+        let mut resident: Vec<u64> = Vec::new();
+        for i in 0..kinds.len() {
+            let op = decode_pool_op(kinds[i], operands_a[i], operands_b[i]);
+            match op {
+                PoolOp::Submit { model, tenant, gtd } => {
+                    let model = ModelId::ALL[model as usize % ModelId::ALL.len()];
+                    let spec = if gtd {
+                        JobSpec::new(next_id, model, u32::from(tenant)).guaranteed(1.0)
+                    } else {
+                        JobSpec::new(next_id, model, u32::from(tenant))
+                    };
+                    next_id += 1;
+                    let depth_before = pool.tenant_depth(spec.tenant);
+                    match pool.submit(&mut fleet, spec, now) {
+                        SubmitOutcome::Placed(_) => resident.push(spec.id),
+                        SubmitOutcome::Queued => queued.push(spec.id),
+                        SubmitOutcome::Rejected(RejectReason::TenantQuota) => {
+                            prop_assert_eq!(depth_before, QUOTA,
+                                "quota reject below the quota");
+                        }
+                        SubmitOutcome::Rejected(RejectReason::Unservable) => {
+                            // The lite board admits every zoo model on
+                            // an empty slot, so validation never fires
+                            // here.
+                            prop_assert!(false, "no zoo model is unservable");
+                        }
+                    }
+                }
+                PoolOp::DepartQueued { sel } => {
+                    if !queued.is_empty() {
+                        let id = queued.swap_remove(sel as usize % queued.len());
+                        prop_assert!(pool.depart(id), "queued job must be waiting");
+                        prop_assert!(!pool.depart(id), "double departure");
+                    }
+                }
+                PoolOp::Free { sel } => {
+                    if !resident.is_empty() {
+                        let id = resident.swap_remove(sel as usize % resident.len());
+                        let board = fleet.board_of(id).expect("resident job has a board");
+                        prop_assert!(fleet.remove_job(board, id));
+                    }
+                }
+                PoolOp::Advance => {
+                    now += 2_500;
+                    let expired = pool.expire(now);
+                    for id in &expired {
+                        let pos = queued.iter().position(|q| q == id);
+                        prop_assert!(pos.is_some(), "expired a non-queued job");
+                        queued.swap_remove(pos.unwrap());
+                    }
+                }
+                PoolOp::Drain => {
+                    for d in pool.drain(&mut fleet, now, &acc) {
+                        let pos = queued.iter().position(|q| *q == d.job.id);
+                        prop_assert!(pos.is_some(), "drained a non-queued job");
+                        queued.swap_remove(pos.unwrap());
+                        resident.push(d.job.id);
+                    }
+                }
+            }
+            let audit = pool.index_check();
+            prop_assert!(audit.is_ok(), "mempool audit failed after {op:?}: {audit:?}");
+            prop_assert_eq!(pool.len(), queued.len());
+            for tenant in 0..4u32 {
+                prop_assert!(pool.tenant_depth(tenant) <= QUOTA,
+                    "tenant {} over quota after {:?}", tenant, op);
             }
         }
     }
