@@ -17,12 +17,13 @@ perf-smoke:
 	SMOKE=1 cargo bench --bench fleet
 	SMOKE=1 cargo bench --bench fleet_scale
 	SMOKE=1 cargo bench --bench admission
+	SMOKE=1 cargo bench --bench chaos
 
 # Full perf snapshots: rewrites BENCH_decision_latency.json,
 # BENCH_estimator_training.json, BENCH_serving.json, BENCH_fleet.json,
-# BENCH_fleet_scale.json and BENCH_admission.json with this host's
-# numbers (the estimator_training direct-backward baseline takes a few
-# minutes).
+# BENCH_fleet_scale.json, BENCH_admission.json and BENCH_chaos.json
+# with this host's numbers (the estimator_training direct-backward
+# baseline takes a few minutes).
 .PHONY: perf-snapshots
 perf-snapshots:
 	cargo bench --bench decision_latency
@@ -31,6 +32,7 @@ perf-snapshots:
 	cargo bench --bench fleet
 	cargo bench --bench fleet_scale
 	cargo bench --bench admission
+	cargo bench --bench chaos
 
 # Full fleet-scale run only: rewrites BENCH_fleet_scale.json ({16, 64,
 # 256}-board cells, ~2000-job traces each).
@@ -43,3 +45,10 @@ perf-scale:
 .PHONY: perf-admission
 perf-admission:
 	cargo bench --bench admission
+
+# Full chaos run only: rewrites BENCH_chaos.json (three chaos
+# intensities vs a chaos-free oracle, degrade-in-place A/B, 3 trace
+# seeds each).
+.PHONY: perf-chaos
+perf-chaos:
+	cargo bench --bench chaos

@@ -17,6 +17,7 @@
 //! `SMOKE=1` (the CI mode) shrinks horizons and budgets so the whole
 //! bench runs in seconds and **does not** rewrite the JSON snapshot.
 
+use omniboost_bench::{config_digest, trace_config_pairs};
 use omniboost_hw::AnalyticModel;
 use omniboost_models::{
     ArrivalProcess, ArrivalTrace, FleetEvent, FleetScript, FleetTraceEvent, JobEvent, JobSpec,
@@ -73,6 +74,19 @@ fn rebalance(scale: &BenchScale) -> RebalanceConfig {
     }
 }
 
+/// The scale knobs every cell shares, rendered for [`config_digest`].
+fn scale_pairs(scale: &BenchScale) -> Vec<(&'static str, String)> {
+    vec![
+        ("scale.cold_iterations", scale.cold_iterations.to_string()),
+        ("scale.horizon_ms", scale.horizon_ms.to_string()),
+        (
+            "scale.rebalance_period_ms",
+            scale.rebalance_period_ms.to_string(),
+        ),
+        ("scale.warm_iterations", scale.warm_iterations.to_string()),
+    ]
+}
+
 fn config(scale: &BenchScale, placement: PlacementPolicy, rebalancing: bool) -> OrchestratorConfig {
     OrchestratorConfig {
         placement,
@@ -118,15 +132,21 @@ fn run_skewed_departure(scale: &BenchScale, rebalancing: bool) -> OrchestratorRe
     sim.run(&trace, &FleetScript::none(), scale.horizon_ms)
 }
 
+/// The Poisson sections' trace config — shared with the Drive-As-Code
+/// digest so the stamped provenance is exactly what drove the run.
+fn poisson_trace_cfg(scale: &BenchScale, weights: Vec<f64>) -> TraceConfig {
+    TraceConfig {
+        horizon_ms: scale.horizon_ms,
+        mean_lifetime_ms: scale.horizon_ms as f64 / 8.0,
+        tenant_weights: weights,
+        ..TraceConfig::default()
+    }
+}
+
 fn poisson_trace(scale: &BenchScale, seed: u64, weights: Vec<f64>) -> ArrivalTrace {
     ArrivalTrace::generate(
         ArrivalProcess::Poisson { rate_per_s: 1.0 },
-        &TraceConfig {
-            horizon_ms: scale.horizon_ms,
-            mean_lifetime_ms: scale.horizon_ms as f64 / 8.0,
-            tenant_weights: weights,
-            ..TraceConfig::default()
-        },
+        &poisson_trace_cfg(scale, weights),
         seed,
     )
 }
@@ -205,9 +225,13 @@ fn main() {
         rebalanced.summary.rebalance_migrated_layers,
         if skew_pass { "pass" } else { "FAIL" },
     );
+    let mut skew_drive = scale_pairs(&scale);
+    skew_drive.push(("boards", "4".into()));
+    skew_drive.push(("section", "skewed_departure".into()));
     let skew_json = format!(
         concat!(
             "  \"skewed_departure\": {{\n",
+            "    \"config_digest\": \"{:#018x}\",\n",
             "    \"pinned\": {{\"mean_aggregate_tps\": {:.4}, \"migrated_layers\": {}}},\n",
             "    \"rebalanced\": {{\"mean_aggregate_tps\": {:.4}, \"migrated_layers\": {}, ",
             "\"moves\": {}, \"rejected_proposals\": {}, \"rebalance_migrated_layers\": {}, ",
@@ -215,6 +239,7 @@ fn main() {
             "    \"gain_pct\": {:.2}, \"pass\": {}\n",
             "  }}"
         ),
+        config_digest(&skew_drive),
         pinned.summary.mean_aggregate_tps,
         pinned.summary.migrated_layers,
         rebalanced.summary.mean_aggregate_tps,
@@ -278,15 +303,22 @@ fn main() {
             mean(&tps),
             if pass { "pass" } else { "FAIL" },
         );
+        let mut drive = trace_config_pairs(&poisson_trace_cfg(&scale, Vec::new()));
+        drive.extend(scale_pairs(&scale));
+        drive.push(("boards", "3+1lite".into()));
+        drive.push(("evac_order", format!("{evac_order:?}")));
+        drive.push(("rebalance", rebalancing.to_string()));
         failure_rows.push(format!(
             concat!(
-                "    {{\"rebalance\": {}, \"evac_order\": \"{:?}\", \"trace_seeds\": {}, ",
+                "    {{\"rebalance\": {}, \"evac_order\": \"{:?}\", ",
+                "\"config_digest\": \"{:#018x}\", \"trace_seeds\": {}, ",
                 "\"evacuated_jobs\": {}, ",
                 "\"relocated_same_tick\": {}, \"lost_jobs\": {}, \"evacuation_wait_ms\": {}, ",
                 "\"mean_aggregate_tps\": {:.4}, \"pass\": {}}}"
             ),
             rebalancing,
             evac_order,
+            config_digest(&drive),
             scale.trace_seeds.len(),
             evacuated,
             relocated,
@@ -333,15 +365,21 @@ fn main() {
         (fs_tps / ll_tps - 1.0) * 100.0,
         if fair_pass { "pass" } else { "FAIL" },
     );
+    let mut fair_drive = trace_config_pairs(&poisson_trace_cfg(&scale, vec![7.0, 1.0, 1.0, 1.0]));
+    fair_drive.extend(scale_pairs(&scale));
+    fair_drive.push(("boards", "4".into()));
+    fair_drive.push(("section", "tenant_fairness".into()));
     let fairness_json = format!(
         concat!(
             "  \"tenant_fairness\": {{\n",
+            "    \"config_digest\": \"{:#018x}\",\n",
             "    \"trace_seeds\": {}, \"tenant_weights\": [7, 1, 1, 1],\n",
             "    \"least_loaded\": {{\"tenant_tps_ratio\": {:.4}, \"mean_aggregate_tps\": {:.4}}},\n",
             "    \"fair_share\": {{\"tenant_tps_ratio\": {:.4}, \"mean_aggregate_tps\": {:.4}}},\n",
             "    \"ratio_reduction_pct\": {:.2}, \"aggregate_delta_pct\": {:.2}, \"pass\": {}\n",
             "  }}"
         ),
+        config_digest(&fair_drive),
         scale.trace_seeds.len(),
         ll_ratio,
         ll_tps,

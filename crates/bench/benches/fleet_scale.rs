@@ -21,6 +21,7 @@
 //! Writes `BENCH_fleet_scale.json`. `SMOKE=1` (the CI mode) shrinks
 //! board counts and the trace and **does not** rewrite the snapshot.
 
+use omniboost_bench::{config_digest, trace_config_pairs};
 use omniboost_hw::AnalyticModel;
 use omniboost_models::{
     ArrivalProcess, ArrivalTrace, FleetEvent, FleetScript, FleetTraceEvent, TraceConfig,
@@ -102,18 +103,35 @@ fn script(scale: &BenchScale) -> FleetScript {
     ])
 }
 
+/// The cell's trace config — steady state ~3.5 resident jobs per board
+/// at every fleet size. Shared with the Drive-As-Code digest so the
+/// stamped provenance is exactly what drove the run.
+fn cell_trace_cfg(scale: &BenchScale, boards: usize) -> TraceConfig {
+    TraceConfig {
+        horizon_ms: scale.horizon_ms,
+        mean_lifetime_ms: boards as f64 * 3.5 / scale.rate_per_s * 1000.0,
+        ..TraceConfig::default()
+    }
+}
+
+/// Drive-As-Code digest over the declarative configs that shape one
+/// cell: trace, fleet size and the orchestrator knobs that vary here.
+fn cell_digest(scale: &BenchScale, boards: usize) -> u64 {
+    let mut drive = trace_config_pairs(&cell_trace_cfg(scale, boards));
+    drive.push(("boards", boards.to_string()));
+    drive.push(("cell_size", scale.cell_size.to_string()));
+    drive.push(("cold_iterations", scale.cold_iterations.to_string()));
+    drive.push(("rate_per_s", format!("{:?}", scale.rate_per_s)));
+    drive.push(("warm_iterations", scale.warm_iterations.to_string()));
+    config_digest(&drive)
+}
+
 fn run_cell(scale: &BenchScale, boards: usize) -> (OrchestratorReport, f64) {
-    // Steady state ~3.5 resident jobs per board at every fleet size.
-    let mean_lifetime_ms = boards as f64 * 3.5 / scale.rate_per_s * 1000.0;
     let trace = ArrivalTrace::generate(
         ArrivalProcess::Poisson {
             rate_per_s: scale.rate_per_s,
         },
-        &TraceConfig {
-            horizon_ms: scale.horizon_ms,
-            mean_lifetime_ms,
-            ..TraceConfig::default()
-        },
+        &cell_trace_cfg(scale, boards),
         42,
     );
     let config = OrchestratorConfig {
@@ -176,7 +194,8 @@ fn main() {
         );
         rows.push(format!(
             concat!(
-                "    {{\"boards\": {}, \"arrivals\": {}, \"ticks\": {}, ",
+                "    {{\"boards\": {}, \"config_digest\": \"{:#018x}\", ",
+                "\"arrivals\": {}, \"ticks\": {}, ",
                 "\"wall_ms\": {:.1}, \"decision_ms\": {:.1}, ",
                 "\"overhead_us_per_board_tick\": {:.3}, ",
                 "\"placement_p99_ms\": {:.4}, \"placement_count\": {}, ",
@@ -185,6 +204,7 @@ fn main() {
                 "\"pass\": {}}}"
             ),
             boards,
+            cell_digest(&scale, boards),
             s.arrivals,
             ticks,
             wall_ms,

@@ -10,6 +10,7 @@
 //! `SMOKE=1` (the CI mode) shrinks traces and budgets so the whole
 //! bench runs in seconds and **does not** rewrite the JSON snapshot.
 
+use omniboost_bench::{config_digest, trace_config_pairs};
 use omniboost_hw::{AnalyticModel, Board};
 use omniboost_models::{ArrivalProcess, ArrivalTrace, TraceConfig};
 use omniboost_serve::{
@@ -75,6 +76,14 @@ fn scenarios(boards: usize, scale: &BenchScale) -> Vec<(&'static str, ArrivalPro
     ]
 }
 
+fn trace_cfg(scale: &BenchScale) -> TraceConfig {
+    TraceConfig {
+        horizon_ms: scale.horizon_ms,
+        mean_lifetime_ms: scale.horizon_ms as f64 / 8.0,
+        ..TraceConfig::default()
+    }
+}
+
 fn run(
     process: ArrivalProcess,
     policy: ReschedulePolicy,
@@ -82,12 +91,7 @@ fn run(
     scale: &BenchScale,
     seed: u64,
 ) -> ServingReport {
-    let trace_cfg = TraceConfig {
-        horizon_ms: scale.horizon_ms,
-        mean_lifetime_ms: scale.horizon_ms as f64 / 8.0,
-        ..TraceConfig::default()
-    };
-    let trace = ArrivalTrace::generate(process, &trace_cfg, seed);
+    let trace = ArrivalTrace::generate(process, &trace_cfg(scale), seed);
     let online = OnlineConfig {
         cold_budget: SearchBudget::with_iterations(scale.cold_iterations),
         warm_budget: SearchBudget::with_iterations(scale.warm_iterations),
@@ -194,9 +198,18 @@ fn main() {
             let sum = |f: &dyn Fn(&ServingReport) -> usize, rs: &[ServingReport]| -> usize {
                 rs.iter().map(f).sum()
             };
+            // Drive-As-Code provenance for the cell: trace + arrival
+            // process + fleet size + search budgets.
+            let mut drive = trace_config_pairs(&trace_cfg(&scale));
+            drive.push(("boards", boards.to_string()));
+            drive.push(("cold_iterations", scale.cold_iterations.to_string()));
+            drive.push(("process", format!("{process:?}")));
+            drive.push(("warm_iterations", scale.warm_iterations.to_string()));
+            let digest = config_digest(&drive);
             rows.push(format!(
                 concat!(
-                    "    {{\"scenario\": \"{}\", \"boards\": {}, \"trace_seeds\": {}, ",
+                    "    {{\"scenario\": \"{}\", \"boards\": {}, ",
+                    "\"config_digest\": \"{:#018x}\", \"trace_seeds\": {}, ",
                     "\"events\": {}, \"arrivals\": {}, \"departures\": {}, ",
                     "\"peak_queue_depth\": {}, ",
                     "\"cold\": {{\"decisions\": {}, \"single_job_delta\": {}, ",
@@ -208,6 +221,7 @@ fn main() {
                 ),
                 name,
                 boards,
+                digest,
                 scale.trace_seeds.len(),
                 sum(&|r| r.summary.events, &colds),
                 sum(&|r| r.summary.arrivals, &colds),

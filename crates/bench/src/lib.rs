@@ -21,7 +21,7 @@
 use omniboost::baselines::{Genetic, GeneticConfig, GpuOnly, Mosaic};
 use omniboost::{ComparisonRow, OmniBoost, Runtime};
 use omniboost_hw::{Device, Fnv1a, HwError, Mapping, Workload};
-use omniboost_models::{ModelId, TraceConfig};
+use omniboost_models::{FleetScriptConfig, ModelId, TraceConfig};
 use omniboost_serve::AdmissionPolicy;
 use std::hash::Hasher;
 
@@ -63,6 +63,42 @@ pub fn trace_config_pairs(cfg: &TraceConfig) -> Vec<(&'static str, String)> {
         ("trace.models", format!("{:?}", cfg.models)),
         ("trace.tenant_weights", format!("{:?}", cfg.tenant_weights)),
         ("trace.tenants", cfg.tenants.to_string()),
+    ]
+}
+
+/// [`FleetScriptConfig`] rendered for [`config_digest`] — every knob
+/// that shapes a generated fleet-lifecycle (chaos) script.
+pub fn fleet_script_pairs(cfg: &FleetScriptConfig) -> Vec<(&'static str, String)> {
+    vec![
+        ("script.degrade_profiles", cfg.degrade_profiles.to_string()),
+        ("script.flap_down_ms", cfg.flap_down_ms.to_string()),
+        ("script.horizon_ms", cfg.horizon_ms.to_string()),
+        ("script.initial_boards", cfg.initial_boards.to_string()),
+        ("script.join_profiles", cfg.join_profiles.to_string()),
+        (
+            "script.mean_degrade_interval_ms",
+            format!("{:?}", cfg.mean_degrade_interval_ms),
+        ),
+        (
+            "script.mean_drain_interval_ms",
+            format!("{:?}", cfg.mean_drain_interval_ms),
+        ),
+        (
+            "script.mean_fail_interval_ms",
+            format!("{:?}", cfg.mean_fail_interval_ms),
+        ),
+        (
+            "script.mean_flap_interval_ms",
+            format!("{:?}", cfg.mean_flap_interval_ms),
+        ),
+        (
+            "script.mean_join_interval_ms",
+            format!("{:?}", cfg.mean_join_interval_ms),
+        ),
+        (
+            "script.mean_recover_interval_ms",
+            format!("{:?}", cfg.mean_recover_interval_ms),
+        ),
     ]
 }
 

@@ -107,13 +107,17 @@ enum MemoMode {
     Untouched,
 }
 
-/// Memo key: scheduler identity plus workload composition. Each DNN
-/// contributes its name, layer count and resident weight bytes — name
-/// alone is not enough because [`omniboost_models::DnnModelBuilder`]
-/// allows distinct architectures under one name. Order is preserved
-/// (workloads are mixes, but [`Workload`] keeps order and so do we,
-/// which is conservative: permutations simply miss).
-type MemoKey = (String, Vec<(String, usize, u64)>);
+/// Memo key: scheduler identity, the scheduler's per-decision context
+/// salt ([`Scheduler::memo_salt`] — the SLO floor vector for the online
+/// scheduler, so a floored mix never replays a floorless mapping and
+/// vice versa; `0` for context-free schedulers keeps pre-salt keys
+/// intact), plus workload composition. Each DNN contributes its name,
+/// layer count and resident weight bytes — name alone is not enough
+/// because [`omniboost_models::DnnModelBuilder`] allows distinct
+/// architectures under one name. Order is preserved (workloads are
+/// mixes, but [`Workload`] keeps order and so do we, which is
+/// conservative: permutations simply miss).
+type MemoKey = (String, u64, Vec<(String, usize, u64)>);
 
 impl Clone for Runtime {
     fn clone(&self) -> Self {
@@ -181,6 +185,7 @@ impl Runtime {
     fn memo_key(scheduler: &dyn Scheduler, workload: &Workload) -> MemoKey {
         (
             scheduler.name().to_owned(),
+            scheduler.memo_salt(),
             workload
                 .dnns()
                 .iter()
@@ -384,6 +389,46 @@ mod tests {
         let third = rt.run(&mut sched, &w2).unwrap();
         assert!(!third.memo_hit);
         assert_eq!(rt.memo_stats(), MemoStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn memo_is_scoped_per_memo_salt() {
+        /// A scheduler whose decisions depend on armed context (like the
+        /// online scheduler's SLO floors), surfaced through the salt.
+        struct Salted {
+            inner: RandomSplit,
+            salt: u64,
+        }
+        impl Scheduler for Salted {
+            fn name(&self) -> &str {
+                "salted"
+            }
+            fn decide(&mut self, board: &Board, workload: &Workload) -> Result<Mapping, HwError> {
+                self.inner.decide(board, workload)
+            }
+            fn memo_salt(&self) -> u64 {
+                self.salt
+            }
+        }
+        let rt = Runtime::new(Board::hikey970()).with_memo();
+        let w = Workload::from_ids([ModelId::AlexNet, ModelId::MobileNet]);
+        let mut sched = Salted {
+            inner: RandomSplit::new(11),
+            salt: 0,
+        };
+        let plain = rt.run(&mut sched, &w).unwrap();
+        // A different salt (different armed floors) must miss: the
+        // floorless mapping would otherwise replay under the floors.
+        sched.salt = 0xF100D;
+        let floored = rt.run(&mut sched, &w).unwrap();
+        assert!(!floored.memo_hit, "salt change must invalidate the memo");
+        assert_ne!(floored.mapping, plain.mapping);
+        // Each salt now hits its own entry.
+        assert!(rt.run(&mut sched, &w).unwrap().memo_hit);
+        sched.salt = 0;
+        let replay = rt.run(&mut sched, &w).unwrap();
+        assert!(replay.memo_hit);
+        assert_eq!(replay.mapping, plain.mapping);
     }
 
     #[test]

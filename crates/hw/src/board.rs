@@ -89,6 +89,15 @@ impl SaturationModel {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Board {
     devices: [DeviceSpec; Device::COUNT],
+    /// Per-device availability mask: `true` marks a component lost to a
+    /// partial failure (driver crash, thermal shutdown of one
+    /// accelerator). The device keeps its slot — `Device::COUNT` layout,
+    /// mappings and caches stay shape-compatible — but every kernel
+    /// priced on it is penalized so hard
+    /// ([`crate::cost::DISABLED_DEVICE_PENALTY`]) that searches,
+    /// analytic evaluation and the DES all route around it, and
+    /// [`Board::total_peak_gflops`] no longer counts its capacity.
+    disabled: [bool; Device::COUNT],
     /// Interconnect carrying pipeline-stage transfers.
     pub bus: BusSpec,
     /// Saturation behaviour.
@@ -137,6 +146,7 @@ impl Board {
                     ws_capacity_bytes: 250 << 20,
                 },
             ],
+            disabled: [false; Device::COUNT],
             bus: BusSpec {
                 bandwidth_gbs: 6.0,
                 latency_ms: 0.25,
@@ -186,6 +196,40 @@ impl Board {
         board.memory_budget_bytes = 3 * 1024 * 1024 * 1024;
         board.max_concurrent_dnns = 4;
         board
+    }
+
+    /// A **device-loss** brown-out profile: the full HiKey970 with its
+    /// GPU masked out (driver crash / thermal shutdown of the Mali
+    /// alone). The device keeps its slot so mappings and caches stay
+    /// shape-compatible, but capacity, placement scoring and every
+    /// evaluation path see the loss; the concurrency ceiling drops with
+    /// the compute (two CPU clusters cannot carry five DNNs).
+    pub fn hikey970_gpu_down() -> Self {
+        let mut board = Self::hikey970();
+        board.disabled[Device::Gpu.index()] = true;
+        board.max_concurrent_dnns = 3;
+        board
+    }
+
+    /// Returns this board with `device` masked out (see
+    /// [`Board::hikey970_gpu_down`] for the semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask would disable every device — a board with no
+    /// compute cannot serve anything.
+    pub fn with_device_disabled(mut self, device: Device) -> Self {
+        self.disabled[device.index()] = true;
+        assert!(
+            self.disabled.iter().any(|d| !d),
+            "cannot disable every device"
+        );
+        self
+    }
+
+    /// Whether `device` is available (not lost to a partial failure).
+    pub fn device_enabled(&self, device: Device) -> bool {
+        !self.disabled[device.index()]
     }
 
     /// Spec of one computing component.
@@ -247,7 +291,12 @@ impl Board {
     /// the capacity denominator fleet placement uses to score load on
     /// possibly heterogeneous boards.
     pub fn total_peak_gflops(&self) -> f64 {
-        self.devices.iter().map(|d| d.peak_gflops).sum()
+        self.devices
+            .iter()
+            .zip(&self.disabled)
+            .filter(|(_, off)| !**off)
+            .map(|(d, _)| d.peak_gflops)
+            .sum()
     }
 
     /// A load proxy for fleet placement: seconds of aggregate peak
@@ -293,6 +342,15 @@ impl Board {
         h.write(&(self.saturation.global_knee as u64).to_le_bytes());
         h.write(&self.memory_budget_bytes.to_le_bytes());
         h.write(&(self.max_concurrent_dnns as u64).to_le_bytes());
+        // Only an active mask contributes bytes: unmasked boards keep
+        // the fingerprints (and cache-archive segments) they had before
+        // device masking existed.
+        if self.disabled.iter().any(|d| *d) {
+            h.write(b"disabled");
+            for off in &self.disabled {
+                h.write(&[*off as u8]);
+            }
+        }
         h.finish()
     }
 }
@@ -386,6 +444,43 @@ mod tests {
         // which is what makes least-loaded placement profile-aware.
         let w = Workload::from_ids([ModelId::ResNet34]);
         assert!(lite.load_score(&w) > full.load_score(&w));
+    }
+
+    #[test]
+    fn device_mask_drops_capacity_and_changes_the_fingerprint() {
+        let full = Board::hikey970();
+        let masked = Board::hikey970_gpu_down();
+        assert!(full.device_enabled(Device::Gpu));
+        assert!(!masked.device_enabled(Device::Gpu));
+        assert!(masked.device_enabled(Device::BigCpu));
+        // Capacity loses exactly the GPU's contribution.
+        let gpu = full.device(Device::Gpu).peak_gflops;
+        assert!((full.total_peak_gflops() - masked.total_peak_gflops() - gpu).abs() < 1e-9);
+        // Masked boards fingerprint apart (cache segments must not mix)
+        // and deterministically.
+        assert_ne!(full.fingerprint(), masked.fingerprint());
+        assert_eq!(
+            masked.fingerprint(),
+            Board::hikey970_gpu_down().fingerprint()
+        );
+        assert_ne!(
+            masked.fingerprint(),
+            Board::hikey970()
+                .with_device_disabled(Device::BigCpu)
+                .fingerprint()
+        );
+        // The same workload consumes more of the masked board's headroom.
+        let w = Workload::from_ids([ModelId::ResNet34]);
+        assert!(masked.load_score(&w) > full.load_score(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot disable every device")]
+    fn disabling_every_device_panics() {
+        let _ = Board::hikey970()
+            .with_device_disabled(Device::Gpu)
+            .with_device_disabled(Device::BigCpu)
+            .with_device_disabled(Device::LittleCpu);
     }
 
     #[test]

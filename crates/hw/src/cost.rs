@@ -20,15 +20,32 @@ pub fn kernel_time_ms(spec: &DeviceSpec, kernel: &Kernel) -> f64 {
     compute_ms.max(memory_ms) + spec.kernel_overhead_ms
 }
 
+/// Service-time inflation applied to layers priced on a masked-out
+/// device (see [`Board::device_enabled`]). Large enough that no search,
+/// analytic fixed point or DES replay ever prefers a lost device, yet
+/// finite — mappings that reference one stay structurally valid and
+/// evaluate to a near-zero (not NaN) throughput, so degrade-in-place
+/// re-pricing can compare them against migration candidates.
+pub const DISABLED_DEVICE_PENALTY: f64 = 1e6;
+
 /// Uncontended execution time of a layer on a device, in milliseconds —
-/// the `B_l^α = Σ_k b_k^α` of Eq. 1.
+/// the `B_l^α = Σ_k b_k^α` of Eq. 1. Layers priced on a device the
+/// board has lost ([`Board::device_enabled`]) are inflated by
+/// [`DISABLED_DEVICE_PENALTY`], which is how the loss propagates to
+/// every evaluation path (profile tables, analytic model, DES, MOSAIC)
+/// without disturbing the `Device::COUNT` layout.
 pub fn layer_time_ms(board: &Board, device: Device, layer: &Layer) -> f64 {
     let spec = board.device(device);
-    layer
+    let raw: f64 = layer
         .kernels()
         .iter()
         .map(|k| kernel_time_ms(spec, k))
-        .sum()
+        .sum();
+    if board.device_enabled(device) {
+        raw
+    } else {
+        raw * DISABLED_DEVICE_PENALTY
+    }
 }
 
 /// Uncontended single-inference latency of a whole DNN on one device
@@ -79,6 +96,27 @@ mod tests {
         let spec = board.device(Device::Gpu);
         let empty = omniboost_models::Kernel::new("nop", KernelClass::Activation);
         assert!(kernel_time_ms(spec, &empty) >= spec.kernel_overhead_ms);
+    }
+
+    #[test]
+    fn masked_devices_price_catastrophically_but_finitely() {
+        let full = Board::hikey970();
+        let masked = Board::hikey970_gpu_down();
+        let vgg = zoo::build(ModelId::Vgg19);
+        let layer = &vgg.layers()[0];
+        let healthy = layer_time_ms(&full, Device::Gpu, layer);
+        let lost = layer_time_ms(&masked, Device::Gpu, layer);
+        assert!((lost / healthy - DISABLED_DEVICE_PENALTY).abs() < 1e-3);
+        assert!(lost.is_finite());
+        // Untouched devices price identically.
+        assert_eq!(
+            layer_time_ms(&full, Device::BigCpu, layer),
+            layer_time_ms(&masked, Device::BigCpu, layer)
+        );
+        // The enabled CPUs now beat the lost GPU on every model.
+        assert!(
+            dnn_time_ms(&masked, Device::LittleCpu, &vgg) < dnn_time_ms(&masked, Device::Gpu, &vgg)
+        );
     }
 
     #[test]

@@ -163,6 +163,16 @@ pub trait Scheduler {
     fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
         None
     }
+
+    /// Extra state the runtime must fold into its decision-memo key
+    /// beyond the scheduler name and workload shape. `0` — the default —
+    /// means the next decision depends on nothing else; schedulers whose
+    /// decisions are steered by armed per-call context (e.g. SLO floor
+    /// vectors) return a digest of that context so a memoized mapping is
+    /// only ever replayed under the exact context that produced it.
+    fn memo_salt(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -232,6 +232,25 @@ pub enum FleetEvent {
         /// the index to a board profile).
         profile: usize,
     },
+    /// The board browns out: it stays up but swaps to a weaker hardware
+    /// profile in place (thermal throttle, a single accelerator lost).
+    /// Resident jobs are **not** force-evacuated — they re-price under
+    /// the degraded profile and migrate only if the priced gain clears
+    /// the rebalancer bar; jobs the weaker profile cannot admit at all
+    /// are requeued.
+    BoardDegrade {
+        /// Slot index of the degrading board.
+        board: usize,
+        /// Index into the fleet spec's degrade-profile pool (resolved
+        /// by the orchestrator, like [`FleetEvent::BoardJoin`]).
+        profile: usize,
+    },
+    /// A degraded board recovers its original hardware profile
+    /// (brown-out ends). A no-op for boards that were never degraded.
+    BoardRecover {
+        /// Slot index of the recovering board.
+        board: usize,
+    },
 }
 
 /// A timestamped [`FleetEvent`].
@@ -258,11 +277,32 @@ pub struct FleetScriptConfig {
     pub mean_drain_interval_ms: f64,
     /// Mean time between board joins (exponential; 0 disables).
     pub mean_join_interval_ms: f64,
+    /// Mean time between brown-outs (exponential; 0 disables). A
+    /// degrade targets an alive, not-yet-degraded board; with every
+    /// board already degraded the draw is dropped.
+    pub mean_degrade_interval_ms: f64,
+    /// Mean time between brown-out recoveries (exponential; 0
+    /// disables). A recover targets a currently-degraded board; with
+    /// none degraded the draw is dropped.
+    pub mean_recover_interval_ms: f64,
+    /// Number of degrade profiles brown-outs draw from (uniformly).
+    pub degrade_profiles: usize,
+    /// Mean time between flap sequences (exponential; 0 disables): a
+    /// flap fails an alive board and schedules its rejoin
+    /// [`FleetScriptConfig::flap_down_ms`] later — the warm-reboot
+    /// scenario (the orchestrator preloads the rejoining profile's
+    /// cache-archive segment by fingerprint).
+    pub mean_flap_interval_ms: f64,
+    /// Downtime between a flap's fail and its rejoin. Rejoin stamps
+    /// past the horizon are dropped (the board stays down).
+    pub flap_down_ms: u64,
 }
 
 impl Default for FleetScriptConfig {
     /// A 4-board fleet over one minute with one failure and one join
-    /// expected per trace, drains off.
+    /// expected per trace; drains and every chaos class (degrade,
+    /// recover, flap) off — a zero mean draws nothing from the RNG, so
+    /// pre-chaos scripts replay bit-for-bit.
     fn default() -> Self {
         Self {
             horizon_ms: 60_000,
@@ -271,6 +311,11 @@ impl Default for FleetScriptConfig {
             mean_fail_interval_ms: 60_000.0,
             mean_drain_interval_ms: 0.0,
             mean_join_interval_ms: 60_000.0,
+            mean_degrade_interval_ms: 0.0,
+            mean_recover_interval_ms: 0.0,
+            degrade_profiles: 1,
+            mean_flap_interval_ms: 0.0,
+            flap_down_ms: 2_000,
         }
     }
 }
@@ -330,16 +375,42 @@ impl FleetScript {
         let mut next_fail = draw(&mut rng, 0.0, config.mean_fail_interval_ms);
         let mut next_drain = draw(&mut rng, 0.0, config.mean_drain_interval_ms);
         let mut next_join = draw(&mut rng, 0.0, config.mean_join_interval_ms);
+        let mut next_degrade = draw(&mut rng, 0.0, config.mean_degrade_interval_ms);
+        let mut next_recover = draw(&mut rng, 0.0, config.mean_recover_interval_ms);
+        let mut next_flap = draw(&mut rng, 0.0, config.mean_flap_interval_ms);
         let mut alive: Vec<usize> = (0..config.initial_boards).collect();
+        let mut degraded: Vec<usize> = Vec::new();
+        // Rejoin stamps of in-flight flaps, kept sorted ascending so the
+        // earliest pending rejoin competes with the class stamps and the
+        // alive set stays time-consistent.
+        let mut pending_rejoins: Vec<f64> = Vec::new();
         let mut next_index = config.initial_boards;
         let mut events = Vec::new();
         loop {
-            let t = next_fail.min(next_drain).min(next_join);
+            let next_rejoin = pending_rejoins.first().copied().unwrap_or(horizon);
+            let t = next_fail
+                .min(next_drain)
+                .min(next_join)
+                .min(next_degrade)
+                .min(next_recover)
+                .min(next_flap)
+                .min(next_rejoin);
             if t >= horizon {
                 break;
             }
             let at_ms = t as u64;
-            if t == next_join {
+            if t == next_rejoin {
+                // A flapped board comes back: same join path as a fresh
+                // board (new index, profile drawn from the join pool).
+                pending_rejoins.remove(0);
+                let profile = rng.gen_range(0..config.join_profiles.max(1));
+                events.push(FleetTraceEvent {
+                    at_ms,
+                    event: FleetEvent::BoardJoin { profile },
+                });
+                alive.push(next_index);
+                next_index += 1;
+            } else if t == next_join {
                 let profile = rng.gen_range(0..config.join_profiles.max(1));
                 events.push(FleetTraceEvent {
                     at_ms,
@@ -348,6 +419,59 @@ impl FleetScript {
                 alive.push(next_index);
                 next_index += 1;
                 next_join = draw(&mut rng, t, config.mean_join_interval_ms);
+            } else if t == next_degrade {
+                // The target and profile draws happen even when every
+                // alive board is already degraded (event dropped), so
+                // scripts of different classes stay aligned per seed.
+                let eligible: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|b| !degraded.contains(b))
+                    .collect();
+                let pick = rng.gen_range(0..eligible.len().max(1));
+                let profile = rng.gen_range(0..config.degrade_profiles.max(1));
+                if !eligible.is_empty() {
+                    let board = eligible[pick];
+                    degraded.push(board);
+                    events.push(FleetTraceEvent {
+                        at_ms,
+                        event: FleetEvent::BoardDegrade { board, profile },
+                    });
+                }
+                next_degrade = draw(&mut rng, t, config.mean_degrade_interval_ms);
+            } else if t == next_recover {
+                let pick = rng.gen_range(0..degraded.len().max(1));
+                if !degraded.is_empty() {
+                    let board = degraded.remove(pick);
+                    events.push(FleetTraceEvent {
+                        at_ms,
+                        event: FleetEvent::BoardRecover { board },
+                    });
+                }
+                next_recover = draw(&mut rng, t, config.mean_recover_interval_ms);
+            } else if t == next_flap {
+                // Flap = fail now, rejoin flap_down_ms later. The fail
+                // half follows the fail rules (never the last board);
+                // the rejoin is only scheduled when the fail fired and
+                // lands inside the horizon.
+                let pick = rng.gen_range(0..alive.len().max(1));
+                if alive.len() > 1 {
+                    let board = alive.remove(pick);
+                    degraded.retain(|b| *b != board);
+                    events.push(FleetTraceEvent {
+                        at_ms,
+                        event: FleetEvent::BoardFail { board },
+                    });
+                    let rejoin = t + config.flap_down_ms.max(1) as f64;
+                    if rejoin < horizon {
+                        let pos = pending_rejoins
+                            .iter()
+                            .position(|r| *r > rejoin)
+                            .unwrap_or(pending_rejoins.len());
+                        pending_rejoins.insert(pos, rejoin);
+                    }
+                }
+                next_flap = draw(&mut rng, t, config.mean_flap_interval_ms);
             } else {
                 let is_fail = t == next_fail;
                 // The target draw happens even when the event is dropped
@@ -356,6 +480,7 @@ impl FleetScript {
                 let pick = rng.gen_range(0..alive.len().max(1));
                 if alive.len() > 1 {
                     let board = alive.remove(pick);
+                    degraded.retain(|b| *b != board);
                     events.push(FleetTraceEvent {
                         at_ms,
                         event: if is_fail {
@@ -831,6 +956,7 @@ mod tests {
             mean_fail_interval_ms: 40_000.0,
             mean_drain_interval_ms: 90_000.0,
             mean_join_interval_ms: 70_000.0,
+            ..FleetScriptConfig::default()
         };
         let a = FleetScript::generate(&cfg, 9);
         assert_eq!(a, FleetScript::generate(&cfg, 9), "same seed, same script");
@@ -863,6 +989,9 @@ mod tests {
                     next_index += 1;
                     joins += 1;
                 }
+                FleetEvent::BoardDegrade { .. } | FleetEvent::BoardRecover { .. } => {
+                    panic!("chaos classes are disabled in this config")
+                }
             }
         }
         assert!(fails > 0, "mean 40s over 10 min should fail some board");
@@ -879,6 +1008,119 @@ mod tests {
         };
         assert!(FleetScript::generate(&cfg, 3).is_empty());
         assert!(FleetScript::none().is_empty());
+    }
+
+    #[test]
+    fn chaos_scripts_compose_all_five_classes_deterministically() {
+        let cfg = FleetScriptConfig {
+            horizon_ms: 600_000,
+            initial_boards: 3,
+            join_profiles: 2,
+            mean_fail_interval_ms: 80_000.0,
+            mean_drain_interval_ms: 120_000.0,
+            mean_join_interval_ms: 90_000.0,
+            mean_degrade_interval_ms: 30_000.0,
+            mean_recover_interval_ms: 40_000.0,
+            degrade_profiles: 2,
+            mean_flap_interval_ms: 100_000.0,
+            flap_down_ms: 3_000,
+        };
+        let a = FleetScript::generate(&cfg, 31);
+        assert_eq!(a, FleetScript::generate(&cfg, 31), "bit-for-bit replay");
+        assert_ne!(a, FleetScript::generate(&cfg, 32));
+
+        // Replay the alive + degraded sets: degrades target alive
+        // non-degraded boards, recovers target degraded ones, nothing
+        // touches a dead board, the last board always survives.
+        let mut alive: Vec<usize> = (0..cfg.initial_boards).collect();
+        let mut degraded: Vec<usize> = Vec::new();
+        let mut next_index = cfg.initial_boards;
+        let mut last = 0u64;
+        let (mut degrades, mut recovers, mut fails, mut joins) = (0, 0, 0, 0);
+        for e in a.events() {
+            assert!(e.at_ms >= last && e.at_ms < cfg.horizon_ms);
+            last = e.at_ms;
+            match e.event {
+                FleetEvent::BoardFail { board } | FleetEvent::BoardDrain { board } => {
+                    let pos = alive.iter().position(|b| *b == board).expect("alive");
+                    alive.remove(pos);
+                    degraded.retain(|b| *b != board);
+                    assert!(!alive.is_empty(), "last board was killed");
+                    if matches!(e.event, FleetEvent::BoardFail { .. }) {
+                        fails += 1;
+                    }
+                }
+                FleetEvent::BoardJoin { profile } => {
+                    assert!(profile < cfg.join_profiles);
+                    alive.push(next_index);
+                    next_index += 1;
+                    joins += 1;
+                }
+                FleetEvent::BoardDegrade { board, profile } => {
+                    assert!(alive.contains(&board), "degrade of a dead board");
+                    assert!(!degraded.contains(&board), "double degrade");
+                    assert!(profile < cfg.degrade_profiles);
+                    degraded.push(board);
+                    degrades += 1;
+                }
+                FleetEvent::BoardRecover { board } => {
+                    let pos = degraded.iter().position(|b| *b == board);
+                    degraded.remove(pos.expect("recover targets a degraded board"));
+                    recovers += 1;
+                }
+            }
+        }
+        assert!(degrades > 0, "mean 30s over 10 min should degrade");
+        assert!(recovers > 0, "degraded boards should recover");
+        assert!(fails > 0, "fail + flap classes should fire");
+        assert!(joins > 0, "joins + flap rejoins should fire");
+    }
+
+    #[test]
+    fn flap_sequences_rejoin_after_the_configured_downtime() {
+        let cfg = FleetScriptConfig {
+            horizon_ms: 400_000,
+            initial_boards: 3,
+            mean_fail_interval_ms: 0.0,
+            mean_join_interval_ms: 0.0,
+            mean_flap_interval_ms: 60_000.0,
+            flap_down_ms: 5_000,
+            ..FleetScriptConfig::default()
+        };
+        let script = FleetScript::generate(&cfg, 17);
+        let fails: Vec<u64> = script
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, FleetEvent::BoardFail { .. }))
+            .map(|e| e.at_ms)
+            .collect();
+        let joins: Vec<u64> = script
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, FleetEvent::BoardJoin { .. }))
+            .map(|e| e.at_ms)
+            .collect();
+        assert!(!fails.is_empty(), "flaps should fire");
+        // Every join is a flap rejoin: exactly down_ms after some fail
+        // (modulo the u64 stamp truncation of fractional fail stamps).
+        for j in &joins {
+            assert!(
+                fails
+                    .iter()
+                    .any(|f| (*j as i64 - (*f + cfg.flap_down_ms) as i64).abs() <= 1),
+                "join at {j} is not a flap rejoin"
+            );
+        }
+        // Rejoins for fails whose downtime ends inside the horizon.
+        let expected = fails
+            .iter()
+            .filter(|f| ((**f + cfg.flap_down_ms) as f64) < cfg.horizon_ms as f64 - 1.0)
+            .count();
+        assert!(
+            joins.len() >= expected.saturating_sub(1),
+            "{} joins for {expected} in-horizon flap rejoins",
+            joins.len()
+        );
     }
 
     #[test]

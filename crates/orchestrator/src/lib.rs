@@ -18,6 +18,15 @@
 //!   invariant is proptested), and evacuation latency is a first-class
 //!   metric. Joined boards immediately serve placements, queue drains
 //!   and rebalancing.
+//! * **Partial failures** — `BoardDegrade` swaps a board to a weaker
+//!   profile from [`FleetSpec::degrade_profiles`] **in place**:
+//!   residents the weaker profile still admits stay put and re-price on
+//!   the new hardware (migrating only when the priced gain clears the
+//!   rebalancer's bar), only the overflow evicts. `BoardRecover`
+//!   restores the original hardware, and flapped/recovered/degraded
+//!   boards **warm-boot** by preloading the run's `CacheArchive`
+//!   segment matching their fingerprint. [`EvacOrder`] adds
+//!   `TenantDeficitFirst` re-placement for the least-served tenant.
 //! * **Migration-costed rebalancing** ([`RebalanceConfig`]) — a
 //!   periodic step proposes moving the newest job from the most-loaded
 //!   board to the least-loaded one, prices both sides with warm-started

@@ -4,7 +4,7 @@
 //! fleet.
 
 use crate::cells::{CellConfig, ShardedRebalancer};
-use crate::rebalance::{RebalanceConfig, RebalanceMove, Rebalancer};
+use crate::rebalance::{balance_slice, RebalanceConfig, RebalanceMove, Rebalancer};
 use crate::spec::FleetSpec;
 use omniboost_estimator::CacheArchive;
 use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
@@ -28,6 +28,14 @@ pub enum EvacOrder {
     /// emptiest board. The default.
     #[default]
     HeaviestFirst,
+    /// Most-deficient tenant first: evacuees rank ascending by their
+    /// tenant's attained throughput **integral**
+    /// ([`TenantAccumulator::attained_integral`] — inference-seconds
+    /// delivered so far, 0 for tenants that never attained anything),
+    /// so the tenant the fleet has served least gets first pick of the
+    /// scarce post-failure headroom. Ties fall back to heaviest-first,
+    /// then the lower job id, keeping the order fully deterministic.
+    TenantDeficitFirst,
 }
 
 /// Full orchestrator configuration.
@@ -59,6 +67,14 @@ pub struct OrchestratorConfig {
     pub admission: AdmissionPolicy,
     /// Evacuation re-placement ordering on board failure/drain.
     pub evac_order: EvacOrder,
+    /// A/B arm for the chaos bench: when `true`, a
+    /// [`FleetEvent::BoardDegrade`] evacuates **every** resident job off
+    /// the degraded board (like a failure, except the weakened board
+    /// stays in rotation for later placements). The default `false`
+    /// keeps the degrade-in-place behaviour — survivors re-price on the
+    /// weakened hardware and migrate only when a priced rebalance move
+    /// clears the migration-cost gate.
+    pub degrade_evacuates_all: bool,
 }
 
 impl OrchestratorConfig {
@@ -75,6 +91,7 @@ impl OrchestratorConfig {
             cells: None,
             admission: AdmissionPolicy::default(),
             evac_order: EvacOrder::HeaviestFirst,
+            degrade_evacuates_all: false,
         }
     }
 
@@ -158,7 +175,23 @@ pub struct OrchestratorSummary {
     pub board_drains: usize,
     /// Boards joined.
     pub board_joins: usize,
-    /// Jobs evacuated off failing/draining boards.
+    /// Boards degraded in place (profile swapped to a weaker one).
+    pub board_degrades: usize,
+    /// Degraded boards restored to their original profile.
+    pub board_recovers: usize,
+    /// Boards that booted **warm**: joins, degrades and recoveries whose
+    /// fresh scheduler preloaded a non-empty evaluation-cache segment
+    /// from the in-run archive (the flap warm-reboot path — a board
+    /// that fails and rejoins finds the caches its profile archived
+    /// before going down).
+    pub warm_boots: usize,
+    /// Evaluation-cache entries those warm boots preloaded, total.
+    pub warm_boot_entries: usize,
+    /// Jobs evicted off degraded boards because the weakened profile no
+    /// longer admitted them (requeued through the evacuation path, so
+    /// they also count toward [`OrchestratorSummary::evacuated_jobs`]).
+    pub degrade_evictions: usize,
+    /// Jobs evacuated off failing/draining/degrading boards.
     pub evacuated_jobs: usize,
     /// Evacuees re-placed within their failure tick.
     pub evacuees_relocated_same_tick: usize,
@@ -242,13 +275,34 @@ impl OrchestratorReport {
         for tick in &self.ticks {
             h.write(&tick.at_ms.to_le_bytes());
             for fe in &tick.fleet_events {
-                let (tag, v) = match fe.event {
-                    FleetEvent::BoardFail { board } => (1u8, board),
-                    FleetEvent::BoardDrain { board } => (2, board),
-                    FleetEvent::BoardJoin { profile } => (3, profile),
-                };
-                h.write(&[tag]);
-                h.write(&(v as u64).to_le_bytes());
+                // Tag bytes 1–3 and their operand encoding predate the
+                // chaos events and must not change: scripts without
+                // degrade/recover events replay their pinned digests
+                // verbatim. Degrade hashes a second operand (the
+                // brown-out profile index).
+                match fe.event {
+                    FleetEvent::BoardFail { board } => {
+                        h.write(&[1]);
+                        h.write(&(board as u64).to_le_bytes());
+                    }
+                    FleetEvent::BoardDrain { board } => {
+                        h.write(&[2]);
+                        h.write(&(board as u64).to_le_bytes());
+                    }
+                    FleetEvent::BoardJoin { profile } => {
+                        h.write(&[3]);
+                        h.write(&(profile as u64).to_le_bytes());
+                    }
+                    FleetEvent::BoardDegrade { board, profile } => {
+                        h.write(&[4]);
+                        h.write(&(board as u64).to_le_bytes());
+                        h.write(&(profile as u64).to_le_bytes());
+                    }
+                    FleetEvent::BoardRecover { board } => {
+                        h.write(&[5]);
+                        h.write(&(board as u64).to_le_bytes());
+                    }
+                }
                 h.write(&(fe.slot.map_or(u64::MAX, |s| s as u64)).to_le_bytes());
                 for id in &fe.evacuated {
                     h.write(&id.to_le_bytes());
@@ -398,6 +452,21 @@ where
         let mut evac_pending: Vec<(u64, u64)> = Vec::new();
         let mut evac_waits: Vec<f64> = Vec::new();
         let (mut evacuated_jobs, mut evac_relocated, mut evac_queued) = (0usize, 0usize, 0usize);
+        // Degraded slots' pre-brown-out hardware, for recovery. First
+        // degrade of a slot captures the healthy board; stacked degrades
+        // keep it; fail/drain forgets it (that board is gone for good).
+        let mut original_boards: std::collections::HashMap<usize, Board> =
+            std::collections::HashMap::new();
+        // In-run cache archive feeding warm reboots: every lifecycle
+        // event that tears a scheduler down (fail, drain, degrade,
+        // recover) first archives the fleet's caches per profile, and
+        // every board that comes up (join, degrade, recover) preloads
+        // its profile's segment — so a flapped board reboots warm.
+        let mut run_archive = CacheArchive::default();
+        let cache_capacity = self.config.online.eval_cache_capacity;
+        let (mut degrades, mut recovers) = (0usize, 0usize);
+        let (mut warm_boots, mut warm_boot_entries) = (0usize, 0usize);
+        let mut degrade_evictions = 0usize;
         let mut live: Vec<u64> = Vec::new();
         let mut tenant_acc = TenantAccumulator::new();
         let mut slo_acc = SloAccumulator::new();
@@ -467,6 +536,9 @@ where
             let mut queued_ids = Vec::new();
             let mut rejected_ids = Vec::new();
             let mut capacity_freed = false;
+            // Slots degraded this tick — the targeted-rebalance donors
+            // of step 4½.
+            let mut degraded_this_tick: Vec<usize> = Vec::new();
 
             // 1. Fleet-lifecycle events (before job events: a board
             //    failing at `t` never receives the arrival stamped `t`).
@@ -490,39 +562,31 @@ where
                             } else {
                                 drains += 1;
                             }
+                            // The board is gone for good: forget any
+                            // pre-degrade original, but archive its
+                            // caches first — a flap's rejoin (same
+                            // profile) warm-boots from this segment.
+                            original_boards.remove(&board);
+                            fleet.archive_caches(&mut run_archive, cache_capacity);
                             // Evacuate: every resident job re-enters the
-                            // admission-gated placement path, in arrival
-                            // order; what no longer fits anywhere queues
-                            // FIFO. Nothing is ever dropped.
+                            // admission-gated placement path; what no
+                            // longer fits anywhere queues. Nothing is
+                            // ever dropped.
                             let mut evacuees = fleet.deactivate(board);
-                            if self.config.evac_order == EvacOrder::HeaviestFirst {
-                                evacuees.sort_by(|a, b| {
-                                    zoo::total_flops(b.model)
-                                        .cmp(&zoo::total_flops(a.model))
-                                        .then(a.id.cmp(&b.id))
-                                });
-                            }
+                            order_evacuees(self.config.evac_order, &tenant_acc, &mut evacuees);
                             evacuated_jobs += evacuees.len();
-                            let ids: Vec<u64> = evacuees.iter().map(|j| j.id).collect();
-                            let (mut relocated, mut to_queue) = (0usize, 0usize);
-                            for job in evacuees {
-                                // Evacuees bypass validation and quota:
-                                // an admitted job is never bounced.
-                                match pool.requeue(&mut fleet, job, t) {
-                                    SubmitOutcome::Placed(slot) => {
-                                        relocated += 1;
-                                        placements += 1;
-                                        placed.push((job.id, slot));
-                                        tenant_acc.placement(&job, 0);
-                                        evac_waits.push(0.0);
-                                    }
-                                    _ => {
-                                        to_queue += 1;
-                                        queued_ids.push(job.id);
-                                        evac_pending.push((job.id, t));
-                                    }
-                                }
-                            }
+                            let (ids, relocated, to_queue) = requeue_evacuees(
+                                evacuees,
+                                &mut pool,
+                                &mut fleet,
+                                t,
+                                &mut placements,
+                                &mut placed,
+                                &mut queued_ids,
+                                &mut tenant_acc,
+                                &mut evac_pending,
+                                &mut evac_waits,
+                            );
                             evac_relocated += relocated;
                             evac_queued += to_queue;
                             FleetEventRecord {
@@ -532,6 +596,136 @@ where
                                 relocated,
                                 queued: to_queue,
                             }
+                        }
+                    }
+                    FleetEvent::BoardDegrade { board, profile } => {
+                        let alive = board < fleet.len() && fleet.slots()[board].active;
+                        let pool_len = self.spec.degrade_profiles.len();
+                        if !alive || pool_len == 0 {
+                            FleetEventRecord {
+                                event,
+                                slot: None,
+                                evacuated: Vec::new(),
+                                relocated: 0,
+                                queued: 0,
+                            }
+                        } else {
+                            degrades += 1;
+                            let p = self.spec.degrade_profiles[profile % pool_len].clone();
+                            // First degrade of this slot captures the
+                            // healthy hardware for a later recovery.
+                            original_boards
+                                .entry(board)
+                                .or_insert_with(|| fleet.slots()[board].board.clone());
+                            // Archive the healthy profile's caches (a
+                            // recovery warm-boots from them), then swap
+                            // the weakened board in place.
+                            fleet.archive_caches(&mut run_archive, cache_capacity);
+                            let scheduler = self.build_scheduler(&p.board);
+                            let mut evicted = if self.config.degrade_evacuates_all {
+                                // A/B arm: evacuate everyone; the swap
+                                // then finds an empty slot.
+                                let mut all = fleet.evacuate_jobs(board);
+                                all.extend(fleet.swap_board(board, p.board.clone(), scheduler));
+                                all
+                            } else {
+                                // Degrade in place: only what the
+                                // weakened profile no longer admits.
+                                fleet.swap_board(board, p.board.clone(), scheduler)
+                            };
+                            let preloaded =
+                                preload_slot(&mut fleet, board, &run_archive, cache_capacity);
+                            if preloaded > 0 {
+                                warm_boots += 1;
+                                warm_boot_entries += preloaded;
+                            }
+                            degrade_evictions += evicted.len();
+                            evacuated_jobs += evicted.len();
+                            order_evacuees(self.config.evac_order, &tenant_acc, &mut evicted);
+                            let (ids, relocated, to_queue) = requeue_evacuees(
+                                evicted,
+                                &mut pool,
+                                &mut fleet,
+                                t,
+                                &mut placements,
+                                &mut placed,
+                                &mut queued_ids,
+                                &mut tenant_acc,
+                                &mut evac_pending,
+                                &mut evac_waits,
+                            );
+                            evac_relocated += relocated;
+                            evac_queued += to_queue;
+                            degraded_this_tick.push(board);
+                            FleetEventRecord {
+                                event,
+                                slot: Some(board),
+                                evacuated: ids,
+                                relocated,
+                                queued: to_queue,
+                            }
+                        }
+                    }
+                    FleetEvent::BoardRecover { board } => {
+                        let alive = board < fleet.len() && fleet.slots()[board].active;
+                        let original = if alive {
+                            original_boards.remove(&board)
+                        } else {
+                            None
+                        };
+                        match original {
+                            Some(orig) => {
+                                recovers += 1;
+                                // Archive the degraded profile's caches
+                                // (the next brown-out to the same
+                                // profile warm-boots), restore the
+                                // healthy hardware, preload its segment.
+                                fleet.archive_caches(&mut run_archive, cache_capacity);
+                                let scheduler = self.build_scheduler(&orig);
+                                let mut evicted = fleet.swap_board(board, orig, scheduler);
+                                let preloaded =
+                                    preload_slot(&mut fleet, board, &run_archive, cache_capacity);
+                                if preloaded > 0 {
+                                    warm_boots += 1;
+                                    warm_boot_entries += preloaded;
+                                }
+                                // Restored capacity: waiting jobs may
+                                // fit again. (Eviction on recovery only
+                                // happens when a misconfigured degrade
+                                // pool is *stronger* than the original
+                                // board; jobs still conserve.)
+                                evacuated_jobs += evicted.len();
+                                order_evacuees(self.config.evac_order, &tenant_acc, &mut evicted);
+                                let (ids, relocated, to_queue) = requeue_evacuees(
+                                    evicted,
+                                    &mut pool,
+                                    &mut fleet,
+                                    t,
+                                    &mut placements,
+                                    &mut placed,
+                                    &mut queued_ids,
+                                    &mut tenant_acc,
+                                    &mut evac_pending,
+                                    &mut evac_waits,
+                                );
+                                evac_relocated += relocated;
+                                evac_queued += to_queue;
+                                capacity_freed = true;
+                                FleetEventRecord {
+                                    event,
+                                    slot: Some(board),
+                                    evacuated: ids,
+                                    relocated,
+                                    queued: to_queue,
+                                }
+                            }
+                            None => FleetEventRecord {
+                                event,
+                                slot: None,
+                                evacuated: Vec::new(),
+                                relocated: 0,
+                                queued: 0,
+                            },
                         }
                     }
                     FleetEvent::BoardJoin { profile } => {
@@ -552,6 +746,16 @@ where
                                 let scheduler = self.build_scheduler(&p.board);
                                 let index = fleet.add_board(p.board, scheduler);
                                 busy_ms.resize(fleet.len(), 0);
+                                // A flap rejoining with a profile the
+                                // run has seen before warm-boots from
+                                // the archived cache segment instead of
+                                // re-deriving every mapping cold.
+                                let preloaded =
+                                    preload_slot(&mut fleet, index, &run_archive, cache_capacity);
+                                if preloaded > 0 {
+                                    warm_boots += 1;
+                                    warm_boot_entries += preloaded;
+                                }
                                 // Fresh capacity: waiting jobs may fit.
                                 capacity_freed = true;
                                 FleetEventRecord {
@@ -634,9 +838,35 @@ where
             // 4. Reschedule dirty boards.
             let mut decisions = fleet.flush_dirty();
 
+            // 4½. Targeted relief for boards degraded this tick: jobs
+            //     that stayed resident through the swap re-priced on the
+            //     weaker profile; a migration happens only when its
+            //     priced gain clears the same bar the periodic
+            //     rebalancer enforces (`min_gain_per_layer`), so a mild
+            //     brown-out degrades in place instead of stampeding.
+            let mut tick_moves: Vec<RebalanceMove> = Vec::new();
+            if !degraded_this_tick.is_empty() {
+                if let Some(config) = rebalance.as_ref() {
+                    for &donor in &degraded_this_tick {
+                        let slot = &fleet.slots()[donor];
+                        if !slot.active || slot.jobs.is_empty() {
+                            continue;
+                        }
+                        let donors = vec![(donor, slot.load_score())];
+                        let receivers = fleet.least_loaded(config.top_k_boards, &[donor]);
+                        let out = balance_slice(fleet.slots_mut(), &donors, &receivers, config, t);
+                        for mv in &out.moves {
+                            fleet.reindex(mv.from);
+                            fleet.reindex(mv.to);
+                        }
+                        reb_rejected += out.rejected;
+                        tick_moves.extend(out.moves);
+                    }
+                }
+            }
+
             // 5. Periodic rebalance — priced against the fresh
             //    deployments, after the tick's events settled.
-            let mut tick_moves: Vec<RebalanceMove> = Vec::new();
             if next_rebalance == Some(t) {
                 let config = rebalance.as_ref().expect("rebalance scheduled");
                 reb_ticks += 1;
@@ -649,7 +879,7 @@ where
                 };
                 reb_rejected += outcome.rejected;
                 let accepted = !outcome.moves.is_empty();
-                tick_moves = outcome.moves;
+                tick_moves.extend(outcome.moves);
                 next_rebalance = Some(t + config.period_ms.max(1));
                 // A move can free admission headroom on the donor; let
                 // waiting jobs use it now rather than next departure.
@@ -762,6 +992,11 @@ where
             tenants: tenant_acc.finish(horizon, &still_queued),
             eval_cache,
             cache_preloaded_entries: cache_preloaded,
+            board_degrades: degrades,
+            board_recovers: recovers,
+            warm_boots,
+            warm_boot_entries,
+            degrade_evictions,
         };
         OrchestratorReport { ticks, summary }
     }
@@ -795,5 +1030,85 @@ fn absorb_drained(
             let (_, failed_at) = evac_pending.remove(p);
             evac_waits.push((t - failed_at) as f64);
         }
+    }
+}
+
+/// Sorts evacuees into the configured re-placement order. All three
+/// orders are fully deterministic (final tiebreak on job id).
+fn order_evacuees(order: EvacOrder, tenant_acc: &TenantAccumulator, evacuees: &mut [JobSpec]) {
+    match order {
+        EvacOrder::Arrival => {}
+        EvacOrder::HeaviestFirst => evacuees.sort_by(|a, b| {
+            zoo::total_flops(b.model)
+                .cmp(&zoo::total_flops(a.model))
+                .then(a.id.cmp(&b.id))
+        }),
+        EvacOrder::TenantDeficitFirst => evacuees.sort_by(|a, b| {
+            tenant_acc
+                .attained_integral(a.tenant)
+                .total_cmp(&tenant_acc.attained_integral(b.tenant))
+                .then(
+                    zoo::total_flops(b.model)
+                        .cmp(&zoo::total_flops(a.model))
+                        .then(a.id.cmp(&b.id)),
+                )
+        }),
+    }
+}
+
+/// Re-places a batch of evacuees through the admission-gated mempool
+/// path (evacuees bypass validation and quota: an admitted job is
+/// never bounced). Returns the evacuee ids plus how many relocated
+/// same-tick and how many queued.
+#[allow(clippy::too_many_arguments)]
+fn requeue_evacuees<M: ThroughputModel + Send + Sync>(
+    evacuees: Vec<JobSpec>,
+    pool: &mut Mempool,
+    fleet: &mut Fleet<M>,
+    t: u64,
+    placements: &mut usize,
+    placed: &mut Vec<(u64, usize)>,
+    queued_ids: &mut Vec<u64>,
+    tenant_acc: &mut TenantAccumulator,
+    evac_pending: &mut Vec<(u64, u64)>,
+    evac_waits: &mut Vec<f64>,
+) -> (Vec<u64>, usize, usize) {
+    let ids: Vec<u64> = evacuees.iter().map(|j| j.id).collect();
+    let (mut relocated, mut to_queue) = (0usize, 0usize);
+    for job in evacuees {
+        match pool.requeue(fleet, job, t) {
+            SubmitOutcome::Placed(slot) => {
+                relocated += 1;
+                *placements += 1;
+                placed.push((job.id, slot));
+                tenant_acc.placement(&job, 0);
+                evac_waits.push(0.0);
+            }
+            _ => {
+                to_queue += 1;
+                queued_ids.push(job.id);
+                evac_pending.push((job.id, t));
+            }
+        }
+    }
+    (ids, relocated, to_queue)
+}
+
+/// Warm-loads one slot's scheduler from the archive segment matching
+/// its (possibly just-swapped) hardware profile; returns the number of
+/// preloaded cache entries (0 when the profile has no segment yet).
+fn preload_slot<M: ThroughputModel + Send + Sync>(
+    fleet: &mut Fleet<M>,
+    index: usize,
+    archive: &CacheArchive,
+    capacity: usize,
+) -> usize {
+    match archive.segment(capacity, &fleet.slots()[index].board) {
+        Some(cache) => {
+            let entries = cache.cache().len();
+            fleet.slots_mut()[index].scheduler.preload_cache(cache);
+            entries
+        }
+        None => 0,
     }
 }

@@ -33,6 +33,14 @@ impl BoardProfile {
     pub fn hikey970_lite() -> Self {
         Self::new("hikey970-lite", Board::hikey970_lite())
     }
+
+    /// The GPU-masked HiKey970 profile ([`Board::hikey970_gpu_down`]) —
+    /// the brown-out target of
+    /// [`omniboost_models::FleetEvent::BoardDegrade`] events: same
+    /// chassis, Mali disabled, tighter concurrency cap.
+    pub fn hikey970_gpu_down() -> Self {
+        Self::new("hikey970-gpu-down", Board::hikey970_gpu_down())
+    }
 }
 
 /// What a fleet is made of: the boards alive at t = 0 and the profile
@@ -46,6 +54,23 @@ pub struct FleetSpec {
     /// Profiles joined boards are built from; an empty pool makes join
     /// events no-ops.
     pub join_profiles: Vec<BoardProfile>,
+    /// Weakened profiles [`omniboost_models::FleetEvent::BoardDegrade`]
+    /// events swap a board to **in place** (the event carries a pool
+    /// index, resolved modulo this pool like joins). An empty pool makes
+    /// degrade events no-ops. The constructors default to the two
+    /// brown-out modes of the reproduction: the binned-silicon
+    /// [`BoardProfile::hikey970_lite`] and the device-masked
+    /// [`BoardProfile::hikey970_gpu_down`].
+    pub degrade_profiles: Vec<BoardProfile>,
+}
+
+/// The default brown-out pool: a clocked-down chassis and a GPU-masked
+/// one.
+fn default_degrade_profiles() -> Vec<BoardProfile> {
+    vec![
+        BoardProfile::hikey970_lite(),
+        BoardProfile::hikey970_gpu_down(),
+    ]
 }
 
 impl FleetSpec {
@@ -54,6 +79,7 @@ impl FleetSpec {
         Self {
             initial: vec![profile.clone(); n],
             join_profiles: vec![profile],
+            degrade_profiles: default_degrade_profiles(),
         }
     }
 
@@ -72,7 +98,15 @@ impl FleetSpec {
         Self {
             initial,
             join_profiles,
+            degrade_profiles: default_degrade_profiles(),
         }
+    }
+
+    /// Replaces the brown-out profile pool (empty disables degrade
+    /// events).
+    pub fn with_degrade_profiles(mut self, degrade_profiles: Vec<BoardProfile>) -> Self {
+        self.degrade_profiles = degrade_profiles;
+        self
     }
 
     /// Number of boards alive at t = 0.

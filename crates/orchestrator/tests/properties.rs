@@ -58,9 +58,38 @@ fn script(seed: u64) -> FleetScript {
             mean_fail_interval_ms: 12_000.0,
             mean_drain_interval_ms: 20_000.0,
             mean_join_interval_ms: 15_000.0,
+            ..FleetScriptConfig::default()
         },
         seed,
     )
+}
+
+/// A script that exercises every lifecycle event kind: failures,
+/// drains, joins, degrades, recoveries and fail→rejoin flaps.
+fn chaos_script(seed: u64) -> FleetScript {
+    FleetScript::generate(
+        &FleetScriptConfig {
+            horizon_ms: HORIZON_MS,
+            initial_boards: 3,
+            join_profiles: 2,
+            mean_fail_interval_ms: 15_000.0,
+            mean_drain_interval_ms: 25_000.0,
+            mean_join_interval_ms: 15_000.0,
+            mean_degrade_interval_ms: 10_000.0,
+            mean_recover_interval_ms: 8_000.0,
+            degrade_profiles: 2,
+            mean_flap_interval_ms: 20_000.0,
+            flap_down_ms: 3_000,
+        },
+        seed,
+    )
+}
+
+fn chaos_run(process: ArrivalProcess, seed: u64, config: OrchestratorConfig) -> OrchestratorReport {
+    let trace = ArrivalTrace::generate(process, &trace_config(), seed);
+    let script = chaos_script(seed ^ 0xC4A05);
+    let mut sim = OrchestratorSim::new(spec(), config, AnalyticModel::new);
+    sim.run(&trace, &script, HORIZON_MS)
 }
 
 fn run(process: ArrivalProcess, seed: u64, config: OrchestratorConfig) -> OrchestratorReport {
@@ -192,6 +221,8 @@ proptest! {
                             dead.push(slot);
                         }
                     }
+                    // The non-chaos script never emits these.
+                    FleetEvent::BoardDegrade { .. } | FleetEvent::BoardRecover { .. } => {}
                 }
             }
             for (slot, jobs) in tick.board_jobs.iter().enumerate() {
@@ -596,4 +627,288 @@ proptest! {
         prop_assert_eq!(report.summary.rejected, rejected);
         prop_assert_eq!(report.summary.expired, expired);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Partial-failure chaos properties (PR 8).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// (vii) **Chaos conservation and degraded-capacity respect**: under
+    /// a script mixing failures, drains, joins, degrades, recoveries and
+    /// flaps, no job is ever lost, dead boards hold nothing, and every
+    /// board — including boards degraded in place — stays within the cap
+    /// of the profile it is *currently* running.
+    #[test]
+    fn chaos_conserves_jobs_and_respects_degraded_caps(
+        process in arb_process(),
+        seed in 0u64..400,
+        mode in 0u8..3,
+    ) {
+        let report = chaos_run(process, seed, config_mode(mode));
+        prop_assert_eq!(report.summary.lost_jobs, 0);
+        let s = &report.summary;
+        prop_assert_eq!(
+            s.evacuated_jobs,
+            s.evacuees_relocated_same_tick + s.evacuees_queued,
+            "evacuation accounting balances under chaos"
+        );
+        // Mirror the sim's profile bookkeeping: per-slot current cap,
+        // the pre-degrade cap remembered for recovery, and dead slots.
+        let spec = spec();
+        let mut caps: Vec<usize> = spec
+            .initial
+            .iter()
+            .map(|p| p.board.max_concurrent_dnns)
+            .collect();
+        let mut healthy: Vec<usize> = caps.clone();
+        let mut dead: Vec<bool> = vec![false; caps.len()];
+        let mut live = 0i64;
+        for tick in &report.ticks {
+            for fe in &tick.fleet_events {
+                prop_assert_eq!(
+                    fe.evacuated.len(),
+                    fe.relocated + fe.queued,
+                    "evacuees must be re-placed or queued"
+                );
+                let Some(slot) = fe.slot else { continue };
+                match fe.event {
+                    FleetEvent::BoardJoin { profile } => {
+                        prop_assert_eq!(slot, caps.len(), "joins append");
+                        let p = &spec.join_profiles[profile % spec.join_profiles.len()];
+                        caps.push(p.board.max_concurrent_dnns);
+                        healthy.push(p.board.max_concurrent_dnns);
+                        dead.push(false);
+                    }
+                    FleetEvent::BoardFail { .. } | FleetEvent::BoardDrain { .. } => {
+                        dead[slot] = true;
+                    }
+                    FleetEvent::BoardDegrade { profile, .. } => {
+                        let p = &spec.degrade_profiles[profile % spec.degrade_profiles.len()];
+                        caps[slot] = p.board.max_concurrent_dnns;
+                    }
+                    FleetEvent::BoardRecover { .. } => {
+                        caps[slot] = healthy[slot];
+                    }
+                }
+            }
+            for e in &tick.events {
+                match e {
+                    JobEvent::Arrive(_) => live += 1,
+                    JobEvent::Depart { .. } => live -= 1,
+                }
+            }
+            for (slot, jobs) in tick.board_jobs.iter().enumerate() {
+                prop_assert!(
+                    *jobs <= caps[slot],
+                    "slot {slot} over its current-profile cap at {} ms: {jobs} > {}",
+                    tick.at_ms, caps[slot]
+                );
+                if dead[slot] {
+                    prop_assert_eq!(*jobs, 0usize, "dead board holding jobs");
+                }
+            }
+            let resident: usize = tick.board_jobs.iter().sum();
+            prop_assert_eq!(
+                (resident + tick.queue_depth) as i64,
+                live,
+                "at {} ms: {} resident + {} queued != {} live",
+                tick.at_ms, resident, tick.queue_depth, live
+            );
+        }
+    }
+
+    /// (viii) **Chaos replay is bit-for-bit deterministic per seed** —
+    /// warm-boot preloads, in-place swaps and targeted post-degrade
+    /// rebalancing included.
+    #[test]
+    fn chaos_replay_is_deterministic_per_seed(
+        process in arb_process(),
+        seed in 0u64..400,
+        mode in 0u8..3,
+    ) {
+        let a = chaos_run(process, seed, config_mode(mode));
+        let b = chaos_run(process, seed, config_mode(mode));
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.summary.board_degrades, b.summary.board_degrades);
+        prop_assert_eq!(a.summary.warm_boot_entries, b.summary.warm_boot_entries);
+        let c = chaos_run(process, seed + 1000, config_mode(mode));
+        prop_assert_ne!(a.digest(), c.digest());
+    }
+}
+
+/// A scripted brown-out and recovery: the degrade must shed exactly the
+/// jobs the weaker profile no longer admits (the rest stay resident,
+/// re-priced in place), and the recovery restores the healthy cap.
+#[test]
+fn board_degrade_sheds_only_the_overflow_and_recovery_restores() {
+    // Fill board 0 to the full hikey970 cap (5) with long-lived jobs.
+    let cap = Board::hikey970().max_concurrent_dnns as u64;
+    let events = (1..=cap)
+        .map(|id| TraceEvent {
+            at_ms: 500 * id,
+            event: JobEvent::Arrive(JobSpec::new(id, ModelId::MobileNet, 0)),
+        })
+        .collect();
+    let trace = ArrivalTrace::from_events(events);
+    // Degrade to the GPU-masked profile (cap 3, pool index 1) at 10 s,
+    // recover at 20 s.
+    let script = FleetScript::new(vec![
+        FleetTraceEvent {
+            at_ms: 10_000,
+            event: FleetEvent::BoardDegrade {
+                board: 0,
+                profile: 1,
+            },
+        },
+        FleetTraceEvent {
+            at_ms: 20_000,
+            event: FleetEvent::BoardRecover { board: 0 },
+        },
+    ]);
+    let mut sim = OrchestratorSim::new(
+        FleetSpec::homogeneous(1, BoardProfile::hikey970()),
+        config(false),
+        AnalyticModel::new,
+    );
+    let report = sim.run(&trace, &script, HORIZON_MS);
+    assert_eq!(report.summary.board_degrades, 1);
+    assert_eq!(report.summary.board_recovers, 1);
+    assert_eq!(report.summary.lost_jobs, 0);
+    let degraded_cap = Board::hikey970_gpu_down().max_concurrent_dnns;
+    let shed = cap as usize - degraded_cap;
+    assert_eq!(
+        report.summary.degrade_evictions, shed,
+        "degrade-in-place sheds only what the weaker profile cannot admit"
+    );
+    let degrade_tick = report
+        .ticks
+        .iter()
+        .find(|t| t.at_ms == 10_000)
+        .expect("degrade tick recorded");
+    assert_eq!(degrade_tick.fleet_events[0].evacuated.len(), shed);
+    assert_eq!(
+        degrade_tick.board_jobs[0], degraded_cap,
+        "survivors stay resident on the degraded board"
+    );
+    // With nowhere else to go the overflow waits in queue; recovery
+    // restores the healthy cap and drains it back the same tick.
+    assert_eq!(degrade_tick.queue_depth, shed);
+    let recover_tick = report
+        .ticks
+        .iter()
+        .find(|t| t.at_ms == 20_000)
+        .expect("recover tick recorded");
+    assert_eq!(recover_tick.board_jobs[0], cap as usize);
+    assert_eq!(recover_tick.queue_depth, 0);
+}
+
+/// A fail→rejoin flap warm-boots: the rejoining board's profile matches
+/// an archived cache segment, so the preload installs a nonzero number
+/// of evaluation-cache entries.
+#[test]
+fn flapped_board_warm_boots_from_the_cache_archive() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Poisson { rate_per_s: 1.0 },
+        &TraceConfig {
+            mean_lifetime_ms: 40_000.0,
+            ..trace_config()
+        },
+        7,
+    );
+    // Board 0 fails at 12 s; the same profile rejoins at 18 s. The
+    // failing board's caches were archived on the way down, so the
+    // rejoin preloads them by fingerprint.
+    let script = FleetScript::new(vec![
+        FleetTraceEvent {
+            at_ms: 12_000,
+            event: FleetEvent::BoardFail { board: 0 },
+        },
+        FleetTraceEvent {
+            at_ms: 18_000,
+            event: FleetEvent::BoardJoin { profile: 0 },
+        },
+    ]);
+    let mut sim = OrchestratorSim::new(
+        FleetSpec::homogeneous(2, BoardProfile::hikey970()),
+        config(false),
+        AnalyticModel::new,
+    );
+    let report = sim.run(&trace, &script, HORIZON_MS);
+    assert_eq!(report.summary.board_failures, 1);
+    assert_eq!(report.summary.board_joins, 1);
+    assert!(
+        report.summary.warm_boots >= 1,
+        "the rejoin must hit an archived segment"
+    );
+    assert!(
+        report.summary.warm_boot_entries > 0,
+        "warm boot preloads real evaluation-cache entries"
+    );
+    assert_eq!(report.summary.lost_jobs, 0);
+}
+
+/// Evacuation ordering pins `TenantDeficitFirst` semantics: on a board
+/// failure the first re-placed evacuee belongs to the tenant with the
+/// least attained throughput integral (here tenant 2, whose single
+/// MobileNet arrived last), even though another evacuee (tenant 0's
+/// VGG-19) is far heavier — while `HeaviestFirst` still picks the
+/// VGG-19 first.
+#[test]
+fn evacuation_relocates_most_deficient_tenant_first() {
+    // Round-robin over two boards: odd ids (1, 3, 5) land on board 0.
+    // Tenant 0 owns everything except job 5 (tenant 2): five jobs
+    // including the VGG-19, attaining a large throughput integral by
+    // the failure; tenant 2's lone late MobileNet attained the least.
+    let events = (1..=6u64)
+        .map(|id| TraceEvent {
+            at_ms: 1_000 * id,
+            event: JobEvent::Arrive(JobSpec::new(
+                id,
+                if id == 3 {
+                    ModelId::Vgg19
+                } else {
+                    ModelId::MobileNet
+                },
+                if id == 5 { 2 } else { 0 },
+            )),
+        })
+        .collect();
+    let trace = ArrivalTrace::from_events(events);
+    let script = FleetScript::new(vec![FleetTraceEvent {
+        at_ms: 10_000,
+        event: FleetEvent::BoardFail { board: 0 },
+    }]);
+    let run = |order: EvacOrder| {
+        let config = OrchestratorConfig {
+            placement: PlacementPolicy::RoundRobin,
+            evac_order: order,
+            ..config(false)
+        };
+        let mut sim = OrchestratorSim::new(
+            FleetSpec::homogeneous(2, BoardProfile::hikey970()),
+            config,
+            AnalyticModel::new,
+        );
+        sim.run(&trace, &script, 15_000)
+    };
+    let first_relocation = |report: &OrchestratorReport| {
+        let tick = report
+            .ticks
+            .iter()
+            .find(|t| !t.fleet_events.is_empty())
+            .expect("failure tick recorded");
+        let mut evacuated = tick.fleet_events[0].evacuated.clone();
+        evacuated.sort_unstable();
+        assert_eq!(evacuated, vec![1, 3, 5], "board 0 held the odd ids");
+        assert_eq!(report.summary.lost_jobs, 0);
+        tick.placements
+            .first()
+            .expect("board 1 has headroom for at least one evacuee")
+            .0
+    };
+    assert_eq!(first_relocation(&run(EvacOrder::TenantDeficitFirst)), 5);
+    assert_eq!(first_relocation(&run(EvacOrder::HeaviestFirst)), 3);
 }

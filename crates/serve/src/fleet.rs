@@ -257,27 +257,41 @@ impl<M: ThroughputModel + Sync> BoardSlot<M> {
                 // the warm search space next to the arriving DNN.
                 // (With fewer than two carried jobs the release root
                 // degenerates into the global challenger already raced.)
-                // "Worst-placed" = the lowest attained compute rate
-                // (measured inf/s × the model's per-inference FLOPs)
-                // under the current deployment. This is deliberately
-                // *absolute*, which skews toward small models — they
-                // convert board capacity into FLOPs less efficiently
-                // even when perfectly placed — but it benchmarked ahead
-                // of the self-normalized alternative (current tps over
-                // the job's own peak on this board), which lost the
-                // serving bench's ≥99%-of-cold throughput bar on one
-                // cell; see the ROADMAP follow-up.
+                // Candidates rank **SLO-class first**: a guaranteed job
+                // whose measured rate has fallen below its floor is the
+                // most urgent release (its placement is already broken),
+                // then best-effort jobs, and only last a guaranteed job
+                // currently honoring its floor — releasing a satisfied
+                // floor risks trading it away for aggregate throughput.
+                // Within a class, "worst-placed" = the lowest attained
+                // compute rate (measured inf/s × the model's
+                // per-inference FLOPs). This is deliberately *absolute*,
+                // which skews toward small models — they convert board
+                // capacity into FLOPs less efficiently even when
+                // perfectly placed — but it benchmarked ahead of the
+                // self-normalized alternative (current tps over the
+                // job's own peak on this board), which lost the serving
+                // bench's ≥99%-of-cold throughput bar on one cell; see
+                // the ROADMAP follow-up. All-best-effort slots rank
+                // identically to the historical rule.
                 let release = if one_arrival && decided >= 2 {
                     self.report.as_ref().and_then(|report| {
                         (0..decided)
                             .map(|i| {
                                 let prev_row = pairing[i].expect("carried row");
-                                let attained =
-                                    report.per_dnn[prev_row] * self.models[i].total_flops() as f64;
-                                (i, attained)
+                                let measured = report.per_dnn[prev_row];
+                                let class = match self.jobs[i].slo.min_tps() {
+                                    Some(floor) if measured < floor => 0u8,
+                                    None => 1,
+                                    Some(_) => 2,
+                                };
+                                let attained = measured * self.models[i].total_flops() as f64;
+                                (i, class, attained)
                             })
-                            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
-                            .map(|(i, _)| i)
+                            .min_by(|a, b| {
+                                a.1.cmp(&b.1).then(a.2.total_cmp(&b.2)).then(a.0.cmp(&b.0))
+                            })
+                            .map(|(i, _, _)| i)
                     })
                 } else {
                     None
@@ -296,13 +310,13 @@ impl<M: ThroughputModel + Sync> BoardSlot<M> {
         });
         // When the scheduler's periodic cold refresh is due, bypass the
         // decision memo and overwrite its entry — a memoized mix must
-        // not shield drift from the refresh. Floored workloads bypass
-        // it too: the memo keys on the model mix alone, so a hit could
-        // replay a mapping decided before any guaranteed job was in the
-        // mix — one that happily starves the job whose floor is now
-        // armed.
-        let has_floors = self.jobs.iter().any(|job| job.slo.is_guaranteed());
-        let outcome = if self.scheduler.refresh_due() || has_floors {
+        // not shield drift from the refresh. Floored workloads go
+        // through the memo like any other mix: the scheduler's
+        // `memo_salt` folds the armed floor vector into the memo key,
+        // so a hit can only replay a mapping decided under the exact
+        // same floors — a floorless mapping can never be served to a
+        // floored mix (or vice versa).
+        let outcome = if self.scheduler.refresh_due() {
             self.runtime
                 .run_refreshed(&mut self.scheduler, &workload, context)
         } else {
@@ -680,6 +694,19 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
         self.slots.iter().map(BoardSlot::throughput).sum()
     }
 
+    /// Evacuates every job off slot `index` **without** deactivating it
+    /// — the evacuate-always degrade arm (the weakened board stays in
+    /// rotation for later placements). Returns the jobs in arrival
+    /// order; the caller re-places them.
+    pub fn evacuate_jobs(&mut self, index: usize) -> Vec<JobSpec> {
+        let evacuees = self.slots[index].evacuate();
+        for job in &evacuees {
+            self.job_slots.remove(&job.id);
+        }
+        self.reindex(index);
+        evacuees
+    }
+
     /// Deactivates a slot (board failed or drained) and returns its
     /// evacuated jobs in arrival order. The caller re-places them.
     pub fn deactivate(&mut self, index: usize) -> Vec<JobSpec> {
@@ -694,6 +721,61 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
         }
         self.index.remove(index);
         evacuees
+    }
+
+    /// Swaps slot `index`'s hardware profile **in place** — the
+    /// degrade/recover half of the partial-failure chaos engine. The
+    /// slot keeps its stable index and as many resident jobs as the new
+    /// profile still admits; jobs evicted to satisfy the new admission
+    /// limits come back newest-first for the caller to requeue.
+    ///
+    /// The runtime and scheduler are rebuilt (both are calibrated
+    /// against a specific board: the runtime owns the board's oracle
+    /// simulator, the scheduler its evaluator), so the decision memo
+    /// and evaluation cache restart cold — warm reboots preload the
+    /// fresh scheduler from a [`CacheArchive`] segment keyed by the new
+    /// profile's fingerprint before the next flush. The previous
+    /// deployment is dropped rather than carried: it was priced on the
+    /// old profile, and surviving jobs must re-price on the new one
+    /// (the next [`BoardSlot::flush`] runs a cold decision).
+    pub fn swap_board(
+        &mut self,
+        index: usize,
+        board: Board,
+        scheduler: OnlineScheduler<M>,
+    ) -> Vec<JobSpec> {
+        self.index.remove(index);
+        let use_memo = self.use_memo;
+        let slot = &mut self.slots[index];
+        slot.runtime = if use_memo {
+            Runtime::new(board.clone()).with_memo()
+        } else {
+            Runtime::new(board.clone())
+        };
+        slot.board = board;
+        slot.scheduler = scheduler;
+        slot.deployed_jobs.clear();
+        slot.mapping = None;
+        slot.report = None;
+        let mut evicted = Vec::new();
+        while !slot.jobs.is_empty()
+            && slot
+                .board
+                .admit_totals(slot.jobs.len(), slot.resident_weight_bytes)
+                .is_err()
+        {
+            let job = slot.jobs.pop().expect("non-empty job set");
+            let model = slot.models.pop().expect("models parallel jobs");
+            slot.resident_flops -= model.total_flops();
+            slot.resident_weight_bytes -= model.total_weight_bytes();
+            self.job_slots.remove(&job.id);
+            evicted.push(job);
+        }
+        slot.dirty = !slot.jobs.is_empty();
+        if self.slots[index].active {
+            self.index.insert(&self.slots[index]);
+        }
+        evicted
     }
 
     /// Attained inferences/s per tenant under the current deployments,

@@ -467,6 +467,24 @@ impl<M: ThroughputModel + Sync> Scheduler for OnlineScheduler<M> {
     fn eval_cache_stats(&self) -> Option<EvalCacheStats> {
         self.cache.stats_if_enabled()
     }
+
+    /// Digest of the armed floor vector, so the runtime's decision memo
+    /// keys floored mixes apart from floorless ones (and from mixes
+    /// floored differently) instead of the slot bypassing the memo for
+    /// every guaranteed mix. All-zero floors — the pre-SLO case — salt
+    /// to `0`, keeping historical memo keys (and seeded replays)
+    /// bit-for-bit intact.
+    fn memo_salt(&self) -> u64 {
+        if self.floors.iter().all(|f| *f == 0.0) {
+            return 0;
+        }
+        use std::hash::Hasher;
+        let mut h = omniboost_hw::Fnv1a::default();
+        for f in &self.floors {
+            h.write(&f.to_bits().to_le_bytes());
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

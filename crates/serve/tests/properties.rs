@@ -347,11 +347,29 @@ fn serving_daemon_persists_eval_cache_across_processes() {
 /// picks the op, `a`/`b` its operands).
 #[derive(Debug, Clone)]
 enum IndexOp {
-    Place { model: u8, tenant: u32 },
-    Depart { sel: u8 },
-    Fail { sel: u8 },
-    Join { lite: bool },
-    MoveJob { donor: u8, recv: u8 },
+    Place {
+        model: u8,
+        tenant: u32,
+    },
+    Depart {
+        sel: u8,
+    },
+    Fail {
+        sel: u8,
+    },
+    Join {
+        lite: bool,
+    },
+    MoveJob {
+        donor: u8,
+        recv: u8,
+    },
+    /// Degrade (or recover) a slot in place: swap its hardware profile
+    /// while keeping the admissible prefix of its residents.
+    Degrade {
+        sel: u8,
+        profile: u8,
+    },
 }
 
 fn decode_index_op(kind: u8, a: u8, b: u8) -> IndexOp {
@@ -364,7 +382,8 @@ fn decode_index_op(kind: u8, a: u8, b: u8) -> IndexOp {
         4..=5 => IndexOp::Depart { sel: a },
         6 => IndexOp::Fail { sel: a },
         7 => IndexOp::Join { lite: a & 1 == 1 },
-        _ => IndexOp::MoveJob { donor: a, recv: b },
+        8 => IndexOp::MoveJob { donor: a, recv: b },
+        _ => IndexOp::Degrade { sel: a, profile: b },
     }
 }
 
@@ -458,6 +477,22 @@ proptest! {
                     fleet.reindex(d);
                     fleet.reindex(r);
                 }
+                IndexOp::Degrade { sel, profile } => {
+                    let index = sel as usize % fleet.len();
+                    let board = match profile % 3 {
+                        0 => Board::hikey970(),
+                        1 => Board::hikey970_lite(),
+                        _ => Board::hikey970_gpu_down(),
+                    };
+                    let scheduler = index_scheduler(&board);
+                    let evicted = fleet.swap_board(index, board, scheduler);
+                    live.retain(|id| !evicted.iter().any(|j| j.id == *id));
+                    let slot = &fleet.slots()[index];
+                    prop_assert!(
+                        slot.jobs.len() <= slot.board.max_concurrent_dnns,
+                        "degraded slot left over its concurrent-DNN cap"
+                    );
+                }
             }
             let audit = fleet.index_check();
             prop_assert!(audit.is_ok(), "index diverged after {op:?}: {audit:?}");
@@ -493,6 +528,109 @@ proptest! {
             }
         }
     }
+}
+
+/// Degrade-in-place: swapping a slot to a weaker profile keeps its
+/// stable index, evicts residents **newest-first** only until the new
+/// profile admits the rest, drops the stale deployment (it was priced
+/// on the old hardware), and leaves every fleet index consistent.
+#[test]
+fn swap_board_evicts_newest_until_the_weaker_profile_admits() {
+    let full = Board::hikey970();
+    let mut fleet = Fleet::new(
+        vec![full.clone()],
+        PlacementPolicy::LeastLoaded,
+        false,
+        index_scheduler,
+    );
+    for id in 1..=full.max_concurrent_dnns as u64 {
+        assert!(fleet
+            .place(JobSpec::new(id, ModelId::MobileNet, 0))
+            .is_some());
+    }
+    assert_eq!(fleet.flush_dirty().len(), 1);
+    let degraded = Board::hikey970_gpu_down();
+    assert!(degraded.max_concurrent_dnns < full.max_concurrent_dnns);
+    let evicted = fleet.swap_board(0, degraded.clone(), index_scheduler(&degraded));
+    assert_eq!(
+        evicted.len(),
+        full.max_concurrent_dnns - degraded.max_concurrent_dnns
+    );
+    assert_eq!(
+        evicted.first().map(|j| j.id),
+        Some(full.max_concurrent_dnns as u64),
+        "eviction starts from the newest resident"
+    );
+    for job in &evicted {
+        assert!(fleet.board_of(job.id).is_none());
+    }
+    assert_eq!(fleet.slots()[0].jobs.len(), degraded.max_concurrent_dnns);
+    assert!(fleet.slots()[0].mapping.is_none(), "old deployment dropped");
+    fleet.index_check().expect("indexes survive the swap");
+    // Survivors re-price on the degraded board at the next flush: a
+    // fresh cold decision, live throughput, no memo/warm leakage.
+    let decisions = fleet.flush_dirty();
+    assert_eq!(decisions.len(), 1);
+    assert!(decisions[0].throughput > 0.0);
+    assert!(!decisions[0].single_job_delta);
+    // A recover swap restores the original profile and capacity.
+    let recovered = fleet.swap_board(0, full.clone(), index_scheduler(&full));
+    assert!(recovered.is_empty(), "recovery never evicts");
+    assert!(fleet
+        .place(JobSpec::new(100, ModelId::MobileNet, 0))
+        .is_some());
+    fleet.index_check().expect("indexes survive the recovery");
+}
+
+/// Satellite: the decision memo now serves floored mixes. The SLO floor
+/// vector is folded into the memo key via the scheduler's `memo_salt`,
+/// so an identical mix under identical floors *hits*, while the same
+/// model mix under different floors (or no floors) *misses* — a
+/// floorless mapping can never be replayed onto a floored workload.
+#[test]
+fn decision_memo_is_scoped_by_slo_floor_vector() {
+    let board = Board::hikey970();
+    let no_refresh = |board: &Board| {
+        OnlineScheduler::new(
+            AnalyticModel::new(board.clone()),
+            ReschedulePolicy::WarmStart,
+            OnlineConfig {
+                refresh_period: 0,
+                ..quick_online()
+            },
+        )
+    };
+    let mut fleet = Fleet::new(vec![board], PlacementPolicy::LeastLoaded, true, no_refresh);
+    let flush_with = |fleet: &mut Fleet<AnalyticModel>, job: JobSpec| -> DecisionKind {
+        if let Some(resident) = fleet.slots()[0].jobs.first().map(|j| j.id) {
+            assert!(fleet.remove_job(0, resident));
+        }
+        assert!(fleet.place(job).is_some());
+        let decisions = fleet.flush_dirty();
+        assert_eq!(decisions.len(), 1);
+        decisions[0].kind
+    };
+    let floored = |id: u64| JobSpec::new(id, ModelId::MobileNet, 0).guaranteed(2.0);
+    // Cold fill, then an identical floored mix replays from the memo.
+    assert_ne!(flush_with(&mut fleet, floored(1)), DecisionKind::Memo);
+    assert_eq!(flush_with(&mut fleet, floored(2)), DecisionKind::Memo);
+    // Same model mix without the floor: different salt, memo miss.
+    let best_effort = JobSpec::new(3, ModelId::MobileNet, 0);
+    assert_ne!(flush_with(&mut fleet, best_effort), DecisionKind::Memo);
+    // A different floor value is yet another salt: miss again.
+    assert_ne!(
+        flush_with(
+            &mut fleet,
+            JobSpec::new(4, ModelId::MobileNet, 0).guaranteed(3.0)
+        ),
+        DecisionKind::Memo
+    );
+    // Every previously decided (mix, floors) entry stays replayable.
+    assert_eq!(flush_with(&mut fleet, floored(5)), DecisionKind::Memo);
+    assert_eq!(
+        flush_with(&mut fleet, JobSpec::new(6, ModelId::MobileNet, 0)),
+        DecisionKind::Memo
+    );
 }
 
 // ---------------------------------------------------------------------------

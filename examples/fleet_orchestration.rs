@@ -61,6 +61,8 @@ fn print_story(report: &OrchestratorReport) {
                 FleetEvent::BoardJoin { .. } => {
                     format!("board joined as slot {}", fe.slot.unwrap_or(usize::MAX))
                 }
+                FleetEvent::BoardDegrade { board, .. } => format!("board {board} DEGRADED"),
+                FleetEvent::BoardRecover { board } => format!("board {board} recovered"),
             };
             println!(
                 "  t={:>6}ms  ! {what} — {} evacuated ({} re-placed, {} queued)",
