@@ -18,12 +18,13 @@ perf-smoke:
 	SMOKE=1 cargo bench --bench fleet_scale
 	SMOKE=1 cargo bench --bench admission
 	SMOKE=1 cargo bench --bench chaos
+	SMOKE=1 cargo bench --bench rpc
 
 # Full perf snapshots: rewrites BENCH_decision_latency.json,
 # BENCH_estimator_training.json, BENCH_serving.json, BENCH_fleet.json,
-# BENCH_fleet_scale.json, BENCH_admission.json and BENCH_chaos.json
-# with this host's numbers (the estimator_training direct-backward
-# baseline takes a few minutes).
+# BENCH_fleet_scale.json, BENCH_admission.json, BENCH_chaos.json and
+# BENCH_rpc.json with this host's numbers (the estimator_training
+# direct-backward baseline takes a few minutes).
 .PHONY: perf-snapshots
 perf-snapshots:
 	cargo bench --bench decision_latency
@@ -33,6 +34,7 @@ perf-snapshots:
 	cargo bench --bench fleet_scale
 	cargo bench --bench admission
 	cargo bench --bench chaos
+	cargo bench --bench rpc
 
 # Full fleet-scale run only: rewrites BENCH_fleet_scale.json ({16, 64,
 # 256}-board cells, ~2000-job traces each).
@@ -52,3 +54,10 @@ perf-admission:
 .PHONY: perf-chaos
 perf-chaos:
 	cargo bench --bench chaos
+
+# Full RPC-daemon run only: rewrites BENCH_rpc.json (closed-loop
+# loadgen over loopback HTTP at 0.5x/1x/2x load: sustained req/s,
+# admission RTT p99, scheduler decision p99, drain latency).
+.PHONY: perf-rpc
+perf-rpc:
+	cargo bench --bench rpc

@@ -1,0 +1,228 @@
+//! RPC daemon bench: the wire path under a seeded closed-loop load
+//! generator.
+//!
+//! Boots the real daemon on loopback and replays the same seeded
+//! Poisson traces the in-process serving bench uses — but **over
+//! HTTP**, one request per trace event, closed-loop (next request only
+//! after the previous reply). Three load levels (0.5×, 1×, 2× of the
+//! fleet's sustainable arrival rate) measure:
+//!
+//! * **sustained_rps** — closed-loop request throughput, i.e. how fast
+//!   the daemon can answer admission decisions back-to-back;
+//! * **admission RTT** (median/p99/max) — per-request round trip:
+//!   framing + JSON parse + engine tick + reply;
+//! * **decision p99** — the scheduler's own per-kind decision latency,
+//!   scraped from `/v1/summary` before shutdown;
+//! * **drain_ms** — gate-close to daemon-down: `POST /v1/drain`
+//!   through the `POST /v1/shutdown` reply (run finished, caches
+//!   archived).
+//!
+//! Requests carry the trace's **virtual stamps**, so each row's serving
+//! behaviour is deterministic and digest-pinned (`run_digest`) even
+//! though the latencies are wall-clock. Every row also stamps a
+//! Drive-As-Code `config_digest` over the declarative trace + load
+//! configuration that produced it.
+//!
+//! Writes `BENCH_rpc.json`. `SMOKE=1` (the CI mode) shrinks the trace
+//! and **does not** rewrite the snapshot.
+
+use omniboost_bench::{config_digest, trace_config_pairs};
+use omniboost_hw::{AnalyticModel, Board};
+use omniboost_models::{ArrivalProcess, ArrivalTrace, TraceConfig};
+use omniboost_rpc::api::ShutdownRequest;
+use omniboost_rpc::client::{ClientConfig, RpcClient};
+use omniboost_rpc::loadgen::{replay_trace, StampMode};
+use omniboost_rpc::servers::{RpcServer, ServerConfig};
+use omniboost_rpc::Json;
+use omniboost_serve::{OnlineConfig, SearchBudget, ServingConfig};
+use std::time::Instant;
+
+const BOARDS: usize = 2;
+/// Sustainable arrival rate per board (jobs/s) at the trace's mean
+/// lifetime — the 1× anchor (mirrors `benches/admission.rs`).
+const BASE_RATE_PER_BOARD: f64 = 0.25;
+
+struct BenchScale {
+    horizon_ms: u64,
+    loads: &'static [f64],
+    seed: u64,
+}
+
+impl BenchScale {
+    fn full() -> Self {
+        Self {
+            horizon_ms: 60_000,
+            loads: &[0.5, 1.0, 2.0],
+            seed: 42,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            horizon_ms: 8_000,
+            loads: &[1.0],
+            seed: 42,
+        }
+    }
+}
+
+fn trace_cfg(scale: &BenchScale) -> TraceConfig {
+    TraceConfig {
+        horizon_ms: scale.horizon_ms,
+        mean_lifetime_ms: scale.horizon_ms as f64 / 8.0,
+        ..TraceConfig::default()
+    }
+}
+
+fn serving_config() -> ServingConfig {
+    ServingConfig {
+        online: OnlineConfig {
+            cold_budget: SearchBudget::with_iterations(60),
+            warm_budget: SearchBudget::with_iterations(24),
+            ..OnlineConfig::default()
+        },
+        ..ServingConfig::warm()
+    }
+}
+
+/// Decision-latency p99s scraped from the `/v1/summary` snapshot.
+fn decision_p99(summary: &Json, kind: &str) -> f64 {
+    summary
+        .get(kind)
+        .and_then(|k| k.get("p99_ms"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let smoke = std::env::var_os("SMOKE").is_some_and(|v| v != "0" && !v.is_empty());
+    let scale = if smoke {
+        BenchScale::smoke()
+    } else {
+        BenchScale::full()
+    };
+
+    let mut rows = Vec::new();
+    for &load in scale.loads {
+        let rate_per_s = load * BASE_RATE_PER_BOARD * BOARDS as f64;
+        let trace = ArrivalTrace::generate(
+            ArrivalProcess::Poisson { rate_per_s },
+            &trace_cfg(&scale),
+            scale.seed,
+        );
+
+        let server = RpcServer::start(
+            ServerConfig::default(),
+            vec![Board::hikey970(); BOARDS],
+            serving_config(),
+            AnalyticModel::new,
+        )
+        .expect("bind loopback");
+        let mut client =
+            RpcClient::connect(ClientConfig::new(server.addr().to_string())).expect("dial daemon");
+
+        let report = replay_trace(&mut client, &trace, StampMode::Virtual).expect("replay");
+        let summary = client.summary().expect("summary scrape");
+
+        let drain_started = Instant::now();
+        client.drain().expect("drain");
+        let shutdown = client
+            .shutdown(&ShutdownRequest {
+                horizon_ms: Some(scale.horizon_ms),
+            })
+            .expect("shutdown");
+        let drain_ms = drain_started.elapsed().as_secs_f64() * 1e3;
+        server.join();
+
+        let mut drive = trace_config_pairs(&trace_cfg(&scale));
+        drive.push(("load", format!("{load:?}")));
+        drive.push(("rate_per_s", format!("{rate_per_s:?}")));
+        drive.push(("boards", BOARDS.to_string()));
+        drive.push(("seed", scale.seed.to_string()));
+        drive.push(("stamp_mode", "virtual".to_string()));
+        let digest = config_digest(&drive);
+
+        println!(
+            "{load:.1}x ({rate_per_s:.2}/s): {} requests in {:.0} ms -> {:.0} req/s sustained; \
+             admission p99 {:.3} ms (median {:.3}, max {:.3}); decision p99 cold {:.2} / warm \
+             {:.2} / memo {:.4} ms; drain->down {drain_ms:.1} ms; run digest {:#018x}",
+            report.requests,
+            report.elapsed_ms,
+            report.sustained_rps,
+            report.rtt.p99_ms,
+            report.rtt.median_ms,
+            report.rtt.max_ms,
+            decision_p99(&summary, "cold"),
+            decision_p99(&summary, "warm"),
+            decision_p99(&summary, "memo"),
+            shutdown.digest,
+        );
+
+        rows.push(format!(
+            concat!(
+                "    {{\"load\": {}, \"rate_per_s\": {:.4}, \"config_digest\": \"{:#018x}\", ",
+                "\"run_digest\": \"{:#018x}\", \"requests\": {}, \"submits\": {}, ",
+                "\"departs\": {}, \"placed\": {}, \"queued\": {}, \"rejected\": {}, ",
+                "\"sustained_rps\": {:.2}, ",
+                "\"admission_rtt_ms\": {{\"median\": {:.4}, \"p99\": {:.4}, \"max\": {:.4}}}, ",
+                "\"decision_p99_ms\": {{\"cold\": {:.4}, \"warm\": {:.4}, \"memo\": {:.5}}}, ",
+                "\"drain_ms\": {:.2}, \"left_in_queue\": {}}}"
+            ),
+            load,
+            rate_per_s,
+            digest,
+            shutdown.digest,
+            report.requests,
+            report.submits,
+            report.departs,
+            report.placed,
+            report.queued,
+            report.rejected,
+            report.sustained_rps,
+            report.rtt.median_ms,
+            report.rtt.p99_ms,
+            report.rtt.max_ms,
+            decision_p99(&summary, "cold"),
+            decision_p99(&summary, "warm"),
+            decision_p99(&summary, "memo"),
+            drain_ms,
+            shutdown.left_in_queue,
+        ));
+    }
+
+    if smoke {
+        println!("SMOKE=1: skipping BENCH_rpc.json rewrite");
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"rpc\",\n",
+            "  \"seed\": {},\n",
+            "  \"horizon_ms\": {},\n",
+            "  \"boards\": {},\n",
+            "  \"base_rate_per_board_s\": {},\n",
+            "  \"note\": \"Closed-loop loadgen over loopback HTTP against the live daemon: ",
+            "one request per seeded trace event, next request only after the previous ",
+            "reply. Requests carry virtual trace stamps, so run_digest is deterministic ",
+            "per row and equals the in-process ServingSim digest for the same trace ",
+            "(pinned by crates/rpc/tests/daemon.rs); latencies are wall-clock. ",
+            "admission_rtt_ms is the full wire round trip (framing + parse + engine ",
+            "tick); decision_p99_ms is the scheduler's own latency from /v1/summary; ",
+            "drain_ms spans POST /v1/drain through the /v1/shutdown reply (run ",
+            "finished, caches archived). config_digest is the FNV-1a hash of the ",
+            "declarative trace + load configuration (Drive-As-Code provenance).\",\n",
+            "  \"rows\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale.seed,
+        scale.horizon_ms,
+        BOARDS,
+        BASE_RATE_PER_BOARD,
+        rows.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rpc.json");
+    std::fs::write(path, json).expect("write BENCH_rpc.json");
+    println!("wrote {path}");
+}

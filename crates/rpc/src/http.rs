@@ -1,0 +1,355 @@
+//! Minimal HTTP/1.1 framing: an incremental request decoder and a
+//! response writer, hand-rolled on byte buffers (no registry access, so
+//! no hyper). The decoder is **total and bounded**: arbitrary bytes
+//! produce a [`Request`], a need-more-bytes signal, or a typed
+//! [`FrameError`] — never a panic — and both the header block and the
+//! body are size-capped so an adversarial peer cannot balloon a
+//! worker's memory. Truncated requests are bounded in *time* by the
+//! server's socket read timeout, so they cannot hang a worker either.
+//!
+//! Scope: exactly what the API needs. `Content-Length` bodies only (no
+//! chunked transfer), no continuation lines, case-insensitive header
+//! names, `Connection: close` honoured. Requests with bodies the
+//! decoder cannot frame are fatal to the connection — framing errors
+//! never resynchronize.
+
+use std::fmt;
+
+/// Size caps for one request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLimits {
+    /// Maximum bytes of the request line + headers (until CRLFCRLF).
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for FrameLimits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// One decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub target: String,
+    /// Headers in order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a byte stream failed to frame as a request. Every variant maps
+/// to a specific HTTP status ([`FrameError::status`]); all are fatal to
+/// the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The head grew past [`FrameLimits::max_head_bytes`] without a
+    /// blank line.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeds [`FrameLimits::max_body_bytes`].
+    BodyTooLarge(usize),
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line without a `:` or with an empty name.
+    BadHeader,
+    /// `Content-Length` is not a decimal integer (or conflicting
+    /// duplicates).
+    BadContentLength,
+    /// The version is not HTTP/1.0 or HTTP/1.1.
+    UnsupportedVersion,
+}
+
+impl FrameError {
+    /// The HTTP status this framing error answers with.
+    pub fn status(self) -> u16 {
+        match self {
+            FrameError::HeadTooLarge => 431,
+            FrameError::BodyTooLarge(_) => 413,
+            FrameError::UnsupportedVersion => 505,
+            FrameError::BadRequestLine | FrameError::BadHeader | FrameError::BadContentLength => {
+                400
+            }
+        }
+    }
+
+    /// Stable machine-readable code for the error body.
+    pub fn code(self) -> &'static str {
+        match self {
+            FrameError::HeadTooLarge => "head-too-large",
+            FrameError::BodyTooLarge(_) => "payload-too-large",
+            FrameError::BadRequestLine => "bad-request-line",
+            FrameError::BadHeader => "bad-header",
+            FrameError::BadContentLength => "bad-content-length",
+            FrameError::UnsupportedVersion => "unsupported-version",
+        }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::HeadTooLarge => write!(f, "request head exceeds the size cap"),
+            FrameError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes exceeds the cap"),
+            FrameError::BadRequestLine => write!(f, "malformed request line"),
+            FrameError::BadHeader => write!(f, "malformed header line"),
+            FrameError::BadContentLength => write!(f, "malformed Content-Length"),
+            FrameError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental request decoder: [`FrameDecoder::feed`] bytes as they
+/// arrive, [`FrameDecoder::next_request`] yields complete requests.
+/// Pipelined requests in one buffer decode in order.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    limits: FrameLimits,
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder under `limits`.
+    pub fn new(limits: FrameLimits) -> Self {
+        Self {
+            limits,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Appends bytes read from the peer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete request out of the buffer.
+    ///
+    /// * `Ok(Some(_))` — a full request (consumed from the buffer).
+    /// * `Ok(None)` — the buffer holds a valid prefix; feed more bytes.
+    /// * `Err(_)` — the stream cannot frame; close the connection after
+    ///   answering with [`FrameError::status`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FrameError`] describing the first malformed
+    /// element.
+    pub fn next_request(&mut self) -> Result<Option<Request>, FrameError> {
+        let Some(head_end) = find_crlfcrlf(&self.buf) else {
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(FrameError::HeadTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_end > self.limits.max_head_bytes {
+            return Err(FrameError::HeadTooLarge);
+        }
+        let (method, target, headers) = parse_head(&self.buf[..head_end])?;
+        let content_length = content_length(&headers)?;
+        if content_length > self.limits.max_body_bytes {
+            return Err(FrameError::BodyTooLarge(content_length));
+        }
+        let total = head_end + 4 + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            target,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Offset of the first `\r\n\r\n`, if any.
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Headers as (lowercased name, trimmed value) pairs in arrival order.
+type Headers = Vec<(String, String)>;
+
+/// Parses the head block (request line + header lines, no trailing
+/// blank line).
+fn parse_head(head: &[u8]) -> Result<(String, String, Headers), FrameError> {
+    let text = std::str::from_utf8(head).map_err(|_| FrameError::BadRequestLine)?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(FrameError::BadRequestLine);
+    };
+    if method.is_empty()
+        || !method
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-')
+    {
+        return Err(FrameError::BadRequestLine);
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(FrameError::BadRequestLine);
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(FrameError::UnsupportedVersion);
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        // Bare `\n` inside the head (split only breaks on `\r\n`) is
+        // tolerated inside values but not names; the colon split below
+        // catches structurally broken lines either way.
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(FrameError::BadHeader);
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(FrameError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), target.to_string(), headers))
+}
+
+/// The declared `Content-Length` (0 when absent; duplicates must
+/// agree).
+fn content_length(headers: &[(String, String)]) -> Result<usize, FrameError> {
+    let mut declared: Option<usize> = None;
+    for (name, value) in headers {
+        if name == "content-length" {
+            let n: usize = value.parse().map_err(|_| FrameError::BadContentLength)?;
+            if declared.is_some_and(|d| d != n) {
+                return Err(FrameError::BadContentLength);
+            }
+            declared = Some(n);
+        }
+    }
+    Ok(declared.unwrap_or(0))
+}
+
+/// Renders one HTTP/1.1 response. `keep_alive` controls the
+/// `Connection` header (the server mirrors the request's wish).
+pub fn render_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    };
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+/// A decoded HTTP response (the client half of the framing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+/// Decodes one response from `buf`, returning it and the bytes
+/// consumed; `Ok(None)` means feed more bytes.
+///
+/// # Errors
+///
+/// Returns [`FrameError`] on malformed status lines/headers or a body
+/// larger than `limits` allows.
+pub fn decode_response(
+    buf: &[u8],
+    limits: FrameLimits,
+) -> Result<Option<(Response, usize)>, FrameError> {
+    let Some(head_end) = find_crlfcrlf(buf) else {
+        if buf.len() > limits.max_head_bytes {
+            return Err(FrameError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&buf[..head_end]).map_err(|_| FrameError::BadRequestLine)?;
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(status), _) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(FrameError::BadRequestLine);
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(FrameError::UnsupportedVersion);
+    }
+    let status: u16 = status.parse().map_err(|_| FrameError::BadRequestLine)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(FrameError::BadHeader);
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let len = content_length(&headers)?;
+    if len > limits.max_body_bytes {
+        return Err(FrameError::BodyTooLarge(len));
+    }
+    let total = head_end + 4 + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Response {
+            status,
+            headers,
+            body: buf[head_end + 4..total].to_vec(),
+        },
+        total,
+    )))
+}

@@ -1,0 +1,217 @@
+//! Loopback integration tests over a live daemon: drain semantics,
+//! graceful shutdown with cache archiving, warm reboot, and the
+//! wire-vs-in-process digest parity pin.
+
+use omniboost_hw::{AnalyticModel, Board};
+use omniboost_models::{ArrivalProcess, ArrivalTrace, ModelId, TraceConfig};
+use omniboost_rpc::api::{DepartRequest, ShutdownRequest, SubmitRequest};
+use omniboost_rpc::client::{ClientConfig, RpcClient};
+use omniboost_rpc::loadgen::{replay_trace, StampMode};
+use omniboost_rpc::servers::{RpcServer, ServerConfig};
+use omniboost_serve::{OnlineConfig, SearchBudget, ServingConfig, ServingSim};
+use std::path::PathBuf;
+
+const HORIZON_MS: u64 = 30_000;
+
+fn quick_online() -> OnlineConfig {
+    OnlineConfig {
+        cold_budget: SearchBudget::with_iterations(60),
+        warm_budget: SearchBudget::with_iterations(24),
+        ..OnlineConfig::default()
+    }
+}
+
+fn serving_config(cache_path: Option<PathBuf>) -> ServingConfig {
+    ServingConfig {
+        online: quick_online(),
+        cache_path,
+        ..ServingConfig::warm()
+    }
+}
+
+fn boot(cache_path: Option<PathBuf>, boards: usize) -> (RpcServer<AnalyticModel>, RpcClient) {
+    let server = RpcServer::start(
+        ServerConfig::default(),
+        vec![Board::hikey970(); boards],
+        serving_config(cache_path),
+        AnalyticModel::new,
+    )
+    .expect("bind loopback");
+    let client =
+        RpcClient::connect(ClientConfig::new(server.addr().to_string())).expect("dial daemon");
+    (server, client)
+}
+
+/// Drain mode refuses new submits with the distinct `draining` code
+/// while in-flight jobs keep completing; graceful shutdown archives the
+/// evaluation cache, and a rebooted daemon reports the warm preloads.
+#[test]
+fn drain_refuses_submits_then_shutdown_archives_and_reboot_preloads() {
+    let dir = std::env::temp_dir().join(format!("omniboost-rpc-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let cache = dir.join("daemon-cache.bin");
+    let _ = std::fs::remove_file(&cache);
+
+    let (server, mut client) = boot(Some(cache.clone()), 1);
+
+    // Two residents, virtual-stamped so the run is deterministic.
+    for (id, at_ms) in [(1u64, 0u64), (2, 100)] {
+        let reply = client
+            .submit(&SubmitRequest {
+                model: ModelId::AlexNet,
+                tenant: 0,
+                min_tps: None,
+                id: Some(id),
+                at_ms: Some(at_ms),
+            })
+            .expect("admitted");
+        assert_eq!(reply.outcome, "placed");
+    }
+    let status = client.status().expect("status");
+    assert_eq!(status.resident_jobs, 2);
+    assert!(!status.draining);
+
+    // Close the gate.
+    let drained = client.drain().expect("drain");
+    assert!(drained.draining);
+    assert_eq!(drained.resident_jobs, 2);
+
+    // New admissions now answer 503 with the distinct drain code...
+    let refused = client
+        .submit(&SubmitRequest::simple(ModelId::MobileNet))
+        .expect_err("gate closed");
+    assert!(refused.is_code("draining"), "got {refused}");
+    match refused {
+        omniboost_rpc::RpcError::Api { status, .. } => assert_eq!(status, 503),
+        other => panic!("expected api error, got {other}"),
+    }
+
+    // ...while in-flight jobs still complete.
+    let depart = client
+        .depart(&DepartRequest {
+            id: 1,
+            at_ms: Some(5_000),
+        })
+        .expect("depart during drain");
+    assert!(depart.known);
+    let status = client.status().expect("status during drain");
+    assert_eq!(status.resident_jobs, 1);
+    assert!(status.draining);
+
+    // Metrics stay scrapeable mid-drain and carry the pool counters.
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("omniboost_draining 1"));
+    assert!(metrics.contains("omniboost_pool_submitted 2"));
+    assert!(metrics.contains("omniboost_pool_retries 0"));
+
+    // Graceful shutdown: the remaining resident counts as left running;
+    // nothing was lost (arrivals == placements, nothing queued).
+    let reply = client
+        .shutdown(&ShutdownRequest {
+            horizon_ms: Some(HORIZON_MS),
+        })
+        .expect("shutdown");
+    assert_eq!(reply.events, 3, "2 submits + 1 depart");
+    assert_eq!(reply.placements, 2);
+    assert_eq!(reply.left_in_queue, 0);
+    assert!(reply.cache_archived_segments >= 1, "cache archived on exit");
+    assert!(cache.exists(), "archive written to the configured path");
+
+    let report = server.join().expect("finished run parked for join");
+    assert_eq!(report.digest(), reply.digest);
+
+    // Warm reboot: the fresh daemon preloads the archived segments and
+    // says so over the wire.
+    let (server2, mut client2) = boot(Some(cache.clone()), 1);
+    let status = client2.status().expect("status after reboot");
+    assert!(
+        status.cache_preloaded_entries > 0,
+        "rebooted daemon must report warm preloads"
+    );
+    client2
+        .shutdown(&ShutdownRequest::default())
+        .expect("shutdown reboot");
+    server2.join();
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// The same seeded trace produces the **same digest** through the
+/// daemon (wire path, virtual stamps) as through the in-process
+/// `ServingSim` — the wall clock never leaks into serving decisions.
+#[test]
+fn wire_replay_matches_in_process_digest() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Poisson { rate_per_s: 0.8 },
+        &TraceConfig {
+            horizon_ms: HORIZON_MS,
+            mean_lifetime_ms: 8_000.0,
+            ..TraceConfig::default()
+        },
+        7,
+    );
+
+    // In-process reference.
+    let mut sim = ServingSim::new(
+        vec![Board::hikey970(); 2],
+        serving_config(None),
+        AnalyticModel::new,
+    );
+    let reference = sim.run(&trace, HORIZON_MS);
+
+    // Wire path: same trace, virtual stamps, same horizon.
+    let (server, mut client) = boot(None, 2);
+    let loadgen = replay_trace(&mut client, &trace, StampMode::Virtual).expect("replay");
+    assert_eq!(loadgen.requests, trace.len());
+    assert_eq!(
+        loadgen.placed + loadgen.queued + loadgen.rejected,
+        trace.arrivals(),
+        "every arrival got a definite outcome over the wire"
+    );
+    let reply = client
+        .shutdown(&ShutdownRequest {
+            horizon_ms: Some(HORIZON_MS),
+        })
+        .expect("shutdown");
+    let report = server.join().expect("daemon report");
+
+    assert_eq!(
+        reply.digest,
+        reference.digest(),
+        "wire and in-process replays must be bit-for-bit identical"
+    );
+    assert_eq!(report.digest(), reference.digest());
+    assert_eq!(report.ticks.len(), reference.ticks.len());
+    assert_eq!(report.summary.placements, reference.summary.placements);
+    assert_eq!(
+        reply.mean_aggregate_tps,
+        reference.summary.mean_aggregate_tps
+    );
+}
+
+/// Unknown routes, wrong methods and malformed bodies answer typed
+/// errors without disturbing the daemon.
+#[test]
+fn error_paths_answer_typed_codes() {
+    let (server, mut client) = boot(None, 1);
+
+    let err = client
+        .submit(&SubmitRequest {
+            model: ModelId::AlexNet,
+            tenant: 0,
+            min_tps: None,
+            id: None,
+            at_ms: None,
+        })
+        .expect("daemon up");
+    assert_eq!(err.outcome, "placed");
+
+    // The daemon survives a malformed body on the same connection.
+    let summary = client.summary().expect("summary");
+    assert_eq!(summary.get("arrivals").and_then(|v| v.as_u64()), Some(1));
+
+    client
+        .shutdown(&ShutdownRequest::default())
+        .expect("shutdown");
+    server.join();
+}

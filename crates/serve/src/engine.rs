@@ -1,0 +1,515 @@
+//! The tick-able serving engine: the event loop of [`crate::ServingSim`]
+//! extracted from trace replay into an incremental, caller-clocked core.
+//!
+//! Historically the serving runtime *was* its trace loop — the only way
+//! to drive a fleet was to hand [`crate::ServingSim::run`] a complete
+//! [`ArrivalTrace`] and wait for the report. A network daemon cannot do
+//! that: jobs arrive one RPC at a time, stamped by a wall clock, and the
+//! process must answer `status` / `metrics` probes *mid-run*. The
+//! [`ServingEngine`] is the shared core both drivers sit on:
+//!
+//! * [`crate::ServingSim`] replays a trace by calling
+//!   [`ServingEngine::submit`] / [`ServingEngine::depart`] per event and
+//!   [`ServingEngine::finish`] at the end — bit-for-bit the behaviour
+//!   (and [`crate::ServingReport::digest`]) of the pre-extraction loop.
+//! * `omniboost-rpc` feeds the same calls from network requests, clocked
+//!   either by the daemon's wall clock or by caller-supplied virtual
+//!   stamps (which is what makes the wire path digest-identical to the
+//!   in-process path for the same trace).
+//!
+//! The tick discipline mirrors the old loop exactly: events sharing a
+//! timestamp accumulate into one **open tick**; the arrival of a newer
+//! stamp (or [`ServingEngine::advance_to`] / [`ServingEngine::finish`])
+//! closes it — draining freed capacity, rescheduling dirty boards and
+//! recording the [`TickRecord`]. Throughput/utilization integrals cover
+//! the interval since the previous stamp with the deployment that
+//! actually served it, exactly as the replay loop integrated them.
+
+use crate::fleet::Fleet;
+use crate::mempool::{Mempool, MempoolStats, SubmitOutcome};
+use crate::scheduler::OnlineScheduler;
+use crate::sim::{BoardDecision, LatencyStats, ServingConfig, ServingReport, ServingSummary};
+use crate::slo::SloAccumulator;
+use crate::tenants::TenantAccumulator;
+use crate::TickRecord;
+use omniboost_estimator::CacheArchive;
+use omniboost_hw::{Board, EvalCacheStats, ThroughputModel};
+use omniboost_models::{JobEvent, JobSpec};
+
+/// Events of the in-progress tick (the newest timestamp seen), not yet
+/// drained / rescheduled / recorded.
+#[derive(Debug, Default)]
+struct OpenTick {
+    at_ms: u64,
+    events: Vec<JobEvent>,
+    placed: Vec<(u64, usize)>,
+    queued: Vec<u64>,
+    rejected: Vec<u64>,
+    expired: Vec<u64>,
+    capacity_freed: bool,
+}
+
+/// Per-run accumulators (reset by [`ServingEngine::begin_run`]).
+#[derive(Debug, Default)]
+struct RunState {
+    ticks: Vec<TickRecord>,
+    open: Option<OpenTick>,
+    last_t: u64,
+    tps_integral: f64,
+    busy_ms: Vec<u64>,
+    peak_queue: usize,
+    arrivals: usize,
+    departures: usize,
+    placements: usize,
+    tenant_acc: TenantAccumulator,
+    slo_acc: SloAccumulator,
+}
+
+/// The incremental serving core: a fleet, the admission mempool, and the
+/// tick state machine. See the module docs for the contract; see
+/// [`crate::ServingSim`] for the trace-replay driver and
+/// `omniboost-rpc` for the wall-clock daemon driver.
+pub struct ServingEngine<M> {
+    fleet: Fleet<M>,
+    config: ServingConfig,
+    pool: Mempool,
+    cache_preloaded: usize,
+    run: RunState,
+}
+
+impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
+    /// Builds a fleet of `boards` with one evaluator per board and loads
+    /// any persisted cache archive ([`ServingConfig::cache_path`]).
+    pub fn new(
+        boards: Vec<Board>,
+        config: ServingConfig,
+        mut make_evaluator: impl FnMut(Board) -> M,
+    ) -> Self {
+        assert!(!boards.is_empty(), "a fleet needs at least one board");
+        let policy = config.policy;
+        let online = config.online;
+        let fleet = Fleet::new(boards, config.placement, config.use_memo, |board| {
+            OnlineScheduler::new(make_evaluator(board.clone()), policy, online)
+        });
+        let pool = Mempool::new(config.admission);
+        let n = fleet.len();
+        let mut engine = Self {
+            fleet,
+            config,
+            pool,
+            cache_preloaded: 0,
+            run: RunState {
+                busy_ms: vec![0; n],
+                ..RunState::default()
+            },
+        };
+        engine.load_caches();
+        engine
+    }
+
+    /// Startup half of cache persistence: warm every board's scheduler
+    /// from its profile's segment of the configured [`CacheArchive`]
+    /// snapshot. Profiles without a segment, mismatched or unreadable
+    /// snapshots start cold (a daemon must boot regardless); corrupt
+    /// files are reported by
+    /// [`ServingSummary::cache_preloaded_entries`] staying 0. (The
+    /// archive replaced the pre-PR-5 single-segment format; an old
+    /// snapshot reads as unreadable — one cold boot — and the next
+    /// shutdown rewrites it as an archive.)
+    fn load_caches(&mut self) {
+        let Some(path) = self.config.cache_path.clone() else {
+            return;
+        };
+        if !path.exists() {
+            return;
+        }
+        let Ok(archive) = CacheArchive::load(&path) else {
+            return;
+        };
+        let capacity = self.config.online.eval_cache_capacity;
+        self.cache_preloaded += self.fleet.preload_caches(&archive, capacity);
+    }
+
+    /// Shutdown half of cache persistence: merge the boards' caches
+    /// **per hardware profile** (recency preserved within a profile)
+    /// and rewrite the archive — segments of profiles this fleet does
+    /// not run survive untouched, so heterogeneous deployments never
+    /// clobber each other's warm state.
+    fn save_caches(&mut self) {
+        let Some(path) = self.config.cache_path.clone() else {
+            return;
+        };
+        let capacity = self.config.online.eval_cache_capacity;
+        if capacity == 0 {
+            return;
+        }
+        // Start from the persisted archive when readable so foreign
+        // profiles' segments carry forward.
+        let mut archive = CacheArchive::load(&path).unwrap_or_default();
+        self.fleet.archive_caches(&mut archive, capacity);
+        // Persistence failure must not take the daemon down with it.
+        let _ = archive.save(&path);
+    }
+
+    /// Number of boards in the fleet.
+    pub fn num_boards(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Entries warm-loaded from the persisted cache archive at startup.
+    pub fn cache_preloaded_entries(&self) -> usize {
+        self.cache_preloaded
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Jobs resident per board, in slot order.
+    pub fn board_jobs(&self) -> Vec<usize> {
+        self.fleet.board_jobs()
+    }
+
+    /// Jobs resident across the fleet.
+    pub fn resident_jobs(&self) -> usize {
+        self.fleet.board_jobs().iter().sum()
+    }
+
+    /// Waiting entries in the admission pool.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Fleet throughput under the current deployment (sum of per-job
+    /// inferences/s).
+    pub fn aggregate_throughput(&self) -> f64 {
+        self.fleet.aggregate_throughput()
+    }
+
+    /// Lifetime intake counters of the admission pool.
+    pub fn pool_stats(&self) -> MempoolStats {
+        self.pool.stats()
+    }
+
+    /// Arrivals submitted this run.
+    pub fn arrivals(&self) -> usize {
+        self.run.arrivals
+    }
+
+    /// Placements this run (immediate and queue-drained).
+    pub fn placements(&self) -> usize {
+        self.run.placements
+    }
+
+    /// The newest timestamp the engine has seen this run.
+    pub fn now(&self) -> u64 {
+        self.run.open.as_ref().map_or(self.run.last_t, |o| o.at_ms)
+    }
+
+    /// The board currently serving `job_id`, if any.
+    pub fn board_of(&self, job_id: u64) -> Option<usize> {
+        self.fleet.board_of(job_id)
+    }
+
+    /// Starts a fresh run: empty fleet and queue, zeroed accumulators.
+    /// Evaluation caches, decision memos and scheduler counters stay
+    /// warm — beginning a run on a live engine is a warm reboot.
+    pub fn begin_run(&mut self) {
+        self.fleet.reset_jobs();
+        self.pool.reset();
+        self.run = RunState {
+            busy_ms: vec![0; self.fleet.len()],
+            ..RunState::default()
+        };
+    }
+
+    /// Integrates the interval `[last_t, t)` under the still-current
+    /// deployment.
+    fn integrate_to(&mut self, t: u64) {
+        let dt = t.saturating_sub(self.run.last_t);
+        if dt > 0 {
+            self.run.tps_integral += self.fleet.aggregate_throughput() * dt as f64;
+            self.run.tenant_acc.integrate(self.fleet.slots(), dt);
+            self.run.slo_acc.integrate(self.fleet.slots(), dt);
+            for (b, slot) in self.fleet.slots().iter().enumerate() {
+                if !slot.jobs.is_empty() {
+                    self.run.busy_ms[b] += dt;
+                }
+            }
+        }
+        self.run.last_t = t;
+    }
+
+    /// Opens (or re-enters) the tick at `at_ms`, closing any older open
+    /// tick first. Returns the clamped timestamp: time never runs
+    /// backwards — a stale stamp (possible when wall-clocked callers
+    /// race) lands in the currently-open tick instead.
+    fn open_tick(&mut self, at_ms: u64) -> u64 {
+        let t = at_ms.max(self.now());
+        if let Some(open) = &self.run.open {
+            if open.at_ms == t {
+                return t;
+            }
+            self.close_tick();
+        }
+        self.integrate_to(t);
+        // TTL sweep first: an entry that outlived its TTL must not grab
+        // capacity this tick frees. No-op without a TTL.
+        let expired = self.pool.expire(t);
+        self.run.open = Some(OpenTick {
+            at_ms: t,
+            expired,
+            ..OpenTick::default()
+        });
+        t
+    }
+
+    /// Closes the open tick: offers freed capacity to the pool,
+    /// reschedules every board whose job set changed, and records the
+    /// [`TickRecord`]. No-op when no tick is open.
+    fn close_tick(&mut self) {
+        let Some(mut open) = self.run.open.take() else {
+            return;
+        };
+        // Capacity only ever grows when a resident job departs, so the
+        // pool is drained exactly then (guaranteed class first, then the
+        // configured order, visiting only entries some board can
+        // actually admit — no head-of-line blocking); re-probing every
+        // board for every waiting job on arrival-only ticks would be
+        // pure waste.
+        if open.capacity_freed && !self.pool.is_empty() {
+            for d in self
+                .pool
+                .drain(&mut self.fleet, open.at_ms, &self.run.tenant_acc)
+            {
+                self.run.placements += 1;
+                open.placed.push((d.job.id, d.board));
+                self.run
+                    .tenant_acc
+                    .placement(&d.job, open.at_ms - d.queued_at);
+            }
+        }
+        self.run.peak_queue = self.run.peak_queue.max(self.pool.len());
+
+        // Reschedule every board whose job set changed (concurrent
+        // across boards).
+        let decisions = self.fleet.flush_dirty();
+
+        self.run.ticks.push(TickRecord {
+            at_ms: open.at_ms,
+            events: open.events,
+            placements: open.placed,
+            queued: open.queued,
+            rejected: open.rejected,
+            expired: open.expired,
+            decisions,
+            queue_depth: self.pool.len(),
+            board_jobs: self.fleet.board_jobs(),
+            aggregate_tps: self.fleet.aggregate_throughput(),
+        });
+    }
+
+    /// Submits one job at `at_ms` through the admission mempool,
+    /// returning what happened to it ([`SubmitOutcome`]). Stamps are
+    /// clamped monotonic: a stamp older than the newest seen joins the
+    /// current tick.
+    pub fn submit(&mut self, job: JobSpec, at_ms: u64) -> SubmitOutcome {
+        let t = self.open_tick(at_ms);
+        self.run.arrivals += 1;
+        self.run.tenant_acc.arrival(&job);
+        self.run.slo_acc.arrival(&job);
+        let outcome = self.pool.submit(&mut self.fleet, job, t);
+        let open = self.run.open.as_mut().expect("tick open");
+        open.events.push(JobEvent::Arrive(job));
+        match outcome {
+            SubmitOutcome::Placed(board) => {
+                self.run.placements += 1;
+                open.placed.push((job.id, board));
+                self.run.tenant_acc.placement(&job, 0);
+            }
+            SubmitOutcome::Queued => open.queued.push(job.id),
+            SubmitOutcome::Rejected(_) => open.rejected.push(job.id),
+        }
+        outcome
+    }
+
+    /// Departs the job with `job_id` at `at_ms` (clamped monotonic).
+    /// Returns whether the job was known — waiting in the pool or
+    /// resident on a board. Unknown ids are recorded as events (the
+    /// trace-replay contract) but change nothing.
+    pub fn depart(&mut self, job_id: u64, at_ms: u64) -> bool {
+        self.open_tick(at_ms);
+        self.run.departures += 1;
+        let open = self.run.open.as_mut().expect("tick open");
+        open.events.push(JobEvent::Depart { job_id });
+        // A job may depart while still queued — an O(log n) id-index
+        // removal, not a queue walk.
+        if self.pool.depart(job_id) {
+            true
+        } else if let Some(board) = self.fleet.board_of(job_id) {
+            self.fleet.remove_job(board, job_id);
+            self.run.open.as_mut().expect("tick open").capacity_freed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances the engine's clock to `at_ms` with no event: closes any
+    /// older open tick and integrates the idle interval. A no-op when
+    /// `at_ms` is not newer than the engine's clock.
+    pub fn advance_to(&mut self, at_ms: u64) {
+        if at_ms <= self.now() {
+            return;
+        }
+        self.close_tick();
+        self.integrate_to(at_ms);
+    }
+
+    /// Ends the run: closes the open tick, integrates the tail out to
+    /// `horizon_ms`, archives evaluation caches (when configured) and
+    /// returns the full [`ServingReport`]. The engine survives —
+    /// [`ServingEngine::begin_run`] starts the next run warm.
+    pub fn finish(&mut self, horizon_ms: u64) -> ServingReport {
+        self.close_tick();
+        // Tail: integrate from the last event to the horizon.
+        if horizon_ms > self.run.last_t {
+            self.integrate_to(horizon_ms);
+        }
+        self.save_caches();
+
+        let run = std::mem::take(&mut self.run);
+        self.run.busy_ms = vec![0; self.fleet.len()];
+
+        let all: Vec<&BoardDecision> = run.ticks.iter().flat_map(|t| t.decisions.iter()).collect();
+        let of_kind = |pred: &dyn Fn(&BoardDecision) -> bool| -> LatencyStats {
+            LatencyStats::from_samples(
+                all.iter()
+                    .filter(|d| pred(d))
+                    .map(|d| d.decision_ms)
+                    .collect(),
+            )
+        };
+        let eval_cache = self
+            .fleet
+            .slots()
+            .iter()
+            .map(|s| s.scheduler.eval_cache().stats())
+            .fold(EvalCacheStats::default(), EvalCacheStats::merge);
+        let horizon = horizon_ms.max(run.last_t).max(1);
+        let still_queued: Vec<JobSpec> = self.pool.queued_jobs();
+        let pool_stats = self.pool.stats();
+        // Wall-clock placement samples are not surfaced by the serving
+        // summary; drop them so they never accumulate across runs.
+        let _ = self.pool.take_place_samples();
+        let summary = ServingSummary {
+            events: run.arrivals + run.departures,
+            arrivals: run.arrivals,
+            departures: run.departures,
+            placements: run.placements,
+            peak_queue_depth: run.peak_queue,
+            left_in_queue: self.pool.len(),
+            rejected: pool_stats.rejected,
+            expired: pool_stats.expired,
+            pool: pool_stats,
+            slo: run.slo_acc.finish(),
+            decisions: all.len(),
+            cold: of_kind(&|d| d.kind == crate::DecisionKind::Cold),
+            warm: of_kind(&|d| {
+                matches!(
+                    d.kind,
+                    crate::DecisionKind::WarmArrival | crate::DecisionKind::WarmDepart
+                )
+            }),
+            memo: of_kind(&|d| d.kind == crate::DecisionKind::Memo),
+            single_job_delta: of_kind(&|d| d.single_job_delta),
+            migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
+            mean_aggregate_tps: run.tps_integral / horizon as f64,
+            board_utilization: run
+                .busy_ms
+                .iter()
+                .map(|ms| *ms as f64 / horizon as f64)
+                .collect(),
+            eval_cache,
+            cache_preloaded_entries: self.cache_preloaded,
+            tenants: run.tenant_acc.finish(horizon, &still_queued),
+        };
+        ServingReport {
+            ticks: run.ticks,
+            summary,
+        }
+    }
+
+    /// A mid-run snapshot of the summary as of `at_ms`, without
+    /// disturbing the run: accumulators are cloned and integrated out to
+    /// the stamp locally, latency stats cover the decisions of closed
+    /// ticks. This is what a live `/metrics` scrape exports.
+    pub fn snapshot(&self, at_ms: u64) -> ServingSummary {
+        let run = &self.run;
+        let now = at_ms.max(self.now());
+        let dt = now.saturating_sub(run.last_t);
+        let mut tenant_acc = run.tenant_acc.clone();
+        let mut slo_acc = run.slo_acc.clone();
+        let mut tps_integral = run.tps_integral;
+        let mut busy_ms = run.busy_ms.clone();
+        if dt > 0 {
+            tps_integral += self.fleet.aggregate_throughput() * dt as f64;
+            tenant_acc.integrate(self.fleet.slots(), dt);
+            slo_acc.integrate(self.fleet.slots(), dt);
+            for (b, slot) in self.fleet.slots().iter().enumerate() {
+                if !slot.jobs.is_empty() {
+                    busy_ms[b] += dt;
+                }
+            }
+        }
+        let all: Vec<&BoardDecision> = run.ticks.iter().flat_map(|t| t.decisions.iter()).collect();
+        let of_kind = |pred: &dyn Fn(&BoardDecision) -> bool| -> LatencyStats {
+            LatencyStats::from_samples(
+                all.iter()
+                    .filter(|d| pred(d))
+                    .map(|d| d.decision_ms)
+                    .collect(),
+            )
+        };
+        let eval_cache = self
+            .fleet
+            .slots()
+            .iter()
+            .map(|s| s.scheduler.eval_cache().stats())
+            .fold(EvalCacheStats::default(), EvalCacheStats::merge);
+        let horizon = now.max(1);
+        let pool_stats = self.pool.stats();
+        ServingSummary {
+            events: run.arrivals + run.departures,
+            arrivals: run.arrivals,
+            departures: run.departures,
+            placements: run.placements,
+            peak_queue_depth: run.peak_queue.max(self.pool.len()),
+            left_in_queue: self.pool.len(),
+            rejected: pool_stats.rejected,
+            expired: pool_stats.expired,
+            pool: pool_stats,
+            slo: slo_acc.finish(),
+            decisions: all.len(),
+            cold: of_kind(&|d| d.kind == crate::DecisionKind::Cold),
+            warm: of_kind(&|d| {
+                matches!(
+                    d.kind,
+                    crate::DecisionKind::WarmArrival | crate::DecisionKind::WarmDepart
+                )
+            }),
+            memo: of_kind(&|d| d.kind == crate::DecisionKind::Memo),
+            single_job_delta: of_kind(&|d| d.single_job_delta),
+            migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
+            mean_aggregate_tps: tps_integral / horizon as f64,
+            board_utilization: busy_ms
+                .iter()
+                .map(|ms| *ms as f64 / horizon as f64)
+                .collect(),
+            eval_cache,
+            cache_preloaded_entries: self.cache_preloaded,
+            tenants: tenant_acc.finish(horizon, &self.pool.queued_jobs()),
+        }
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod fleet;
 mod mempool;
 mod scheduler;
@@ -53,6 +54,7 @@ mod sim;
 mod slo;
 mod tenants;
 
+pub use engine::ServingEngine;
 pub use fleet::{BoardSlot, Fleet, PlacementPolicy};
 pub use mempool::{
     AdmissionPolicy, Drained, Mempool, MempoolStats, QueueOrder, RejectReason, SubmitOutcome,

@@ -170,6 +170,10 @@ pub struct MempoolStats {
     pub expired: usize,
     /// Entries removed because the job departed while still waiting.
     pub departed_queued: usize,
+    /// Failed drain attempts (an entry probed by a drain that still fit
+    /// nowhere) — the counter behind retry backoff. Not part of the
+    /// conservation identity: retries re-enter the queue by definition.
+    pub retries: usize,
 }
 
 /// One waiting job.
@@ -411,6 +415,7 @@ impl Mempool {
                     });
                 }
                 None => {
+                    self.stats.retries += 1;
                     let entry = self.entries.get_mut(&seq).expect("entry still queued");
                     entry.attempts += 1;
                     if let Some(base) = self.policy.retry_backoff_ms {

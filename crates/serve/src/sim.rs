@@ -1,14 +1,19 @@
-//! The event-driven serving runtime: replay an [`ArrivalTrace`] against
+//! The trace-replay serving runtime: replay an [`ArrivalTrace`] against
 //! a fleet, rescheduling per event and recording serving metrics.
+//!
+//! The event loop itself lives in [`crate::ServingEngine`] — an
+//! incremental, caller-clocked core shared with the `omniboost-rpc`
+//! daemon. This module keeps the report/summary types and the
+//! [`ServingSim`] driver that replays a whole trace through the engine.
 
-use crate::fleet::{Fleet, PlacementPolicy};
-use crate::mempool::{AdmissionPolicy, Mempool, SubmitOutcome};
-use crate::scheduler::{DecisionKind, OnlineConfig, OnlineScheduler, ReschedulePolicy};
-use crate::slo::{SloAccumulator, SloSummary};
-use crate::tenants::{TenantAccumulator, TenantSummary};
-use omniboost_estimator::CacheArchive;
+use crate::engine::ServingEngine;
+use crate::fleet::PlacementPolicy;
+use crate::mempool::{AdmissionPolicy, MempoolStats};
+use crate::scheduler::{DecisionKind, OnlineConfig, ReschedulePolicy};
+use crate::slo::SloSummary;
+use crate::tenants::TenantSummary;
 use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
-use omniboost_models::{ArrivalTrace, JobEvent, JobSpec};
+use omniboost_models::{ArrivalTrace, JobEvent};
 use std::hash::Hasher;
 use std::path::PathBuf;
 
@@ -161,6 +166,11 @@ pub struct ServingSummary {
     pub rejected: usize,
     /// Queued jobs the mempool TTL-evicted before they ever placed.
     pub expired: usize,
+    /// The admission pool's full lifetime counters (submits, requeues,
+    /// placements, rejects, TTL evictions, queued departures and drain
+    /// retries) — surfaced here so exporters like the RPC daemon's
+    /// `/metrics` endpoint never reach into `serve::mempool` internals.
+    pub pool: MempoolStats,
     /// Per-SLO-class attainment (guaranteed floors, best-effort
     /// starvation).
     pub slo: SloSummary,
@@ -287,12 +297,7 @@ impl ServingReport {
 /// );
 /// ```
 pub struct ServingSim<M> {
-    fleet: Fleet<M>,
-    config: ServingConfig,
-    /// The shared admission mempool (validation, quotas, class-aware
-    /// indexed drains — see [`crate::Mempool`]).
-    pool: Mempool,
-    cache_preloaded: usize,
+    engine: ServingEngine<M>,
 }
 
 impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
@@ -302,72 +307,22 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
     pub fn new(
         boards: Vec<Board>,
         config: ServingConfig,
-        mut make_evaluator: impl FnMut(Board) -> M,
+        make_evaluator: impl FnMut(Board) -> M,
     ) -> Self {
-        assert!(!boards.is_empty(), "a fleet needs at least one board");
-        let policy = config.policy;
-        let online = config.online;
-        let fleet = Fleet::new(boards, config.placement, config.use_memo, |board| {
-            OnlineScheduler::new(make_evaluator(board.clone()), policy, online)
-        });
-        let pool = Mempool::new(config.admission);
-        let mut sim = Self {
-            fleet,
-            config,
-            pool,
-            cache_preloaded: 0,
-        };
-        sim.load_caches();
-        sim
-    }
-
-    /// Startup half of cache persistence: warm every board's scheduler
-    /// from its profile's segment of the configured [`CacheArchive`]
-    /// snapshot. Profiles without a segment, mismatched or unreadable
-    /// snapshots start cold (a daemon must boot regardless); corrupt
-    /// files are reported by
-    /// [`ServingSummary::cache_preloaded_entries`] staying 0. (The
-    /// archive replaced the pre-PR-5 single-segment format; an old
-    /// snapshot reads as unreadable — one cold boot — and the next
-    /// shutdown rewrites it as an archive.)
-    fn load_caches(&mut self) {
-        let Some(path) = self.config.cache_path.clone() else {
-            return;
-        };
-        if !path.exists() {
-            return;
+        Self {
+            engine: ServingEngine::new(boards, config, make_evaluator),
         }
-        let Ok(archive) = CacheArchive::load(&path) else {
-            return;
-        };
-        let capacity = self.config.online.eval_cache_capacity;
-        self.cache_preloaded += self.fleet.preload_caches(&archive, capacity);
-    }
-
-    /// Shutdown half of cache persistence: merge the boards' caches
-    /// **per hardware profile** (recency preserved within a profile)
-    /// and rewrite the archive — segments of profiles this fleet does
-    /// not run survive untouched, so heterogeneous deployments never
-    /// clobber each other's warm state.
-    fn save_caches(&mut self) {
-        let Some(path) = self.config.cache_path.clone() else {
-            return;
-        };
-        let capacity = self.config.online.eval_cache_capacity;
-        if capacity == 0 {
-            return;
-        }
-        // Start from the persisted archive when readable so foreign
-        // profiles' segments carry forward.
-        let mut archive = CacheArchive::load(&path).unwrap_or_default();
-        self.fleet.archive_caches(&mut archive, capacity);
-        // Persistence failure must not take the daemon down with it.
-        let _ = archive.save(&path);
     }
 
     /// Number of boards in the fleet.
     pub fn num_boards(&self) -> usize {
-        self.fleet.len()
+        self.engine.num_boards()
+    }
+
+    /// The tick-able engine under the replay driver — the same core the
+    /// RPC daemon drives by wall clock.
+    pub fn engine(&self) -> &ServingEngine<M> {
+        &self.engine
     }
 
     /// Replays `trace` to completion and reports. `horizon_ms` bounds
@@ -379,172 +334,17 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
     /// per trace); evaluation caches, decision memos and scheduler
     /// counters stay warm across calls, so replaying is a warm reboot.
     pub fn run(&mut self, trace: &ArrivalTrace, horizon_ms: u64) -> ServingReport {
-        self.fleet.reset_jobs();
-        self.pool.reset();
-        let n = self.fleet.len();
-        let mut ticks: Vec<TickRecord> = Vec::new();
-        let mut last_t = 0u64;
-        let mut tps_integral = 0.0f64;
-        let mut busy_ms = vec![0u64; n];
-        let mut peak_queue = 0usize;
-        let (mut arrivals, mut departures, mut placements) = (0usize, 0usize, 0usize);
-
-        let mut tenant_acc = TenantAccumulator::new();
-        let mut slo_acc = SloAccumulator::new();
-        let events = trace.events();
-        let mut i = 0usize;
-        while i < events.len() {
-            let t = events[i].at_ms;
-            // Integrate the interval since the previous tick with the
-            // still-current deployment.
-            let dt = t - last_t;
-            tps_integral += self.fleet.aggregate_throughput() * dt as f64;
-            tenant_acc.integrate(self.fleet.slots(), dt);
-            slo_acc.integrate(self.fleet.slots(), dt);
-            for (b, slot) in self.fleet.slots().iter().enumerate() {
-                if !slot.jobs.is_empty() {
-                    busy_ms[b] += dt;
+        self.engine.begin_run();
+        for event in trace.events() {
+            match event.event {
+                JobEvent::Arrive(job) => {
+                    self.engine.submit(job, event.at_ms);
                 }
-            }
-            last_t = t;
-
-            // TTL sweep first: an entry that outlived its TTL must not
-            // grab capacity this tick frees. No-op without a TTL.
-            let expired = self.pool.expire(t);
-
-            let mut tick_events = Vec::new();
-            let mut placed = Vec::new();
-            let mut queued = Vec::new();
-            let mut rejected = Vec::new();
-            let mut capacity_freed = false;
-            while i < events.len() && events[i].at_ms == t {
-                let event = events[i].event;
-                tick_events.push(event);
-                match event {
-                    JobEvent::Arrive(job) => {
-                        arrivals += 1;
-                        tenant_acc.arrival(&job);
-                        slo_acc.arrival(&job);
-                        match self.pool.submit(&mut self.fleet, job, t) {
-                            SubmitOutcome::Placed(board) => {
-                                placements += 1;
-                                placed.push((job.id, board));
-                                tenant_acc.placement(&job, 0);
-                            }
-                            SubmitOutcome::Queued => queued.push(job.id),
-                            SubmitOutcome::Rejected(_) => rejected.push(job.id),
-                        }
-                    }
-                    JobEvent::Depart { job_id } => {
-                        departures += 1;
-                        // A job may depart while still queued — an
-                        // O(log n) id-index removal, not a queue walk.
-                        if self.pool.depart(job_id) {
-                        } else if let Some(board) = self.fleet.board_of(job_id) {
-                            self.fleet.remove_job(board, job_id);
-                            capacity_freed = true;
-                        }
-                    }
-                }
-                i += 1;
-            }
-
-            // Capacity only ever grows when a resident job departs, so
-            // the pool is drained exactly then (guaranteed class first,
-            // then the configured order, visiting only entries some
-            // board can actually admit — no head-of-line blocking);
-            // re-probing every board for every waiting job on
-            // arrival-only ticks would be pure waste.
-            if capacity_freed && !self.pool.is_empty() {
-                for d in self.pool.drain(&mut self.fleet, t, &tenant_acc) {
-                    placements += 1;
-                    placed.push((d.job.id, d.board));
-                    tenant_acc.placement(&d.job, t - d.queued_at);
-                }
-            }
-            peak_queue = peak_queue.max(self.pool.len());
-
-            // Reschedule every board whose job set changed (concurrent
-            // across boards).
-            let decisions = self.fleet.flush_dirty();
-
-            ticks.push(TickRecord {
-                at_ms: t,
-                events: tick_events,
-                placements: placed,
-                queued,
-                rejected,
-                expired,
-                decisions,
-                queue_depth: self.pool.len(),
-                board_jobs: self.fleet.board_jobs(),
-                aggregate_tps: self.fleet.aggregate_throughput(),
-            });
-        }
-
-        // Tail: integrate from the last event to the horizon.
-        if horizon_ms > last_t {
-            let dt = horizon_ms - last_t;
-            tps_integral += self.fleet.aggregate_throughput() * dt as f64;
-            tenant_acc.integrate(self.fleet.slots(), dt);
-            slo_acc.integrate(self.fleet.slots(), dt);
-            for (b, slot) in self.fleet.slots().iter().enumerate() {
-                if !slot.jobs.is_empty() {
-                    busy_ms[b] += dt;
+                JobEvent::Depart { job_id } => {
+                    self.engine.depart(job_id, event.at_ms);
                 }
             }
         }
-
-        self.save_caches();
-
-        let all: Vec<&BoardDecision> = ticks.iter().flat_map(|t| t.decisions.iter()).collect();
-        let of_kind = |pred: &dyn Fn(&BoardDecision) -> bool| -> LatencyStats {
-            LatencyStats::from_samples(
-                all.iter()
-                    .filter(|d| pred(d))
-                    .map(|d| d.decision_ms)
-                    .collect(),
-            )
-        };
-        let eval_cache = self
-            .fleet
-            .slots()
-            .iter()
-            .map(|s| s.scheduler.eval_cache().stats())
-            .fold(EvalCacheStats::default(), EvalCacheStats::merge);
-        let horizon = horizon_ms.max(last_t).max(1);
-        let still_queued: Vec<JobSpec> = self.pool.queued_jobs();
-        let pool_stats = self.pool.stats();
-        // Wall-clock placement samples are not surfaced by the serving
-        // summary; drop them so they never accumulate across runs.
-        let _ = self.pool.take_place_samples();
-        let summary = ServingSummary {
-            events: trace.len(),
-            arrivals,
-            departures,
-            placements,
-            peak_queue_depth: peak_queue,
-            left_in_queue: self.pool.len(),
-            rejected: pool_stats.rejected,
-            expired: pool_stats.expired,
-            slo: slo_acc.finish(),
-            decisions: all.len(),
-            cold: of_kind(&|d| d.kind == DecisionKind::Cold),
-            warm: of_kind(&|d| {
-                matches!(d.kind, DecisionKind::WarmArrival | DecisionKind::WarmDepart)
-            }),
-            memo: of_kind(&|d| d.kind == DecisionKind::Memo),
-            single_job_delta: of_kind(&|d| d.single_job_delta),
-            migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
-            mean_aggregate_tps: tps_integral / horizon as f64,
-            board_utilization: busy_ms
-                .iter()
-                .map(|ms| *ms as f64 / horizon as f64)
-                .collect(),
-            eval_cache,
-            cache_preloaded_entries: self.cache_preloaded,
-            tenants: tenant_acc.finish(horizon, &still_queued),
-        };
-        ServingReport { ticks, summary }
+        self.engine.finish(horizon_ms)
     }
 }

@@ -53,7 +53,7 @@ struct JobAttained {
 /// next to the [`crate::TenantAccumulator`]: one [`SloAccumulator::arrival`]
 /// per submitted job, one [`SloAccumulator::integrate`] per
 /// inter-event interval.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SloAccumulator {
     /// Class of every submitted job (keyed by id — the id also keys
     /// the attained map, and `arrival` order does not matter).

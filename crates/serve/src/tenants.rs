@@ -36,8 +36,10 @@ pub struct TenantSummary {
     pub left_in_queue: usize,
 }
 
-/// Streaming accumulator producing [`TenantSummary`] rows.
-#[derive(Debug, Default)]
+/// Streaming accumulator producing [`TenantSummary`] rows. `Clone`
+/// supports mid-run metric snapshots (the RPC daemon's `/metrics`
+/// scrape finalizes a clone without disturbing the live run).
+#[derive(Debug, Default, Clone)]
 pub struct TenantAccumulator {
     /// (tenant, arrivals, placements, tps·ms integral, wait samples,
     /// still queued) — tenant count is tiny (single digits), so linear
@@ -45,7 +47,7 @@ pub struct TenantAccumulator {
     rows: Vec<TenantRow>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TenantRow {
     tenant: u32,
     arrivals: usize,
