@@ -19,12 +19,14 @@ perf-smoke:
 	SMOKE=1 cargo bench --bench admission
 	SMOKE=1 cargo bench --bench chaos
 	SMOKE=1 cargo bench --bench rpc
+	SMOKE=1 cargo bench --bench telemetry_overhead
 
 # Full perf snapshots: rewrites BENCH_decision_latency.json,
 # BENCH_estimator_training.json, BENCH_serving.json, BENCH_fleet.json,
-# BENCH_fleet_scale.json, BENCH_admission.json, BENCH_chaos.json and
-# BENCH_rpc.json with this host's numbers (the estimator_training
-# direct-backward baseline takes a few minutes).
+# BENCH_fleet_scale.json, BENCH_admission.json, BENCH_chaos.json,
+# BENCH_rpc.json and BENCH_telemetry_overhead.json with this host's
+# numbers (the estimator_training direct-backward baseline takes a few
+# minutes).
 .PHONY: perf-snapshots
 perf-snapshots:
 	cargo bench --bench decision_latency
@@ -35,6 +37,7 @@ perf-snapshots:
 	cargo bench --bench admission
 	cargo bench --bench chaos
 	cargo bench --bench rpc
+	cargo bench --bench telemetry_overhead
 
 # Full fleet-scale run only: rewrites BENCH_fleet_scale.json ({16, 64,
 # 256}-board cells, ~2000-job traces each).
@@ -61,3 +64,11 @@ perf-chaos:
 .PHONY: perf-rpc
 perf-rpc:
 	cargo bench --bench rpc
+
+# Full telemetry-overhead run only: rewrites
+# BENCH_telemetry_overhead.json (same seeded trace, Telemetry::noop()
+# vs Telemetry::recording(); bar: <=3% mean decision-latency overhead,
+# identical replay digests).
+.PHONY: perf-telemetry
+perf-telemetry:
+	cargo bench --bench telemetry_overhead

@@ -62,4 +62,5 @@ pub use omniboost_estimator as estimator;
 pub use omniboost_hw as hw;
 pub use omniboost_mcts as mcts;
 pub use omniboost_models as models;
+pub use omniboost_telemetry as telemetry;
 pub use omniboost_tensor as tensor;

@@ -4,6 +4,7 @@ use omniboost_hw::{
     Board, DesSimulator, EvalCacheStats, HwError, Mapping, Scheduler, ThroughputModel,
     ThroughputReport, Workload,
 };
+use omniboost_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -94,6 +95,7 @@ pub struct Runtime {
     memo: Mutex<HashMap<MemoKey, Mapping>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    telemetry: Telemetry,
 }
 
 /// How one decision interacts with the runtime's decision memo.
@@ -128,6 +130,7 @@ impl Clone for Runtime {
             memo: Mutex::new(self.memo.lock().clone()),
             memo_hits: AtomicU64::new(self.memo_hits.load(Ordering::Relaxed)),
             memo_misses: AtomicU64::new(self.memo_misses.load(Ordering::Relaxed)),
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -144,7 +147,23 @@ impl Runtime {
             memo: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry handle: decision phases (memo lookup, warm
+    /// and cold search, estimator forward) emit scoped spans and memo
+    /// hit/miss counters through it. The default is the no-op handle —
+    /// telemetry observes decisions and never influences them, so
+    /// replay digests are identical either way.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (no-op unless
+    /// [`Runtime::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Enables the decision memo: repeat `(scheduler name, workload)`
@@ -281,6 +300,7 @@ impl Runtime {
             .then(|| Self::memo_key(scheduler, workload));
         let start = Instant::now();
         let memoized = if memo_mode == MemoMode::ReadWrite {
+            let _span = self.telemetry.span("core.decide.memo_lookup");
             key.as_ref().and_then(|k| self.memo.lock().get(k).cloned())
         } else {
             None
@@ -289,11 +309,22 @@ impl Runtime {
         let mapping = match memoized {
             Some(mapping) => {
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.incr("core.decide.memo_hits", 1);
                 mapping
             }
             None => {
                 self.memo_misses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.incr("core.decide.memo_misses", 1);
+                // Rescheduling context means the scheduler can warm-start
+                // from the previous deployment; without it the search is
+                // cold — the two span names the latency comparison needs.
+                let search_span = self.telemetry.span(if previous.is_some() {
+                    "core.decide.search.warm"
+                } else {
+                    "core.decide.search.cold"
+                });
                 let mapping = scheduler.decide(&self.board, workload)?;
+                drop(search_span);
                 if let Some(k) = key {
                     self.memo.lock().insert(k, mapping.clone());
                 }
@@ -304,7 +335,10 @@ impl Runtime {
         let migrated_layers = previous
             .as_ref()
             .map(|p| mapping.migrated_layers(p.mapping, p.pairing));
-        let report = self.simulator.evaluate(workload, &mapping)?;
+        let report = {
+            let _span = self.telemetry.span("core.estimator.forward");
+            self.simulator.evaluate(workload, &mapping)?
+        };
         Ok(RunOutcome {
             mapping,
             report,

@@ -70,3 +70,7 @@ pub use omniboost_serve::{
     tenant_tps_ratio, AdmissionPolicy, Mempool, OnlineConfig, PlacementPolicy, QueueOrder,
     RejectReason, ReschedulePolicy, SloClass, SloSummary, TenantSummary,
 };
+// Observability handle, re-exported so orchestrator users can inject a
+// recorder ([`OrchestratorSim::set_telemetry`]) without a direct
+// dependency edge on the telemetry crate.
+pub use omniboost_telemetry::{LogHistogram, Telemetry};

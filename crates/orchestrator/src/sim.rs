@@ -14,6 +14,7 @@ use omniboost_serve::{
     PlacementPolicy, ReschedulePolicy, SloAccumulator, SloSummary, SubmitOutcome,
     TenantAccumulator, TenantSummary,
 };
+use omniboost_telemetry::{LogHistogram, Telemetry};
 use std::hash::Hasher;
 use std::path::PathBuf;
 
@@ -381,6 +382,10 @@ pub struct OrchestratorSim<M, F> {
     spec: FleetSpec,
     config: OrchestratorConfig,
     make_evaluator: F,
+    /// Observability handle: propagated to the run's fleet (and through
+    /// it to every board runtime). No-op by default; never consulted by
+    /// any scheduling decision, so replay digests are unchanged by it.
+    telemetry: Telemetry,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -401,8 +406,25 @@ where
             spec,
             config,
             make_evaluator,
+            telemetry: Telemetry::noop(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Injects a telemetry handle. Chaos incidents (degrades, warm
+    /// reboots, evictions, rejected rebalance proposals) land in its
+    /// flight recorder, rebalance/evacuation phases open spans, and the
+    /// chaos counters mirror into its registry. The next
+    /// [`OrchestratorSim::run`] propagates the handle to every board
+    /// runtime it builds.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The injected telemetry handle (no-op unless
+    /// [`OrchestratorSim::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     fn build_scheduler(&mut self, board: &Board) -> OnlineScheduler<M> {
@@ -436,6 +458,7 @@ where
                 iter.next().expect("one scheduler per board")
             })
         };
+        fleet.set_telemetry(self.telemetry.clone());
         let mut cache_preloaded = 0usize;
         if let Some(path) = self.config.cache_path.clone() {
             if path.exists() {
@@ -450,7 +473,7 @@ where
         // Evacuees waiting in the pool: job id → the failure stamp
         // their evacuation latency counts from.
         let mut evac_pending: Vec<(u64, u64)> = Vec::new();
-        let mut evac_waits: Vec<f64> = Vec::new();
+        let mut evac_waits = LogHistogram::new();
         let (mut evacuated_jobs, mut evac_relocated, mut evac_queued) = (0usize, 0usize, 0usize);
         // Degraded slots' pre-brown-out hardware, for recovery. First
         // degrade of a slot captures the healthy board; stacked degrades
@@ -557,6 +580,7 @@ where
                                 queued: 0,
                             }
                         } else {
+                            let _span = self.telemetry.span("orchestrator.evacuate");
                             if matches!(event, FleetEvent::BoardFail { .. }) {
                                 failures += 1;
                             } else {
@@ -589,6 +613,23 @@ where
                             );
                             evac_relocated += relocated;
                             evac_queued += to_queue;
+                            self.telemetry
+                                .incr("orchestrator.evacuated_jobs", ids.len() as u64);
+                            if self.telemetry.is_recording() {
+                                let kind = if matches!(event, FleetEvent::BoardFail { .. }) {
+                                    "orchestrator.board_fail"
+                                } else {
+                                    "orchestrator.board_drain"
+                                };
+                                self.telemetry.event(
+                                    kind,
+                                    format!(
+                                        "t_ms={t} board={board} evacuated={} \
+                                         relocated={relocated} queued={to_queue}",
+                                        ids.len()
+                                    ),
+                                );
+                            }
                             FleetEventRecord {
                                 event,
                                 slot: Some(board),
@@ -610,7 +651,9 @@ where
                                 queued: 0,
                             }
                         } else {
+                            let _span = self.telemetry.span("orchestrator.chaos.degrade");
                             degrades += 1;
+                            self.telemetry.incr("orchestrator.degrades", 1);
                             let p = self.spec.degrade_profiles[profile % pool_len].clone();
                             // First degrade of this slot captures the
                             // healthy hardware for a later recovery.
@@ -638,8 +681,30 @@ where
                             if preloaded > 0 {
                                 warm_boots += 1;
                                 warm_boot_entries += preloaded;
+                                self.telemetry.incr("orchestrator.warm_boots", 1);
+                                self.telemetry
+                                    .incr("orchestrator.warm_boot_entries", preloaded as u64);
+                                if self.telemetry.is_recording() {
+                                    self.telemetry.event(
+                                        "orchestrator.warm_boot",
+                                        format!("t_ms={t} board={board} entries={preloaded}"),
+                                    );
+                                }
                             }
                             degrade_evictions += evicted.len();
+                            self.telemetry
+                                .incr("orchestrator.degrade_evictions", evicted.len() as u64);
+                            self.telemetry
+                                .incr("orchestrator.evacuated_jobs", evicted.len() as u64);
+                            if self.telemetry.is_recording() {
+                                self.telemetry.event(
+                                    "orchestrator.board_degrade",
+                                    format!(
+                                        "t_ms={t} board={board} evicted={} warm_entries={preloaded}",
+                                        evicted.len()
+                                    ),
+                                );
+                            }
                             evacuated_jobs += evicted.len();
                             order_evacuees(self.config.evac_order, &tenant_acc, &mut evicted);
                             let (ids, relocated, to_queue) = requeue_evacuees(
@@ -675,7 +740,9 @@ where
                         };
                         match original {
                             Some(orig) => {
+                                let _span = self.telemetry.span("orchestrator.chaos.recover");
                                 recovers += 1;
+                                self.telemetry.incr("orchestrator.recovers", 1);
                                 // Archive the degraded profile's caches
                                 // (the next brown-out to the same
                                 // profile warm-boots), restore the
@@ -688,6 +755,25 @@ where
                                 if preloaded > 0 {
                                     warm_boots += 1;
                                     warm_boot_entries += preloaded;
+                                    self.telemetry.incr("orchestrator.warm_boots", 1);
+                                    self.telemetry
+                                        .incr("orchestrator.warm_boot_entries", preloaded as u64);
+                                    if self.telemetry.is_recording() {
+                                        self.telemetry.event(
+                                            "orchestrator.warm_boot",
+                                            format!("t_ms={t} board={board} entries={preloaded}"),
+                                        );
+                                    }
+                                }
+                                if self.telemetry.is_recording() {
+                                    self.telemetry.event(
+                                        "orchestrator.board_recover",
+                                        format!(
+                                            "t_ms={t} board={board} evicted={} \
+                                             warm_entries={preloaded}",
+                                            evicted.len()
+                                        ),
+                                    );
                                 }
                                 // Restored capacity: waiting jobs may
                                 // fit again. (Eviction on recovery only
@@ -695,6 +781,8 @@ where
                                 // pool is *stronger* than the original
                                 // board; jobs still conserve.)
                                 evacuated_jobs += evicted.len();
+                                self.telemetry
+                                    .incr("orchestrator.evacuated_jobs", evicted.len() as u64);
                                 order_evacuees(self.config.evac_order, &tenant_acc, &mut evicted);
                                 let (ids, relocated, to_queue) = requeue_evacuees(
                                     evicted,
@@ -755,6 +843,21 @@ where
                                 if preloaded > 0 {
                                     warm_boots += 1;
                                     warm_boot_entries += preloaded;
+                                    self.telemetry.incr("orchestrator.warm_boots", 1);
+                                    self.telemetry
+                                        .incr("orchestrator.warm_boot_entries", preloaded as u64);
+                                    if self.telemetry.is_recording() {
+                                        self.telemetry.event(
+                                            "orchestrator.warm_boot",
+                                            format!("t_ms={t} board={index} entries={preloaded}"),
+                                        );
+                                    }
+                                }
+                                if self.telemetry.is_recording() {
+                                    self.telemetry.event(
+                                        "orchestrator.board_join",
+                                        format!("t_ms={t} board={index} warm_entries={preloaded}"),
+                                    );
                                 }
                                 // Fresh capacity: waiting jobs may fit.
                                 capacity_freed = true;
@@ -847,6 +950,7 @@ where
             let mut tick_moves: Vec<RebalanceMove> = Vec::new();
             if !degraded_this_tick.is_empty() {
                 if let Some(config) = rebalance.as_ref() {
+                    let _span = self.telemetry.span("orchestrator.rebalance.relief");
                     for &donor in &degraded_this_tick {
                         let slot = &fleet.slots()[donor];
                         if !slot.active || slot.jobs.is_empty() {
@@ -860,6 +964,8 @@ where
                             fleet.reindex(mv.to);
                         }
                         reb_rejected += out.rejected;
+                        self.telemetry
+                            .incr("orchestrator.rebalance_rejected", out.rejected as u64);
                         tick_moves.extend(out.moves);
                     }
                 }
@@ -870,6 +976,7 @@ where
             if next_rebalance == Some(t) {
                 let config = rebalance.as_ref().expect("rebalance scheduled");
                 reb_ticks += 1;
+                let span = self.telemetry.span("orchestrator.rebalance");
                 let outcome = match &mut driver {
                     RebalanceDriver::Single(r) => r.tick(&mut fleet, config, t),
                     RebalanceDriver::Sharded(s) => {
@@ -877,7 +984,22 @@ where
                         s.tick(&mut fleet, config, cells, t)
                     }
                 };
+                drop(span);
                 reb_rejected += outcome.rejected;
+                if outcome.rejected > 0 {
+                    self.telemetry
+                        .incr("orchestrator.rebalance_rejected", outcome.rejected as u64);
+                    if self.telemetry.is_recording() {
+                        self.telemetry.event(
+                            "orchestrator.rebalance_rejected",
+                            format!(
+                                "t_ms={t} rejected={} accepted={}",
+                                outcome.rejected,
+                                outcome.moves.len()
+                            ),
+                        );
+                    }
+                }
                 let accepted = !outcome.moves.is_empty();
                 tick_moves.extend(outcome.moves);
                 next_rebalance = Some(t + config.period_ms.max(1));
@@ -944,6 +1066,13 @@ where
         // construction, proptested to stay zero.
         let resident: usize = fleet.slots().iter().map(|s| s.jobs.len()).sum();
         let lost_jobs = live.len().saturating_sub(resident + pool.len());
+        // Mirror the run's chaos tallies into the registry so a scrape
+        // sees them even when every increment-site counter stayed 0.
+        self.telemetry
+            .incr("orchestrator.lost_jobs", lost_jobs as u64);
+        self.telemetry.incr("orchestrator.warm_boots", 0);
+        self.telemetry.incr("orchestrator.warm_boot_entries", 0);
+        self.telemetry.incr("orchestrator.evacuated_jobs", 0);
 
         let all: Vec<&BoardDecision> = ticks.iter().flat_map(|t| t.decisions.iter()).collect();
         let moves: Vec<&RebalanceMove> = ticks.iter().flat_map(|t| t.rebalances.iter()).collect();
@@ -955,7 +1084,11 @@ where
         let horizon = horizon_ms.max(last_t).max(1);
         let still_queued: Vec<JobSpec> = pool.queued_jobs();
         let pool_stats = pool.stats();
-        let place_ms = pool.take_place_samples();
+        let place_hist = pool.take_place_histogram();
+        let mut decision_hist = LogHistogram::new();
+        for d in &all {
+            decision_hist.record(d.decision_ms);
+        }
         let summary = OrchestratorSummary {
             events: trace.len(),
             arrivals,
@@ -967,7 +1100,7 @@ where
             evacuated_jobs,
             evacuees_relocated_same_tick: evac_relocated,
             evacuees_queued: evac_queued,
-            evacuation_wait: LatencyStats::from_samples(evac_waits),
+            evacuation_wait: LatencyStats::from_histogram(&evac_waits),
             evacuees_still_queued: evac_pending.len(),
             lost_jobs,
             rebalance_ticks: reb_ticks,
@@ -976,8 +1109,8 @@ where
             rebalance_gain_tps: moves.iter().map(|m| m.gain_tps).sum(),
             rebalance_migrated_layers: moves.iter().map(|m| m.migrated_layers).sum(),
             decisions: all.len(),
-            decision: LatencyStats::from_samples(all.iter().map(|d| d.decision_ms).collect()),
-            placement: LatencyStats::from_samples(place_ms),
+            decision: LatencyStats::from_histogram(&decision_hist),
+            placement: LatencyStats::from_histogram(&place_hist),
             migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
             peak_queue_depth: peak_queue,
             left_in_queue: pool.len(),
@@ -1020,7 +1153,7 @@ fn absorb_drained(
     placed: &mut Vec<(u64, usize)>,
     tenant_acc: &mut TenantAccumulator,
     evac_pending: &mut Vec<(u64, u64)>,
-    evac_waits: &mut Vec<f64>,
+    evac_waits: &mut LogHistogram,
 ) {
     for d in drained {
         *placements += 1;
@@ -1028,7 +1161,7 @@ fn absorb_drained(
         tenant_acc.placement(&d.job, t - d.queued_at);
         if let Some(p) = evac_pending.iter().position(|(id, _)| *id == d.job.id) {
             let (_, failed_at) = evac_pending.remove(p);
-            evac_waits.push((t - failed_at) as f64);
+            evac_waits.record((t - failed_at) as f64);
         }
     }
 }
@@ -1071,7 +1204,7 @@ fn requeue_evacuees<M: ThroughputModel + Send + Sync>(
     queued_ids: &mut Vec<u64>,
     tenant_acc: &mut TenantAccumulator,
     evac_pending: &mut Vec<(u64, u64)>,
-    evac_waits: &mut Vec<f64>,
+    evac_waits: &mut LogHistogram,
 ) -> (Vec<u64>, usize, usize) {
     let ids: Vec<u64> = evacuees.iter().map(|j| j.id).collect();
     let (mut relocated, mut to_queue) = (0usize, 0usize);
@@ -1082,7 +1215,7 @@ fn requeue_evacuees<M: ThroughputModel + Send + Sync>(
                 *placements += 1;
                 placed.push((job.id, slot));
                 tenant_acc.placement(&job, 0);
-                evac_waits.push(0.0);
+                evac_waits.record(0.0);
             }
             _ => {
                 to_queue += 1;

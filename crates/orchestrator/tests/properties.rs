@@ -564,6 +564,81 @@ fn mempool_refactor_preserves_seeded_replay_digest() {
     assert_eq!(report.digest(), 0x156b_b4cb_2add_ddcf);
 }
 
+/// Telemetry is observational only: attaching a recording handle must
+/// replay exactly the pinned digest, while the chaos counters, flight
+/// recorder and spans fill up on the side.
+#[test]
+fn recording_telemetry_is_digest_neutral() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Bursty {
+            on_rate_per_s: 1.8,
+            on_ms: 5_000,
+            off_ms: 6_000,
+        },
+        &TraceConfig {
+            horizon_ms: HORIZON_MS,
+            mean_lifetime_ms: 8_000.0,
+            ..TraceConfig::default()
+        },
+        11,
+    );
+    let script = script(11 ^ 0xF1EE7);
+    let config = OrchestratorConfig {
+        online: OnlineConfig {
+            cold_budget: SearchBudget::with_iterations(60),
+            warm_budget: SearchBudget::with_iterations(24),
+            ..OnlineConfig::default()
+        },
+        rebalance: Some(RebalanceConfig {
+            period_ms: 3_000,
+            min_imbalance: 0.1,
+            min_gain_per_layer: 0.02,
+            cooldown_periods: 1,
+            max_moves_per_tick: 1,
+            top_k_boards: 2,
+        }),
+        ..OrchestratorConfig::warm()
+    };
+    let mut sim = OrchestratorSim::new(spec(), config, AnalyticModel::new);
+    let telemetry = omniboost_orchestrator::Telemetry::recording();
+    sim.set_telemetry(telemetry.clone());
+    let report = sim.run(&trace, &script, HORIZON_MS);
+    assert_eq!(
+        report.digest(),
+        0x156b_b4cb_2add_ddcf,
+        "recording telemetry must not perturb the replay"
+    );
+    // Satellite: the chaos tallies mirror into the registry and agree
+    // with the summary the run reports.
+    let s = &report.summary;
+    assert_eq!(
+        telemetry.counter_value("orchestrator.warm_boots"),
+        s.warm_boots as u64
+    );
+    assert_eq!(
+        telemetry.counter_value("orchestrator.warm_boot_entries"),
+        s.warm_boot_entries as u64
+    );
+    assert_eq!(
+        telemetry.counter_value("orchestrator.evacuated_jobs"),
+        s.evacuated_jobs as u64
+    );
+    assert_eq!(
+        telemetry.counter_value("orchestrator.lost_jobs"),
+        s.lost_jobs as u64
+    );
+    // Chaos incidents from this script land in the flight recorder, and
+    // the orchestrator's own phases (plus the board runtimes it drives)
+    // contribute spans.
+    assert!(
+        !telemetry.flight_events().is_empty(),
+        "fleet churn should leave flight-recorder entries"
+    );
+    let spans = telemetry.spans();
+    assert!(spans.iter().any(|s| s.name.starts_with("orchestrator.")));
+    assert!(spans.iter().any(|s| s.name.starts_with("core.")));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 

@@ -15,7 +15,8 @@
 //! | POST | `/v1/depart` | [`DepartRequest`] | [`DepartReply`] |
 //! | GET | `/v1/status` | — | [`StatusReply`] |
 //! | GET | `/v1/summary` | — | mid-run summary snapshot (JSON) |
-//! | GET | `/metrics` | — | flat text counters |
+//! | GET | `/metrics` | — | Prometheus text: flat counters + histogram families |
+//! | GET | `/v1/trace` | — | Chrome `trace_event` JSON (spans + flight events) |
 //! | POST | `/v1/drain` | — | [`DrainReply`] |
 //! | POST | `/v1/shutdown` | [`ShutdownRequest`] | [`ShutdownReply`] |
 

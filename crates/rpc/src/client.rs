@@ -316,6 +316,18 @@ impl RpcClient {
         String::from_utf8(body).map_err(|_| RpcError::Protocol("metrics not UTF-8".to_string()))
     }
 
+    /// `GET /v1/trace` — the daemon's retained spans + flight-recorder
+    /// events as Chrome `trace_event` JSON (loadable in
+    /// `about://tracing` or Perfetto), returned verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Transport, framing and API errors.
+    pub fn trace(&mut self) -> Result<String, RpcError> {
+        let body = self.call("GET", "/v1/trace", None)?;
+        String::from_utf8(body).map_err(|_| RpcError::Protocol("trace not UTF-8".to_string()))
+    }
+
     /// `POST /v1/drain` — close the admission gate.
     ///
     /// # Errors

@@ -36,6 +36,7 @@ use omniboost_serve::{
     LatencyStats, RejectReason, ServingConfig, ServingEngine, ServingReport, ServingSummary,
     SubmitOutcome,
 };
+use omniboost_telemetry::{export, LogHistogram, Telemetry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -82,6 +83,11 @@ struct Shared<M> {
     /// Daemon-assigned job ids (kept above every caller-chosen id).
     next_id: AtomicU64,
     started: Instant,
+    /// The daemon's recording telemetry: injected into the engine (and
+    /// through it into every board runtime), scraped by `/metrics` and
+    /// `GET /v1/trace`. Observational only — replay digests never see
+    /// it.
+    telemetry: Telemetry,
     /// The finished run, parked for [`RpcServer::join`].
     final_report: Mutex<Option<ServingReport>>,
     /// The shutdown reply, replayed verbatim to repeat shutdowns.
@@ -124,6 +130,8 @@ impl<M: ThroughputModel + Send + Sync + 'static> RpcServer<M> {
         make_evaluator: impl FnMut(Board) -> M,
     ) -> std::io::Result<Self> {
         let mut engine = ServingEngine::new(boards, serving, make_evaluator);
+        let telemetry = Telemetry::recording();
+        engine.set_telemetry(telemetry.clone());
         engine.begin_run();
         let listener = TcpListener::bind(&server.addr)?;
         let addr = listener.local_addr()?;
@@ -135,6 +143,7 @@ impl<M: ThroughputModel + Send + Sync + 'static> RpcServer<M> {
             stopping: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
             started: Instant::now(),
+            telemetry,
             final_report: Mutex::new(None),
             final_reply: Mutex::new(None),
         });
@@ -284,6 +293,9 @@ fn route<M: ThroughputModel + Send + Sync>(
     request: &Request,
 ) -> (u16, String, &'static str) {
     let path = request.target.split('?').next().unwrap_or("");
+    // Per-endpoint request-phase span: covers parse + handler + body
+    // render (socket I/O happens outside, in the connection loop).
+    let _span = endpoint_span(shared, request.method.as_str(), path);
     let result = match (request.method.as_str(), path) {
         ("POST", "/v1/submit") => handle_submit(shared, &request.body),
         ("POST", "/v1/depart") => handle_depart(shared, &request.body),
@@ -292,12 +304,15 @@ fn route<M: ThroughputModel + Send + Sync>(
         ("GET", "/metrics") => {
             return (200, metrics_text(shared), "text/plain; charset=utf-8");
         }
+        ("GET", "/v1/trace") => {
+            return (200, shared.telemetry.trace_json(), "application/json");
+        }
         ("POST", "/v1/drain") => Ok(handle_drain(shared).to_json()),
         ("POST", "/v1/shutdown") => handle_shutdown(shared, &request.body),
         (
             _,
-            "/v1/submit" | "/v1/depart" | "/v1/status" | "/v1/summary" | "/metrics" | "/v1/drain"
-            | "/v1/shutdown",
+            "/v1/submit" | "/v1/depart" | "/v1/status" | "/v1/summary" | "/metrics" | "/v1/trace"
+            | "/v1/drain" | "/v1/shutdown",
         ) => Err(ApiError::new(
             ErrorCode::MethodNotAllowed,
             format!("{} does not accept {}", path, request.method),
@@ -311,6 +326,28 @@ fn route<M: ThroughputModel + Send + Sync>(
         Ok(body) => (200, body, "application/json"),
         Err(e) => (e.code.status(), e.to_json(), "application/json"),
     }
+}
+
+/// Opens the request-phase span for a known endpoint. Unroutable paths
+/// get no span — one junk request must not mint one histogram series
+/// each in the registry.
+fn endpoint_span<M>(
+    shared: &Shared<M>,
+    method: &str,
+    path: &str,
+) -> Option<omniboost_telemetry::Span> {
+    let name = match (method, path) {
+        ("POST", "/v1/submit") => "rpc.submit",
+        ("POST", "/v1/depart") => "rpc.depart",
+        ("GET", "/v1/status") => "rpc.status",
+        ("GET", "/v1/summary") => "rpc.summary",
+        ("GET", "/metrics") => "rpc.metrics",
+        ("GET", "/v1/trace") => "rpc.trace",
+        ("POST", "/v1/drain") => "rpc.drain",
+        ("POST", "/v1/shutdown") => "rpc.shutdown",
+        _ => return None,
+    };
+    Some(shared.telemetry.span(name))
 }
 
 fn handle_submit<M: ThroughputModel + Send + Sync>(
@@ -376,13 +413,26 @@ fn handle_depart<M: ThroughputModel + Send + Sync>(
 }
 
 fn handle_drain<M: ThroughputModel + Send + Sync>(shared: &Shared<M>) -> DrainReply {
-    shared.draining.store(true, Ordering::SeqCst);
+    let was_draining = shared.draining.swap(true, Ordering::SeqCst);
     let engine = shared.engine();
-    DrainReply {
+    let reply = DrainReply {
         draining: true,
         resident_jobs: engine.resident_jobs(),
         queue_depth: engine.queue_depth(),
+    };
+    drop(engine);
+    // Only the open→closed transition is an incident; repeated drains
+    // are idempotent no-ops and would spam the flight ring.
+    if !was_draining {
+        shared.telemetry.event(
+            "rpc.drain",
+            format!(
+                "admission gate closed; resident={} queue_depth={}",
+                reply.resident_jobs, reply.queue_depth
+            ),
+        );
     }
+    reply
 }
 
 fn handle_shutdown<M: ThroughputModel + Send + Sync>(
@@ -408,6 +458,10 @@ fn handle_shutdown<M: ThroughputModel + Send + Sync>(
     let horizon_ms = request
         .horizon_ms
         .unwrap_or_else(|| engine.now().max(shared.wall_ms()));
+    shared.telemetry.event(
+        "rpc.shutdown",
+        format!("finishing run at horizon_ms={horizon_ms}"),
+    );
     let report = engine.finish(horizon_ms);
     let cache_archived_segments = engine
         .config()
@@ -547,6 +601,11 @@ fn metrics_text<M: ThroughputModel + Send + Sync>(shared: &Shared<M>) -> String 
     let queue_depth = engine.queue_depth();
     let resident = engine.resident_jobs();
     let aggregate_tps = engine.aggregate_throughput();
+    let decision_hists: Vec<(&'static str, LogHistogram)> = engine
+        .decision_histograms()
+        .iter()
+        .map(|(name, h)| (*name, (*h).clone()))
+        .collect();
     drop(engine);
     let draining = u8::from(shared.draining.load(Ordering::SeqCst));
     let mut out = String::with_capacity(2048);
@@ -631,6 +690,33 @@ fn metrics_text<M: ThroughputModel + Send + Sync>(shared: &Shared<M>) -> String 
         line(
             &format!("tenant_left_in_queue{{tenant=\"{t}\"}}"),
             tenant.left_in_queue.to_string(),
+        );
+    }
+    // Histogram families (`# HELP`/`# TYPE` + cumulative `_bucket`,
+    // `_sum`, `_count`). The flat lines above predate these and stay
+    // byte-identical for existing scrapers; the families only append.
+    for (name, h) in &decision_hists {
+        export::render_histogram(
+            &mut out,
+            &format!("omniboost_{name}"),
+            "Decision latency in milliseconds (log-bucketed, mergeable).",
+            h,
+        );
+    }
+    for (name, h) in shared.telemetry.histograms() {
+        export::render_histogram(
+            &mut out,
+            &format!("omniboost_span_{}", export::sanitize_metric_name(name)),
+            "Span duration in milliseconds (log-bucketed, mergeable).",
+            &h,
+        );
+    }
+    for (name, value) in shared.telemetry.counters() {
+        export::render_counter(
+            &mut out,
+            &format!("omniboost_{}", export::sanitize_metric_name(name)),
+            "Telemetry counter.",
+            value,
         );
     }
     out

@@ -189,6 +189,98 @@ fn wire_replay_matches_in_process_digest() {
     );
 }
 
+/// The `/metrics` exposition carries full Prometheus histogram
+/// families (`# TYPE … histogram`, cumulative `_bucket` series, `_sum`,
+/// `_count`) on top of the flat lines, and `GET /v1/trace` returns
+/// Chrome `trace_event` JSON whose rows are time-sorted and span at
+/// least the core, serve and rpc layers.
+#[test]
+fn metrics_histograms_and_trace_export() {
+    let (server, mut client) = boot(None, 1);
+
+    // Enough virtual-stamped traffic that decisions actually happen
+    // (the second submit closes the first tick and flushes the board).
+    for (id, at_ms) in [(1u64, 0u64), (2, 100), (3, 200)] {
+        client
+            .submit(&SubmitRequest {
+                model: ModelId::AlexNet,
+                tenant: 0,
+                min_tps: None,
+                id: Some(id),
+                at_ms: Some(at_ms),
+            })
+            .expect("admitted");
+    }
+
+    let metrics = client.metrics().expect("metrics");
+    // The pre-histogram flat lines survive byte-identically.
+    assert!(metrics.contains("omniboost_pool_submitted 3"));
+    // At least three histogram families, each with the mandatory +Inf
+    // bucket, _sum and _count samples.
+    let families: Vec<&str> = metrics
+        .lines()
+        .filter(|l| l.starts_with("# TYPE ") && l.ends_with(" histogram"))
+        .map(|l| l.split_whitespace().nth(2).expect("family name"))
+        .collect();
+    assert!(
+        families.len() >= 3,
+        "want >=3 histogram families, got {families:?}"
+    );
+    for family in &families {
+        assert!(
+            metrics.contains(&format!("{family}_bucket{{le=\"+Inf\"}}")),
+            "{family} missing +Inf bucket"
+        );
+        assert!(metrics.contains(&format!("{family}_sum")));
+        assert!(metrics.contains(&format!("{family}_count")));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in metrics
+            .lines()
+            .filter(|l| l.starts_with(&format!("{family}_bucket{{")))
+        {
+            let n: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("bucket count");
+            assert!(n >= last, "cumulative counts decreased in {family}");
+            last = n;
+        }
+    }
+
+    // The trace export parses as JSON, is stamped monotonically, and
+    // covers the rpc, serve and core layers.
+    let trace = client.trace().expect("trace");
+    let parsed = omniboost_rpc::json::parse(trace.as_bytes()).expect("trace is valid JSON");
+    let events = match parsed.get("traceEvents") {
+        Some(omniboost_rpc::Json::Arr(rows)) => rows.clone(),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty(), "spans were recorded");
+    let mut last_ts = 0.0f64;
+    let mut cats = std::collections::BTreeSet::new();
+    for row in &events {
+        let ts = row
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .expect("every row has ts");
+        assert!(ts >= last_ts, "rows sorted by ts");
+        last_ts = ts;
+        if let Some(cat) = row.get("cat").and_then(|v| v.as_str()) {
+            cats.insert(cat.to_string());
+        }
+    }
+    for layer in ["core", "serve", "rpc"] {
+        assert!(cats.contains(layer), "no {layer} spans in {cats:?}");
+    }
+
+    client
+        .shutdown(&ShutdownRequest::default())
+        .expect("shutdown");
+    server.join();
+}
+
 /// Unknown routes, wrong methods and malformed bodies answer typed
 /// errors without disturbing the daemon.
 #[test]

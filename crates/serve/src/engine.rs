@@ -35,6 +35,7 @@ use crate::TickRecord;
 use omniboost_estimator::CacheArchive;
 use omniboost_hw::{Board, EvalCacheStats, ThroughputModel};
 use omniboost_models::{JobEvent, JobSpec};
+use omniboost_telemetry::{LogHistogram, Telemetry};
 
 /// Events of the in-progress tick (the newest timestamp seen), not yet
 /// drained / rescheduled / recorded.
@@ -63,6 +64,15 @@ struct RunState {
     placements: usize,
     tenant_acc: TenantAccumulator,
     slo_acc: SloAccumulator,
+    /// Decision-latency histograms fed per closed tick, replacing the
+    /// per-sample vectors the summaries used to re-collect: bounded
+    /// memory for a long-lived daemon, O(1) per decision, and mid-run
+    /// snapshots no longer re-walk every tick. Always on — these are
+    /// plain structs, not telemetry-gated.
+    cold_hist: LogHistogram,
+    warm_hist: LogHistogram,
+    memo_hist: LogHistogram,
+    delta_hist: LogHistogram,
 }
 
 /// The incremental serving core: a fleet, the admission mempool, and the
@@ -75,6 +85,7 @@ pub struct ServingEngine<M> {
     pool: Mempool,
     cache_preloaded: usize,
     run: RunState,
+    telemetry: Telemetry,
 }
 
 impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
@@ -102,6 +113,7 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
                 busy_ms: vec![0; n],
                 ..RunState::default()
             },
+            telemetry: Telemetry::noop(),
         };
         engine.load_caches();
         engine
@@ -151,6 +163,23 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
         let _ = archive.save(&path);
     }
 
+    /// Attaches a telemetry handle: engine phases (submit, depart,
+    /// queue drain, tick flush, cache flush) emit scoped spans, and the
+    /// fleet propagates the handle into every board runtime so decision
+    /// phases are covered too. Telemetry is observational only — the
+    /// replay digest is bit-for-bit identical whether the handle
+    /// records or not.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        self.fleet.set_telemetry(self.telemetry.clone());
+    }
+
+    /// The engine's telemetry handle (no-op unless
+    /// [`ServingEngine::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Number of boards in the fleet.
     pub fn num_boards(&self) -> usize {
         self.fleet.len()
@@ -185,6 +214,19 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
     /// inferences/s).
     pub fn aggregate_throughput(&self) -> f64 {
         self.fleet.aggregate_throughput()
+    }
+
+    /// Borrowed snapshots of the run's decision-latency histograms in
+    /// export order: cold, warm, memo, single-job delta. The RPC
+    /// daemon's `/metrics` renders these as Prometheus histogram
+    /// series.
+    pub fn decision_histograms(&self) -> [(&'static str, &LogHistogram); 4] {
+        [
+            ("decision_cold_ms", &self.run.cold_hist),
+            ("decision_warm_ms", &self.run.warm_hist),
+            ("decision_memo_ms", &self.run.memo_hist),
+            ("decision_single_job_delta_ms", &self.run.delta_hist),
+        ]
     }
 
     /// Lifetime intake counters of the admission pool.
@@ -279,6 +321,7 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
         // board for every waiting job on arrival-only ticks would be
         // pure waste.
         if open.capacity_freed && !self.pool.is_empty() {
+            let _drain_span = self.telemetry.span("serve.pool.drain");
             for d in self
                 .pool
                 .drain(&mut self.fleet, open.at_ms, &self.run.tenant_acc)
@@ -294,7 +337,36 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
 
         // Reschedule every board whose job set changed (concurrent
         // across boards).
+        let flush_span = self.telemetry.span("serve.tick.flush");
         let decisions = self.fleet.flush_dirty();
+        drop(flush_span);
+
+        // Feed the always-on decision-latency histograms the summaries
+        // are built from (see `RunState`).
+        for d in &decisions {
+            match d.kind {
+                crate::DecisionKind::Cold => self.run.cold_hist.record(d.decision_ms),
+                crate::DecisionKind::WarmArrival | crate::DecisionKind::WarmDepart => {
+                    self.run.warm_hist.record(d.decision_ms)
+                }
+                crate::DecisionKind::Memo => self.run.memo_hist.record(d.decision_ms),
+            }
+            if d.single_job_delta {
+                self.run.delta_hist.record(d.decision_ms);
+            }
+        }
+        if !open.expired.is_empty() && self.telemetry.is_recording() {
+            self.telemetry
+                .incr("serve.pool.expired", open.expired.len() as u64);
+            self.telemetry.event(
+                "serve.pool.expire",
+                format!(
+                    "{} queued entries TTL-evicted at t={}ms",
+                    open.expired.len(),
+                    open.at_ms
+                ),
+            );
+        }
 
         self.run.ticks.push(TickRecord {
             at_ms: open.at_ms,
@@ -315,6 +387,7 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
     /// clamped monotonic: a stamp older than the newest seen joins the
     /// current tick.
     pub fn submit(&mut self, job: JobSpec, at_ms: u64) -> SubmitOutcome {
+        let _span = self.telemetry.span("serve.submit");
         let t = self.open_tick(at_ms);
         self.run.arrivals += 1;
         self.run.tenant_acc.arrival(&job);
@@ -339,6 +412,7 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
     /// resident on a board. Unknown ids are recorded as events (the
     /// trace-replay contract) but change nothing.
     pub fn depart(&mut self, job_id: u64, at_ms: u64) -> bool {
+        let _span = self.telemetry.span("serve.depart");
         self.open_tick(at_ms);
         self.run.departures += 1;
         let open = self.run.open.as_mut().expect("tick open");
@@ -377,20 +451,15 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
         if horizon_ms > self.run.last_t {
             self.integrate_to(horizon_ms);
         }
-        self.save_caches();
+        {
+            let _span = self.telemetry.span("serve.cache.flush");
+            self.save_caches();
+        }
 
         let run = std::mem::take(&mut self.run);
         self.run.busy_ms = vec![0; self.fleet.len()];
 
         let all: Vec<&BoardDecision> = run.ticks.iter().flat_map(|t| t.decisions.iter()).collect();
-        let of_kind = |pred: &dyn Fn(&BoardDecision) -> bool| -> LatencyStats {
-            LatencyStats::from_samples(
-                all.iter()
-                    .filter(|d| pred(d))
-                    .map(|d| d.decision_ms)
-                    .collect(),
-            )
-        };
         let eval_cache = self
             .fleet
             .slots()
@@ -400,9 +469,9 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
         let horizon = horizon_ms.max(run.last_t).max(1);
         let still_queued: Vec<JobSpec> = self.pool.queued_jobs();
         let pool_stats = self.pool.stats();
-        // Wall-clock placement samples are not surfaced by the serving
-        // summary; drop them so they never accumulate across runs.
-        let _ = self.pool.take_place_samples();
+        // Wall-clock placement latencies are not surfaced by the
+        // serving summary; drop them so runs never bleed together.
+        let _ = self.pool.take_place_histogram();
         let summary = ServingSummary {
             events: run.arrivals + run.departures,
             arrivals: run.arrivals,
@@ -415,15 +484,10 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
             pool: pool_stats,
             slo: run.slo_acc.finish(),
             decisions: all.len(),
-            cold: of_kind(&|d| d.kind == crate::DecisionKind::Cold),
-            warm: of_kind(&|d| {
-                matches!(
-                    d.kind,
-                    crate::DecisionKind::WarmArrival | crate::DecisionKind::WarmDepart
-                )
-            }),
-            memo: of_kind(&|d| d.kind == crate::DecisionKind::Memo),
-            single_job_delta: of_kind(&|d| d.single_job_delta),
+            cold: LatencyStats::from_histogram(&run.cold_hist),
+            warm: LatencyStats::from_histogram(&run.warm_hist),
+            memo: LatencyStats::from_histogram(&run.memo_hist),
+            single_job_delta: LatencyStats::from_histogram(&run.delta_hist),
             migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
             mean_aggregate_tps: run.tps_integral / horizon as f64,
             board_utilization: run
@@ -464,14 +528,6 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
             }
         }
         let all: Vec<&BoardDecision> = run.ticks.iter().flat_map(|t| t.decisions.iter()).collect();
-        let of_kind = |pred: &dyn Fn(&BoardDecision) -> bool| -> LatencyStats {
-            LatencyStats::from_samples(
-                all.iter()
-                    .filter(|d| pred(d))
-                    .map(|d| d.decision_ms)
-                    .collect(),
-            )
-        };
         let eval_cache = self
             .fleet
             .slots()
@@ -492,15 +548,10 @@ impl<M: ThroughputModel + Send + Sync> ServingEngine<M> {
             pool: pool_stats,
             slo: slo_acc.finish(),
             decisions: all.len(),
-            cold: of_kind(&|d| d.kind == crate::DecisionKind::Cold),
-            warm: of_kind(&|d| {
-                matches!(
-                    d.kind,
-                    crate::DecisionKind::WarmArrival | crate::DecisionKind::WarmDepart
-                )
-            }),
-            memo: of_kind(&|d| d.kind == crate::DecisionKind::Memo),
-            single_job_delta: of_kind(&|d| d.single_job_delta),
+            cold: LatencyStats::from_histogram(&run.cold_hist),
+            warm: LatencyStats::from_histogram(&run.warm_hist),
+            memo: LatencyStats::from_histogram(&run.memo_hist),
+            single_job_delta: LatencyStats::from_histogram(&run.delta_hist),
             migrated_layers: all.iter().map(|d| d.migrated_layers).sum(),
             mean_aggregate_tps: tps_integral / horizon as f64,
             board_utilization: busy_ms

@@ -14,6 +14,7 @@ use omniboost::{PreviousDeployment, Runtime};
 use omniboost_estimator::CacheArchive;
 use omniboost_hw::{Board, Mapping, ThroughputModel, ThroughputReport, Workload};
 use omniboost_models::{zoo, DnnModel, JobSpec};
+use omniboost_telemetry::Telemetry;
 use rayon::prelude::*;
 
 /// How arriving jobs are assigned to boards.
@@ -457,6 +458,11 @@ pub struct Fleet<M> {
     /// Boards currently in rotation, maintained on deactivate/join so
     /// `active_boards` never rescans.
     active_count: usize,
+    /// Observability handle, propagated into every slot's runtime (and
+    /// into runtimes built later by joins and profile swaps). No-op by
+    /// default; never consulted for decisions, so digests are unchanged
+    /// whether it records or not.
+    telemetry: Telemetry,
 }
 
 impl<M: ThroughputModel + Sync> Fleet<M> {
@@ -475,6 +481,7 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
             index: LoadIndex::default(),
             job_slots: std::collections::HashMap::new(),
             active_count: 0,
+            telemetry: Telemetry::noop(),
         };
         for board in boards {
             let scheduler = make_scheduler(&board);
@@ -487,11 +494,12 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
     /// its (stable) index.
     pub fn add_board(&mut self, board: Board, scheduler: OnlineScheduler<M>) -> usize {
         let index = self.slots.len();
-        let runtime = if self.use_memo {
+        let mut runtime = if self.use_memo {
             Runtime::new(board.clone()).with_memo()
         } else {
             Runtime::new(board.clone())
         };
+        runtime.set_telemetry(self.telemetry.clone());
         self.slots.push(BoardSlot {
             index,
             scheduler,
@@ -510,6 +518,21 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
         self.active_count += 1;
         self.index.insert(&self.slots[index]);
         index
+    }
+
+    /// Attaches a telemetry handle and propagates it into every slot's
+    /// runtime; boards joined or profile-swapped later inherit it too.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        for slot in &mut self.slots {
+            slot.runtime.set_telemetry(self.telemetry.clone());
+        }
+    }
+
+    /// The fleet's telemetry handle (no-op unless
+    /// [`Fleet::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of slots (including deactivated ones — indices are
@@ -752,6 +775,7 @@ impl<M: ThroughputModel + Sync> Fleet<M> {
         } else {
             Runtime::new(board.clone())
         };
+        slot.runtime.set_telemetry(self.telemetry.clone());
         slot.board = board;
         slot.scheduler = scheduler;
         slot.deployed_jobs.clear();

@@ -67,6 +67,10 @@ pub use sim::{
 pub use slo::{SloAccumulator, SloSummary};
 pub use tenants::{tenant_tps_ratio, TenantAccumulator, TenantSummary};
 
+// Re-exported so serving users reach the observability handle without
+// a separate dependency edge.
+pub use omniboost_telemetry::{LogHistogram, Telemetry};
+
 // Re-export the trace machinery (and the budget type OnlineConfig is
 // built from) so serving users need one import path.
 pub use omniboost_mcts::SearchBudget;

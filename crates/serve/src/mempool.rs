@@ -44,6 +44,7 @@ use crate::fleet::Fleet;
 use crate::tenants::TenantAccumulator;
 use omniboost_hw::ThroughputModel;
 use omniboost_models::{zoo, JobSpec, ModelId};
+use omniboost_telemetry::LogHistogram;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// In what order the waiting queue is offered freed capacity.
@@ -216,8 +217,10 @@ pub struct Mempool {
     stats: MempoolStats,
     /// Wall-clock of every placement attempt routed through the pool
     /// (successful or not) — the orchestrator's `placement` latency
-    /// surface. Drained with [`Mempool::take_place_samples`].
-    place_ms: Vec<f64>,
+    /// surface. A bounded log-bucketed histogram, not a sample buffer:
+    /// a long-lived daemon must not grow per placement. Drained with
+    /// [`Mempool::take_place_histogram`].
+    place_hist: LogHistogram,
 }
 
 impl Mempool {
@@ -268,13 +271,13 @@ impl Mempool {
         self.tenant_depth.clear();
         self.next_seq = 0;
         self.stats = MempoolStats::default();
-        self.place_ms.clear();
+        self.place_hist = LogHistogram::new();
     }
 
-    /// Drains the wall-clock samples of every placement attempt since
+    /// Drains the wall-clock histogram of every placement attempt since
     /// the last take.
-    pub fn take_place_samples(&mut self) -> Vec<f64> {
-        std::mem::take(&mut self.place_ms)
+    pub fn take_place_histogram(&mut self) -> LogHistogram {
+        std::mem::take(&mut self.place_hist)
     }
 
     /// Submits a fresh arrival: tries to place it now, otherwise
@@ -553,7 +556,7 @@ impl Mempool {
     ) -> Option<usize> {
         let start = std::time::Instant::now();
         let board = fleet.place(job);
-        self.place_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        self.place_hist.record(start.elapsed().as_secs_f64() * 1e3);
         board
     }
 }

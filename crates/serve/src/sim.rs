@@ -14,6 +14,7 @@ use crate::slo::SloSummary;
 use crate::tenants::TenantSummary;
 use omniboost_hw::{Board, EvalCacheStats, Fnv1a, ThroughputModel};
 use omniboost_models::{ArrivalTrace, JobEvent};
+use omniboost_telemetry::LogHistogram;
 use std::hash::Hasher;
 use std::path::PathBuf;
 
@@ -143,6 +144,27 @@ impl LatencyStats {
             mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
             p99_ms: samples[p99_rank],
             max_ms: *samples.last().unwrap(),
+        }
+    }
+
+    /// Order statistics off a [`LogHistogram`]: count, mean and max are
+    /// exact; median and p99 are nearest-rank values quantized to the
+    /// histogram's log buckets (within one bucket width, ≲6%, of the
+    /// exact sample statistics) — which is what lets long-lived runs
+    /// drop the unbounded per-sample buffers.
+    pub fn from_histogram(h: &LogHistogram) -> Self {
+        if h.is_empty() {
+            return Self::default();
+        }
+        let n = h.count();
+        Self {
+            count: n as usize,
+            // Rank n/2 + 1 is the upper median — the element
+            // `from_samples` picks at index `len / 2`.
+            median_ms: h.rank_value(n / 2 + 1),
+            mean_ms: h.mean(),
+            p99_ms: h.rank_value(((n as f64 * 0.99).ceil() as u64).max(1)),
+            max_ms: h.max(),
         }
     }
 }
@@ -317,6 +339,14 @@ impl<M: ThroughputModel + Send + Sync> ServingSim<M> {
     /// Number of boards in the fleet.
     pub fn num_boards(&self) -> usize {
         self.engine.num_boards()
+    }
+
+    /// Attaches a telemetry handle (spans, counters, flight recorder)
+    /// to the underlying engine. The default is the no-op handle;
+    /// replay digests are identical either way, because telemetry only
+    /// observes decisions.
+    pub fn set_telemetry(&mut self, telemetry: omniboost_telemetry::Telemetry) {
+        self.engine.set_telemetry(telemetry);
     }
 
     /// The tick-able engine under the replay driver — the same core the

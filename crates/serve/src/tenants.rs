@@ -12,6 +12,7 @@ use crate::fleet::BoardSlot;
 use crate::sim::LatencyStats;
 use omniboost_hw::ThroughputModel;
 use omniboost_models::JobSpec;
+use omniboost_telemetry::LogHistogram;
 
 /// One tenant's aggregates over a serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,7 +42,7 @@ pub struct TenantSummary {
 /// scrape finalizes a clone without disturbing the live run).
 #[derive(Debug, Default, Clone)]
 pub struct TenantAccumulator {
-    /// (tenant, arrivals, placements, tps·ms integral, wait samples,
+    /// (tenant, arrivals, placements, tps·ms integral, wait histogram,
     /// still queued) — tenant count is tiny (single digits), so linear
     /// probing beats a map.
     rows: Vec<TenantRow>,
@@ -53,7 +54,9 @@ struct TenantRow {
     arrivals: usize,
     placements: usize,
     tps_integral: f64,
-    waits: Vec<f64>,
+    /// Queue waits as a bounded log-bucketed histogram — a long-lived
+    /// daemon must not buffer one sample per placement forever.
+    waits: LogHistogram,
     left_in_queue: usize,
 }
 
@@ -72,7 +75,7 @@ impl TenantAccumulator {
             arrivals: 0,
             placements: 0,
             tps_integral: 0.0,
-            waits: Vec::new(),
+            waits: LogHistogram::new(),
             left_in_queue: 0,
         });
         self.rows.last_mut().expect("just pushed")
@@ -98,7 +101,7 @@ impl TenantAccumulator {
     pub fn placement(&mut self, job: &JobSpec, wait_ms: u64) {
         let row = self.row(job.tenant);
         row.placements += 1;
-        row.waits.push(wait_ms as f64);
+        row.waits.record(wait_ms as f64);
     }
 
     /// Integrates every deployed job's measured throughput over `dt_ms`
@@ -133,7 +136,7 @@ impl TenantAccumulator {
                 arrivals: r.arrivals,
                 placements: r.placements,
                 mean_tps: r.tps_integral / horizon,
-                queue_wait: LatencyStats::from_samples(r.waits),
+                queue_wait: LatencyStats::from_histogram(&r.waits),
                 left_in_queue: r.left_in_queue,
             })
             .collect();

@@ -658,6 +658,52 @@ fn mempool_refactor_preserves_seeded_replay_digests() {
     assert_eq!(digest(19), 0x42cc_992c_bb6a_e019);
 }
 
+/// Telemetry is observational: running the same seeded trace with a
+/// recording handle attached produces the exact pinned digest of the
+/// no-op run, while actually collecting spans from every layer it
+/// instruments (engine phases and runtime decision phases).
+#[test]
+fn recording_telemetry_is_digest_neutral() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Poisson { rate_per_s: 0.8 },
+        &trace_config(),
+        7,
+    );
+    let config = ServingConfig {
+        policy: ReschedulePolicy::WarmStart,
+        placement: PlacementPolicy::LeastLoaded,
+        online: quick_online(),
+        use_memo: true,
+        cache_path: None,
+        admission: AdmissionPolicy::default(),
+    };
+    let mut sim = ServingSim::new(vec![Board::hikey970(); 2], config, AnalyticModel::new);
+    let telemetry = omniboost_serve::Telemetry::recording();
+    sim.set_telemetry(telemetry.clone());
+    let report = sim.run(&trace, HORIZON_MS);
+    assert_eq!(
+        report.digest(),
+        0x598b_3977_b009_6446,
+        "recording telemetry must not perturb the replay digest"
+    );
+
+    let spans = telemetry.spans();
+    assert!(!spans.is_empty(), "a recording run collects spans");
+    assert!(spans.iter().any(|s| s.name.starts_with("serve.")));
+    assert!(spans.iter().any(|s| s.name.starts_with("core.")));
+    assert!(
+        telemetry.counter_value("core.decide.memo_hits")
+            + telemetry.counter_value("core.decide.memo_misses")
+            > 0,
+        "decision counters flow through the registry"
+    );
+    // Span durations feed mergeable histograms keyed by span name.
+    assert!(telemetry
+        .histograms()
+        .iter()
+        .any(|(name, h)| name.starts_with("core.decide.") && !h.is_empty()));
+}
+
 /// A queued guaranteed-class job claims freed capacity ahead of an
 /// earlier-queued best-effort job: classes rank before arrival order on
 /// every drain.

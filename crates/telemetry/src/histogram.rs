@@ -1,0 +1,288 @@
+//! Log-bucketed, exactly-mergeable latency histogram.
+//!
+//! The bucket layout is derived **deterministically from the IEEE-754
+//! bit pattern** of the recorded value: each power-of-two octave is cut
+//! into [`SUB_BUCKETS`] equal-width sub-buckets addressed by the top
+//! four mantissa bits, so [`LogHistogram::bucket_index`] is a handful
+//! of shifts and masks — no `log2`, no search, no libm. The relative
+//! bucket width is at most `1/16 ≈ 6.25%` (4.4% mid-scale), which is
+//! the quantile error bound: any reported quantile lies inside the
+//! bounds of the bucket that contains its nearest-rank sample.
+//!
+//! `count`, `sum` (hence the mean), `min` and `max` are tracked
+//! exactly; only quantiles are bucket-quantized. Two histograms built
+//! from disjoint sample streams [`merge`](LogHistogram::merge) into
+//! exactly the histogram of the concatenated stream (bucket counts are
+//! plain integer adds), which is what lets sharded recorders and
+//! per-board collectors aggregate without resampling.
+
+/// Sub-buckets per power-of-two octave (top 4 mantissa bits).
+pub const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4;
+
+/// Smallest finite bucketed exponent: values below `2^MIN_EXP` ms
+/// (≈ 1 ns) land in the underflow bucket.
+const MIN_EXP: i32 = -20;
+/// One past the largest bucketed exponent: values at or above
+/// `2^MAX_EXP` ms (≈ 4.8 hours) land in the overflow bucket.
+const MAX_EXP: i32 = 24;
+
+const OCTAVES: usize = (MAX_EXP - MIN_EXP) as usize;
+/// Total bucket count: underflow + regular octaves + overflow.
+pub const BUCKETS: usize = OCTAVES * SUB_BUCKETS + 2;
+const OVERFLOW: usize = BUCKETS - 1;
+
+/// A fixed-footprint latency histogram over milliseconds.
+///
+/// Values are `f64` milliseconds; non-positive and sub-nanosecond
+/// values fall into the underflow bucket, multi-hour values into the
+/// overflow bucket. Recording is O(1) and allocation-free after
+/// construction.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index holding `value_ms`. Monotonic in the value:
+    /// `a <= b` implies `bucket_index(a) <= bucket_index(b)` (NaN maps
+    /// to the underflow bucket).
+    pub fn bucket_index(value_ms: f64) -> usize {
+        if value_ms.is_nan() || value_ms <= 0.0 {
+            return 0; // negatives, zero and NaN underflow
+        }
+        let bits = value_ms.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp < MIN_EXP {
+            return 0;
+        }
+        if exp >= MAX_EXP {
+            return OVERFLOW;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        1 + (exp - MIN_EXP) as usize * SUB_BUCKETS + sub
+    }
+
+    /// The `[lower, upper)` bounds of bucket `index` in milliseconds.
+    /// The underflow bucket reports `(-inf, 2^-20)`, the overflow
+    /// bucket `[2^24, +inf)`.
+    pub fn bucket_bounds(index: usize) -> (f64, f64) {
+        // Reconstructs the smallest f64 whose bit pattern maps to
+        // regular bucket `i` (0-based within the regular range);
+        // `i == OCTAVES * SUB_BUCKETS` yields `2^MAX_EXP` exactly.
+        let lower_of = |i: usize| -> f64 {
+            let exp = MIN_EXP + (i / SUB_BUCKETS) as i32;
+            let sub = (i % SUB_BUCKETS) as u64;
+            f64::from_bits((((exp + 1023) as u64) << 52) | (sub << (52 - SUB_BITS)))
+        };
+        if index == 0 {
+            (f64::NEG_INFINITY, lower_of(0))
+        } else if index >= OVERFLOW {
+            (lower_of(OCTAVES * SUB_BUCKETS), f64::INFINITY)
+        } else {
+            (lower_of(index - 1), lower_of(index))
+        }
+    }
+
+    /// Records one value. O(1), never allocates.
+    pub fn record(&mut self, value_ms: f64) {
+        self.counts[Self::bucket_index(value_ms)] += 1;
+        self.count += 1;
+        self.sum += value_ms;
+        if value_ms < self.min {
+            self.min = value_ms;
+        }
+        if value_ms > self.max {
+            self.max = value_ms;
+        }
+    }
+
+    /// Folds `other` into `self`. Bucket counts are integer adds, so
+    /// the merge of histograms over disjoint streams equals the
+    /// histogram of the concatenated stream.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The value at 1-based nearest rank `rank` (clamped to
+    /// `[1, count]`): a point inside the bounds of the bucket holding
+    /// that rank, refined by the exact tracked min/max. Returns 0 on an
+    /// empty histogram.
+    pub fn rank_value(&self, rank: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if index == 0 {
+                    // A rank landing in the underflow bucket means the
+                    // bucket is non-empty, so the exact global min lives
+                    // here and is the best in-bucket estimate.
+                    return self.min;
+                }
+                if index == OVERFLOW {
+                    return self.max;
+                }
+                let (lower, upper) = Self::bucket_bounds(index);
+                let mid = lower + (upper - lower) * 0.5;
+                // min/max are exact and bracket every sample in this
+                // bucket that they share it with, so clamping never
+                // leaves the bucket.
+                return mid.clamp(self.min.max(lower), self.max.min(upper));
+            }
+        }
+        self.max
+    }
+
+    /// Nearest-rank quantile `q` in `[0, 1]`, within one bucket width
+    /// of the exact sample quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        self.rank_value(rank.max(1))
+    }
+
+    /// Iterates non-empty buckets as `(upper_bound_ms, count)` in
+    /// ascending bucket order — the sparse form Prometheus exposition
+    /// builds its cumulative `_bucket` series from.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_bounds(i).1, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_partition_the_positive_axis() {
+        for i in 1..OVERFLOW {
+            let (_, upper) = LogHistogram::bucket_bounds(i);
+            let (next_lower, _) = LogHistogram::bucket_bounds(i + 1);
+            assert_eq!(
+                upper,
+                next_lower,
+                "bucket {i} upper != bucket {} lower",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn index_agrees_with_bounds() {
+        for i in 1..BUCKETS - 1 {
+            let (lower, upper) = LogHistogram::bucket_bounds(i);
+            assert_eq!(LogHistogram::bucket_index(lower), i);
+            let just_under = f64::from_bits(upper.to_bits() - 1);
+            assert_eq!(LogHistogram::bucket_index(just_under), i);
+        }
+    }
+
+    #[test]
+    fn exact_stats_and_quantile_sanity() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110.0);
+        assert_eq!(h.mean(), 22.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        let p99 = h.quantile(0.99);
+        assert!((99.0..=101.0).contains(&p99), "p99 {p99}");
+        let med = h.rank_value(3);
+        assert!((2.9..=3.2).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn zero_and_negative_underflow() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(0.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+}

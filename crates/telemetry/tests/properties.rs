@@ -1,0 +1,91 @@
+//! Property tests for the histogram's structural guarantees: exact
+//! merge, quantiles confined to their containing bucket, and a
+//! monotonic value→bucket mapping.
+
+use omniboost_telemetry::LogHistogram;
+use proptest::prelude::*;
+
+/// Log-uniform positive latencies across eleven orders of magnitude:
+/// sub-µs estimator forwards to multi-second drains.
+fn arb_latency() -> impl Strategy<Value = f64> {
+    (-6.0f64..5.0).prop_map(|exp| 10f64.powf(exp))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recording two streams separately and merging equals recording
+    /// the concatenated stream: bucket-for-bucket counts, exact count,
+    /// exact min/max, and a sum equal up to float association order.
+    #[test]
+    fn merge_equals_concatenated_record(
+        a in proptest::collection::vec(arb_latency(), 40),
+        b in proptest::collection::vec(arb_latency(), 25),
+    ) {
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        let mut hc = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        let scale = hc.sum().abs().max(1.0);
+        prop_assert!((ha.sum() - hc.sum()).abs() <= 1e-9 * scale,
+            "sums diverge beyond association error: {} vs {}", ha.sum(), hc.sum());
+        let buckets_a: Vec<(f64, u64)> = ha.nonzero_buckets().collect();
+        let buckets_c: Vec<(f64, u64)> = hc.nonzero_buckets().collect();
+        prop_assert_eq!(buckets_a, buckets_c);
+    }
+
+    /// Every quantile lies within the bounds of the bucket containing
+    /// its nearest-rank sample — the histogram's error contract.
+    #[test]
+    fn quantiles_stay_within_their_bucket(
+        samples in proptest::collection::vec(arb_latency(), 60),
+        q_raw in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        // The exact nearest-rank sample the quantile approximates.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q_raw * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+        let bucket = LogHistogram::bucket_index(exact);
+        let (lower, upper) = LogHistogram::bucket_bounds(bucket);
+        let got = h.quantile(q_raw);
+        prop_assert!(
+            got >= lower && got <= upper,
+            "quantile({q_raw}) = {got} escapes bucket {bucket} = [{lower}, {upper}) holding exact {exact}"
+        );
+        // And the histogram never reports beyond the exact extremes.
+        prop_assert!(got >= h.min() && got <= h.max());
+    }
+
+    /// The value→bucket mapping is monotone non-decreasing, so bucket
+    /// order is value order and cumulative `_bucket` series are sound.
+    #[test]
+    fn bucket_mapping_is_monotonic(
+        a in arb_latency(),
+        b in arb_latency(),
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            LogHistogram::bucket_index(lo) <= LogHistogram::bucket_index(hi),
+            "bucket({lo}) > bucket({hi})"
+        );
+        // Bounds round-trip: every value sits inside its own bucket.
+        let (lower, upper) = LogHistogram::bucket_bounds(LogHistogram::bucket_index(lo));
+        prop_assert!(lo >= lower && lo < upper, "{lo} outside [{lower}, {upper})");
+    }
+}

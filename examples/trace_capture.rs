@@ -1,0 +1,88 @@
+//! Capture a Chrome-loadable trace of a serving run.
+//!
+//! Attaches a recording [`Telemetry`] handle to a seeded `ServingSim`,
+//! replays a short bursty trace, and writes the retained spans + flight
+//! events as Chrome `trace_event` JSON. Open the produced
+//! `trace_capture.trace.json` in `about://tracing` (Chrome) or
+//! <https://ui.perfetto.dev> to see memo lookups, warm/cold searches,
+//! estimator forwards and tick flushes on a shared microsecond
+//! timeline.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example trace_capture
+//! ```
+
+use omniboost_hw::{AnalyticModel, Board};
+use omniboost_models::{ArrivalProcess, ArrivalTrace, TraceConfig};
+use omniboost_serve::{OnlineConfig, SearchBudget, ServingConfig, ServingSim, Telemetry};
+
+const HORIZON_MS: u64 = 30_000;
+
+fn main() {
+    let trace = ArrivalTrace::generate(
+        ArrivalProcess::Bursty {
+            on_rate_per_s: 1.2,
+            on_ms: 5_000,
+            off_ms: 7_000,
+        },
+        &TraceConfig {
+            horizon_ms: HORIZON_MS,
+            mean_lifetime_ms: 10_000.0,
+            ..TraceConfig::default()
+        },
+        7,
+    );
+
+    let mut sim = ServingSim::new(
+        vec![Board::hikey970(); 2],
+        ServingConfig {
+            online: OnlineConfig {
+                cold_budget: SearchBudget::with_iterations(200),
+                warm_budget: SearchBudget::with_iterations(80),
+                ..OnlineConfig::default()
+            },
+            ..ServingConfig::warm()
+        },
+        AnalyticModel::new,
+    );
+
+    // The only line observability costs an embedder: telemetry is
+    // injected, never constructed by the sim, and a no-op by default.
+    let telemetry = Telemetry::recording();
+    sim.set_telemetry(telemetry.clone());
+
+    let report = sim.run(&trace, HORIZON_MS);
+    println!(
+        "served {} events ({} decisions) at {:.2} inf/s aggregate; digest {:#x}",
+        report.summary.events,
+        report.summary.decisions,
+        report.summary.mean_aggregate_tps,
+        report.digest(),
+    );
+
+    let spans = telemetry.spans();
+    let mut by_name: std::collections::BTreeMap<&str, (usize, u64)> =
+        std::collections::BTreeMap::new();
+    for s in &spans {
+        let row = by_name.entry(s.name).or_insert((0, 0));
+        row.0 += 1;
+        row.1 += s.dur_us;
+    }
+    println!("\nspan inventory ({} retained):", spans.len());
+    for (name, (count, total_us)) in &by_name {
+        println!(
+            "  {name:<28} x{count:<5} {:.2} ms total",
+            *total_us as f64 / 1e3
+        );
+    }
+
+    let path = std::path::Path::new("trace_capture.trace.json");
+    std::fs::write(path, telemetry.trace_json()).expect("write trace file");
+    println!(
+        "\nwrote {} ({} spans, {} flight events) — load it in about://tracing or ui.perfetto.dev",
+        path.display(),
+        spans.len(),
+        telemetry.flight_events().len(),
+    );
+}
